@@ -1,0 +1,108 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation. Each
+// iteration regenerates the corresponding experiment on a reduced
+// instruction budget (benchInsts) so -bench=. completes in minutes; the
+// full-budget numbers recorded in EXPERIMENTS.md come from
+// cmd/experiments. The suite-average IPC of the headline configuration
+// is attached as a custom metric so regressions in simulated performance
+// (not just simulator speed) are visible.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// benchInsts keeps each configuration point short; the touched data
+// footprint still exceeds L2 for the streaming kernels' steady state.
+const benchInsts = 60_000
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Insts: benchInsts, Seed: 42}
+}
+
+// BenchmarkTable1 measures a single baseline run at the paper's default
+// parameters (Table 1) — the unit of work every figure multiplies.
+func BenchmarkTable1(b *testing.B) {
+	tr := trace.FPMix(benchInsts+benchInsts/5+4096, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := core.New(config.Default(), tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := cpu.Run(core.RunOptions{MaxInsts: benchInsts})
+		b.ReportMetric(res.IPC(), "IPC")
+	}
+}
+
+// BenchmarkFigure1 regenerates the window-size vs memory-latency sweep.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1(benchOpts())
+		b.ReportMetric(r.ByLatency[1000][len(r.Windows)-1], "IPC-4096@1000")
+	}
+}
+
+// BenchmarkFigure7 regenerates the live-instruction distribution.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7(benchOpts())
+		b.ReportMetric(float64(r.Points[2].Inflight), "median-inflight")
+	}
+}
+
+// BenchmarkFigure9 regenerates the main performance comparison
+// (Figure 11's in-flight averages come from the same runs).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9(benchOpts())
+		b.ReportMetric(r.IPC[2048][128], "IPC-cooo128/2048")
+		b.ReportMetric(r.Baseline4096IPC, "IPC-base4096")
+	}
+}
+
+// BenchmarkFigure10 regenerates the re-insertion delay sensitivity.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10(benchOpts())
+		b.ReportMetric(100*r.MaxSlowdown(), "worst-slowdown-%")
+	}
+}
+
+// BenchmarkFigure11 regenerates the in-flight instruction study. It
+// shares implementation with Figure 9, as in the paper.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9(benchOpts())
+		b.ReportMetric(r.Inflight[2048][128], "inflight-cooo128/2048")
+	}
+}
+
+// BenchmarkFigure12 regenerates the pseudo-ROB retirement breakdown.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure12(benchOpts())
+		b.ReportMetric(100*r.Breakdown[2048][128].Fraction(0), "moved-%")
+	}
+}
+
+// BenchmarkFigure13 regenerates the checkpoint-count sensitivity.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure13(benchOpts())
+		b.ReportMetric(100*r.Slowdown(8), "slowdown-8ckpts-%")
+	}
+}
+
+// BenchmarkFigure14 regenerates the virtual-register combination study.
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure14(benchOpts())
+		b.ReportMetric(r.IPC[1000][2048][512], "IPC-2048tags/512phys@1000")
+	}
+}

@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// of "Out-of-Order Commit Processors" (HPCA 2004), computed on the
+// synthetic SPEC2000fp-stand-in suite.
+//
+// Usage:
+//
+//	experiments [-figure all|table1|1|7|9|10|11|12|13|14] [-insts N] [-seed S] [-v]
+//
+// Figures 9 and 11 share their simulation runs, as in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate (all, table1, 1, 7, 9, 10, 11, 12, 13, 14, ablations)")
+	insts := flag.Uint64("insts", experiments.DefaultInsts, "committed instructions per configuration point")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	opt := experiments.Options{Insts: *insts, Seed: *seed}
+	if *verbose {
+		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figure, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	section := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		ran = true
+		start := time.Now()
+		fn()
+		fmt.Printf("(%s: %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	section("table1", func() {
+		fmt.Println("Table 1: architectural parameters")
+		fmt.Println(experiments.Table1())
+	})
+	section("1", func() { fmt.Println(experiments.Figure1(opt)) })
+	section("7", func() { fmt.Println(experiments.Figure7(opt)) })
+	if all || want["9"] || want["11"] {
+		ran = true
+		start := time.Now()
+		r := experiments.Figure9(opt)
+		if all || want["9"] {
+			fmt.Println(r)
+		}
+		if all || want["11"] {
+			fmt.Println(r.Figure11String())
+		}
+		fmt.Printf("(9+11: %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	section("10", func() { fmt.Println(experiments.Figure10(opt)) })
+	section("12", func() { fmt.Println(experiments.Figure12(opt)) })
+	section("13", func() { fmt.Println(experiments.Figure13(opt)) })
+	section("14", func() { fmt.Println(experiments.Figure14(opt)) })
+	if want["ablations"] {
+		ran = true
+		start := time.Now()
+		fmt.Println(experiments.Ablations(opt))
+		fmt.Printf("(ablations: %.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,117 @@
+// Command ooosim runs a single processor configuration over one
+// workload and prints the detailed results — the quick way to explore
+// the simulator outside the paper's fixed sweeps.
+//
+// Examples:
+//
+//	ooosim -commit checkpoint -iq 64 -sliq 1024 -workload fpmix -mem 1000
+//	ooosim -commit rob -rob 128 -workload stream -mem 500 -insts 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	commit := flag.String("commit", "checkpoint", "commit mechanism: rob or checkpoint")
+	robEntries := flag.Int("rob", 4096, "ROB entries (rob mode); also sizes queues")
+	iq := flag.Int("iq", 128, "issue-queue and pseudo-ROB entries (checkpoint mode)")
+	sliq := flag.Int("sliq", 2048, "SLIQ entries (checkpoint mode; 0 disables)")
+	ckpts := flag.Int("checkpoints", 8, "checkpoint-table entries")
+	mem := flag.Int("mem", 1000, "memory latency in cycles")
+	perfectL2 := flag.Bool("perfect-l2", false, "make every L2 access hit")
+	workload := flag.String("workload", "fpmix", "stream|strided|stencil|reduction|blocked|pointerchase|fpmix")
+	insts := flag.Uint64("insts", 300000, "committed instructions to simulate")
+	seed := flag.Uint64("seed", 42, "workload seed (fpmix)")
+	vregs := flag.Int("vtags", 0, "enable virtual registers with this many tags (0 = off)")
+	phys := flag.Int("phys", 4096, "physical registers")
+	flag.Parse()
+
+	var cfg config.Config
+	switch *commit {
+	case "rob":
+		cfg = config.BaselineSized(*robEntries)
+	case "checkpoint":
+		cfg = config.CheckpointDefault(*iq, *sliq)
+		cfg.Checkpoints = *ckpts
+	default:
+		fmt.Fprintf(os.Stderr, "unknown commit mode %q\n", *commit)
+		os.Exit(2)
+	}
+	cfg.MemoryLatency = *mem
+	cfg.PerfectL2 = *perfectL2
+	cfg.PhysRegs = *phys
+	if *vregs > 0 {
+		cfg.VirtualRegisters = true
+		cfg.VirtualTags = *vregs
+	}
+
+	n := int(*insts) + int(*insts)/5 + 4096
+	var tr *trace.Trace
+	switch *workload {
+	case "stream":
+		tr = trace.Stream(n)
+	case "strided":
+		tr = trace.StridedStream(n, 8)
+	case "stencil":
+		tr = trace.Stencil(n)
+	case "reduction":
+		tr = trace.Reduction(n)
+	case "blocked":
+		tr = trace.Blocked(n)
+	case "pointerchase":
+		tr = trace.PointerChase(n)
+	case "fpmix":
+		tr = trace.FPMix(n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	cpu, err := core.New(cfg, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := cpu.Run(core.RunOptions{MaxInsts: *insts})
+	printResults(cfg, res)
+}
+
+func printResults(cfg config.Config, r stats.Results) {
+	fmt.Println("Configuration")
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Print(cfg)
+	fmt.Println()
+	fmt.Println("Results")
+	fmt.Println(strings.Repeat("-", 60))
+	row := func(k string, format string, args ...any) {
+		fmt.Printf("%-28s %s\n", k, fmt.Sprintf(format, args...))
+	}
+	row("IPC", "%.3f", r.IPC())
+	row("Cycles", "%d", r.Cycles)
+	row("Committed", "%d", r.Committed)
+	row("Fetched", "%d", r.Fetched)
+	row("Replayed (rollback waste)", "%d (%.2f per committed)", r.Replayed, r.ReplayRate())
+	row("Avg in-flight", "%.0f (max %d)", r.MeanInflight, r.MaxInflight)
+	row("Branch mispredict rate", "%.2f%%", 100*r.Branch.MispredictRate())
+	row("DL1 miss rate", "%.1f%%", 100*r.Mem.DL1.MissRate())
+	row("L2 miss rate", "%.1f%%", 100*r.Mem.L2.MissRate())
+	row("Memory line fetches", "%d (+%d merged)", r.Mem.MemAccesses, r.Mem.MergedMisses)
+	if r.CheckpointsTaken > 0 {
+		row("Checkpoints taken", "%d (committed %d)", r.CheckpointsTaken, r.CheckpointsCommitted)
+		row("Checkpoint-full stalls", "%d cycles", r.CheckpointStallCycles)
+		row("Rollbacks", "%d (pseudo-ROB recoveries %d)", r.Rollbacks, r.PseudoROBRecoveries)
+		row("SLIQ moved/woken", "%d / %d", r.SLIQMoved, r.SLIQWoken)
+		if r.Retire.Total() > 0 {
+			row("Pseudo-ROB breakdown", "%s", r.Retire.String())
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Out-of-Order
+// Commit Processors" (Cristal, Ortega, Llosa, Valero — HPCA 2004): a
+// cycle-level superscalar processor simulator with two retirement
+// mechanisms (a conventional reorder buffer and the paper's
+// checkpoint-based out-of-order commit), the pseudo-ROB + Slow Lane
+// Instruction Queuing mechanism, the ephemeral/virtual register
+// extension, a synthetic SPEC2000fp-stand-in workload suite, and a
+// harness that regenerates every figure of the paper's evaluation.
+//
+// Entry points:
+//
+//   - cmd/experiments regenerates the paper's figures.
+//   - cmd/ooosim runs a single configuration.
+//   - examples/ holds runnable API walkthroughs.
+//   - bench_test.go (this package) provides one benchmark per figure.
+//
+// See README.md for a quickstart, DESIGN.md for the modelling contract,
+// and EXPERIMENTS.md for recorded paper-vs-measured results.
+package repro

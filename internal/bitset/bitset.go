@@ -1,0 +1,161 @@
+// Package bitset provides a dense fixed-capacity bit set used for the
+// rename table's Valid/Future-Free/Free-List vectors and the checkpoint
+// snapshots built from them. The paper's cost argument for checkpoints
+// (two bits per physical register) is exactly the size of two of these.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value of the struct is not
+// usable; create Sets with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set holding n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool {
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// SetTo sets bit i to v.
+func (s *Set) SetTo(i int, v bool) {
+	if v {
+		s.Set(i)
+	} else {
+		s.Clear(i)
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites s with the contents of src. Both sets must have
+// the same capacity.
+func (s *Set) CopyFrom(src *Set) {
+	if s.n != src.n {
+		panic("bitset: size mismatch in CopyFrom")
+	}
+	copy(s.words, src.words)
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// OrWith sets s |= other.
+func (s *Set) OrWith(other *Set) {
+	if s.n != other.n {
+		panic("bitset: size mismatch in OrWith")
+	}
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// AndNotWith sets s &^= other.
+func (s *Set) AndNotWith(other *Set) {
+	if s.n != other.n {
+		panic("bitset: size mismatch in AndNotWith")
+	}
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// FirstSet returns the index of the lowest set bit, or -1 when the set
+// is empty.
+func (s *Set) FirstSet() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// FirstClear returns the index of the lowest clear bit, or -1 when every
+// bit in the capacity is set.
+func (s *Set) FirstClear() int {
+	for wi, w := range s.words {
+		if w != ^uint64(0) {
+			i := wi<<6 + bits.TrailingZeros64(^w)
+			if i < s.n {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Equal reports whether the two sets have identical contents and size.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("new set must be empty")
+	}
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if s.Count() != 3 || !s.Any() {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if s.Get(1) || s.Get(63) || s.Get(128) {
+		t.Error("unexpected bits set")
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 2 {
+		t.Error("Clear failed")
+	}
+	s.SetTo(64, true)
+	s.SetTo(0, false)
+	if !s.Get(64) || s.Get(0) {
+		t.Error("SetTo failed")
+	}
+	s.Reset()
+	if s.Any() {
+		t.Error("Reset left bits set")
+	}
+}
+
+func TestFirstSetFirstClear(t *testing.T) {
+	s := New(100)
+	if s.FirstSet() != -1 {
+		t.Error("empty set has no first set bit")
+	}
+	if s.FirstClear() != 0 {
+		t.Error("empty set: first clear should be 0")
+	}
+	s.Set(70)
+	if got := s.FirstSet(); got != 70 {
+		t.Errorf("FirstSet = %d, want 70", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.Set(i)
+	}
+	if s.FirstClear() != -1 {
+		t.Error("full set has no clear bit")
+	}
+	if s.FirstSet() != 0 {
+		t.Error("full set: first set should be 0")
+	}
+	// FirstClear must not report a phantom bit beyond Len.
+	s65 := New(65)
+	for i := 0; i < 65; i++ {
+		s65.Set(i)
+	}
+	if got := s65.FirstClear(); got != -1 {
+		t.Errorf("FirstClear beyond capacity: %d", got)
+	}
+}
+
+func TestCopyCloneEqual(t *testing.T) {
+	a := New(77)
+	a.Set(5)
+	a.Set(76)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone must equal original")
+	}
+	b.Clear(5)
+	if a.Equal(b) {
+		t.Fatal("diverged sets must differ")
+	}
+	if !a.Get(5) {
+		t.Fatal("clone must be independent")
+	}
+	c := New(77)
+	c.CopyFrom(a)
+	if !c.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	if a.Equal(New(78)) {
+		t.Fatal("different sizes are never equal")
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	a, b := New(64), New(65)
+	for name, fn := range map[string]func(){
+		"CopyFrom":   func() { a.CopyFrom(b) },
+		"OrWith":     func() { a.OrWith(b) },
+		"AndNotWith": func() { a.AndNotWith(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on size mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOrAndNot(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	a.Set(100)
+	b.Set(100)
+	b.Set(101)
+	a.OrWith(b)
+	for _, i := range []int{1, 100, 101} {
+		if !a.Get(i) {
+			t.Errorf("or: bit %d missing", i)
+		}
+	}
+	a.AndNotWith(b)
+	if !a.Get(1) || a.Get(100) || a.Get(101) {
+		t.Error("andnot result wrong")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: %v, want ascending %v", got, want)
+		}
+	}
+}
+
+// TestQuickModel checks the bitset against a map-based model under
+// random operation sequences.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []uint16, size uint8) bool {
+		n := int(size)%256 + 1
+		s := New(n)
+		model := map[int]bool{}
+		for _, op := range ops {
+			i := int(op>>2) % n
+			switch op & 3 {
+			case 0:
+				s.Set(i)
+				model[i] = true
+			case 1:
+				s.Clear(i)
+				delete(model, i)
+			case 2:
+				if s.Get(i) != model[i] {
+					return false
+				}
+			case 3:
+				if s.Count() != len(model) {
+					return false
+				}
+			}
+		}
+		count := 0
+		s.ForEach(func(i int) {
+			if !model[i] {
+				count = -1 << 30
+			}
+			count++
+		})
+		return count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFirstSet: FirstSet agrees with a linear scan.
+func TestQuickFirstSet(t *testing.T) {
+	f := func(bits []uint16) bool {
+		s := New(300)
+		for _, b := range bits {
+			s.Set(int(b) % 300)
+		}
+		want := -1
+		for i := 0; i < 300; i++ {
+			if s.Get(i) {
+				want = i
+				break
+			}
+		}
+		return s.FirstSet() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package checkpoint implements the checkpoint table that replaces the
+// reorder buffer in the paper's out-of-order commit processor (section 2).
+//
+// A checkpoint is taken immediately before an instruction chosen by the
+// paper's heuristics (first branch after 64 instructions, unconditionally
+// after 512 instructions, or after 64 stores). Every dispatched
+// instruction is associated with the youngest checkpoint and counted in
+// its pending counter; the counter is decremented as instructions finish.
+// A checkpoint commits when its counter reaches zero, it is the oldest
+// checkpoint, and its window has been closed by a younger checkpoint —
+// "commit" then retires the whole window at once: deferred register
+// frees are applied and the window's stores drain to memory.
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// Entry is one live checkpoint.
+type Entry struct {
+	// ID is a unique, monotonically increasing checkpoint identifier.
+	ID uint64
+	// StartSeq is the dynamic sequence number of the first instruction
+	// of this checkpoint's window (the instruction the checkpoint was
+	// taken before).
+	StartSeq uint64
+	// FetchPos is the trace position to resume fetching from after a
+	// rollback to this checkpoint.
+	FetchPos int64
+	// Snap is the rename-table snapshot taken with this checkpoint. Its
+	// captured Future Free set belongs to the *previous* window and is
+	// released when the previous checkpoint commits.
+	Snap rename.Snapshot
+	// History is the branch-predictor global history at take time.
+	History uint64
+	// Pending counts associated instructions that have not finished.
+	Pending int
+	// Insts counts all instructions ever associated (statistics).
+	Insts int
+	// Stores counts associated store instructions.
+	Stores int
+}
+
+// Stats counts checkpoint-table activity.
+type Stats struct {
+	Taken     uint64
+	Committed uint64
+	Rollbacks uint64
+	// FullStalls counts take attempts rejected because the table was
+	// full (fetch stalls until the oldest checkpoint commits).
+	FullStalls uint64
+}
+
+// Policy holds the take-a-checkpoint heuristics of the paper.
+type Policy struct {
+	// BranchInterval: take at the first branch once this many
+	// instructions have been associated with the youngest checkpoint.
+	BranchInterval int
+	// MaxInterval: take unconditionally after this many instructions.
+	MaxInterval int
+	// MaxStores: take after this many stores (LSQ deadlock avoidance).
+	MaxStores int
+}
+
+// Table is the checkpoint table. Entries are ordered oldest first.
+type Table struct {
+	capacity int
+	policy   Policy
+	entries  []*Entry
+	nextID   uint64
+	stats    Stats
+}
+
+// NewTable builds a checkpoint table with the given capacity and policy.
+func NewTable(capacity int, policy Policy) *Table {
+	if capacity < 1 {
+		panic(fmt.Sprintf("checkpoint: capacity %d < 1", capacity))
+	}
+	if policy.BranchInterval < 1 || policy.MaxInterval < 1 || policy.MaxStores < 1 {
+		panic(fmt.Sprintf("checkpoint: invalid policy %+v", policy))
+	}
+	return &Table{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make([]*Entry, 0, capacity),
+	}
+}
+
+// Len returns the number of live checkpoints.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Cap returns the table capacity.
+func (t *Table) Cap() int { return t.capacity }
+
+// Full reports whether no further checkpoint can be taken.
+func (t *Table) Full() bool { return len(t.entries) >= t.capacity }
+
+// Empty reports whether the table holds no checkpoint (only before the
+// first instruction or after a total pipeline flush).
+func (t *Table) Empty() bool { return len(t.entries) == 0 }
+
+// Oldest returns the oldest live checkpoint, or nil.
+func (t *Table) Oldest() *Entry {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	return t.entries[0]
+}
+
+// Youngest returns the youngest live checkpoint (the one accumulating
+// new instructions), or nil.
+func (t *Table) Youngest() *Entry {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	return t.entries[len(t.entries)-1]
+}
+
+// Entries returns the live checkpoints, oldest first. The returned slice
+// must not be modified.
+func (t *Table) Entries() []*Entry { return t.entries }
+
+// ShouldTake applies the paper's heuristics to the instruction about to
+// be dispatched and reports whether a checkpoint must be taken before
+// it. It must be called before Associate for that instruction. An empty
+// table always requires a checkpoint ("there must always exist a
+// checkpoint for our mechanism to work").
+func (t *Table) ShouldTake(op isa.Op) bool {
+	y := t.Youngest()
+	if y == nil {
+		return true
+	}
+	switch {
+	case y.Insts >= t.policy.MaxInterval:
+		return true
+	case op == isa.Branch && y.Insts >= t.policy.BranchInterval:
+		return true
+	case op == isa.Store && y.Stores >= t.policy.MaxStores:
+		return true
+	}
+	return false
+}
+
+// Take creates a new (youngest) checkpoint. It returns nil and counts a
+// full-stall when the table is at capacity; fetch must stall and retry.
+func (t *Table) Take(startSeq uint64, fetchPos int64, snap rename.Snapshot, history uint64) *Entry {
+	if t.Full() {
+		t.stats.FullStalls++
+		return nil
+	}
+	e := &Entry{
+		ID:       t.nextID,
+		StartSeq: startSeq,
+		FetchPos: fetchPos,
+		Snap:     snap,
+		History:  history,
+	}
+	t.nextID++
+	t.entries = append(t.entries, e)
+	t.stats.Taken++
+	return e
+}
+
+// Associate counts a newly dispatched instruction against checkpoint e.
+func (t *Table) Associate(e *Entry, op isa.Op) {
+	e.Pending++
+	e.Insts++
+	if op == isa.Store {
+		e.Stores++
+	}
+}
+
+// Finished records that an instruction associated with e has completed
+// execution.
+func (t *Table) Finished(e *Entry) {
+	if e.Pending <= 0 {
+		panic(fmt.Sprintf("checkpoint: pending counter underflow on checkpoint %d", e.ID))
+	}
+	e.Pending--
+}
+
+// Squashed removes a still-pending instruction from e's accounting
+// during a partial squash (pseudo-ROB branch recovery removes younger
+// instructions without discarding their checkpoint).
+func (t *Table) Squashed(e *Entry, op isa.Op) {
+	t.Finished(e)
+	e.Insts--
+	if op == isa.Store {
+		e.Stores--
+	}
+}
+
+// SquashedDone removes an already-finished instruction from e's
+// accounting during a squash (its pending count was decremented when it
+// completed).
+func (t *Table) SquashedDone(e *Entry, op isa.Op) {
+	e.Insts--
+	if e.Insts < 0 {
+		panic(fmt.Sprintf("checkpoint: instruction count underflow on checkpoint %d", e.ID))
+	}
+	if op == isa.Store {
+		e.Stores--
+	}
+}
+
+// CanCommit reports whether the oldest checkpoint is ready to commit:
+// all of its window's instructions have finished and the window has been
+// closed by a younger checkpoint.
+func (t *Table) CanCommit() bool {
+	return len(t.entries) >= 2 && t.entries[0].Pending == 0
+}
+
+// Commit retires the oldest checkpoint and returns it together with the
+// Future Free set to release (captured by the next checkpoint's
+// snapshot) and the window-end sequence number (the next checkpoint's
+// StartSeq), which bounds the stores to drain. It panics if CanCommit is
+// false.
+func (t *Table) Commit() (e *Entry, futureFree *bitset.Set, endSeq uint64) {
+	if !t.CanCommit() {
+		panic("checkpoint: Commit called while not committable")
+	}
+	e = t.entries[0]
+	next := t.entries[1]
+	copy(t.entries, t.entries[1:])
+	t.entries[len(t.entries)-1] = nil
+	t.entries = t.entries[:len(t.entries)-1]
+	t.stats.Committed++
+	return e, next.Snap.FutureFree(), next.StartSeq
+}
+
+// Rollback discards every checkpoint younger than target and reopens
+// target's window (its counters reset: the whole window is squashed and
+// will be re-fetched). It returns the captured Future Free sets of the
+// still-live checkpoints younger than the oldest (the pending deferred
+// frees rename.Table.Rollback needs to reconstruct the free list).
+// Target must be live.
+func (t *Table) Rollback(target *Entry) (pendingFree []*bitset.Set) {
+	idx := -1
+	for i, e := range t.entries {
+		if e == target {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("checkpoint: rollback target %d not live", target.ID))
+	}
+	for i := idx + 1; i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = t.entries[:idx+1]
+	target.Pending = 0
+	target.Insts = 0
+	target.Stores = 0
+	t.stats.Rollbacks++
+
+	for i := 1; i <= idx; i++ {
+		pendingFree = append(pendingFree, t.entries[i].Snap.FutureFree())
+	}
+	return pendingFree
+}
+
+// PendingFrees returns the captured Future Free sets of all live
+// checkpoints except the oldest (deferred frees not yet applied).
+func (t *Table) PendingFrees() []*bitset.Set {
+	var out []*bitset.Set
+	for i := 1; i < len(t.entries); i++ {
+		out = append(out, t.entries[i].Snap.FutureFree())
+	}
+	return out
+}
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// CheckInvariants validates internal consistency for tests.
+func (t *Table) CheckInvariants() error {
+	if len(t.entries) > t.capacity {
+		return fmt.Errorf("checkpoint: %d entries exceed capacity %d", len(t.entries), t.capacity)
+	}
+	for i := 1; i < len(t.entries); i++ {
+		prev, cur := t.entries[i-1], t.entries[i]
+		if cur.ID <= prev.ID {
+			return fmt.Errorf("checkpoint: IDs not increasing (%d then %d)", prev.ID, cur.ID)
+		}
+		if cur.StartSeq < prev.StartSeq {
+			return fmt.Errorf("checkpoint: StartSeq not monotonic (%d then %d)", prev.StartSeq, cur.StartSeq)
+		}
+	}
+	for _, e := range t.entries {
+		if e.Pending < 0 || e.Pending > e.Insts {
+			return fmt.Errorf("checkpoint %d: pending %d out of range [0,%d]", e.ID, e.Pending, e.Insts)
+		}
+	}
+	return nil
+}

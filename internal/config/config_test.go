@@ -1,0 +1,172 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"fetch width", c.FetchWidth, 4},
+		{"issue width", c.IssueWidth, 4},
+		{"commit width", c.CommitWidth, 4},
+		{"predictor bits (16K)", c.BranchPredictorBits, 14},
+		{"mispredict penalty", c.BranchMispredictPenalty, 10},
+		{"IL1 size", c.IL1.SizeBytes, 32 << 10},
+		{"IL1 line", c.IL1.LineBytes, 32},
+		{"IL1 latency", c.IL1.LatencyCycles, 2},
+		{"DL1 size", c.DL1.SizeBytes, 32 << 10},
+		{"L2 size", c.L2.SizeBytes, 512 << 10},
+		{"L2 line", c.L2.LineBytes, 64},
+		{"L2 latency", c.L2.LatencyCycles, 10},
+		{"memory latency", c.MemoryLatency, 1000},
+		{"memory ports", c.MemoryPorts, 2},
+		{"physical registers", c.PhysRegs, 4096},
+		{"LSQ", c.LSQEntries, 4096},
+		{"int queue", c.IntQueueEntries, 4096},
+		{"fp queue", c.FPQueueEntries, 4096},
+		{"ROB", c.ROBEntries, 4096},
+		{"int ALUs", c.IntAlu.Count, 4},
+		{"int mul units", c.IntMul.Count, 2},
+		{"mul latency", c.IntMul.Latency, 3},
+		{"div latency", c.IntDiv.Latency, 20},
+		{"div repeat (unpipelined)", c.IntDiv.Repeat, 20},
+		{"FP units", c.FPAlu.Count, 4},
+		{"FP latency", c.FPAlu.Latency, 2},
+	}
+	for _, ch := range checks {
+		if ch.got != ch.want {
+			t.Errorf("%s = %d, want %d", ch.name, ch.got, ch.want)
+		}
+	}
+}
+
+func TestCheckpointDefault(t *testing.T) {
+	c := CheckpointDefault(64, 1024)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if c.Commit != CommitCheckpoint {
+		t.Error("commit mode should be checkpoint")
+	}
+	if c.IntQueueEntries != 64 || c.FPQueueEntries != 64 || c.PseudoROBEntries != 64 {
+		t.Error("queues and pseudo-ROB must all equal the iq parameter (paper's setup)")
+	}
+	if c.SLIQEntries != 1024 {
+		t.Error("SLIQ size not applied")
+	}
+	if c.Checkpoints != 8 {
+		t.Errorf("paper default is 8 checkpoints, got %d", c.Checkpoints)
+	}
+	if c.CheckpointBranchInterval != 64 || c.CheckpointMaxInterval != 512 || c.CheckpointMaxStores != 64 {
+		t.Error("checkpoint heuristics must match the paper (64/512/64)")
+	}
+}
+
+func TestBaselineSized(t *testing.T) {
+	c := BaselineSized(256)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if c.ROBEntries != 256 || c.IntQueueEntries != 256 || c.FPQueueEntries != 256 {
+		t.Error("BaselineSized must scale ROB and both queues")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.FetchWidth = 0 },
+		func(c *Config) { c.IssueWidth = -1 },
+		func(c *Config) { c.BranchPredictorBits = 0 },
+		func(c *Config) { c.IL1.LineBytes = 48 }, // not a power of two
+		func(c *Config) { c.L2.Assoc = 0 },
+		func(c *Config) { c.MemoryLatency = 0 },
+		func(c *Config) { c.MemoryPorts = 0 },
+		func(c *Config) { c.PhysRegs = 10 },
+		func(c *Config) { c.ROBEntries = 0 },
+		func(c *Config) { c.IntMul.Count = 1 }, // mul/div share units
+		func(c *Config) { c.IntAlu.Repeat = 5 },
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestValidateCheckpointMode(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.Checkpoints = 1 },
+		func(c *Config) { c.PseudoROBEntries = 0 },
+		func(c *Config) { c.CheckpointBranchInterval = 0 },
+		func(c *Config) { c.CheckpointMaxInterval = 10 }, // below branch interval
+		func(c *Config) { c.CheckpointMaxStores = 0 },
+		func(c *Config) { c.SLIQEntries = -1 },
+		func(c *Config) { c.SLIQWakeWidth = 0 },
+		func(c *Config) { c.VirtualRegisters = true; c.VirtualTags = 0 },
+	}
+	for i, mutate := range bad {
+		c := CheckpointDefault(64, 512)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCacheConfigSets(t *testing.T) {
+	cc := CacheConfig{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 32, LatencyCycles: 2}
+	if got := cc.Sets(); got != 256 {
+		t.Errorf("Sets = %d, want 256", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Default().String()
+	for _, want := range []string{"gshare", "512 KB", "1000 cycles", "4096 entries"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 rendering missing %q:\n%s", want, s)
+		}
+	}
+	cs := CheckpointDefault(32, 512).String()
+	for _, want := range []string{"Checkpoint table", "Pseudo-ROB", "SLIQ"} {
+		if !strings.Contains(cs, want) {
+			t.Errorf("checkpoint rendering missing %q", want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if s := BaselineSized(128).Summary(); !strings.Contains(s, "baseline rob=128") {
+		t.Errorf("baseline summary: %q", s)
+	}
+	c := CheckpointDefault(64, 1024)
+	c.VirtualRegisters = true
+	c.VirtualTags = 512
+	if s := c.Summary(); !strings.Contains(s, "cooo iq=64") || !strings.Contains(s, "vtags=512") {
+		t.Errorf("checkpoint summary: %q", s)
+	}
+	c.PerfectL2 = true
+	if s := c.Summary(); !strings.Contains(s, "perfectL2") {
+		t.Errorf("perfect L2 summary: %q", s)
+	}
+}
+
+func TestCommitModeString(t *testing.T) {
+	if CommitROB.String() != "rob" || CommitCheckpoint.String() != "checkpoint" {
+		t.Error("commit mode names wrong")
+	}
+	if !strings.Contains(CommitMode(9).String(), "9") {
+		t.Error("unknown commit mode should render numerically")
+	}
+}

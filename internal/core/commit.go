@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/rename"
+)
+
+// commitStage retires architectural state: per-instruction in-order for
+// the ROB baseline, whole windows at once for checkpoint commit.
+func (c *CPU) commitStage() {
+	switch c.cfg.Commit {
+	case config.CommitROB:
+		c.commitROB()
+	case config.CommitCheckpoint:
+		c.commitCheckpoints()
+	}
+}
+
+// commitROB retires up to CommitWidth finished instructions from the
+// reorder-buffer head, freeing superseded physical registers and
+// draining stores, the conventional discipline the paper replaces.
+func (c *CPU) commitROB() {
+	c.reorder.Commit(c.cfg.CommitWidth,
+		func(d *DynInst) bool { return d.Done },
+		func(d *DynInst) {
+			if d.WrongPath || d.Squashed {
+				panic(fmt.Sprintf("core: committing dead instruction %v", d))
+			}
+			if d.PrevPhys != rename.PhysNone {
+				c.rt.Free(d.PrevPhys)
+				c.producer[d.PrevPhys] = nil
+			}
+			if d.lsqe != nil {
+				c.lq.Retire(d.lsqe, c.hier.StoreCommit)
+				d.lsqe = nil
+			}
+			c.committed++
+			c.inflight--
+			c.lastCommitCycle = c.now
+		})
+}
+
+// commitCheckpoints retires every committable checkpoint: the oldest
+// window whose instructions have all finished commits as a unit — its
+// deferred register frees are applied and its stores drain to memory.
+// This is the paper's out-of-order commit: instructions "commit" (their
+// resources are released) without any per-instruction in-order walk.
+func (c *CPU) commitCheckpoints() {
+	for c.ckpts.CanCommit() {
+		_, futureFree, endSeq := c.ckpts.Commit()
+		c.rt.CommitFutureFree(futureFree)
+		c.lq.DrainStoresBefore(endSeq, c.hier.StoreCommit)
+		c.retireWindow(endSeq)
+		c.lastCommitCycle = c.now
+	}
+
+	// End-of-program drain: the final window has no younger checkpoint
+	// to close it; retire it once every instruction has finished.
+	if c.fetchExhausted() && c.ckpts.Len() == 1 &&
+		c.ckpts.Oldest().Pending == 0 && c.master.len() > 0 {
+		c.lq.DrainStoresBefore(c.nextSeq, c.hier.StoreCommit)
+		c.retireWindow(c.nextSeq)
+		c.lastCommitCycle = c.now
+	}
+}
+
+// retireWindow removes committed instructions (Seq < endSeq) from the
+// simulator's in-flight list.
+func (c *CPU) retireWindow(endSeq uint64) {
+	for c.master.len() > 0 && c.master.front().Seq < endSeq {
+		d := c.master.popFront()
+		switch {
+		case d.Squashed, d.WrongPath:
+			panic(fmt.Sprintf("core: dead instruction in committed window: %v", d))
+		case !d.Done:
+			panic(fmt.Sprintf("core: unfinished instruction in committed window: %v", d))
+		}
+		d.lsqe = nil
+		c.committed++
+		c.inflight--
+	}
+}

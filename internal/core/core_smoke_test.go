@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// runSmoke runs a configuration over a workload and applies sanity
+// checks common to every pipeline mode.
+func runSmoke(t *testing.T, cfg config.Config, tr *trace.Trace, n uint64) (sRes resultsWrapper) {
+	t.Helper()
+	cpu, err := New(cfg, tr)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res := cpu.Run(RunOptions{MaxInsts: n})
+	if res.Committed < n {
+		t.Fatalf("committed %d < target %d (cycles=%d, state=%s)",
+			res.Committed, n, res.Cycles, cpu.debugState())
+	}
+	if res.IPC() <= 0 {
+		t.Fatalf("non-positive IPC: %+v", res)
+	}
+	if res.IPC() > float64(cfg.IssueWidth) {
+		t.Fatalf("IPC %.2f exceeds issue width %d", res.IPC(), cfg.IssueWidth)
+	}
+	return resultsWrapper{res.IPC(), res.Cycles, res.Committed}
+}
+
+type resultsWrapper struct {
+	ipc       float64
+	cycles    int64
+	committed uint64
+}
+
+func TestSmokeBaselineStream(t *testing.T) {
+	cfg := config.BaselineSized(128)
+	cfg.MemoryLatency = 100
+	runSmoke(t, cfg, trace.Stream(30000), 20000)
+}
+
+func TestSmokeBaselineMix(t *testing.T) {
+	cfg := config.BaselineSized(256)
+	cfg.MemoryLatency = 100
+	runSmoke(t, cfg, trace.FPMix(30000, 1), 20000)
+}
+
+func TestSmokeCheckpointStream(t *testing.T) {
+	cfg := config.CheckpointDefault(64, 1024)
+	cfg.MemoryLatency = 100
+	runSmoke(t, cfg, trace.Stream(30000), 20000)
+}
+
+func TestSmokeCheckpointMix(t *testing.T) {
+	cfg := config.CheckpointDefault(64, 1024)
+	cfg.MemoryLatency = 100
+	runSmoke(t, cfg, trace.FPMix(30000, 1), 20000)
+}
+
+func TestSmokeCheckpointLongLatency(t *testing.T) {
+	cfg := config.CheckpointDefault(32, 512)
+	cfg.MemoryLatency = 500
+	runSmoke(t, cfg, trace.FPMix(30000, 2), 15000)
+}
+
+func TestSmokeBaselinePointerChase(t *testing.T) {
+	cfg := config.BaselineSized(128)
+	cfg.MemoryLatency = 200
+	runSmoke(t, cfg, trace.PointerChase(5000), 3000)
+}
+
+func TestSmokeVirtualRegisters(t *testing.T) {
+	cfg := config.CheckpointDefault(128, 1024)
+	cfg.MemoryLatency = 100
+	cfg.VirtualRegisters = true
+	cfg.VirtualTags = 1024
+	cfg.PhysRegs = 512
+	runSmoke(t, cfg, trace.FPMix(30000, 3), 15000)
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/fu"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/mem"
+	"repro/internal/queue"
+	"repro/internal/rename"
+	"repro/internal/rob"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vreg"
+)
+
+// CPU is one simulated processor instance bound to a workload trace.
+// Construct with New; drive with Run. A CPU is single-use per Run — the
+// harness builds a fresh CPU per configuration point.
+type CPU struct {
+	cfg  config.Config
+	tr   *trace.Trace
+	hier *mem.Hierarchy
+	pred branch.Predictor
+	fus  *fu.Pool
+	rt   *rename.Table
+	intQ *queue.IQ
+	fpQ  *queue.IQ
+	lq   *lsq.LSQ
+
+	// ROB mode.
+	reorder *rob.ROB[*DynInst]
+
+	// Checkpoint mode.
+	ckpts  *checkpoint.Table
+	prob   *queue.Deque[*DynInst]
+	sliq   *queue.SLIQ
+	master masterList // simulator-side in-flight list (not modelled HW)
+
+	// Virtual-register extension (Figure 14); nil when disabled.
+	vt           *vreg.Tracker
+	deferredBind []*DynInst
+	// archReleased makes the release of each logical register's
+	// architectural initial value idempotent across rollback replays.
+	archReleased [isa.NumLogical]bool
+
+	// Time and fetch state.
+	now           int64
+	fetchPos      int64
+	nextSeq       uint64
+	fetchResumeAt int64
+	divergedAt    *DynInst // unresolved mispredicted branch (wrong path active)
+	wpCounter     uint64
+	lastLoadAddr  uint64
+
+	// Scoreboard.
+	regReady  []bool
+	longTaint []bool
+	consumers [][]*DynInst
+	producer  []*DynInst
+
+	completions completionHeap
+
+	// SLIQ dependence mask over logical registers (paper section 3).
+	// maskOwnerSeq generation-checks the owner: a freed-and-reallocated
+	// physical register must not satisfy a stale mask bit.
+	depMask      [isa.NumLogical]bool
+	maskOwner    [isa.NumLogical]rename.PhysReg
+	maskOwnerSeq [isa.NumLogical]uint64
+
+	// Exception injection: trace position -> protocol phase
+	// (1 = armed, raises on completion; 2 = replay, checkpoint and
+	// deliver precisely).
+	exceptArm  map[int64]int
+	exceptions uint64
+	// knownBranch marks trace positions of branches whose misprediction
+	// caused a checkpoint rollback; on replay their resolved direction
+	// is known to the recovery hardware.
+	knownBranch map[int64]bool
+
+	// Counters.
+	inflight          int
+	liveFPLong        int
+	liveFPShort       int
+	sumInflight       uint64
+	maxInflight       int
+	committed         uint64
+	fetched           uint64
+	dispatched        uint64
+	issued            uint64
+	replayed          uint64
+	rollbacks         uint64
+	probRecoveries    uint64
+	ckptStallCycles   uint64
+	renameStallCycles uint64
+	retire            stats.Breakdown
+	occ               *stats.Occupancy
+	stalls            dispatchStalls
+
+	portsUsed int // data-cache ports consumed this cycle
+	// resourceStalled marks a dispatch rejection on a resource that
+	// only recycles at checkpoint commit (registers, tags, LSQ); the
+	// front end then takes an emergency checkpoint to close the window
+	// (deadlock avoidance, see dispatchStage).
+	resourceStalled bool
+
+	lastCommitCycle int64
+}
+
+// dispatchStalls breaks down why dispatch groups ended early (counted
+// per rejected instruction attempt).
+type dispatchStalls struct {
+	ROB, IQ, LSQ, Rename, Ckpt, VTag uint64
+	FetchGate                        uint64 // cycles the front end was redirected/stalled
+}
+
+// masterList is the simulator's seq-ordered record of in-flight
+// instructions in checkpoint mode (the hardware has no such structure;
+// the simulator needs it to find squash victims and to retire windows).
+type masterList struct {
+	items []*DynInst
+	head  int
+}
+
+func (m *masterList) push(d *DynInst) { m.items = append(m.items, d) }
+func (m *masterList) len() int        { return len(m.items) - m.head }
+func (m *masterList) front() *DynInst {
+	if m.len() == 0 {
+		return nil
+	}
+	return m.items[m.head]
+}
+func (m *masterList) back() *DynInst {
+	if m.len() == 0 {
+		return nil
+	}
+	return m.items[len(m.items)-1]
+}
+func (m *masterList) popFront() *DynInst {
+	d := m.items[m.head]
+	m.items[m.head] = nil
+	m.head++
+	if m.head > 4096 && m.head*2 > len(m.items) {
+		m.items = append(m.items[:0], m.items[m.head:]...)
+		m.head = 0
+	}
+	return d
+}
+func (m *masterList) popBack() *DynInst {
+	d := m.items[len(m.items)-1]
+	m.items[len(m.items)-1] = nil
+	m.items = m.items[:len(m.items)-1]
+	return d
+}
+
+// New builds a CPU for the given configuration and workload.
+func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+
+	physSpace := cfg.PhysRegs
+	if cfg.VirtualRegisters {
+		// In virtual-register mode real register pressure is enforced
+		// by the vreg tracker; the rename table is only the simulator's
+		// dependence-tracking namespace. Its entries recycle at
+		// checkpoint commit (later than tag release), so size it far
+		// beyond any reachable in-flight count.
+		physSpace = 8192 + 2*cfg.VirtualTags
+	}
+
+	c := &CPU{
+		cfg:         cfg,
+		tr:          tr,
+		hier:        mem.NewHierarchy(cfg),
+		fus:         fu.NewPool(cfg),
+		rt:          rename.New(physSpace),
+		intQ:        queue.NewIQ(cfg.IntQueueEntries),
+		fpQ:         queue.NewIQ(cfg.FPQueueEntries),
+		lq:          lsq.New(cfg.LSQEntries),
+		regReady:    make([]bool, physSpace),
+		longTaint:   make([]bool, physSpace),
+		consumers:   make([][]*DynInst, physSpace),
+		producer:    make([]*DynInst, physSpace),
+		exceptArm:   make(map[int64]int),
+		knownBranch: make(map[int64]bool),
+	}
+	for l := 0; l < isa.NumLogical; l++ {
+		c.regReady[c.rt.Lookup(isa.Reg(l))] = true
+	}
+	if cfg.PerfectBranchPrediction {
+		c.pred = branch.NewPerfect()
+	} else {
+		c.pred = branch.NewGshare(cfg.BranchPredictorBits)
+	}
+
+	switch cfg.Commit {
+	case config.CommitROB:
+		c.reorder = rob.New[*DynInst](cfg.ROBEntries)
+	case config.CommitCheckpoint:
+		c.ckpts = checkpoint.NewTable(cfg.Checkpoints, checkpoint.Policy{
+			BranchInterval: cfg.CheckpointBranchInterval,
+			MaxInterval:    cfg.CheckpointMaxInterval,
+			MaxStores:      cfg.CheckpointMaxStores,
+		})
+		c.prob = queue.NewDeque[*DynInst](cfg.PseudoROBEntries)
+		if cfg.SLIQEntries > 0 {
+			c.sliq = queue.NewSLIQ(cfg.SLIQEntries, cfg.SLIQWakeDelay, cfg.SLIQWakeWidth)
+		}
+	}
+	for i := range c.maskOwner {
+		c.maskOwner[i] = rename.PhysNone
+	}
+	if cfg.VirtualRegisters {
+		c.vt = vreg.New(cfg.VirtualTags, cfg.PhysRegs, isa.NumLogical)
+	}
+	c.lastLoadAddr = 1 << 20
+
+	// Warm the instruction path: cold code misses are an artefact of
+	// short runs (see mem.Hierarchy.PrimeFetch).
+	seen := make(map[uint64]struct{})
+	for i := int64(0); i < tr.Len(); i++ {
+		in := tr.At(i)
+		pc := in.PC &^ 31 // IL1 line granularity
+		if _, ok := seen[pc]; !ok {
+			seen[pc] = struct{}{}
+			c.hier.PrimeFetch(pc)
+		}
+		// Fast-forward cache warmup: replay the data stream so the
+		// simulation starts from steady-state cache contents (the
+		// paper's 300M-instruction regions run warm).
+		if in.Op.IsMem() {
+			c.hier.WarmData(in.Addr)
+		}
+	}
+	for pc := uint64(0xF0000000); pc < 0xF0000000+64*4; pc += 32 {
+		c.hier.PrimeFetch(pc) // wrong-path region
+	}
+	return c, nil
+}
+
+// RunOptions bounds a simulation.
+type RunOptions struct {
+	// MaxInsts stops the run after committing this many instructions
+	// (0 means the full trace).
+	MaxInsts uint64
+	// MaxCycles is a hard cycle bound (0 means 100M).
+	MaxCycles int64
+	// CollectOccupancy enables the full occupancy distribution needed
+	// by Figure 7 (slightly more memory; negligible time).
+	CollectOccupancy bool
+	// WatchdogCycles panics if no instruction commits for this many
+	// cycles (0 means 2M); it exists to catch simulator deadlocks.
+	WatchdogCycles int64
+}
+
+// InjectExceptionAt arms a precise exception at the given trace
+// position: the instruction raises when it first completes, the
+// processor rolls back to its checkpoint and re-executes with a
+// checkpoint placed exactly before it (the paper's two-pass protocol).
+// Checkpoint mode only; must be called before Run.
+func (c *CPU) InjectExceptionAt(pos int64) {
+	c.exceptArm[pos] = 1
+}
+
+// Exceptions returns the number of precisely delivered exceptions.
+func (c *CPU) Exceptions() uint64 { return c.exceptions }
+
+// Run simulates until the instruction target, trace exhaustion, or the
+// cycle bound, and returns the collected results.
+func (c *CPU) Run(opt RunOptions) stats.Results {
+	target := opt.MaxInsts
+	if target == 0 || target > uint64(c.tr.Len()) {
+		target = uint64(c.tr.Len())
+	}
+	maxCycles := opt.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 100_000_000
+	}
+	watchdog := opt.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = 2_000_000
+	}
+	if opt.CollectOccupancy {
+		bound := c.cfg.ROBEntries
+		if c.cfg.Commit == config.CommitCheckpoint {
+			bound = 4 * c.cfg.CheckpointMaxInterval * c.cfg.Checkpoints
+		}
+		if bound < 1 {
+			bound = 1
+		}
+		c.occ = stats.NewOccupancy(bound)
+	}
+
+	for c.committed < target && c.now < maxCycles {
+		c.portsUsed = 0
+		c.commitStage()
+		c.writebackStage()
+		c.issueStage()
+		c.dispatchStage()
+
+		c.sumInflight += uint64(c.inflight)
+		if c.inflight > c.maxInflight {
+			c.maxInflight = c.inflight
+		}
+		if c.occ != nil {
+			c.occ.Sample(c.inflight, c.liveFPLong, c.liveFPShort)
+		}
+		c.now++
+
+		if c.committed > 0 || c.inflight > 0 {
+			if c.now-c.lastCommitCycle > watchdog {
+				panic(fmt.Sprintf("core: no commit progress for %d cycles at cycle %d (%s)",
+					watchdog, c.now, c.debugState()))
+			}
+		}
+		if c.fetchExhausted() && c.inflight == 0 && c.completions.Len() == 0 {
+			break
+		}
+	}
+	return c.results()
+}
+
+// fetchExhausted reports that no further correct-path instruction can be
+// fetched.
+func (c *CPU) fetchExhausted() bool {
+	return c.divergedAt == nil && c.fetchPos >= c.tr.Len()
+}
+
+// iqFor returns the instruction queue for an operation class: FP
+// arithmetic uses the floating-point queue, everything else (including
+// memory and control) the integer queue, as in the paper.
+func (c *CPU) iqFor(op isa.Op) *queue.IQ {
+	if op == isa.FPAlu {
+		return c.fpQ
+	}
+	return c.intQ
+}
+
+// results assembles the run's statistics.
+func (c *CPU) results() stats.Results {
+	r := stats.Results{
+		Name:                fmt.Sprintf("%s/%s", c.cfg.Commit, c.tr.Name()),
+		Cycles:              c.now,
+		Committed:           c.committed,
+		Fetched:             c.fetched,
+		Dispatched:          c.dispatched,
+		Issued:              c.issued,
+		Replayed:            c.replayed,
+		Rollbacks:           c.rollbacks,
+		PseudoROBRecoveries: c.probRecoveries,
+		Branch:              c.pred.Stats(),
+		Mem:                 c.hier.Stats(),
+		Retire:              c.retire,
+		MaxInflight:         c.maxInflight,
+		Occ:                 c.occ,
+	}
+	if c.now > 0 {
+		r.MeanInflight = float64(c.sumInflight) / float64(c.now)
+	}
+	if c.ckpts != nil {
+		cs := c.ckpts.Stats()
+		r.CheckpointsTaken = cs.Taken
+		r.CheckpointsCommitted = cs.Committed
+		r.CheckpointStallCycles = c.ckptStallCycles
+	}
+	if c.sliq != nil {
+		ss := c.sliq.Stats()
+		r.SLIQMoved = ss.Inserted
+		r.SLIQWoken = ss.Woken
+	}
+	return r
+}
+
+// debugState renders a short pipeline summary for watchdog panics.
+func (c *CPU) debugState() string {
+	s := fmt.Sprintf("committed=%d inflight=%d fetchPos=%d intQ=%d/%d fpQ=%d/%d lsq=%d completions=%d",
+		c.committed, c.inflight, c.fetchPos,
+		c.intQ.Len(), c.intQ.Cap(), c.fpQ.Len(), c.fpQ.Cap(), c.lq.Len(), c.completions.Len())
+	if c.ckpts != nil {
+		s += fmt.Sprintf(" ckpts=%d/%d", c.ckpts.Len(), c.ckpts.Cap())
+		if o := c.ckpts.Oldest(); o != nil {
+			s += fmt.Sprintf(" oldest{id=%d pending=%d insts=%d}", o.ID, o.Pending, o.Insts)
+		}
+		s += fmt.Sprintf(" prob=%d/%d", c.prob.Len(), c.prob.Cap())
+		if c.sliq != nil {
+			s += fmt.Sprintf(" sliq=%d/%d", c.sliq.Len(), c.sliq.Cap())
+		}
+	}
+	if c.reorder != nil {
+		s += fmt.Sprintf(" rob=%d/%d", c.reorder.Len(), c.reorder.Cap())
+	}
+	if c.divergedAt != nil {
+		s += fmt.Sprintf(" diverged@%d", c.divergedAt.Seq)
+	}
+	return s
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/queue"
+	"repro/internal/rename"
+)
+
+// dispatchStage models the front end: SLIQ re-insertion, instruction
+// fetch (correct path or wrong path), renaming, checkpoint taking,
+// pseudo-ROB insertion/extraction and dispatch into the issue queues.
+func (c *CPU) dispatchStage() {
+	if c.sliq != nil {
+		c.drainSLIQ()
+	}
+	if c.now < c.fetchResumeAt {
+		c.stalls.FetchGate++
+		return
+	}
+
+	dispatched := 0
+	c.resourceStalled = false
+	defer func() {
+		if c.cfg.Commit != config.CommitCheckpoint || dispatched != 0 {
+			return
+		}
+		// Pressure-driven extraction: when nothing could dispatch
+		// because an issue queue is full, retire pseudo-ROB entries
+		// anyway so mask-dependent occupants move to the SLIQ and
+		// free queue space. Without this the two-level hierarchy
+		// throttles itself: moves happen at extraction, extraction
+		// normally happens at dispatch, dispatch needs queue space.
+		if c.intQ.Full() || c.fpQ.Full() {
+			for i := 0; i < c.cfg.FetchWidth && c.prob.Len() > 0; i++ {
+				c.extractPseudoROB()
+			}
+		}
+		// Deadlock avoidance: a stall on registers, tags or LSQ space
+		// can only clear when a window commits — and the open window
+		// cannot commit until a younger checkpoint closes it. Take an
+		// emergency checkpoint at the stalled instruction.
+		if c.resourceStalled && !c.ckpts.Full() {
+			if y := c.ckpts.Youngest(); y != nil && y.Insts > 0 {
+				c.takeCheckpoint(c.fetchPos)
+			}
+		}
+	}()
+
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		var inst isa.Inst
+		var pos int64
+		wrongPath := c.divergedAt != nil
+		if wrongPath {
+			inst = c.nextWrongPathInst()
+			pos = -1
+		} else {
+			if c.fetchPos >= c.tr.Len() {
+				return
+			}
+			inst = c.tr.At(c.fetchPos)
+			pos = c.fetchPos
+			if n == 0 {
+				// Model the instruction fetch: an IL1 miss stalls
+				// the front end until the line arrives.
+				ready := c.hier.FetchLatency(c.now, inst.PC)
+				if ready > c.now+int64(c.cfg.IL1.LatencyCycles) {
+					c.fetchResumeAt = ready
+					return
+				}
+			}
+		}
+		if !c.tryDispatch(inst, pos, wrongPath) {
+			return
+		}
+		dispatched++
+		if !wrongPath {
+			// On a mispredicted branch, divergedAt is now set and the
+			// next loop iteration fetches wrong-path instructions.
+			c.fetchPos++
+		}
+	}
+}
+
+// tryDispatch checks every structural resource the instruction needs
+// and, if all are available, renames and dispatches it. It returns
+// false when the front end must stall this cycle.
+func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
+	ckptMode := c.cfg.Commit == config.CommitCheckpoint
+
+	// Checkpoints are taken before the instruction; do it first so the
+	// window closes even if the instruction then stalls on another
+	// resource (otherwise an open window could never commit and the
+	// stalled resource would never recycle).
+	if ckptMode {
+		needCkpt := c.ckpts.ShouldTake(inst.Op) || (pos >= 0 && c.exceptArm[pos] == 2)
+		if needCkpt {
+			if c.ckpts.Full() {
+				c.ckptStallCycles++
+				c.stalls.Ckpt++
+				return false
+			}
+			c.takeCheckpoint(pos)
+			if pos >= 0 && c.exceptArm[pos] == 2 {
+				// Second pass of the exception protocol: the excepting
+				// instruction is now precisely checkpointed; deliver.
+				delete(c.exceptArm, pos)
+				c.exceptions++
+			}
+		}
+	} else {
+		if c.reorder.Full() {
+			c.stalls.ROB++
+			return false
+		}
+	}
+	if inst.Op.HasDest() {
+		if c.vt != nil {
+			if !c.vt.TryRename() {
+				c.renameStallCycles++
+				c.stalls.VTag++
+				c.resourceStalled = true
+				return false
+			}
+		}
+		if c.rt.FreeCount() == 0 {
+			if c.vt != nil {
+				c.vt.UnRename()
+			}
+			c.renameStallCycles++
+			c.stalls.Rename++
+			c.resourceStalled = true
+			return false
+		}
+	}
+	// Stores live in the LSQ, not the general-purpose queues (paper
+	// section 2, "Committing Store Instructions").
+	var iq *queue.IQ
+	if inst.Op != isa.Store {
+		iq = c.iqFor(inst.Op)
+		if iq.Full() {
+			if inst.Op.HasDest() && c.vt != nil {
+				c.vt.UnRename()
+			}
+			c.stalls.IQ++
+			return false
+		}
+	}
+	if inst.Op.IsMem() && c.lq.Full() {
+		if inst.Op.HasDest() && c.vt != nil {
+			c.vt.UnRename()
+		}
+		c.stalls.LSQ++
+		c.resourceStalled = true
+		return false
+	}
+	if ckptMode && c.prob.Full() {
+		// Extract the oldest pseudo-ROB entry to make room; this is
+		// where the paper's delayed long-latency classification
+		// happens (section 3).
+		c.extractPseudoROB()
+	}
+
+	// All resources available: build and dispatch.
+	d := &DynInst{
+		Seq:       c.nextSeq,
+		Pos:       pos,
+		Inst:      inst,
+		DestPhys:  rename.PhysNone,
+		PrevPhys:  rename.PhysNone,
+		WrongPath: wrongPath,
+		heapIdx:   -1,
+	}
+	c.nextSeq++
+	c.fetched++
+
+	// Rename sources before the destination (an instruction may read
+	// the register it overwrites).
+	srcs := inst.Sources(make([]isa.Reg, 0, 2))
+	d.NumSrcs = len(srcs)
+	for i, s := range srcs {
+		d.SrcPhys[i] = c.rt.Lookup(s)
+	}
+	if inst.Op.HasDest() {
+		var ok bool
+		if ckptMode {
+			d.DestPhys, d.PrevPhys, ok = c.rt.Allocate(inst.Dest)
+		} else {
+			d.DestPhys, d.PrevPhys, ok = c.rt.AllocateROB(inst.Dest)
+		}
+		if !ok {
+			panic("core: rename failed after FreeCount check")
+		}
+		c.regReady[d.DestPhys] = false
+		c.longTaint[d.DestPhys] = false
+		if c.vt != nil && d.PrevPhys != rename.PhysNone {
+			d.prevProd = c.producer[d.PrevPhys]
+		}
+		c.producer[d.DestPhys] = d
+	}
+
+	// Source readiness, consumer registration and the blocked-long
+	// taint used for Figure 7's live-instruction split.
+	pending := 0
+	long := false
+	for i := 0; i < d.NumSrcs; i++ {
+		p := d.SrcPhys[i]
+		if !c.regReady[p] {
+			pending++
+			c.consumers[p] = append(c.consumers[p], d)
+			if c.longTaint[p] {
+				long = true
+			}
+		}
+	}
+	if long && d.DestPhys != rename.PhysNone {
+		c.longTaint[d.DestPhys] = true
+	}
+	if inst.Op == isa.FPAlu && pending > 0 {
+		d.LiveLong = long
+		d.countedLive = true
+		if long {
+			c.liveFPLong++
+		} else {
+			c.liveFPShort++
+		}
+	}
+
+	if inst.Op == isa.Store {
+		d.pendingSrcs = pending
+		if pending == 0 {
+			// Address and data already available: the store executes
+			// (writes its LSQ entry) immediately.
+			d.Issued = true
+			d.DoneCycle = c.now + 1
+			c.completions.push(d)
+		}
+	} else {
+		d.iqe = iq.Insert(d.Seq, pending, d)
+		if d.iqe == nil {
+			panic("core: issue queue full after Full() check")
+		}
+	}
+	if inst.Op.IsMem() {
+		d.lsqe = c.lq.Insert(d.Seq, inst.Op, inst.Addr, d)
+		if d.lsqe == nil {
+			panic("core: LSQ full after Full() check")
+		}
+	}
+
+	if ckptMode {
+		d.ckpt = c.ckpts.Youngest()
+		c.ckpts.Associate(d.ckpt, inst.Op)
+		if !c.prob.PushBack(d) {
+			panic("core: pseudo-ROB full after extraction")
+		}
+		d.inProb = true
+		c.master.push(d)
+	} else {
+		if !c.reorder.Push(d) {
+			panic("core: ROB full after Full() check")
+		}
+	}
+
+	// Branch prediction happens at fetch; history and counters are
+	// trained immediately (see DESIGN.md for the modelling argument).
+	// A branch whose misprediction already caused a checkpoint rollback
+	// is known-resolved on its replay: the recovery state carries its
+	// direction, which also guarantees forward progress when gshare
+	// aliasing would otherwise ping-pong two opposite-biased branches
+	// inside one window (a livelock the stress suite exposed).
+	if inst.Op == isa.Branch && !wrongPath {
+		mispredict := false
+		if !c.cfg.PerfectBranchPrediction && !c.knownBranch[pos] {
+			mispredict = c.pred.Predict(inst.PC) != inst.Taken
+		}
+		c.pred.Update(inst.PC, inst.Taken)
+		if mispredict {
+			d.Mispredicted = true
+			c.divergedAt = d
+		}
+	}
+
+	// Exception protocol, first pass: raise when it completes.
+	if pos >= 0 && c.exceptArm[pos] == 1 && c.cfg.Commit == config.CommitCheckpoint {
+		d.ExceptAt = true
+	}
+
+	c.dispatched++
+	c.inflight++
+	return true
+}
+
+// takeCheckpoint snapshots the machine before the instruction about to
+// dispatch (whose sequence number will be nextSeq and trace position
+// pos; pos may be the current fetch position for emergency checkpoints).
+func (c *CPU) takeCheckpoint(pos int64) {
+	snap := c.rt.TakeSnapshot()
+	if pos < 0 {
+		// Wrong-path instruction: record the correct-path resume point.
+		pos = c.fetchPos
+	}
+	if e := c.ckpts.Take(c.nextSeq, pos, snap, c.pred.HistorySnapshot()); e == nil {
+		panic("core: checkpoint table full after Full() check")
+	}
+}
+
+// nextWrongPathInst synthesises an instruction for the wrong path after
+// a mispredicted branch: a deterministic mix of ALU, FP and load
+// operations that consumes rename, queue, functional-unit and memory
+// bandwidth until the branch resolves (see DESIGN.md §3).
+func (c *CPU) nextWrongPathInst() isa.Inst {
+	k := c.wpCounter
+	c.wpCounter++
+	// Wrong-path instructions live in their own PC region.
+	pc := uint64(0xF0000000) + (k%64)*4
+	switch k % 8 {
+	case 0:
+		// A wrong-path load polluting lines near recent traffic.
+		addr := c.lastLoadAddr + 64*(1+k%32)
+		return isa.Inst{Op: isa.Load, Dest: isa.IntReg(int(k % 4)), Src1: isa.IntReg(4), Addr: addr, PC: pc}
+	case 1, 2, 3:
+		return isa.Inst{Op: isa.FPAlu, Dest: isa.FPReg(int(k % 8)), Src1: isa.FPReg(int((k + 1) % 8)), Src2: isa.RegNone, PC: pc}
+	case 4:
+		return isa.Inst{Op: isa.IntMul, Dest: isa.IntReg(int(k%4) + 4), Src1: isa.IntReg(int(k % 4)), Src2: isa.RegNone, PC: pc}
+	default:
+		return isa.Inst{Op: isa.IntAlu, Dest: isa.IntReg(int(k % 8)), Src1: isa.IntReg(int((k + 3) % 8)), Src2: isa.RegNone, PC: pc}
+	}
+}
+
+// drainSLIQ re-inserts woken slow-lane instructions into their issue
+// queues, oldest first, bounded by the wake width. When the target queue
+// is full, a fully-ready instruction may instead issue directly from the
+// pump (bounded by the same width and functional-unit availability) —
+// the bypass that keeps the two-level queue hierarchy deadlock-free when
+// the small queues are saturated with dependants of slow-lane residents.
+func (c *CPU) drainSLIQ() {
+	c.sliq.Drain(c.now, func(seq uint64, payload any) bool {
+		d := payload.(*DynInst)
+		if d.Squashed {
+			return true // consume and continue
+		}
+		// Re-compute source availability, as the paper requires.
+		pending := 0
+		for i := 0; i < d.NumSrcs; i++ {
+			if !c.regReady[d.SrcPhys[i]] {
+				pending++
+			}
+		}
+		iq := c.iqFor(d.Inst.Op)
+		if !iq.Full() {
+			d.inSLIQ = false
+			d.iqe = iq.Insert(seq, pending, d)
+			return true
+		}
+		if pending > 0 {
+			return false // must wait in order for queue space
+		}
+		// Bypass: issue directly from the wake pump.
+		if d.Inst.Op == isa.Load && c.portsUsed >= c.cfg.MemoryPorts {
+			return false
+		}
+		aluDone, ok := c.fus.TryIssue(d.Inst.Op, c.now)
+		if !ok {
+			return false
+		}
+		d.inSLIQ = false
+		c.startExecution(d, aluDone)
+		return true
+	})
+}

@@ -1,0 +1,156 @@
+// Package core implements the simulated processors: the conventional
+// ROB-commit baseline and the paper's checkpointed out-of-order commit
+// processor with pseudo-ROB and Slow Lane Instruction Queuing. See
+// DESIGN.md for the modelling contract.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/queue"
+	"repro/internal/rename"
+)
+
+// DynInst is the pipeline's record of one in-flight dynamic instruction.
+// Fields are managed by the CPU; tests inspect them read-only.
+type DynInst struct {
+	// Seq is the dynamic sequence number: unique and monotonically
+	// increasing across fetches, including wrong-path and replayed
+	// instructions. All age comparisons use Seq.
+	Seq uint64
+	// Pos is the trace position this instruction came from; -1 for
+	// wrong-path instructions.
+	Pos int64
+	// Inst is the architectural instruction.
+	Inst isa.Inst
+
+	// Rename state.
+	DestPhys rename.PhysReg
+	PrevPhys rename.PhysReg // previous mapping of Inst.Dest
+	SrcPhys  [2]rename.PhysReg
+	NumSrcs  int
+
+	// Execution state.
+	Issued    bool
+	Done      bool
+	DoneCycle int64
+	// MissedL2 marks loads that went to main memory.
+	MissedL2 bool
+	// Mispredicted marks branches whose fetch-time prediction was wrong.
+	Mispredicted bool
+	// WrongPath marks synthetic instructions fetched past an unresolved
+	// mispredicted branch; they never commit.
+	WrongPath bool
+	// Squashed instructions are dead; late completion events ignore them.
+	Squashed bool
+	// LiveLong records the blocked-long/blocked-short classification
+	// made at dispatch (Figure 7's live-instruction split); countedLive
+	// marks that the instruction is in the live FP counters.
+	LiveLong    bool
+	countedLive bool
+	// ExceptAt requests a precise exception when this instruction
+	// completes (exception-replay tests inject it).
+	ExceptAt bool
+	// Replayed marks the second-pass execution of an instruction after
+	// an exception rollback.
+	Replayed bool
+
+	// Structure handles.
+	iqe  *queue.IQEntry
+	lsqe *lsq.Entry
+	ckpt *checkpoint.Entry
+	// inSLIQ marks residence in the slow lane; inProb marks residence
+	// in the pseudo-ROB.
+	inSLIQ bool
+	inProb bool
+	// heapIdx is this instruction's position in the completion heap.
+	heapIdx int
+
+	// Virtual-register extension state (Figure 14).
+	// prevProd is the producer of the value this instruction redefines.
+	prevProd *DynInst
+	// fusedRelease: the redefiner completed first, so binding this
+	// value consumes no physical register (bind and release fuse).
+	fusedRelease bool
+	// boundPhys: this value's bind consumed a physical register.
+	boundPhys bool
+	// prevReleased: the superseded value has been released (release
+	// precedes binding and must be idempotent across deferred retries).
+	prevReleased bool
+	// forwardWait: a load blocked on an older store's data.
+	forwardWait bool
+	// pendingSrcs counts unready sources for LSQ-resident stores,
+	// which wait on the scoreboard instead of occupying an issue-queue
+	// entry (the paper keeps stores in the Load/Store queue).
+	pendingSrcs int
+	// retireClass records the pseudo-ROB classification (debugging);
+	// -1 before extraction.
+	retireClass int8
+}
+
+// String renders a debug line.
+func (d *DynInst) String() string {
+	state := "waiting"
+	switch {
+	case d.Squashed:
+		state = "squashed"
+	case d.Done:
+		state = "done"
+	case d.Issued:
+		state = "issued"
+	case d.inSLIQ:
+		state = "sliq"
+	}
+	return fmt.Sprintf("#%d pos=%d %v [%s]", d.Seq, d.Pos, d.Inst, state)
+}
+
+// completionHeap orders in-flight completions by DoneCycle (ties by Seq
+// for determinism).
+type completionHeap struct {
+	entries []*DynInst
+}
+
+func (h *completionHeap) Len() int { return len(h.entries) }
+func (h *completionHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.DoneCycle != b.DoneCycle {
+		return a.DoneCycle < b.DoneCycle
+	}
+	return a.Seq < b.Seq
+}
+func (h *completionHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].heapIdx = i
+	h.entries[j].heapIdx = j
+}
+func (h *completionHeap) Push(x any) {
+	d := x.(*DynInst)
+	d.heapIdx = len(h.entries)
+	h.entries = append(h.entries, d)
+}
+func (h *completionHeap) Pop() any {
+	n := len(h.entries)
+	d := h.entries[n-1]
+	h.entries[n-1] = nil
+	h.entries = h.entries[:n-1]
+	d.heapIdx = -1
+	return d
+}
+
+// push schedules a completion.
+func (h *completionHeap) push(d *DynInst) { heap.Push(h, d) }
+
+// peek returns the earliest completion without removing it.
+func (h *completionHeap) peek() *DynInst {
+	if len(h.entries) == 0 {
+		return nil
+	}
+	return h.entries[0]
+}
+
+// pop removes and returns the earliest completion.
+func (h *completionHeap) pop() *DynInst { return heap.Pop(h).(*DynInst) }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/queue"
+	"repro/internal/rename"
+)
+
+// issueStage selects up to IssueWidth ready instructions across the two
+// issue queues, oldest first, and starts them on functional units.
+// Loads are additionally bounded by the per-cycle data-cache port count
+// (Table 1's "Memory ports").
+func (c *CPU) issueStage() {
+	budget := c.cfg.IssueWidth
+	failures := 0
+	maxFailures := 2 * c.cfg.IssueWidth
+	var retry []*queue.IQEntry
+
+	for budget > 0 && failures < maxFailures {
+		e := c.popOldestReady()
+		if e == nil {
+			break
+		}
+		d := e.Payload.(*DynInst)
+		if d.Squashed {
+			continue
+		}
+		if d.Inst.Op == isa.Load && c.portsUsed >= c.cfg.MemoryPorts {
+			retry = append(retry, e)
+			failures++
+			continue
+		}
+		aluDone, ok := c.fus.TryIssue(d.Inst.Op, c.now)
+		if !ok {
+			retry = append(retry, e)
+			failures++
+			continue
+		}
+		c.startExecution(d, aluDone)
+		budget--
+	}
+	for _, e := range retry {
+		c.iqFor(e.Payload.(*DynInst).Inst.Op).Unissue(e)
+	}
+}
+
+// propagateLongTaint marks a register as transitively dependent on an
+// L2-missing load and reclassifies already-dispatched waiting consumers
+// from blocked-short to blocked-long (Figure 7's split). Dispatch-time
+// classification alone misses consumers dispatched in the window before
+// the load's miss is discovered.
+func (c *CPU) propagateLongTaint(p rename.PhysReg) {
+	if c.longTaint[p] {
+		return
+	}
+	c.longTaint[p] = true
+	for _, cons := range c.consumers[p] {
+		if cons.Squashed || cons.Done || cons.Issued {
+			continue
+		}
+		if cons.countedLive && !cons.LiveLong {
+			cons.LiveLong = true
+			c.liveFPLong++
+			c.liveFPShort--
+		}
+		if cons.DestPhys != rename.PhysNone {
+			c.propagateLongTaint(cons.DestPhys)
+		}
+	}
+}
+
+// popOldestReady pops the globally oldest ready entry across both issue
+// queues.
+func (c *CPU) popOldestReady() *queue.IQEntry {
+	ei, ef := c.intQ.PeekReady(), c.fpQ.PeekReady()
+	switch {
+	case ei == nil && ef == nil:
+		return nil
+	case ei == nil:
+		return c.fpQ.PopReady()
+	case ef == nil:
+		return c.intQ.PopReady()
+	case ei.Seq < ef.Seq:
+		return c.intQ.PopReady()
+	default:
+		return c.fpQ.PopReady()
+	}
+}
+
+// startExecution marks d issued and schedules its completion. aluDone is
+// the cycle the functional unit produces its result (address generation
+// for memory operations).
+func (c *CPU) startExecution(d *DynInst, aluDone int64) {
+	d.Issued = true
+	d.iqe = nil
+	c.issued++
+	if d.countedLive {
+		// Leaving the issue queue ends the instruction's "live" phase
+		// (Figure 7 counts instructions yet to be issued).
+		d.countedLive = false
+		if d.LiveLong {
+			c.liveFPLong--
+		} else {
+			c.liveFPShort--
+		}
+	}
+
+	switch d.Inst.Op {
+	case isa.Load:
+		c.portsUsed++
+		c.lastLoadAddr = d.Inst.Addr
+		switch c.lq.LookupForward(d.Seq, d.Inst.Addr, func(uint64) {
+			// The blocking store executed; the load completes a
+			// cycle later (forwarding bypass).
+			if d.Squashed {
+				return
+			}
+			d.forwardWait = false
+			d.DoneCycle = c.now + 1
+			c.completions.push(d)
+		}) {
+		case lsq.ForwardReady:
+			d.DoneCycle = aluDone + int64(c.cfg.DL1.LatencyCycles)
+			c.completions.push(d)
+		case lsq.ForwardWait:
+			d.forwardWait = true
+			// Completion is scheduled by the callback above.
+		case lsq.NoConflict:
+			res := c.hier.Load(aluDone, d.Inst.Addr)
+			d.DoneCycle = res.Done
+			if res.MissedL2 {
+				d.MissedL2 = true
+				if d.DestPhys >= 0 {
+					c.propagateLongTaint(d.DestPhys)
+				}
+			}
+			c.completions.push(d)
+		}
+	default:
+		d.DoneCycle = aluDone
+		c.completions.push(d)
+	}
+}

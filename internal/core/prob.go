@@ -1,0 +1,191 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/stats"
+)
+
+// extractPseudoROB retires the oldest pseudo-ROB entry to make room for
+// a dispatching instruction. This is the paper's delayed criticality
+// decision (section 3): only now — when the instruction is the oldest in
+// the FIFO — is it classified, and not-yet-issued instructions that
+// transitively depend on an L2-missing load are moved from the precious
+// issue queue into the SLIQ.
+func (c *CPU) extractPseudoROB() {
+	d, ok := c.prob.PopFront()
+	if !ok {
+		return
+	}
+	d.inProb = false
+	c.classifyExtract(d)
+}
+
+// note records the classification on the instruction for debugging.
+func (c *CPU) note(d *DynInst, cl stats.RetireClass) {
+	c.retire[cl]++
+	d.retireClass = int8(cl)
+}
+
+// classifyExtract buckets the retired entry into Figure 12's classes and
+// maintains the logical-register dependence mask.
+func (c *CPU) classifyExtract(d *DynInst) {
+	op := d.Inst.Op
+	switch {
+	case op == isa.Store:
+		c.note(d, stats.RetireStore)
+		// Stores have no destination: the mask is unaffected.
+
+	case op == isa.Load:
+		switch {
+		case d.Done:
+			c.note(d, stats.RetireFinishedLoad)
+			c.maskRedefine(d, false, rename.PhysNone)
+		case d.Issued && d.MissedL2:
+			// The problem makers: seed the dependence mask with the
+			// load's destination.
+			c.note(d, stats.RetireLongLatLoad)
+			c.maskSeed(d)
+		case d.Issued:
+			// In flight but hit in L1/L2 — the paper counts these
+			// with the finished loads.
+			c.note(d, stats.RetireFinishedLoad)
+			c.maskRedefine(d, false, rename.PhysNone)
+		default:
+			// Not yet issued: per the paper's t0 example, a load that
+			// "has not yet finished its execution" at extraction is
+			// treated as long latency — its destination seeds the
+			// mask so consumers move to the SLIQ rather than clog the
+			// issue queue. The load itself moves too if its address
+			// hangs off another long-latency chain.
+			dep, root, rootSeq := c.maskDependence(d)
+			if dep {
+				_ = rootSeq
+				if c.moveToSLIQ(d, root) {
+					c.note(d, stats.RetireMoved)
+				} else {
+					c.note(d, stats.RetireShortLat)
+				}
+			} else {
+				c.note(d, stats.RetireShortLat)
+			}
+			c.maskSeed(d)
+		}
+
+	default:
+		switch {
+		case d.Done || d.Issued:
+			c.note(d, stats.RetireFinished)
+			c.maskRedefine(d, false, rename.PhysNone)
+		default:
+			c.classifyWaiting(d)
+		}
+	}
+}
+
+// classifyWaiting handles a not-yet-issued instruction at extraction:
+// mask-dependent ones move to the SLIQ (freeing their issue-queue entry),
+// independent ones stay and are expected to issue shortly.
+func (c *CPU) classifyWaiting(d *DynInst) {
+	dep, root, rootSeq := c.maskDependence(d)
+	if dep {
+		c.maskPropagate(d, root, rootSeq)
+		if c.moveToSLIQ(d, root) {
+			c.note(d, stats.RetireMoved)
+			return
+		}
+		// SLIQ full or absent: the instruction keeps its issue-queue
+		// entry; account it as short-latency residue.
+		c.note(d, stats.RetireShortLat)
+		return
+	}
+	c.note(d, stats.RetireShortLat)
+	c.maskRedefine(d, false, rename.PhysNone)
+}
+
+// maskDependence reports whether any source of d is covered by the
+// dependence mask, returning the physical register (and owning dynamic
+// instruction sequence) of the long-latency load at the root of the
+// chain.
+func (c *CPU) maskDependence(d *DynInst) (bool, rename.PhysReg, uint64) {
+	srcs := d.Inst.Sources(make([]isa.Reg, 0, 2))
+	for _, s := range srcs {
+		if !c.depMask[s] {
+			continue
+		}
+		root := c.maskOwner[s]
+		if !c.triggerLive(root, c.maskOwnerSeq[s]) {
+			// The root already produced its value (or was squashed);
+			// the mask bit is stale and will be cleared by the next
+			// redefinition.
+			continue
+		}
+		return true, root, c.maskOwnerSeq[s]
+	}
+	return false, rename.PhysNone, 0
+}
+
+// triggerLive reports whether a SLIQ trigger register is still awaiting
+// a write from the producer recorded in the mask — the condition under
+// which waiting on it is guaranteed to end with a TriggerReady. The
+// sequence check rejects registers freed and reallocated since the mask
+// bit was set.
+func (c *CPU) triggerLive(root rename.PhysReg, rootSeq uint64) bool {
+	if root == rename.PhysNone || c.regReady[root] {
+		return false
+	}
+	p := c.producer[root]
+	return p != nil && !p.Squashed && p.Seq == rootSeq
+}
+
+// maskSeed marks a long-latency load's destination in the mask.
+func (c *CPU) maskSeed(d *DynInst) {
+	c.depMask[d.Inst.Dest] = true
+	c.maskOwner[d.Inst.Dest] = d.DestPhys
+	c.maskOwnerSeq[d.Inst.Dest] = d.Seq
+}
+
+// maskPropagate extends the mask to a dependent instruction's
+// destination, carrying the root's identity.
+func (c *CPU) maskPropagate(d *DynInst, root rename.PhysReg, rootSeq uint64) {
+	if d.Inst.Dest == isa.RegNone {
+		return
+	}
+	c.depMask[d.Inst.Dest] = true
+	c.maskOwner[d.Inst.Dest] = root
+	c.maskOwnerSeq[d.Inst.Dest] = rootSeq
+}
+
+// maskRedefine clears the mask for d's destination ("registers get
+// cleared when non-dependent instructions redefine those registers").
+func (c *CPU) maskRedefine(d *DynInst, dependent bool, root rename.PhysReg) {
+	if d.Inst.Dest == isa.RegNone {
+		return
+	}
+	c.depMask[d.Inst.Dest] = dependent
+	c.maskOwner[d.Inst.Dest] = root
+	c.maskOwnerSeq[d.Inst.Dest] = 0
+}
+
+// moveToSLIQ transfers a waiting instruction from its issue queue to the
+// slow lane. It returns false when no SLIQ is configured, it is full, or
+// the trigger register already produced its value.
+func (c *CPU) moveToSLIQ(d *DynInst, root rename.PhysReg) bool {
+	if c.sliq == nil || d.iqe == nil {
+		return false
+	}
+	if d.iqe.Pending() == 0 {
+		// Already ready to issue; moving it would only delay it.
+		return false
+	}
+	if root == rename.PhysNone || c.regReady[root] {
+		return false
+	}
+	if !c.sliq.Insert(d.Seq, root, d) {
+		return false
+	}
+	c.iqFor(d.Inst.Op).Remove(d.iqe)
+	d.iqe = nil
+	d.inSLIQ = true
+	return true
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestStressRandomConfigs runs both pipelines under randomly drawn,
+// deliberately tiny resource configurations on every workload. The
+// assertion is liveness and accounting: every run must commit its
+// target without tripping any internal panic (counter underflow,
+// double-completion, dead SLIQ trigger, rename inconsistency, watchdog).
+func TestStressRandomConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	traces := []*trace.Trace{
+		trace.FPMix(30000, 1),
+		trace.StridedStream(30000, 8),
+		trace.Mix(30000, 3, trace.MixWeights{Strided: 3, CondSlow: 30, Blocked: 1}),
+		trace.PointerChase(15000),
+	}
+	pick := func(xs []int) int { return xs[rng.Intn(len(xs))] }
+
+	for trial := 0; trial < 40; trial++ {
+		tr := traces[rng.Intn(len(traces))]
+		var cfg config.Config
+		if rng.Intn(2) == 0 {
+			cfg = config.BaselineSized(pick([]int{8, 16, 32, 64, 256}))
+		} else {
+			cfg = config.CheckpointDefault(
+				pick([]int{4, 8, 16, 32, 64}),
+				pick([]int{0, 4, 16, 64, 256}),
+			)
+			cfg.Checkpoints = pick([]int{2, 3, 4, 8})
+			cfg.CheckpointBranchInterval = pick([]int{4, 16, 64})
+			cfg.CheckpointMaxInterval = cfg.CheckpointBranchInterval * pick([]int{2, 8})
+			cfg.CheckpointMaxStores = pick([]int{4, 16, 64})
+			cfg.SLIQWakeDelay = pick([]int{0, 1, 7, 12})
+			cfg.SLIQWakeWidth = pick([]int{1, 2, 4})
+		}
+		cfg.MemoryLatency = pick([]int{10, 100, 500, 1000})
+		cfg.MemoryPorts = pick([]int{1, 2, 4})
+		cfg.LSQEntries = pick([]int{64, 256, 4096})
+		cfg.PhysRegs = pick([]int{128, 512, 4096})
+		if rng.Intn(4) == 0 {
+			cfg.PerfectL2 = true
+		}
+		if rng.Intn(4) == 0 && cfg.Commit == config.CommitCheckpoint {
+			cfg.VirtualRegisters = true
+			cfg.VirtualTags = pick([]int{128, 512, 2048})
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid config: %v", trial, err)
+		}
+
+		n := uint64(6000 + rng.Intn(8000))
+		cpu, err := New(cfg, tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d (%s on %s): panic: %v", trial, cfg.Summary(), tr.Name(), r)
+				}
+			}()
+			res := cpu.Run(RunOptions{MaxInsts: n, WatchdogCycles: 3_000_000})
+			if res.Committed < n {
+				t.Fatalf("trial %d (%s on %s): committed %d < %d [%s]",
+					trial, cfg.Summary(), tr.Name(), res.Committed, n, cpu.debugState())
+			}
+			if res.IPC() > float64(cfg.IssueWidth) {
+				t.Fatalf("trial %d: IPC %.2f exceeds issue width", trial, res.IPC())
+			}
+		}()
+	}
+}
+
+// TestStressTinyCheckpointTables drives the checkpointed pipeline with
+// pathological heuristics (checkpoints at nearly every instruction) to
+// exercise take/commit churn.
+func TestStressTinyCheckpointTables(t *testing.T) {
+	tr := trace.FPMix(20000, 17)
+	cfg := config.CheckpointDefault(16, 64)
+	cfg.Checkpoints = 4
+	cfg.CheckpointBranchInterval = 1
+	cfg.CheckpointMaxInterval = 8
+	cfg.CheckpointMaxStores = 2
+	cfg.MemoryLatency = 100
+	cpu, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cpu.Run(RunOptions{MaxInsts: 10000})
+	if res.Committed < 10000 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if res.CheckpointsCommitted < 1000 {
+		t.Fatalf("expected heavy checkpoint churn, got %d commits", res.CheckpointsCommitted)
+	}
+}
+
+// TestStressExceptionStorm injects many exceptions; each must deliver
+// precisely and execution must still complete.
+func TestStressExceptionStorm(t *testing.T) {
+	tr := trace.FPMix(40000, 23)
+	cfg := config.CheckpointDefault(64, 512)
+	cfg.MemoryLatency = 100
+	cpu, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const storms = 20
+	for i := 1; i <= storms; i++ {
+		cpu.InjectExceptionAt(int64(i * 1200))
+	}
+	res := cpu.Run(RunOptions{MaxInsts: 30000})
+	if got := cpu.Exceptions(); got != storms {
+		t.Fatalf("delivered %d exceptions, want %d", got, storms)
+	}
+	if res.Committed < 30000 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+}
+
+// TestStressPeriodicCheckpointLivelock regresses a livelock the ablation
+// sweep exposed: two branches aliasing one gshare counter with opposite
+// biases inside a single checkpoint window would ping-pong forever under
+// rollback-replay retraining. The known-resolved-branch mechanism must
+// guarantee forward progress.
+func TestStressPeriodicCheckpointLivelock(t *testing.T) {
+	for _, n := range []int{64, 256, 512} {
+		cfg := config.CheckpointDefault(128, 2048)
+		cfg.CheckpointBranchInterval = n
+		cfg.CheckpointMaxInterval = n
+		tr := trace.FPMix(64096, 42)
+		cpu, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := cpu.Run(RunOptions{MaxInsts: 50000})
+		if res.Committed < 50000 {
+			t.Fatalf("periodic-%d: committed %d (%s)", n, res.Committed, cpu.debugState())
+		}
+	}
+}

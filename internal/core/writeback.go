@@ -1,0 +1,152 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// writebackStage retires completion events whose time has come: values
+// are written to the register file, dependants are woken (issue queues
+// and SLIQ), memory entries are marked executed, checkpoint counters are
+// decremented, and mispredicted branches trigger recovery.
+func (c *CPU) writebackStage() {
+	if c.vt != nil {
+		c.drainDeferredBinds()
+	}
+	for {
+		d := c.completions.peek()
+		if d == nil || d.DoneCycle > c.now {
+			break
+		}
+		c.completions.pop()
+		if d.Squashed {
+			continue
+		}
+		c.completeInst(d)
+	}
+}
+
+// completeInst applies the virtual-register admission gate and then
+// finishes the instruction. A value that cannot bind a physical register
+// is deferred until a release (the Figure 14 pressure mechanism).
+func (c *CPU) completeInst(d *DynInst) {
+	if d.Done {
+		panic("core: double completion of " + d.String())
+	}
+	if c.vt != nil && d.DestPhys != rename.PhysNone {
+		// Release the superseded value first: early recycling means the
+		// new value can take the register its redefinition frees (and
+		// releasing after a failed bind would deadlock a full file).
+		c.vregReleasePrev(d)
+		if !c.vt.TryBind(d.fusedRelease) {
+			c.deferredBind = append(c.deferredBind, d)
+			return
+		}
+		d.boundPhys = !d.fusedRelease
+	}
+	c.finishCompletion(d)
+}
+
+// finishCompletion performs the writeback proper.
+func (c *CPU) finishCompletion(d *DynInst) {
+	d.Done = true
+	d.DoneCycle = c.now
+
+	if d.DestPhys != rename.PhysNone {
+		c.regReady[d.DestPhys] = true
+		c.longTaint[d.DestPhys] = false
+		for _, cons := range c.consumers[d.DestPhys] {
+			switch {
+			case cons.Squashed:
+			case cons.Inst.Op == isa.Store:
+				// LSQ-resident: the store executes once its last
+				// source arrives.
+				if !cons.Issued {
+					cons.pendingSrcs--
+					if cons.pendingSrcs == 0 {
+						cons.Issued = true
+						cons.DoneCycle = c.now + 1
+						c.completions.push(cons)
+					}
+				}
+			case cons.iqe != nil:
+				c.iqFor(cons.Inst.Op).Wake(cons.iqe)
+			}
+		}
+		c.consumers[d.DestPhys] = nil
+		if c.sliq != nil {
+			c.sliq.TriggerReady(d.DestPhys, c.now)
+		}
+	}
+	if d.lsqe != nil {
+		c.lq.MarkExecuted(d.lsqe)
+	}
+	if d.ckpt != nil {
+		c.ckpts.Finished(d.ckpt)
+	}
+
+	if d.Inst.Op == isa.Branch && d.Mispredicted && c.divergedAt == d {
+		c.resolveMispredict(d)
+	}
+	if d.ExceptAt && !d.Squashed {
+		d.ExceptAt = false
+		c.raiseException(d)
+	}
+}
+
+// drainDeferredBinds retries writebacks stalled on physical-register
+// exhaustion, in completion order, while registers are available.
+func (c *CPU) drainDeferredBinds() {
+	n := 0
+	for ; n < len(c.deferredBind); n++ {
+		d := c.deferredBind[n]
+		if d.Squashed {
+			// The squash already returned its tag.
+			continue
+		}
+		c.vregReleasePrev(d)
+		if !d.fusedRelease && !c.vt.CanBind() {
+			break
+		}
+		if !c.vt.TryBind(d.fusedRelease) {
+			panic("core: vreg bind failed after CanBind")
+		}
+		d.boundPhys = !d.fusedRelease
+		c.finishCompletion(d)
+	}
+	if n > 0 {
+		c.deferredBind = append(c.deferredBind[:0], c.deferredBind[n:]...)
+	}
+}
+
+// vregReleasePrev releases the value this instruction redefines, per the
+// ephemeral-register early-release rule: the replacement value now
+// exists (or is being written), so the old one's register is recycled.
+// Idempotent: deferred binds retry through here.
+func (c *CPU) vregReleasePrev(d *DynInst) {
+	if d.prevReleased {
+		return
+	}
+	d.prevReleased = true
+	prev := d.prevProd
+	switch {
+	case d.PrevPhys == rename.PhysNone:
+		// No previous mapping: nothing to release.
+	case prev == nil:
+		// The previous value was architectural initial state; release
+		// it exactly once even across rollback replays.
+		if !c.archReleased[d.Inst.Dest] {
+			c.archReleased[d.Inst.Dest] = true
+			c.vt.Release()
+		}
+	case prev.Done:
+		if prev.boundPhys {
+			prev.boundPhys = false
+			c.vt.Release()
+		}
+	default:
+		// The previous producer has not completed yet; fuse its bind
+		// with the release so it never consumes a register.
+		prev.fusedRelease = true
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// quickOpts keeps figure regeneration fast while preserving the
+// streaming kernels' steady-state miss behaviour (see DESIGN.md §4).
+func quickOpts() Options {
+	return Options{Insts: 50_000, Seed: 42}
+}
+
+func TestSuiteBenchmarks(t *testing.T) {
+	bs := SuiteBenchmarks(1)
+	if len(bs) != 6 {
+		t.Fatalf("suite has %d members, want 6", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		tr := b.Gen(2000)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"gshare", "1000 cycles", "4096 entries"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := Figure1(quickOpts())
+	last := len(r.Windows) - 1
+	// Larger windows tolerate latency (the paper's core observation).
+	if r.ByLatency[1000][last] <= r.ByLatency[1000][0] {
+		t.Errorf("window scaling did not help at 1000 cycles: %v", r.ByLatency[1000])
+	}
+	// Perfect L2 dominates every finite-latency series.
+	for i := range r.Windows {
+		if r.PerfectL2[i] < r.ByLatency[1000][i] {
+			t.Errorf("window %d: perfect L2 (%.3f) below 1000-cycle (%.3f)",
+				r.Windows[i], r.PerfectL2[i], r.ByLatency[1000][i])
+		}
+	}
+	// Lower latency is never worse at the same window size.
+	for i := range r.Windows {
+		if r.ByLatency[100][i] < r.ByLatency[1000][i]*0.98 {
+			t.Errorf("window %d: 100-cycle IPC below 1000-cycle", r.Windows[i])
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 1") {
+		t.Error("rendering must identify the figure")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	r := Figure7(quickOpts())
+	if len(r.Points) != len(Figure7Percentiles) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Percentile occupancies are non-decreasing.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Inflight < r.Points[i-1].Inflight {
+			t.Errorf("percentile occupancies must be monotone: %+v", r.Points)
+		}
+	}
+	// The paper's observation: live instructions are a small minority
+	// of in-flight instructions at the high percentiles.
+	top := r.Points[len(r.Points)-1]
+	live := top.BlockedLong + top.BlockedShort
+	if top.Inflight > 0 && live > float64(top.Inflight) {
+		t.Errorf("live (%.0f) cannot exceed in-flight (%d)", live, top.Inflight)
+	}
+	if r.PerBenchmark["stream"] == nil {
+		t.Error("per-benchmark distributions missing")
+	}
+}
+
+func TestFigure9And11Shape(t *testing.T) {
+	r := Figure9(quickOpts())
+	// COoO must beat the small baseline and trail close behind the
+	// unrealisable big one.
+	best := r.IPC[2048][128]
+	if best <= r.Baseline128IPC {
+		t.Errorf("COoO 128/2048 (%.3f) must beat baseline-128 (%.3f)", best, r.Baseline128IPC)
+	}
+	if best > r.Baseline4096IPC*1.15 {
+		t.Errorf("COoO 128/2048 (%.3f) implausibly above baseline-4096 (%.3f)", best, r.Baseline4096IPC)
+	}
+	// Bigger IQ never hurts at fixed SLIQ (within noise).
+	for _, sliq := range r.SLIQs {
+		if r.IPC[sliq][128] < r.IPC[sliq][32]*0.95 {
+			t.Errorf("SLIQ %d: IQ scaling regressed: %v", sliq, r.IPC[sliq])
+		}
+	}
+	// Figure 11: the COoO sustains far more in flight than baseline-128.
+	if r.Inflight[2048][128] < 4*r.Baseline128Inflight {
+		t.Errorf("COoO in-flight (%.0f) should dwarf baseline-128 (%.0f)",
+			r.Inflight[2048][128], r.Baseline128Inflight)
+	}
+	if !strings.Contains(r.Figure11String(), "Figure 11") {
+		t.Error("figure 11 rendering broken")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	r := Figure10(quickOpts())
+	// The paper's point: near-total insensitivity to the wake delay.
+	if slow := r.MaxSlowdown(); slow > 0.08 {
+		t.Errorf("re-insertion delay slowdown %.1f%% too large (paper ~1%%)", 100*slow)
+	}
+	if !strings.Contains(r.String(), "Figure 10") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	r := Figure12(quickOpts())
+	b := r.Breakdown[2048][128]
+	if b.Total() == 0 {
+		t.Fatal("empty breakdown")
+	}
+	// Paper bands (loosely): stores ~10%, moved is the dominant
+	// movable class, long-latency loads are a visible minority.
+	if f := b.Fraction(stats.RetireStore); f < 0.04 || f > 0.2 {
+		t.Errorf("store fraction %.2f outside [0.04, 0.2]", f)
+	}
+	if f := b.Fraction(stats.RetireMoved); f < 0.1 || f > 0.6 {
+		t.Errorf("moved fraction %.2f outside [0.1, 0.6]", f)
+	}
+	if f := b.Fraction(stats.RetireLongLatLoad); f < 0.02 {
+		t.Errorf("long-latency load fraction %.2f implausibly low", f)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	r := Figure13(quickOpts())
+	// More checkpoints monotonically approach the limit (within noise).
+	for i := 1; i < len(r.Checkpoints); i++ {
+		a, b := r.IPC[r.Checkpoints[i-1]], r.IPC[r.Checkpoints[i]]
+		if b < a*0.97 {
+			t.Errorf("checkpoints %d -> %d regressed: %.3f -> %.3f",
+				r.Checkpoints[i-1], r.Checkpoints[i], a, b)
+		}
+	}
+	// 4 checkpoints must hurt more than 32.
+	if r.Slowdown(4) < r.Slowdown(32) {
+		t.Errorf("slowdown(4)=%.2f should exceed slowdown(32)=%.2f",
+			r.Slowdown(4), r.Slowdown(32))
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	r := Figure14(quickOpts())
+	for _, lat := range r.Latencies {
+		// More tags never hurt at fixed physical registers.
+		if r.IPC[lat][2048][512] < r.IPC[lat][512][512]*0.95 {
+			t.Errorf("lat %d: virtual tag scaling regressed", lat)
+		}
+		// The combined mechanism beats the 128-entry baseline.
+		if r.IPC[lat][2048][512] <= r.Baseline128[lat] {
+			t.Errorf("lat %d: combined mechanism (%.3f) not above baseline-128 (%.3f)",
+				lat, r.IPC[lat][2048][512], r.Baseline128[lat])
+		}
+	}
+}
+
+func TestAblationCheckpointStrategy(t *testing.T) {
+	r := AblationCheckpointStrategy(quickOpts())
+	if len(r.Labels) != 6 {
+		t.Fatalf("variants = %d", len(r.Labels))
+	}
+	// Coarse periodic windows must beat very fine ones (more in-flight
+	// instructions per checkpoint slot).
+	if r.IPC["periodic 512"] <= r.IPC["periodic 64"] {
+		t.Errorf("coarser periodic checkpointing should win: %v", r.IPC)
+	}
+	if !strings.Contains(r.String(), "Ablation") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblationWakeWidth(t *testing.T) {
+	r := AblationWakeWidth(quickOpts())
+	// Width 8 never loses to width 1 (more bandwidth can't hurt).
+	if r.IPC["wake width 8/cycle"] < r.IPC["wake width 1/cycle"]*0.97 {
+		t.Errorf("wider wake pump regressed: %v", r.IPC)
+	}
+}
+
+func TestAblationMemoryPorts(t *testing.T) {
+	r := AblationMemoryPorts(quickOpts())
+	if r.IPC["4 ports"] < r.IPC["1 ports"] {
+		t.Errorf("more ports regressed: %v", r.IPC)
+	}
+	// One port must visibly throttle the load-heavy suite.
+	if r.IPC["1 ports"] > r.IPC["2 ports"]*0.99 {
+		t.Errorf("single port should cost something: %v", r.IPC)
+	}
+}
+
+func TestAblationBranchPrediction(t *testing.T) {
+	r := AblationBranchPrediction(quickOpts())
+	// Perfect prediction never loses at equal pseudo-ROB size.
+	if r.IPC["perfect, pseudo-ROB 128"] < r.IPC["gshare, pseudo-ROB 128"]*0.99 {
+		t.Errorf("perfect prediction regressed: %v", r.IPC)
+	}
+}
+
+func TestAblationPrefetch(t *testing.T) {
+	r := AblationPrefetch(quickOpts())
+	// Prefetching helps the small window...
+	if r.IPC["baseline-128 + prefetch 8"] <= r.IPC["baseline-128"] {
+		t.Errorf("prefetching should help streams: %v", r.IPC)
+	}
+	// ...but does not reach the kilo-instruction alternatives (the
+	// introduction's claim).
+	if r.IPC["baseline-128 + prefetch 8"] >= r.IPC["COoO-128/2048 (no prefetch)"] {
+		t.Errorf("prefetch alone should not match the checkpointed window: %v", r.IPC)
+	}
+}

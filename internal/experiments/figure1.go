@@ -1,0 +1,64 @@
+package experiments
+
+import "repro/internal/config"
+
+// Figure1Windows and Figure1Latencies are the paper's sweep axes.
+var (
+	Figure1Windows   = []int{128, 256, 512, 1024, 2048, 4096}
+	Figure1Latencies = []int{100, 500, 1000} // plus the perfect-L2 series
+)
+
+// Figure1Result holds IPC (suite average) per window size and memory
+// configuration: the "IPC relative to the number of in-flight
+// instructions and the latency to memory" landscape of Figure 1.
+type Figure1Result struct {
+	Windows []int
+	// PerfectL2[i] is the IPC with window Windows[i] and a perfect L2.
+	PerfectL2 []float64
+	// ByLatency[lat][i] is the IPC at memory latency lat.
+	ByLatency map[int][]float64
+}
+
+// Figure1 sweeps window size against memory latency on the scaled
+// baseline processor (ROB, queues and LSQ all sized to the window, as
+// the paper's caption notes).
+func Figure1(opt Options) Figure1Result {
+	opt = opt.withDefaults()
+	suite := opt.suite()
+	res := Figure1Result{
+		Windows:   Figure1Windows,
+		PerfectL2: make([]float64, len(Figure1Windows)),
+		ByLatency: make(map[int][]float64, len(Figure1Latencies)),
+	}
+	for _, lat := range Figure1Latencies {
+		res.ByLatency[lat] = make([]float64, len(Figure1Windows))
+	}
+	for i, w := range Figure1Windows {
+		cfg := config.BaselineSized(w)
+		cfg.PerfectL2 = true
+		res.PerfectL2[i], _ = opt.averageIPC(cfg, suite)
+
+		for _, lat := range Figure1Latencies {
+			cfg := config.BaselineSized(w)
+			cfg.MemoryLatency = lat
+			res.ByLatency[lat][i], _ = opt.averageIPC(cfg, suite)
+		}
+	}
+	return res
+}
+
+// String renders the figure as a table: one row per window size.
+func (r Figure1Result) String() string {
+	header := []string{"in-flight", "L2 Perfect", "100", "500", "1000"}
+	rows := make([][]string, len(r.Windows))
+	for i, w := range r.Windows {
+		rows[i] = []string{
+			f0(float64(w)),
+			f3(r.PerfectL2[i]),
+			f3(r.ByLatency[100][i]),
+			f3(r.ByLatency[500][i]),
+			f3(r.ByLatency[1000][i]),
+		}
+	}
+	return renderTable("Figure 1: IPC vs in-flight instructions and memory latency (baseline, scaled)", header, rows)
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import "repro/internal/config"
+
+// Figure10Delays are the SLIQ→IQ re-insertion delays the paper sweeps.
+var Figure10Delays = []int{1, 4, 8, 12}
+
+// Figure10Result holds IPC per (IQ size, re-insertion delay) with a
+// 1024-entry SLIQ: the paper's demonstration that the slow lane can be
+// a genuinely slow structure.
+type Figure10Result struct {
+	IQs    []int
+	Delays []int
+	// IPC[iq][delay].
+	IPC map[int]map[int]float64
+}
+
+// Figure10 measures sensitivity to the wake start-up delay.
+func Figure10(opt Options) Figure10Result {
+	opt = opt.withDefaults()
+	suite := opt.suite()
+	res := Figure10Result{
+		IQs:    Figure9IQs,
+		Delays: Figure10Delays,
+		IPC:    map[int]map[int]float64{},
+	}
+	for _, iq := range res.IQs {
+		res.IPC[iq] = map[int]float64{}
+		for _, d := range res.Delays {
+			cfg := config.CheckpointDefault(iq, 1024)
+			cfg.SLIQWakeDelay = d
+			res.IPC[iq][d], _ = opt.averageIPC(cfg, suite)
+		}
+	}
+	return res
+}
+
+// MaxSlowdown returns the worst relative IPC loss of the largest delay
+// versus the smallest, across IQ sizes (the paper reports ~1%).
+func (r Figure10Result) MaxSlowdown() float64 {
+	worst := 0.0
+	first, last := r.Delays[0], r.Delays[len(r.Delays)-1]
+	for _, iq := range r.IQs {
+		slow := 1 - r.IPC[iq][last]/r.IPC[iq][first]
+		if slow > worst {
+			worst = slow
+		}
+	}
+	return worst
+}
+
+// String renders the delay sensitivity table.
+func (r Figure10Result) String() string {
+	header := []string{"IQ"}
+	for _, d := range r.Delays {
+		header = append(header, f0(float64(d))+" cy")
+	}
+	rows := make([][]string, 0, len(r.IQs))
+	for _, iq := range r.IQs {
+		row := []string{f0(float64(iq))}
+		for _, d := range r.Delays {
+			row = append(row, f3(r.IPC[iq][d]))
+		}
+		rows = append(rows, row)
+	}
+	s := renderTable("Figure 10: sensitivity to SLIQ re-insertion delay (1024-entry SLIQ)", header, rows)
+	s += f1(100*r.MaxSlowdown()) + "% worst-case slowdown from delay 1 to 12 (paper: ~1%)\n"
+	return s
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Figure12Result holds the pseudo-ROB retirement breakdown per
+// configuration: the six stacked sections of Figure 12.
+type Figure12Result struct {
+	SLIQs []int
+	IQs   []int
+	// Breakdown[sliq][iq] aggregates retirement classes over the suite.
+	Breakdown map[int]map[int]stats.Breakdown
+}
+
+// Figure12 classifies every instruction at the moment it leaves the
+// pseudo-ROB: moved to the SLIQ, already finished, short-latency,
+// finished/hitting loads, L2-missing loads, and stores.
+func Figure12(opt Options) Figure12Result {
+	opt = opt.withDefaults()
+	suite := opt.suite()
+	res := Figure12Result{
+		SLIQs:     Figure9SLIQs,
+		IQs:       Figure9IQs,
+		Breakdown: map[int]map[int]stats.Breakdown{},
+	}
+	for _, sliq := range res.SLIQs {
+		res.Breakdown[sliq] = map[int]stats.Breakdown{}
+		for _, iq := range res.IQs {
+			cfg := config.CheckpointDefault(iq, sliq)
+			var agg stats.Breakdown
+			for _, st := range suite {
+				r := opt.runOne(cfg, st, false)
+				for c := stats.RetireClass(0); c < stats.NumRetireClasses; c++ {
+					agg[c] += r.Retire[c]
+				}
+			}
+			res.Breakdown[sliq][iq] = agg
+		}
+	}
+	return res
+}
+
+// String renders percentages per configuration, bottom-to-top in the
+// paper's stacking order.
+func (r Figure12Result) String() string {
+	header := []string{"SLIQ/IQ"}
+	for c := stats.RetireClass(0); c < stats.NumRetireClasses; c++ {
+		header = append(header, c.String())
+	}
+	var rows [][]string
+	for _, sliq := range r.SLIQs {
+		for _, iq := range r.IQs {
+			b := r.Breakdown[sliq][iq]
+			row := []string{fmt.Sprintf("%d/%d", sliq, iq)}
+			for c := stats.RetireClass(0); c < stats.NumRetireClasses; c++ {
+				row = append(row, f1(100*b.Fraction(c))+"%")
+			}
+			rows = append(rows, row)
+		}
+	}
+	return renderTable("Figure 12: breakdown of instructions retired from the pseudo-ROB", header, rows)
+}

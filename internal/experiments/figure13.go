@@ -1,0 +1,66 @@
+package experiments
+
+import "repro/internal/config"
+
+// Figure13Checkpoints is the checkpoint-count sweep of Figure 13.
+var Figure13Checkpoints = []int{4, 8, 16, 32, 64, 128}
+
+// Figure13Result holds IPC versus the number of available checkpoints,
+// plus the unfeasible 4096-entry-ROB limit.
+type Figure13Result struct {
+	Checkpoints []int
+	IPC         map[int]float64
+	LimitIPC    float64
+}
+
+// figure13Config is the paper's setup for this study: checkpoint commit
+// with 2048-entry queues and 2048 physical registers, so the checkpoint
+// count is the only binding resource.
+func figure13Config(ckpts int) config.Config {
+	cfg := config.CheckpointDefault(2048, 2048)
+	cfg.Checkpoints = ckpts
+	cfg.PhysRegs = 2048
+	return cfg
+}
+
+// Figure13 measures sensitivity of out-of-order commit to the
+// checkpoint-table size (the paper: 4 checkpoints cost ~20% vs the
+// limit, 8 cost ~9%, 32 and beyond ~6%). The limit machine has the
+// unfeasible 4096-entry ROB but shares the study's 2048-entry queues
+// and 2048 physical registers, so the checkpoint count is the only
+// variable.
+func Figure13(opt Options) Figure13Result {
+	opt = opt.withDefaults()
+	suite := opt.suite()
+	res := Figure13Result{
+		Checkpoints: Figure13Checkpoints,
+		IPC:         map[int]float64{},
+	}
+	limit := config.BaselineSized(4096)
+	limit.IntQueueEntries = 2048
+	limit.FPQueueEntries = 2048
+	limit.PhysRegs = 2048
+	res.LimitIPC, _ = opt.averageIPC(limit, suite)
+	for _, k := range res.Checkpoints {
+		res.IPC[k], _ = opt.averageIPC(figure13Config(k), suite)
+	}
+	return res
+}
+
+// Slowdown returns the relative IPC loss at k checkpoints versus the
+// limit machine.
+func (r Figure13Result) Slowdown(k int) float64 {
+	return 1 - r.IPC[k]/r.LimitIPC
+}
+
+// String renders the sweep.
+func (r Figure13Result) String() string {
+	header := []string{"checkpoints", "IPC", "vs limit"}
+	rows := [][]string{{"limit (4096 ROB)", f3(r.LimitIPC), "-"}}
+	for _, k := range r.Checkpoints {
+		rows = append(rows, []string{
+			f0(float64(k)), f3(r.IPC[k]), "-" + f1(100*r.Slowdown(k)) + "%",
+		})
+	}
+	return renderTable("Figure 13: sensitivity to the number of checkpoints (2048-entry IQ, 2048 physical registers)", header, rows)
+}

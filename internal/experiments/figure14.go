@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Figure14 sweep axes.
+var (
+	Figure14Latencies = []int{100, 500, 1000}
+	Figure14VTags     = []int{512, 1024, 2048}
+	Figure14Phys      = []int{256, 512}
+)
+
+// Figure14Result holds the combination study: out-of-order commit plus
+// SLIQ plus ephemeral/virtual registers, against the Limit (everything
+// scaled to 4096) and Baseline-128 reference lines, per memory latency.
+type Figure14Result struct {
+	Latencies []int
+	VTags     []int
+	Phys      []int
+	// IPC[lat][vtags][phys].
+	IPC map[int]map[int]map[int]float64
+	// Limit[lat] and Baseline128[lat] are the reference lines.
+	Limit       map[int]float64
+	Baseline128 map[int]float64
+}
+
+// Figure14 evaluates affordable kilo-instruction processors: with
+// virtual tags standing in for rename capacity and late-allocated,
+// early-released physical registers, a few hundred physical registers
+// approach the unconstrained limit.
+func Figure14(opt Options) Figure14Result {
+	opt = opt.withDefaults()
+	suite := opt.suite()
+	res := Figure14Result{
+		Latencies:   Figure14Latencies,
+		VTags:       Figure14VTags,
+		Phys:        Figure14Phys,
+		IPC:         map[int]map[int]map[int]float64{},
+		Limit:       map[int]float64{},
+		Baseline128: map[int]float64{},
+	}
+	for _, lat := range res.Latencies {
+		limit := config.BaselineSized(4096)
+		limit.MemoryLatency = lat
+		res.Limit[lat], _ = opt.averageIPC(limit, suite)
+
+		b128 := config.BaselineSized(128)
+		b128.MemoryLatency = lat
+		res.Baseline128[lat], _ = opt.averageIPC(b128, suite)
+
+		res.IPC[lat] = map[int]map[int]float64{}
+		for _, vt := range res.VTags {
+			res.IPC[lat][vt] = map[int]float64{}
+			for _, ph := range res.Phys {
+				cfg := config.CheckpointDefault(128, 2048)
+				cfg.MemoryLatency = lat
+				cfg.VirtualRegisters = true
+				cfg.VirtualTags = vt
+				cfg.PhysRegs = ph
+				res.IPC[lat][vt][ph], _ = opt.averageIPC(cfg, suite)
+			}
+		}
+	}
+	return res
+}
+
+// String renders one block per memory latency.
+func (r Figure14Result) String() string {
+	header := []string{"mem", "vtags", "phys 256", "phys 512", "Baseline 128", "Limit 4096"}
+	var rows [][]string
+	for _, lat := range r.Latencies {
+		for _, vt := range r.VTags {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", lat),
+				fmt.Sprintf("%d", vt),
+				f3(r.IPC[lat][vt][256]),
+				f3(r.IPC[lat][vt][512]),
+				f3(r.Baseline128[lat]),
+				f3(r.Limit[lat]),
+			})
+		}
+	}
+	return renderTable("Figure 14: out-of-order commit + SLIQ + virtual registers", header, rows)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Figure9IQs and Figure9SLIQs are the paper's sweep axes: pseudo-ROB and
+// issue-queue size per group, SLIQ size across groups.
+var (
+	Figure9IQs   = []int{32, 64, 128}
+	Figure9SLIQs = []int{512, 1024, 2048}
+)
+
+// Figure9Result holds the main performance comparison: COoO IPC per
+// (SLIQ, IQ) cell plus the two baseline reference lines, along with the
+// matching average in-flight instruction counts that Figure 11 plots
+// for the same configurations.
+type Figure9Result struct {
+	SLIQs []int
+	IQs   []int
+	// IPC[sliq][iq] is the suite-average IPC of the COoO processor.
+	IPC map[int]map[int]float64
+	// Inflight[sliq][iq] is the suite-average mean in-flight count
+	// (Figure 11's metric, same runs).
+	Inflight map[int]map[int]float64
+	// Baseline128 and Baseline4096 are the reference lines.
+	Baseline128IPC       float64
+	Baseline4096IPC      float64
+	Baseline128Inflight  float64
+	Baseline4096Inflight float64
+}
+
+// Figure9 runs the headline evaluation: the Commit Out-of-Order
+// processor (8 checkpoints) across pseudo-ROB/IQ sizes 32/64/128 and
+// SLIQ sizes 512/1024/2048, against conventional baselines with
+// 128-entry and (unrealisable) 4096-entry ROB and queues. The same runs
+// also produce Figure 11's average in-flight instruction counts.
+func Figure9(opt Options) Figure9Result {
+	opt = opt.withDefaults()
+	suite := opt.suite()
+
+	res := Figure9Result{
+		SLIQs:    Figure9SLIQs,
+		IQs:      Figure9IQs,
+		IPC:      map[int]map[int]float64{},
+		Inflight: map[int]map[int]float64{},
+	}
+
+	for _, sliq := range Figure9SLIQs {
+		res.IPC[sliq] = map[int]float64{}
+		res.Inflight[sliq] = map[int]float64{}
+		for _, iq := range Figure9IQs {
+			cfg := config.CheckpointDefault(iq, sliq)
+			ipc, rs := opt.averageIPC(cfg, suite)
+			res.IPC[sliq][iq] = ipc
+			infl := 0.0
+			for _, r := range rs {
+				infl += r.MeanInflight
+			}
+			res.Inflight[sliq][iq] = infl / float64(len(rs))
+		}
+	}
+
+	b128, rs128 := opt.averageIPC(config.BaselineSized(128), suite)
+	b4096, rs4096 := opt.averageIPC(config.BaselineSized(4096), suite)
+	res.Baseline128IPC, res.Baseline4096IPC = b128, b4096
+	for _, r := range rs128 {
+		res.Baseline128Inflight += r.MeanInflight / float64(len(rs128))
+	}
+	for _, r := range rs4096 {
+		res.Baseline4096Inflight += r.MeanInflight / float64(len(rs4096))
+	}
+	return res
+}
+
+// String renders the IPC comparison (Figure 9).
+func (r Figure9Result) String() string {
+	header := []string{"SLIQ", "COoO 32", "COoO 64", "COoO 128", "Baseline 128", "Baseline 4096"}
+	rows := make([][]string, 0, len(r.SLIQs)+1)
+	for _, sliq := range r.SLIQs {
+		rows = append(rows, []string{
+			f0(float64(sliq)),
+			f3(r.IPC[sliq][32]),
+			f3(r.IPC[sliq][64]),
+			f3(r.IPC[sliq][128]),
+			f3(r.Baseline128IPC),
+			f3(r.Baseline4096IPC),
+		})
+	}
+	s := renderTable("Figure 9: main performance results (IPC, suite average)", header, rows)
+	best := r.IPC[2048][128]
+	s += fmt.Sprintf("\nCOoO 128/2048 vs Baseline 128:  %+.0f%%  (paper: about +204%%)\n",
+		100*(best/r.Baseline128IPC-1))
+	s += fmt.Sprintf("COoO 128/2048 vs Baseline 4096: %+.0f%%  (paper: about -10%%)\n",
+		100*(best/r.Baseline4096IPC-1))
+	s += fmt.Sprintf("COoO 32/512   vs Baseline 128:  %+.0f%%  (paper: about +110%%)\n",
+		100*(r.IPC[512][32]/r.Baseline128IPC-1))
+	return s
+}
+
+// Figure11String renders the same runs' in-flight averages (Figure 11).
+func (r Figure9Result) Figure11String() string {
+	header := []string{"SLIQ", "COoO 32", "COoO 64", "COoO 128", "Baseline 128", "Baseline 4096"}
+	rows := make([][]string, 0, len(r.SLIQs))
+	for _, sliq := range r.SLIQs {
+		rows = append(rows, []string{
+			f0(float64(sliq)),
+			f0(r.Inflight[sliq][32]),
+			f0(r.Inflight[sliq][64]),
+			f0(r.Inflight[sliq][128]),
+			f0(r.Baseline128Inflight),
+			f0(r.Baseline4096Inflight),
+		})
+	}
+	return renderTable("Figure 11: average in-flight instructions (same configurations as Figure 9)", header, rows)
+}

@@ -1,0 +1,242 @@
+// Package lsq models the load/store queue: program-ordered tracking of
+// in-flight memory operations, store-to-load forwarding, and draining of
+// committed stores to the memory hierarchy.
+//
+// Following the paper, the LSQ is treated as a pseudo-perfect resource
+// (4096 entries in Table 1) except that its occupancy rules matter: in
+// checkpoint mode, entries are held until the owning checkpoint commits,
+// which is why the paper bounds stores per checkpoint (64) to avoid
+// deadlock.
+package lsq
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Kind distinguishes queue entries.
+type Kind uint8
+
+// Entry kinds.
+const (
+	KindLoad Kind = iota
+	KindStore
+)
+
+// Entry is one memory operation in the queue.
+type Entry struct {
+	Seq  uint64
+	Kind Kind
+	Addr uint64
+	// Executed marks address (and data, for stores) availability.
+	Executed bool
+	// Payload is the pipeline's record for this instruction.
+	Payload any
+	// waiters are loads blocked on this store's data (forwarding).
+	waiters []func(storeSeq uint64)
+}
+
+// Stats counts queue activity.
+type Stats struct {
+	Loads         uint64
+	Stores        uint64
+	Forwards      uint64 // loads satisfied by an older store
+	ForwardStalls uint64 // loads that had to wait for store data
+	StoresDrained uint64
+	FullStalls    uint64
+}
+
+// LSQ is the load/store queue. Entries are kept in program (sequence)
+// order.
+type LSQ struct {
+	capacity int
+	entries  []*Entry // seq-ordered
+	stats    Stats
+}
+
+// New builds a load/store queue with the given capacity.
+func New(capacity int) *LSQ {
+	if capacity < 1 {
+		panic(fmt.Sprintf("lsq: capacity %d < 1", capacity))
+	}
+	return &LSQ{capacity: capacity}
+}
+
+// Cap returns the capacity.
+func (q *LSQ) Cap() int { return q.capacity }
+
+// Len returns the number of resident entries.
+func (q *LSQ) Len() int { return len(q.entries) }
+
+// Full reports whether the queue is at capacity.
+func (q *LSQ) Full() bool { return len(q.entries) >= q.capacity }
+
+// Insert allocates an entry at dispatch. Entries must be inserted in
+// increasing sequence order. Returns nil when the queue is full.
+func (q *LSQ) Insert(seq uint64, op isa.Op, addr uint64, payload any) *Entry {
+	if q.Full() {
+		q.stats.FullStalls++
+		return nil
+	}
+	if n := len(q.entries); n > 0 && q.entries[n-1].Seq >= seq {
+		panic(fmt.Sprintf("lsq: out-of-order insert seq %d after %d", seq, q.entries[n-1].Seq))
+	}
+	var k Kind
+	switch op {
+	case isa.Load:
+		k = KindLoad
+		q.stats.Loads++
+	case isa.Store:
+		k = KindStore
+		q.stats.Stores++
+	default:
+		panic(fmt.Sprintf("lsq: non-memory op %v", op))
+	}
+	e := &Entry{Seq: seq, Kind: k, Addr: addr, Payload: payload}
+	q.entries = append(q.entries, e)
+	return e
+}
+
+// MarkExecuted records that the entry's address (and data for stores)
+// has been computed. For stores this releases any loads waiting to
+// forward from it.
+func (q *LSQ) MarkExecuted(e *Entry) {
+	e.Executed = true
+	if e.Kind == KindStore {
+		for _, w := range e.waiters {
+			w(e.Seq)
+		}
+		e.waiters = nil
+	}
+}
+
+// ForwardResult describes the disambiguation outcome for a load.
+type ForwardResult int
+
+// Forwarding outcomes.
+const (
+	// NoConflict: no older store to the same address; access memory.
+	NoConflict ForwardResult = iota
+	// ForwardReady: an older executed store matches; forward its data.
+	ForwardReady
+	// ForwardWait: an older store matches but its data is not ready;
+	// the load must wait (the callback fires when it is).
+	ForwardWait
+)
+
+// LookupForward finds the youngest store older than loadSeq with a
+// matching address. When the store is not yet executed, onReady is
+// retained and invoked at MarkExecuted time so the pipeline can complete
+// the forwarded load.
+func (q *LSQ) LookupForward(loadSeq uint64, addr uint64, onReady func(storeSeq uint64)) ForwardResult {
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		e := q.entries[i]
+		if e.Seq >= loadSeq {
+			continue
+		}
+		if e.Kind != KindStore {
+			continue
+		}
+		if e.Kind == KindStore && !e.Executed {
+			// Unresolved store address: a conservative design would
+			// stall, but following the paper's pseudo-perfect
+			// disambiguation we compare against the architectural
+			// address the generator provided.
+			if e.Addr == addr {
+				e.waiters = append(e.waiters, onReady)
+				q.stats.ForwardStalls++
+				return ForwardWait
+			}
+			continue
+		}
+		if e.Addr == addr {
+			q.stats.Forwards++
+			return ForwardReady
+		}
+	}
+	return NoConflict
+}
+
+// DrainStoresBefore removes every store with Seq < endSeq, invoking
+// write for each in program order (checkpoint-commit draining). Loads
+// older than endSeq are retired from the queue at the same time.
+func (q *LSQ) DrainStoresBefore(endSeq uint64, write func(addr uint64)) int {
+	n := 0
+	kept := q.entries[:0]
+	for _, e := range q.entries {
+		if e.Seq >= endSeq {
+			kept = append(kept, e)
+			continue
+		}
+		if e.Kind == KindStore {
+			if !e.Executed {
+				panic(fmt.Sprintf("lsq: draining unexecuted store seq %d", e.Seq))
+			}
+			write(e.Addr)
+			q.stats.StoresDrained++
+			n++
+		}
+	}
+	// Zero the tail so removed entries can be collected.
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = kept
+	return n
+}
+
+// Retire removes a single entry (ROB-mode per-instruction commit),
+// invoking write for stores.
+func (q *LSQ) Retire(e *Entry, write func(addr uint64)) {
+	for i, x := range q.entries {
+		if x == e {
+			if e.Kind == KindStore {
+				if !e.Executed {
+					panic(fmt.Sprintf("lsq: retiring unexecuted store seq %d", e.Seq))
+				}
+				write(e.Addr)
+				q.stats.StoresDrained++
+			}
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("lsq: retire of unknown entry seq %d", e.Seq))
+}
+
+// SquashYounger removes every entry with Seq >= seq (rollback).
+func (q *LSQ) SquashYounger(seq uint64) int {
+	n := 0
+	kept := q.entries[:0]
+	for _, e := range q.entries {
+		if e.Seq >= seq {
+			e.waiters = nil
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = kept
+	return n
+}
+
+// Stats returns a copy of the counters.
+func (q *LSQ) Stats() Stats { return q.stats }
+
+// CheckInvariants validates ordering for tests.
+func (q *LSQ) CheckInvariants() error {
+	for i := 1; i < len(q.entries); i++ {
+		if q.entries[i-1].Seq >= q.entries[i].Seq {
+			return fmt.Errorf("lsq: entries out of order at %d (%d then %d)",
+				i, q.entries[i-1].Seq, q.entries[i].Seq)
+		}
+	}
+	if len(q.entries) > q.capacity {
+		return fmt.Errorf("lsq: %d entries exceed capacity %d", len(q.entries), q.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package lsq
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestInsertOrderAndKinds(t *testing.T) {
+	q := New(8)
+	l := q.Insert(1, isa.Load, 0x100, "l")
+	s := q.Insert(2, isa.Store, 0x200, "s")
+	if l.Kind != KindLoad || s.Kind != KindStore {
+		t.Fatal("kinds wrong")
+	}
+	if q.Len() != 2 {
+		t.Fatal("len wrong")
+	}
+	st := q.Stats()
+	if st.Loads != 1 || st.Stores != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfOrderInsertPanics(t *testing.T) {
+	q := New(8)
+	q.Insert(5, isa.Load, 0x100, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order insert must panic")
+		}
+	}()
+	q.Insert(4, isa.Load, 0x100, nil)
+}
+
+func TestNonMemOpPanics(t *testing.T) {
+	q := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-memory op must panic")
+		}
+	}()
+	q.Insert(1, isa.IntAlu, 0x100, nil)
+}
+
+func TestCapacity(t *testing.T) {
+	q := New(2)
+	q.Insert(1, isa.Load, 0x10, nil)
+	q.Insert(2, isa.Load, 0x20, nil)
+	if !q.Full() {
+		t.Fatal("should be full")
+	}
+	if q.Insert(3, isa.Load, 0x30, nil) != nil {
+		t.Fatal("full queue must reject")
+	}
+	if q.Stats().FullStalls != 1 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestForwardReady(t *testing.T) {
+	q := New(8)
+	s := q.Insert(1, isa.Store, 0x100, nil)
+	q.MarkExecuted(s)
+	got := q.LookupForward(2, 0x100, nil)
+	if got != ForwardReady {
+		t.Fatalf("got %v, want ForwardReady", got)
+	}
+	if q.Stats().Forwards != 1 {
+		t.Fatal("forward not counted")
+	}
+}
+
+func TestForwardWaitThenReady(t *testing.T) {
+	q := New(8)
+	s := q.Insert(1, isa.Store, 0x100, nil)
+	fired := uint64(0)
+	got := q.LookupForward(2, 0x100, func(storeSeq uint64) { fired = storeSeq })
+	if got != ForwardWait {
+		t.Fatalf("got %v, want ForwardWait", got)
+	}
+	q.MarkExecuted(s)
+	if fired != 1 {
+		t.Fatal("waiter must fire when the store executes")
+	}
+}
+
+func TestForwardYoungestMatchingStore(t *testing.T) {
+	q := New(8)
+	s1 := q.Insert(1, isa.Store, 0x100, nil)
+	s2 := q.Insert(2, isa.Store, 0x100, nil)
+	q.MarkExecuted(s1)
+	q.MarkExecuted(s2)
+	// The load must see the youngest older store; both executed, so
+	// ForwardReady — and critically, not a store younger than the load.
+	q.Insert(3, isa.Load, 0x100, nil)
+	if got := q.LookupForward(3, 0x100, nil); got != ForwardReady {
+		t.Fatalf("got %v", got)
+	}
+	// A load older than every store must not forward.
+	if got := q.LookupForward(0, 0x100, nil); got != NoConflict {
+		t.Fatalf("older load forwarded: %v", got)
+	}
+}
+
+func TestNoConflictDifferentAddress(t *testing.T) {
+	q := New(8)
+	q.Insert(1, isa.Store, 0x100, nil)
+	if got := q.LookupForward(2, 0x108, nil); got != NoConflict {
+		t.Fatalf("got %v, want NoConflict", got)
+	}
+}
+
+func TestDrainStoresBefore(t *testing.T) {
+	q := New(8)
+	s1 := q.Insert(1, isa.Store, 0x10, nil)
+	q.Insert(2, isa.Load, 0x20, nil)
+	s2 := q.Insert(3, isa.Store, 0x30, nil)
+	s3 := q.Insert(4, isa.Store, 0x40, nil)
+	q.MarkExecuted(s1)
+	q.MarkExecuted(s2)
+	q.MarkExecuted(s3)
+	var written []uint64
+	n := q.DrainStoresBefore(4, func(addr uint64) { written = append(written, addr) })
+	if n != 2 || len(written) != 2 || written[0] != 0x10 || written[1] != 0x30 {
+		t.Fatalf("drained %v", written)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (only seq 4 remains)", q.Len())
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainUnexecutedStorePanics(t *testing.T) {
+	q := New(8)
+	q.Insert(1, isa.Store, 0x10, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("draining an unexecuted store must panic")
+		}
+	}()
+	q.DrainStoresBefore(2, func(uint64) {})
+}
+
+func TestRetire(t *testing.T) {
+	q := New(8)
+	l := q.Insert(1, isa.Load, 0x10, nil)
+	s := q.Insert(2, isa.Store, 0x20, nil)
+	q.MarkExecuted(s)
+	var wrote []uint64
+	q.Retire(l, func(a uint64) { wrote = append(wrote, a) })
+	if len(wrote) != 0 {
+		t.Fatal("retiring a load writes nothing")
+	}
+	q.Retire(s, func(a uint64) { wrote = append(wrote, a) })
+	if len(wrote) != 1 || wrote[0] != 0x20 {
+		t.Fatalf("store write: %v", wrote)
+	}
+	if q.Len() != 0 {
+		t.Fatal("entries must leave the queue")
+	}
+}
+
+func TestSquashYounger(t *testing.T) {
+	q := New(8)
+	q.Insert(1, isa.Load, 0x10, nil)
+	s := q.Insert(2, isa.Store, 0x20, nil)
+	q.Insert(3, isa.Load, 0x30, nil)
+	// A waiter on the store must be dropped with it.
+	fired := false
+	q.LookupForward(3, 0x20, func(uint64) { fired = true })
+	n := q.SquashYounger(2)
+	if n != 2 || q.Len() != 1 {
+		t.Fatalf("squashed %d, len %d", n, q.Len())
+	}
+	q.MarkExecuted(s) // dead entry; must not fire dropped waiters
+	if fired {
+		t.Fatal("squashed store fired a stale waiter")
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

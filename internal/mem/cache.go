@@ -1,0 +1,135 @@
+// Package mem models the memory hierarchy of the simulated processor:
+// set-associative LRU caches, an MSHR-style miss tracker that merges
+// requests to in-flight lines, and the main-memory latency model.
+//
+// Timing contract: all methods take and return absolute cycle numbers.
+// The hierarchy is a passive timing oracle — the pipeline asks "if this
+// load starts now, when is its value ready, and did it miss in L2?" and
+// the hierarchy updates its replacement state as a side effect.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// CacheStats counts accesses for one cache level.
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// Hits returns the number of hits.
+func (s CacheStats) Hits() uint64 { return s.Accesses - s.Misses }
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks
+// only tags (the simulator never needs data values from memory).
+type Cache struct {
+	lineShift uint
+	setMask   uint64
+	latency   int
+	// ways holds, per set, the resident tags in LRU order: index 0 is
+	// the most recently used way.
+	ways  [][]uint64
+	stats CacheStats
+}
+
+// NewCache builds a cache from its configuration. It panics on invalid
+// geometry; validate configurations with config.CacheConfig.Validate first.
+func NewCache(cc config.CacheConfig) *Cache {
+	if err := cc.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cc.Sets()
+	c := &Cache{
+		lineShift: uint(log2(cc.LineBytes)),
+		setMask:   uint64(sets - 1),
+		latency:   cc.LatencyCycles,
+		ways:      make([][]uint64, sets),
+	}
+	for i := range c.ways {
+		c.ways[i] = make([]uint64, 0, cc.Assoc)
+	}
+	return c
+}
+
+func log2(v int) int {
+	n := 0
+	for 1<<n < v {
+		n++
+	}
+	if 1<<n != v {
+		panic(fmt.Sprintf("mem: %d is not a power of two", v))
+	}
+	return n
+}
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() int { return c.latency }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+// Access looks up addr, updates LRU state and statistics, and reports
+// whether it hit. On a miss the line is allocated (fetch-on-miss,
+// write-allocate) evicting the LRU way if needed.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	tag := addr >> c.lineShift
+	set := c.ways[tag&c.setMask]
+	for i, t := range set {
+		if t == tag {
+			// Move to front (most recently used).
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			return true
+		}
+	}
+	c.stats.Misses++
+	c.insert(tag)
+	return false
+}
+
+// Probe reports whether addr is resident without updating LRU state or
+// statistics. Tests and invariant checks use it.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.lineShift
+	for _, t := range c.ways[tag&c.setMask] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// insert allocates tag as the MRU way of its set, evicting LRU if full.
+func (c *Cache) insert(tag uint64) {
+	idx := tag & c.setMask
+	set := c.ways[idx]
+	if len(set) < cap(set) {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = tag
+	c.ways[idx] = set
+}
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Reset empties the cache and zeroes its statistics.
+func (c *Cache) Reset() {
+	for i := range c.ways {
+		c.ways[i] = c.ways[i][:0]
+	}
+	c.stats = CacheStats{}
+}

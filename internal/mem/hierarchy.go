@@ -1,0 +1,226 @@
+package mem
+
+import "repro/internal/config"
+
+// AccessResult describes the outcome of a data access.
+type AccessResult struct {
+	// Done is the absolute cycle at which the loaded value is available.
+	Done int64
+	// MissedL2 reports that the access had to go to main memory (or
+	// merged with an in-flight main-memory request). The pipeline uses
+	// it as the paper's "long latency load" classification.
+	MissedL2 bool
+}
+
+// HierarchyStats aggregates counters across the hierarchy.
+type HierarchyStats struct {
+	IL1, DL1, L2 CacheStats
+	// MemAccesses counts main-memory line fetches actually started
+	// (merged requests are not double counted).
+	MemAccesses uint64
+	// MergedMisses counts L2 misses that merged with an in-flight line.
+	MergedMisses uint64
+	// StoreWrites counts committed stores drained to the hierarchy.
+	StoreWrites uint64
+	// Prefetches counts next-line fills started by the prefetcher.
+	Prefetches uint64
+}
+
+// Hierarchy is the full memory system: IL1 + DL1 backed by a unified L2
+// backed by main memory. Misses to the same L2 line merge MSHR-style.
+//
+// Bandwidth model: the Table 1 "Memory ports: 2" limit is enforced by the
+// pipeline as a per-cycle data-cache access limit (see core); beyond that,
+// memory-level parallelism is unconstrained, matching the paper's
+// pseudo-perfect treatment of everything except the structures under study.
+type Hierarchy struct {
+	il1, dl1, l2 *Cache
+	perfectL2    bool
+	memLatency   int64
+	prefetch     int
+
+	// inflight maps an L2 line address to the cycle its fill completes.
+	inflight map[uint64]int64
+	stats    HierarchyStats
+}
+
+// NewHierarchy builds the memory system from the architectural config.
+func NewHierarchy(cfg config.Config) *Hierarchy {
+	return &Hierarchy{
+		il1:        NewCache(cfg.IL1),
+		dl1:        NewCache(cfg.DL1),
+		l2:         NewCache(cfg.L2),
+		perfectL2:  cfg.PerfectL2,
+		memLatency: int64(cfg.MemoryLatency),
+		prefetch:   cfg.PrefetchDegree,
+		inflight:   make(map[uint64]int64),
+	}
+}
+
+// Load models a data load issued at cycle now.
+func (h *Hierarchy) Load(now int64, addr uint64) AccessResult {
+	// An in-flight fill of this line absorbs the request (MSHR merge).
+	line := h.l2.LineAddr(addr)
+	if ready, ok := h.inflight[line]; ok {
+		if ready > now {
+			h.stats.MergedMisses++
+			h.stats.DL1.Accesses++
+			h.stats.DL1.Misses++
+			return AccessResult{Done: ready, MissedL2: true}
+		}
+		delete(h.inflight, line)
+	}
+
+	done := now + int64(h.dl1.Latency())
+	if h.dl1.Access(addr) {
+		h.stats.DL1 = h.dl1.Stats()
+		return AccessResult{Done: done}
+	}
+	h.stats.DL1 = h.dl1.Stats()
+
+	done += int64(h.l2.Latency())
+	if h.perfectL2 {
+		return AccessResult{Done: done}
+	}
+	if h.l2.Access(addr) {
+		h.stats.L2 = h.l2.Stats()
+		return AccessResult{Done: done}
+	}
+	h.stats.L2 = h.l2.Stats()
+
+	// Main memory. The line is resident (for replacement purposes) from
+	// now on, but consumers must wait for the fill via the MSHR map.
+	done += h.memLatency
+	h.inflight[line] = done
+	h.stats.MemAccesses++
+	h.prefetchAfter(line, done)
+	return AccessResult{Done: done, MissedL2: true}
+}
+
+// prefetchAfter starts next-line fills behind a demand miss. Prefetched
+// lines become visible to the replacement state and arrive one cycle
+// after the demand line per degree step (a simple streaming engine).
+func (h *Hierarchy) prefetchAfter(line uint64, done int64) {
+	for i := 1; i <= h.prefetch; i++ {
+		next := line + uint64(i)*uint64(1)<<h.l2.lineShift
+		if h.l2.Probe(next) {
+			continue
+		}
+		if _, busy := h.inflight[next]; busy {
+			continue
+		}
+		h.l2.insert(next >> h.l2.lineShift)
+		h.inflight[next] = done + int64(i)
+		h.stats.Prefetches++
+	}
+}
+
+// FetchLatency models an instruction fetch of pc at cycle now and returns
+// the cycle the fetch group is available. Instruction fetches that miss
+// IL1 go to L2 and, if needed, memory, reusing the same line tracker.
+func (h *Hierarchy) FetchLatency(now int64, pc uint64) int64 {
+	line := h.l2.LineAddr(pc)
+	if ready, ok := h.inflight[line]; ok {
+		if ready > now {
+			return ready
+		}
+		delete(h.inflight, line)
+	}
+	done := now + int64(h.il1.Latency())
+	if h.il1.Access(pc) {
+		h.stats.IL1 = h.il1.Stats()
+		return done
+	}
+	h.stats.IL1 = h.il1.Stats()
+	done += int64(h.l2.Latency())
+	if h.perfectL2 || h.l2.Access(pc) {
+		h.stats.L2 = h.l2.Stats()
+		return done
+	}
+	h.stats.L2 = h.l2.Stats()
+	done += h.memLatency
+	h.inflight[line] = done
+	h.stats.MemAccesses++
+	return done
+}
+
+// StoreCommit drains a committed store into the hierarchy, updating
+// replacement state. Commit is never blocked by stores (ideal write
+// buffer), so no completion time is returned.
+func (h *Hierarchy) StoreCommit(addr uint64) {
+	h.stats.StoreWrites++
+	if h.dl1.Access(addr) {
+		h.stats.DL1 = h.dl1.Stats()
+		return
+	}
+	h.stats.DL1 = h.dl1.Stats()
+	if !h.perfectL2 {
+		h.l2.Access(addr)
+		h.stats.L2 = h.l2.Stats()
+	}
+}
+
+// PrimeFetch preloads the line containing pc into IL1 and L2 without
+// touching statistics. Harnesses use it to warm the instruction path:
+// the paper's 300M-instruction SimPoints amortise cold code misses to
+// nothing, which short simulations must emulate explicitly.
+func (h *Hierarchy) PrimeFetch(pc uint64) {
+	if !h.il1.Probe(pc) {
+		h.il1.Access(pc)
+		h.il1.stats.Accesses--
+		h.il1.stats.Misses--
+	}
+	if !h.perfectL2 && !h.l2.Probe(pc) {
+		h.l2.Access(pc)
+		h.l2.stats.Accesses--
+		h.l2.stats.Misses--
+	}
+}
+
+// WarmData replays one data access through DL1 and L2 without counting
+// statistics. Harnesses run the whole trace through it once before
+// simulating, emulating the warm caches a long-running benchmark would
+// have: resident working sets stay, streaming footprints evict
+// themselves back to their steady state.
+func (h *Hierarchy) WarmData(addr uint64) {
+	preDL1 := h.dl1.stats
+	h.dl1.Access(addr)
+	h.dl1.stats = preDL1
+	if !h.perfectL2 {
+		preL2 := h.l2.stats
+		h.l2.Access(addr)
+		h.l2.stats = preL2
+	}
+}
+
+// WouldMissL2 reports whether a load of addr issued now would go to main
+// memory, without changing any state. The pipeline uses it for
+// classification previews in tests.
+func (h *Hierarchy) WouldMissL2(now int64, addr uint64) bool {
+	if h.perfectL2 {
+		return false
+	}
+	line := h.l2.LineAddr(addr)
+	if ready, ok := h.inflight[line]; ok && ready > now {
+		return true
+	}
+	return !h.dl1.Probe(addr) && !h.l2.Probe(addr)
+}
+
+// Stats returns a copy of the aggregate counters.
+func (h *Hierarchy) Stats() HierarchyStats {
+	s := h.stats
+	s.IL1 = h.il1.Stats()
+	s.DL1 = h.dl1.Stats()
+	s.L2 = h.l2.Stats()
+	return s
+}
+
+// Reset restores the hierarchy to cold-cache state.
+func (h *Hierarchy) Reset() {
+	h.il1.Reset()
+	h.dl1.Reset()
+	h.l2.Reset()
+	h.inflight = make(map[uint64]int64)
+	h.stats = HierarchyStats{}
+}

@@ -1,0 +1,109 @@
+package queue
+
+import "fmt"
+
+// Deque is a fixed-capacity ring-buffer double-ended queue. The
+// pseudo-ROB uses it as a FIFO that also supports tail removal (squashing
+// the youngest instructions on a branch recovery).
+type Deque[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// NewDeque builds a deque with the given capacity.
+func NewDeque[T any](capacity int) *Deque[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: deque capacity %d < 1", capacity))
+	}
+	return &Deque[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the capacity.
+func (d *Deque[T]) Cap() int { return len(d.buf) }
+
+// Len returns the number of elements.
+func (d *Deque[T]) Len() int { return d.size }
+
+// Full reports whether the deque is at capacity.
+func (d *Deque[T]) Full() bool { return d.size == len(d.buf) }
+
+// Empty reports whether the deque has no elements.
+func (d *Deque[T]) Empty() bool { return d.size == 0 }
+
+// PushBack appends v at the tail (youngest). It returns false when full.
+func (d *Deque[T]) PushBack(v T) bool {
+	if d.Full() {
+		return false
+	}
+	d.buf[(d.head+d.size)%len(d.buf)] = v
+	d.size++
+	return true
+}
+
+// PopFront removes and returns the head (oldest) element.
+func (d *Deque[T]) PopFront() (T, bool) {
+	var zero T
+	if d.size == 0 {
+		return zero, false
+	}
+	v := d.buf[d.head]
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	return v, true
+}
+
+// PopBack removes and returns the tail (youngest) element.
+func (d *Deque[T]) PopBack() (T, bool) {
+	var zero T
+	if d.size == 0 {
+		return zero, false
+	}
+	i := (d.head + d.size - 1) % len(d.buf)
+	v := d.buf[i]
+	d.buf[i] = zero
+	d.size--
+	return v, true
+}
+
+// Front returns the head element without removing it.
+func (d *Deque[T]) Front() (T, bool) {
+	var zero T
+	if d.size == 0 {
+		return zero, false
+	}
+	return d.buf[d.head], true
+}
+
+// Back returns the tail element without removing it.
+func (d *Deque[T]) Back() (T, bool) {
+	var zero T
+	if d.size == 0 {
+		return zero, false
+	}
+	return d.buf[(d.head+d.size-1)%len(d.buf)], true
+}
+
+// At returns the i'th element from the head (0 = oldest).
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.size {
+		panic(fmt.Sprintf("queue: deque index %d out of range [0,%d)", i, d.size))
+	}
+	return d.buf[(d.head+i)%len(d.buf)]
+}
+
+// ForEach calls fn on each element from oldest to youngest.
+func (d *Deque[T]) ForEach(fn func(v T)) {
+	for i := 0; i < d.size; i++ {
+		fn(d.buf[(d.head+i)%len(d.buf)])
+	}
+}
+
+// Clear removes all elements.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.size; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = zero
+	}
+	d.head, d.size = 0, 0
+}

@@ -1,0 +1,192 @@
+// Package queue implements the instruction-buffering structures of the
+// simulated processor: the general-purpose issue queues (with
+// event-driven wakeup and oldest-first select), a generic deque used for
+// the pseudo-ROB, and the Slow Lane Instruction Queue (SLIQ) of the
+// paper's section 3.
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// IQEntry is one instruction resident in an issue queue. The pipeline
+// allocates entries via Insert and keeps the pointer for wakeup and
+// removal; all fields are managed by the queue.
+type IQEntry struct {
+	// Seq is the dynamic sequence number, used for oldest-first select.
+	Seq uint64
+	// Payload is an opaque handle back to the pipeline's record.
+	Payload any
+
+	pending  int // unready source operands
+	heapIdx  int // index in the ready heap, or -1
+	resident bool
+	q        *IQ
+}
+
+// Pending returns the number of source operands still awaited.
+func (e *IQEntry) Pending() int { return e.pending }
+
+// Ready reports whether the entry is in the ready set.
+func (e *IQEntry) Ready() bool { return e.resident && e.pending == 0 }
+
+// IQ is a fixed-capacity issue queue. Entries wait until their pending
+// source count reaches zero, then become selectable oldest-first.
+// Select bandwidth and functional-unit availability are enforced by the
+// caller (the pipeline's issue stage).
+type IQ struct {
+	capacity int
+	occupied int
+	ready    readyHeap
+	stats    IQStats
+}
+
+// IQStats counts queue activity.
+type IQStats struct {
+	Inserted uint64
+	Issued   uint64
+	Removed  uint64
+	// FullStalls counts rejected insertions.
+	FullStalls uint64
+}
+
+// NewIQ builds an issue queue with the given capacity.
+func NewIQ(capacity int) *IQ {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: IQ capacity %d < 1", capacity))
+	}
+	return &IQ{capacity: capacity}
+}
+
+// Cap returns the queue capacity.
+func (q *IQ) Cap() int { return q.capacity }
+
+// Len returns the number of resident entries.
+func (q *IQ) Len() int { return q.occupied }
+
+// Free returns the number of available entries.
+func (q *IQ) Free() int { return q.capacity - q.occupied }
+
+// Full reports whether the queue has no free entry.
+func (q *IQ) Full() bool { return q.occupied >= q.capacity }
+
+// ReadyCount returns the number of selectable entries.
+func (q *IQ) ReadyCount() int { return q.ready.Len() }
+
+// Insert adds an instruction with the given number of not-yet-ready
+// sources. It returns nil when the queue is full.
+func (q *IQ) Insert(seq uint64, pendingSources int, payload any) *IQEntry {
+	if q.Full() {
+		q.stats.FullStalls++
+		return nil
+	}
+	if pendingSources < 0 {
+		panic(fmt.Sprintf("queue: negative pending count %d", pendingSources))
+	}
+	e := &IQEntry{Seq: seq, Payload: payload, pending: pendingSources, heapIdx: -1, resident: true, q: q}
+	q.occupied++
+	q.stats.Inserted++
+	if e.pending == 0 {
+		heap.Push(&q.ready, e)
+	}
+	return e
+}
+
+// Wake signals that one of e's source operands became ready. When the
+// last source arrives the entry joins the ready set.
+func (q *IQ) Wake(e *IQEntry) {
+	if !e.resident || e.q != q {
+		panic("queue: Wake on non-resident entry")
+	}
+	if e.pending <= 0 {
+		panic(fmt.Sprintf("queue: wake underflow on seq %d", e.Seq))
+	}
+	e.pending--
+	if e.pending == 0 {
+		heap.Push(&q.ready, e)
+	}
+}
+
+// PopReady removes and returns the oldest ready entry, or nil when no
+// entry is selectable. The entry leaves the queue (its slot is freed);
+// the caller has committed to issuing it.
+func (q *IQ) PopReady() *IQEntry {
+	if q.ready.Len() == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.ready).(*IQEntry)
+	e.resident = false
+	q.occupied--
+	q.stats.Issued++
+	return e
+}
+
+// PeekReady returns the oldest ready entry without removing it.
+func (q *IQ) PeekReady() *IQEntry {
+	if q.ready.Len() == 0 {
+		return nil
+	}
+	return q.ready.entries[0]
+}
+
+// Unissue reinserts an entry popped by PopReady back into the ready set,
+// used when issue fails on a structural hazard (all functional units
+// busy) and the instruction must retry next cycle.
+func (q *IQ) Unissue(e *IQEntry) {
+	if e.resident {
+		panic("queue: Unissue of resident entry")
+	}
+	e.resident = true
+	q.occupied++
+	q.stats.Issued--
+	heap.Push(&q.ready, e)
+}
+
+// Remove deletes a resident entry regardless of readiness (squash, or a
+// move to the SLIQ). It is a no-op for entries already gone.
+func (q *IQ) Remove(e *IQEntry) {
+	if !e.resident || e.q != q {
+		return
+	}
+	if e.heapIdx >= 0 {
+		heap.Remove(&q.ready, e.heapIdx)
+	}
+	e.resident = false
+	q.occupied--
+	q.stats.Removed++
+}
+
+// Resident reports whether e currently occupies a slot of this queue.
+func (q *IQ) Resident(e *IQEntry) bool { return e != nil && e.resident && e.q == q }
+
+// Stats returns a copy of the counters.
+func (q *IQ) Stats() IQStats { return q.stats }
+
+// readyHeap is a min-heap of ready entries ordered by Seq.
+type readyHeap struct {
+	entries []*IQEntry
+}
+
+func (h *readyHeap) Len() int { return len(h.entries) }
+func (h *readyHeap) Less(i, j int) bool {
+	return h.entries[i].Seq < h.entries[j].Seq
+}
+func (h *readyHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].heapIdx = i
+	h.entries[j].heapIdx = j
+}
+func (h *readyHeap) Push(x any) {
+	e := x.(*IQEntry)
+	e.heapIdx = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *readyHeap) Pop() any {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	h.entries[n-1] = nil
+	h.entries = h.entries[:n-1]
+	e.heapIdx = -1
+	return e
+}

@@ -1,0 +1,337 @@
+package queue
+
+import (
+	"testing"
+
+	"repro/internal/rename"
+)
+
+func TestIQInsertPopOrder(t *testing.T) {
+	q := NewIQ(8)
+	// Ready entries pop oldest-first regardless of insertion order of
+	// readiness.
+	e3 := q.Insert(3, 0, "c")
+	e1 := q.Insert(1, 0, "a")
+	e2 := q.Insert(2, 0, "b")
+	_ = e1
+	_ = e2
+	_ = e3
+	var got []uint64
+	for {
+		e := q.PopReady()
+		if e == nil {
+			break
+		}
+		got = append(got, e.Seq)
+	}
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("popped entries must free their slots")
+	}
+}
+
+func TestIQWakeup(t *testing.T) {
+	q := NewIQ(4)
+	e := q.Insert(1, 2, nil)
+	if e.Ready() || q.ReadyCount() != 0 {
+		t.Fatal("entry with pending sources must not be ready")
+	}
+	q.Wake(e)
+	if e.Ready() {
+		t.Fatal("one of two sources is not enough")
+	}
+	q.Wake(e)
+	if !e.Ready() || q.ReadyCount() != 1 {
+		t.Fatal("entry should be ready after both wakes")
+	}
+	if got := q.PopReady(); got != e {
+		t.Fatal("wrong entry popped")
+	}
+}
+
+func TestIQWakePanics(t *testing.T) {
+	q := NewIQ(4)
+	e := q.Insert(1, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("waking a ready entry must panic (underflow)")
+		}
+	}()
+	q.Wake(e)
+}
+
+func TestIQCapacity(t *testing.T) {
+	q := NewIQ(2)
+	q.Insert(1, 1, nil)
+	q.Insert(2, 1, nil)
+	if !q.Full() || q.Free() != 0 {
+		t.Fatal("queue should be full")
+	}
+	if q.Insert(3, 1, nil) != nil {
+		t.Fatal("insert into a full queue must fail")
+	}
+	if q.Stats().FullStalls != 1 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestIQUnissue(t *testing.T) {
+	q := NewIQ(4)
+	q.Insert(5, 0, nil)
+	e := q.PopReady()
+	if q.Len() != 0 {
+		t.Fatal("pop must free the slot")
+	}
+	q.Unissue(e)
+	if q.Len() != 1 || q.ReadyCount() != 1 {
+		t.Fatal("unissue must restore the entry")
+	}
+	if got := q.PopReady(); got != e {
+		t.Fatal("unissued entry must be selectable again")
+	}
+}
+
+func TestIQRemove(t *testing.T) {
+	q := NewIQ(4)
+	eWait := q.Insert(1, 1, nil)
+	eReady := q.Insert(2, 0, nil)
+	q.Remove(eWait)
+	q.Remove(eReady)
+	if q.Len() != 0 || q.ReadyCount() != 0 {
+		t.Fatal("remove must handle both waiting and ready entries")
+	}
+	q.Remove(eWait) // double remove is a no-op
+	if q.Stats().Removed != 2 {
+		t.Fatal("remove count wrong")
+	}
+}
+
+func TestIQResident(t *testing.T) {
+	q := NewIQ(4)
+	e := q.Insert(1, 0, nil)
+	if !q.Resident(e) {
+		t.Fatal("inserted entry must be resident")
+	}
+	q.PopReady()
+	if q.Resident(e) {
+		t.Fatal("popped entry must not be resident")
+	}
+	if q.Resident(nil) {
+		t.Fatal("nil entry is never resident")
+	}
+}
+
+func TestDequeFIFO(t *testing.T) {
+	d := NewDeque[int](3)
+	if !d.Empty() || d.Cap() != 3 {
+		t.Fatal("new deque state wrong")
+	}
+	d.PushBack(1)
+	d.PushBack(2)
+	d.PushBack(3)
+	if !d.Full() || d.PushBack(4) {
+		t.Fatal("full deque must reject pushes")
+	}
+	if v, _ := d.Front(); v != 1 {
+		t.Fatal("front should be oldest")
+	}
+	if v, _ := d.Back(); v != 3 {
+		t.Fatal("back should be youngest")
+	}
+	if v, ok := d.PopFront(); !ok || v != 1 {
+		t.Fatal("pop front wrong")
+	}
+	if v, ok := d.PopBack(); !ok || v != 3 {
+		t.Fatal("pop back wrong")
+	}
+	if d.Len() != 1 {
+		t.Fatal("length wrong after pops")
+	}
+}
+
+func TestDequeWraparound(t *testing.T) {
+	d := NewDeque[int](4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			if !d.PushBack(round*10 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 4; i++ {
+			v, ok := d.PopFront()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: got %d want %d", round, v, round*10+i)
+			}
+		}
+	}
+}
+
+func TestDequeAtForEachClear(t *testing.T) {
+	d := NewDeque[string](4)
+	d.PushBack("a")
+	d.PushBack("b")
+	d.PopFront()
+	d.PushBack("c")
+	if d.At(0) != "b" || d.At(1) != "c" {
+		t.Fatal("At indexing wrong")
+	}
+	var seen []string
+	d.ForEach(func(s string) { seen = append(seen, s) })
+	if len(seen) != 2 || seen[0] != "b" || seen[1] != "c" {
+		t.Fatalf("ForEach order: %v", seen)
+	}
+	d.Clear()
+	if !d.Empty() {
+		t.Fatal("Clear failed")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At out of range must panic")
+			}
+		}()
+		d.At(0)
+	}()
+}
+
+func TestDequeEmptyPops(t *testing.T) {
+	d := NewDeque[int](2)
+	if _, ok := d.PopFront(); ok {
+		t.Error("empty pop front must fail")
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Error("empty pop back must fail")
+	}
+	if _, ok := d.Front(); ok {
+		t.Error("empty front must fail")
+	}
+	if _, ok := d.Back(); ok {
+		t.Error("empty back must fail")
+	}
+}
+
+func TestSLIQWakeFlow(t *testing.T) {
+	s := NewSLIQ(16, 4, 4)
+	trig := rename.PhysReg(7)
+	for i := uint64(0); i < 6; i++ {
+		if !s.Insert(i, trig, int(i)) {
+			t.Fatal("insert failed")
+		}
+	}
+	if s.Len() != 6 || s.WaitingOn() != 6 {
+		t.Fatalf("len=%d waiting=%d", s.Len(), s.WaitingOn())
+	}
+	// No drain before the trigger fires.
+	if n := s.Drain(100, func(uint64, any) bool { return true }); n != 0 {
+		t.Fatal("nothing should drain before the trigger")
+	}
+	s.TriggerReady(trig, 100)
+	// Start-up delay: not eligible until cycle 104.
+	if n := s.Drain(103, func(uint64, any) bool { return true }); n != 0 {
+		t.Fatal("drain before the wake delay must yield nothing")
+	}
+	var got []uint64
+	n := s.Drain(104, func(seq uint64, _ any) bool { got = append(got, seq); return true })
+	if n != 4 {
+		t.Fatalf("first pump cycle drained %d, want width=4", n)
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("drain order %v, want oldest-first", got)
+		}
+	}
+	if n := s.Drain(105, func(uint64, any) bool { return true }); n != 2 {
+		t.Fatalf("second pump cycle drained %d, want 2", n)
+	}
+	st := s.Stats()
+	if st.Woken != 6 || st.WakeStarts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSLIQDrainStopsWhenRejected(t *testing.T) {
+	s := NewSLIQ(8, 0, 4)
+	s.Insert(1, 1, nil)
+	s.Insert(2, 1, nil)
+	s.TriggerReady(1, 10)
+	n := s.Drain(10, func(seq uint64, _ any) bool { return seq == 1 })
+	if n != 1 {
+		t.Fatalf("drained %d, want 1 (head rejected stops the pump)", n)
+	}
+	// Entry 2 is retained and drains later.
+	if n := s.Drain(11, func(uint64, any) bool { return true }); n != 1 {
+		t.Fatal("retained entry must drain on a later cycle")
+	}
+}
+
+func TestSLIQCapacity(t *testing.T) {
+	s := NewSLIQ(2, 4, 4)
+	s.Insert(1, 1, nil)
+	s.Insert(2, 1, nil)
+	if s.Insert(3, 1, nil) {
+		t.Fatal("full SLIQ must reject")
+	}
+	if s.Stats().FullStalls != 1 {
+		t.Fatal("full stall not counted")
+	}
+}
+
+func TestSLIQSquashYounger(t *testing.T) {
+	s := NewSLIQ(8, 4, 4)
+	var squashed []int
+	for i := uint64(0); i < 6; i++ {
+		s.Insert(i, rename.PhysReg(i%2), int(i))
+	}
+	s.TriggerReady(0, 0) // seqs 0,2,4 become wakeable
+	s.SquashYounger(3, func(p any) { squashed = append(squashed, p.(int)) })
+	if len(squashed) != 3 { // 3,4,5
+		t.Fatalf("squashed %v, want 3 entries", squashed)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	// Only the surviving wakeable entries drain.
+	var drained []uint64
+	s.Drain(100, func(seq uint64, _ any) bool { drained = append(drained, seq); return true })
+	if len(drained) != 2 || drained[0] != 0 || drained[1] != 2 {
+		t.Fatalf("drained %v, want [0 2]", drained)
+	}
+}
+
+func TestSLIQMultipleTriggers(t *testing.T) {
+	s := NewSLIQ(8, 1, 4)
+	s.Insert(1, 10, "a")
+	s.Insert(2, 20, "b")
+	s.TriggerReady(20, 0)
+	var got []uint64
+	s.Drain(1, func(seq uint64, _ any) bool { got = append(got, seq); return true })
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("only trigger-20's entry should wake, got %v", got)
+	}
+	if s.WaitingOn() != 1 {
+		t.Fatal("entry 1 should still wait")
+	}
+	s.TriggerReady(10, 5)
+	got = nil
+	s.Drain(6, func(seq uint64, _ any) bool { got = append(got, seq); return true })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("trigger-10's entry should wake, got %v", got)
+	}
+}
+
+func TestSLIQClear(t *testing.T) {
+	s := NewSLIQ(8, 4, 4)
+	s.Insert(1, 1, nil)
+	s.Insert(2, 2, nil)
+	s.TriggerReady(1, 0)
+	n := 0
+	s.Clear(func(any) { n++ })
+	if n != 2 || s.Len() != 0 {
+		t.Fatalf("clear squashed %d, len %d", n, s.Len())
+	}
+}

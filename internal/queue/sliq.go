@@ -1,0 +1,229 @@
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/rename"
+)
+
+// SLIQ is the Slow Lane Instruction Queue of the paper's section 3: a
+// large, cheap, in-order secondary buffer holding instructions that
+// depend on long-latency loads. It needs no wakeup CAM — each entry is
+// tagged with the destination register of the long-latency load it
+// transitively depends on (its trigger). When the trigger register is
+// written, a wake process begins: after a configurable start-up delay,
+// entries re-enter the issue queue at a configurable width per cycle,
+// oldest first ("linearly from one point", as the paper puts it).
+type SLIQ struct {
+	capacity int
+	delay    int64
+	width    int
+
+	occupied int
+	// waiting maps a trigger register to its not-yet-woken entries.
+	waiting map[rename.PhysReg][]*sliqEntry
+	// wakeable orders woken entries by sequence number.
+	wakeable sliqHeap
+
+	stats SLIQStats
+}
+
+// SLIQStats counts slow-lane activity.
+type SLIQStats struct {
+	Inserted   uint64
+	Woken      uint64 // re-inserted into the issue queue
+	Squashed   uint64
+	FullStalls uint64
+	WakeStarts uint64 // wake processes begun (one per trigger write)
+}
+
+type sliqEntry struct {
+	seq        uint64
+	trigger    rename.PhysReg
+	payload    any
+	eligibleAt int64 // cycle from which it may re-enter the IQ; -1 = waiting
+	squashed   bool
+	heapIdx    int
+}
+
+// NewSLIQ builds a slow lane queue. capacity is the entry count; delay
+// is the start-up penalty in cycles between the trigger register write
+// and the first re-insertion (the paper uses 4 and shows insensitivity
+// from 1 to 12 in Figure 10); width is the re-insertion bandwidth per
+// cycle (4 in the paper).
+func NewSLIQ(capacity int, delay, width int) *SLIQ {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: SLIQ capacity %d < 1", capacity))
+	}
+	if delay < 0 || width < 1 {
+		panic(fmt.Sprintf("queue: SLIQ delay %d / width %d invalid", delay, width))
+	}
+	return &SLIQ{
+		capacity: capacity,
+		delay:    int64(delay),
+		width:    width,
+		waiting:  make(map[rename.PhysReg][]*sliqEntry),
+	}
+}
+
+// Cap returns the capacity.
+func (s *SLIQ) Cap() int { return s.capacity }
+
+// Len returns the number of resident entries.
+func (s *SLIQ) Len() int { return s.occupied }
+
+// Full reports whether no entry can be inserted.
+func (s *SLIQ) Full() bool { return s.occupied >= s.capacity }
+
+// Insert moves an instruction into the slow lane, tagged with the
+// physical register of the long-latency load it waits on. It returns
+// false when the SLIQ is full (the instruction then stays in the issue
+// queue, consuming a precious entry — the caller's fallback).
+func (s *SLIQ) Insert(seq uint64, trigger rename.PhysReg, payload any) bool {
+	if s.Full() {
+		s.stats.FullStalls++
+		return false
+	}
+	e := &sliqEntry{seq: seq, trigger: trigger, payload: payload, eligibleAt: -1, heapIdx: -1}
+	s.waiting[trigger] = append(s.waiting[trigger], e)
+	s.occupied++
+	s.stats.Inserted++
+	return true
+}
+
+// TriggerReady starts the wake process for every entry waiting on reg:
+// they become eligible for re-insertion delay cycles after now.
+func (s *SLIQ) TriggerReady(reg rename.PhysReg, now int64) {
+	entries, ok := s.waiting[reg]
+	if !ok {
+		return
+	}
+	delete(s.waiting, reg)
+	started := false
+	for _, e := range entries {
+		if e.squashed {
+			continue
+		}
+		e.eligibleAt = now + s.delay
+		heap.Push(&s.wakeable, e)
+		started = true
+	}
+	if started {
+		s.stats.WakeStarts++
+	}
+}
+
+// Drain offers eligible entries to the pipeline oldest-first, up to the
+// configured width per cycle. accept re-inserts the instruction into its
+// issue queue (or issues it directly) and returns true; returning false
+// retains the entry at the head and stops this cycle's pump — the walk
+// is strictly in order, as in the paper.
+func (s *SLIQ) Drain(now int64, accept func(seq uint64, payload any) bool) int {
+	drained := 0
+	for drained < s.width && s.wakeable.Len() > 0 {
+		e := s.wakeable.entries[0]
+		if e.squashed {
+			heap.Pop(&s.wakeable)
+			continue
+		}
+		if e.eligibleAt > now {
+			// The oldest wakeable entry is still in its start-up
+			// delay; the pump walks in order, so younger entries
+			// wait behind it (matches the paper's sequential walk).
+			break
+		}
+		if !accept(e.seq, e.payload) {
+			break
+		}
+		heap.Pop(&s.wakeable)
+		s.occupied--
+		s.stats.Woken++
+		drained++
+	}
+	return drained
+}
+
+// SquashYounger removes every entry with sequence number >= seq,
+// calling onSquash for each removed payload.
+func (s *SLIQ) SquashYounger(seq uint64, onSquash func(payload any)) {
+	for trigger, entries := range s.waiting {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.seq >= seq {
+				e.squashed = true
+				s.occupied--
+				s.stats.Squashed++
+				onSquash(e.payload)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.waiting, trigger)
+		} else {
+			s.waiting[trigger] = kept
+		}
+	}
+	// Wakeable entries are lazily discarded in Drain; account for them
+	// now so Len stays exact.
+	for _, e := range s.wakeable.entries {
+		if !e.squashed && e.seq >= seq {
+			e.squashed = true
+			s.occupied--
+			s.stats.Squashed++
+			onSquash(e.payload)
+		}
+	}
+}
+
+// Clear empties the queue (total flush), invoking onSquash per entry.
+func (s *SLIQ) Clear(onSquash func(payload any)) {
+	s.SquashYounger(0, onSquash)
+	s.waiting = make(map[rename.PhysReg][]*sliqEntry)
+	s.wakeable.entries = s.wakeable.entries[:0]
+}
+
+// WaitingOn returns the number of entries not yet triggered.
+func (s *SLIQ) WaitingOn() int {
+	n := 0
+	for _, entries := range s.waiting {
+		for _, e := range entries {
+			if !e.squashed {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the counters.
+func (s *SLIQ) Stats() SLIQStats { return s.stats }
+
+// sliqHeap is a min-heap of wakeable entries by seq.
+type sliqHeap struct {
+	entries []*sliqEntry
+}
+
+func (h *sliqHeap) Len() int { return len(h.entries) }
+func (h *sliqHeap) Less(i, j int) bool {
+	return h.entries[i].seq < h.entries[j].seq
+}
+func (h *sliqHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].heapIdx = i
+	h.entries[j].heapIdx = j
+}
+func (h *sliqHeap) Push(x any) {
+	e := x.(*sliqEntry)
+	e.heapIdx = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *sliqHeap) Pop() any {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	h.entries[n-1] = nil
+	h.entries = h.entries[:n-1]
+	e.heapIdx = -1
+	return e
+}

@@ -1,0 +1,342 @@
+// Package rename implements the CAM-style register mapping of the paper
+// (section 2, figures 3-6): one entry per physical register holding the
+// logical register it renames, a Valid bit, and the paper's new Future
+// Free bit, plus a free list.
+//
+// Two freeing disciplines are supported, matching the two processors
+// under study:
+//
+//   - ROB mode: AllocateROB returns the previous mapping; the caller
+//     frees it when the redefining instruction commits (conventional).
+//   - Checkpoint mode: Allocate marks the previous mapping's Future Free
+//     bit; all such registers are freed together when the checkpoint
+//     owning their window commits (the paper's deferred release).
+//
+// Snapshot/Rollback implement the checkpointing of figure 3: a snapshot
+// conceptually costs two bits per physical register (Valid + Future
+// Free); the free list and the logical map are derivable in hardware and
+// are stored here for simulation convenience.
+package rename
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/isa"
+)
+
+// PhysReg indexes the physical register file. PhysNone means "none".
+type PhysReg int32
+
+// PhysNone marks the absence of a physical register.
+const PhysNone PhysReg = -1
+
+// Table is the CAM register map. Not safe for concurrent use.
+type Table struct {
+	n int
+	// logical[p] is the logical register that physical p renames. Only
+	// meaningful while p is valid or awaiting a deferred free.
+	logical []isa.Reg
+	// valid marks current mappings (at most one per logical register).
+	valid *bitset.Set
+	// futureFree marks old mappings superseded since the last
+	// checkpoint; they are freed when that window's checkpoint commits.
+	futureFree *bitset.Set
+	// freeList marks allocatable physical registers.
+	freeList *bitset.Set
+	// rmap is the logical->physical inverse of the CAM's associative
+	// lookup.
+	rmap [isa.NumLogical]PhysReg
+
+	freeCount int
+}
+
+// Snapshot is the checkpoint record of the rename state at one point in
+// the program. See the package comment for the hardware-cost argument.
+type Snapshot struct {
+	valid      *bitset.Set
+	futureFree *bitset.Set
+	freeList   *bitset.Set
+	rmap       [isa.NumLogical]PhysReg
+}
+
+// FutureFree returns the snapshot's captured Future Free set: the
+// registers superseded during the *previous* checkpoint's window, to be
+// freed when that previous checkpoint commits.
+func (s *Snapshot) FutureFree() *bitset.Set { return s.futureFree }
+
+// New builds a rename table with nPhys physical registers and allocates
+// an initial mapping for every logical register (architectural state
+// must always be mapped).
+func New(nPhys int) *Table {
+	if nPhys < isa.NumLogical {
+		panic(fmt.Sprintf("rename: %d physical registers < %d logical", nPhys, isa.NumLogical))
+	}
+	t := &Table{
+		n:          nPhys,
+		logical:    make([]isa.Reg, nPhys),
+		valid:      bitset.New(nPhys),
+		futureFree: bitset.New(nPhys),
+		freeList:   bitset.New(nPhys),
+	}
+	for p := 0; p < nPhys; p++ {
+		t.logical[p] = isa.RegNone
+		t.freeList.Set(p)
+	}
+	t.freeCount = nPhys
+	for l := 0; l < isa.NumLogical; l++ {
+		p := PhysReg(l)
+		t.freeList.Clear(int(p))
+		t.freeCount--
+		t.valid.Set(int(p))
+		t.logical[p] = isa.Reg(l)
+		t.rmap[l] = p
+	}
+	return t
+}
+
+// NumPhys returns the physical register file size.
+func (t *Table) NumPhys() int { return t.n }
+
+// FreeCount returns the number of allocatable physical registers.
+func (t *Table) FreeCount() int { return t.freeCount }
+
+// Lookup returns the current physical mapping of logical register l.
+func (t *Table) Lookup(l isa.Reg) PhysReg {
+	if !l.Valid() {
+		return PhysNone
+	}
+	return t.rmap[l]
+}
+
+// allocate takes a register from the free list and installs the new
+// mapping, returning the new and previous physical registers.
+func (t *Table) allocate(dest isa.Reg) (newP, prevP PhysReg, ok bool) {
+	if !dest.Valid() {
+		panic(fmt.Sprintf("rename: allocate for invalid register %v", dest))
+	}
+	idx := t.freeList.FirstSet()
+	if idx < 0 {
+		return PhysNone, PhysNone, false
+	}
+	newP = PhysReg(idx)
+	prevP = t.rmap[dest]
+	t.freeList.Clear(idx)
+	t.freeCount--
+	t.valid.Set(idx)
+	t.logical[idx] = dest
+	t.rmap[dest] = newP
+	if prevP != PhysNone {
+		t.valid.Clear(int(prevP))
+	}
+	return newP, prevP, true
+}
+
+// Allocate renames dest in checkpoint mode: the previous mapping's
+// Future Free bit is set so it is released when the current window's
+// checkpoint commits (figures 4-5 of the paper). It returns the new and
+// previous physical registers, or ok=false when the free list is empty.
+func (t *Table) Allocate(dest isa.Reg) (newP, prevP PhysReg, ok bool) {
+	newP, prevP, ok = t.allocate(dest)
+	if !ok {
+		return PhysNone, PhysNone, false
+	}
+	if prevP != PhysNone {
+		t.futureFree.Set(int(prevP))
+	}
+	return newP, prevP, true
+}
+
+// UnwindCheckpointed reverses a single checkpoint-mode allocation during
+// a pseudo-ROB branch recovery. It is only valid when no checkpoint was
+// taken after the allocation (the caller guarantees it — otherwise the
+// Future Free bit to restore lives in a snapshot, and a full rollback is
+// required). Unwinding must proceed in reverse program order.
+func (t *Table) UnwindCheckpointed(dest isa.Reg, newP, prevP PhysReg) {
+	if t.rmap[dest] != newP {
+		panic(fmt.Sprintf("rename: checkpointed unwind of %v expects p%d, table has p%d",
+			dest, newP, t.rmap[dest]))
+	}
+	t.valid.Clear(int(newP))
+	t.logical[newP] = isa.RegNone
+	t.freeList.Set(int(newP))
+	t.freeCount++
+	t.rmap[dest] = prevP
+	if prevP != PhysNone {
+		t.valid.Set(int(prevP))
+		t.futureFree.Clear(int(prevP))
+	}
+}
+
+// AllocateROB renames dest in conventional mode, returning both the new
+// mapping and the previous one; the caller must Free the previous
+// mapping when the renaming instruction commits.
+func (t *Table) AllocateROB(dest isa.Reg) (newP, prevP PhysReg, ok bool) {
+	return t.allocate(dest)
+}
+
+// Free returns p to the free list (ROB-mode commit, or rollback cleanup).
+func (t *Table) Free(p PhysReg) {
+	if p == PhysNone {
+		return
+	}
+	i := int(p)
+	if t.freeList.Get(i) {
+		panic(fmt.Sprintf("rename: double free of p%d", p))
+	}
+	if t.valid.Get(i) {
+		panic(fmt.Sprintf("rename: freeing valid mapping p%d (%v)", p, t.logical[i]))
+	}
+	t.futureFree.Clear(i)
+	t.logical[i] = isa.RegNone
+	t.freeList.Set(i)
+	t.freeCount++
+}
+
+// UnwindROB reverses a single ROB-mode allocation during a squash walk:
+// the youngest definition of a logical register is removed, restoring
+// prevP as the current mapping. Squashes must unwind in reverse program
+// order.
+func (t *Table) UnwindROB(dest isa.Reg, newP, prevP PhysReg) {
+	if t.rmap[dest] != newP {
+		panic(fmt.Sprintf("rename: unwind of %v expects p%d, table has p%d",
+			dest, newP, t.rmap[dest]))
+	}
+	t.valid.Clear(int(newP))
+	t.logical[newP] = isa.RegNone
+	t.freeList.Set(int(newP))
+	t.freeCount++
+	t.rmap[dest] = prevP
+	if prevP != PhysNone {
+		t.valid.Set(int(prevP))
+	}
+}
+
+// TakeSnapshot implements taking a checkpoint (figure 6): it captures the
+// Valid and Future Free bits (plus the derivable free list and logical
+// map for the simulator's benefit) and clears the live Future Free bits
+// so the next window starts accumulating afresh.
+func (t *Table) TakeSnapshot() Snapshot {
+	s := Snapshot{
+		valid:      t.valid.Clone(),
+		futureFree: t.futureFree.Clone(),
+		freeList:   t.freeList.Clone(),
+		rmap:       t.rmap,
+	}
+	t.futureFree.Reset()
+	return s
+}
+
+// CommitFutureFree releases every register in ff (a snapshot's captured
+// Future Free set) back to the free list. Called when the checkpoint
+// owning that window commits.
+func (t *Table) CommitFutureFree(ff *bitset.Set) {
+	ff.ForEach(func(i int) {
+		if t.valid.Get(i) {
+			panic(fmt.Sprintf("rename: future-free register p%d still valid", i))
+		}
+		if !t.freeList.Get(i) {
+			t.logical[i] = isa.RegNone
+			t.freeList.Set(i)
+			t.freeCount++
+		}
+	})
+}
+
+// Rollback restores the rename state to snapshot s, taken at the
+// checkpoint being rolled back to. Because older checkpoints may have
+// committed (and freed registers) since s was captured, the free list is
+// recomputed as "everything not valid and not pending a deferred free",
+// where pendingFree is the union of the captured Future Free sets of all
+// still-live older checkpoints. The live Future Free accumulator
+// restarts empty, exactly the post-TakeSnapshot state.
+func (t *Table) Rollback(s Snapshot, pendingFree []*bitset.Set) {
+	t.valid.CopyFrom(s.valid)
+	t.rmap = s.rmap
+	t.futureFree.Reset()
+
+	// freeList = ~(valid | union(pendingFree))
+	t.freeList.Reset()
+	for i := 0; i < t.n; i++ {
+		t.freeList.Set(i)
+	}
+	t.freeList.AndNotWith(t.valid)
+	for _, pf := range pendingFree {
+		t.freeList.AndNotWith(pf)
+	}
+	t.freeCount = t.freeList.Count()
+
+	// Rebuild the logical fields of valid entries from the snapshot map
+	// (hardware keeps them in the CAM; the simulator re-derives them).
+	for l := 0; l < isa.NumLogical; l++ {
+		p := t.rmap[l]
+		if p != PhysNone {
+			t.logical[p] = isa.Reg(l)
+		}
+	}
+	for i := 0; i < t.n; i++ {
+		if t.freeList.Get(i) {
+			t.logical[i] = isa.RegNone
+		}
+	}
+}
+
+// Logical returns the logical register physical p currently renames, or
+// isa.RegNone.
+func (t *Table) Logical(p PhysReg) isa.Reg {
+	if p == PhysNone {
+		return isa.RegNone
+	}
+	return t.logical[p]
+}
+
+// Valid reports whether p holds the current mapping of its logical
+// register.
+func (t *Table) Valid(p PhysReg) bool { return p != PhysNone && t.valid.Get(int(p)) }
+
+// FutureFreePending reports whether p is marked for deferred freeing in
+// the live window.
+func (t *Table) FutureFreePending(p PhysReg) bool {
+	return p != PhysNone && t.futureFree.Get(int(p))
+}
+
+// CheckInvariants verifies structural consistency; tests call it after
+// every operation sequence. It returns a descriptive error on violation.
+func (t *Table) CheckInvariants() error {
+	// Every logical register maps to exactly one valid physical entry.
+	seen := make(map[PhysReg]isa.Reg)
+	for l := 0; l < isa.NumLogical; l++ {
+		p := t.rmap[l]
+		if p == PhysNone {
+			return fmt.Errorf("rename: logical %v unmapped", isa.Reg(l))
+		}
+		if !t.valid.Get(int(p)) {
+			return fmt.Errorf("rename: logical %v maps to invalid p%d", isa.Reg(l), p)
+		}
+		if t.logical[p] != isa.Reg(l) {
+			return fmt.Errorf("rename: p%d records %v, rmap says %v", p, t.logical[p], isa.Reg(l))
+		}
+		if prev, dup := seen[p]; dup {
+			return fmt.Errorf("rename: p%d mapped by both %v and %v", p, prev, isa.Reg(l))
+		}
+		seen[p] = isa.Reg(l)
+	}
+	// Valid count equals the logical register count.
+	if got := t.valid.Count(); got != isa.NumLogical {
+		return fmt.Errorf("rename: %d valid bits, want %d", got, isa.NumLogical)
+	}
+	// Free, valid and future-free are disjoint; freeCount is accurate.
+	if got := t.freeList.Count(); got != t.freeCount {
+		return fmt.Errorf("rename: freeCount %d, bitset says %d", t.freeCount, got)
+	}
+	for i := 0; i < t.n; i++ {
+		free, valid, ff := t.freeList.Get(i), t.valid.Get(i), t.futureFree.Get(i)
+		if free && (valid || ff) {
+			return fmt.Errorf("rename: p%d free but valid=%v futureFree=%v", i, valid, ff)
+		}
+		if valid && ff {
+			return fmt.Errorf("rename: p%d both valid and future-free", i)
+		}
+	}
+	return nil
+}

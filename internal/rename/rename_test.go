@@ -1,0 +1,310 @@
+package rename
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/isa"
+)
+
+func newTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := New(128)
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatalf("fresh table: %v", err)
+	}
+	return tbl
+}
+
+func TestInitialMapping(t *testing.T) {
+	tbl := newTable(t)
+	if tbl.FreeCount() != 128-isa.NumLogical {
+		t.Fatalf("free count = %d", tbl.FreeCount())
+	}
+	for l := 0; l < isa.NumLogical; l++ {
+		p := tbl.Lookup(isa.Reg(l))
+		if p == PhysNone || !tbl.Valid(p) {
+			t.Fatalf("logical %v unmapped", isa.Reg(l))
+		}
+		if tbl.Logical(p) != isa.Reg(l) {
+			t.Fatalf("inverse map broken for %v", isa.Reg(l))
+		}
+	}
+	if tbl.Lookup(isa.RegNone) != PhysNone {
+		t.Error("Lookup(RegNone) must be PhysNone")
+	}
+}
+
+func TestAllocateSetsFutureFree(t *testing.T) {
+	tbl := newTable(t)
+	dest := isa.IntReg(1)
+	old := tbl.Lookup(dest)
+	newP, prevP, ok := tbl.Allocate(dest)
+	if !ok || prevP != old {
+		t.Fatalf("allocate: new=%v prev=%v ok=%v", newP, prevP, ok)
+	}
+	if tbl.Lookup(dest) != newP {
+		t.Error("mapping not updated")
+	}
+	if tbl.Valid(old) {
+		t.Error("previous mapping must lose its valid bit")
+	}
+	if !tbl.FutureFreePending(old) {
+		t.Error("previous mapping must be marked future-free (figure 4)")
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleRedefinition(t *testing.T) {
+	// Figure 5: two live old mappings of the same logical register,
+	// both awaiting the next checkpoint commit.
+	tbl := newTable(t)
+	dest := isa.IntReg(1)
+	p0 := tbl.Lookup(dest)
+	p1, _, _ := tbl.Allocate(dest)
+	p2, prev, _ := tbl.Allocate(dest)
+	if prev != p1 {
+		t.Fatalf("second allocate prev = %v, want %v", prev, p1)
+	}
+	if !tbl.FutureFreePending(p0) || !tbl.FutureFreePending(p1) {
+		t.Error("both superseded mappings must be future-free")
+	}
+	if tbl.Lookup(dest) != p2 {
+		t.Error("current mapping wrong")
+	}
+}
+
+func TestSnapshotClearsFutureFree(t *testing.T) {
+	tbl := newTable(t)
+	p0 := tbl.Lookup(isa.IntReg(2))
+	tbl.Allocate(isa.IntReg(2))
+	snap := tbl.TakeSnapshot()
+	if tbl.FutureFreePending(p0) {
+		t.Error("TakeSnapshot must clear the live future-free bits")
+	}
+	if !snap.FutureFree().Get(int(p0)) {
+		t.Error("snapshot must capture the superseded mapping")
+	}
+}
+
+func TestCommitFutureFree(t *testing.T) {
+	tbl := newTable(t)
+	p0 := tbl.Lookup(isa.IntReg(3))
+	tbl.Allocate(isa.IntReg(3))
+	snap := tbl.TakeSnapshot()
+	free := tbl.FreeCount()
+	tbl.CommitFutureFree(snap.FutureFree())
+	if tbl.FreeCount() != free+1 {
+		t.Fatalf("free count %d, want %d", tbl.FreeCount(), free+1)
+	}
+	if tbl.Logical(p0) != isa.RegNone {
+		t.Error("freed register must forget its logical name")
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateROBAndFree(t *testing.T) {
+	tbl := newTable(t)
+	dest := isa.FPReg(4)
+	old := tbl.Lookup(dest)
+	newP, prevP, ok := tbl.AllocateROB(dest)
+	if !ok || prevP != old {
+		t.Fatalf("AllocateROB: %v %v %v", newP, prevP, ok)
+	}
+	if tbl.FutureFreePending(old) {
+		t.Error("ROB mode must not set future-free bits")
+	}
+	free := tbl.FreeCount()
+	tbl.Free(prevP)
+	if tbl.FreeCount() != free+1 {
+		t.Error("Free must return the register")
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreePanics(t *testing.T) {
+	tbl := newTable(t)
+	p, _, _ := tbl.AllocateROB(isa.IntReg(0))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("freeing a valid mapping must panic")
+			}
+		}()
+		tbl.Free(p)
+	}()
+}
+
+func TestUnwindROB(t *testing.T) {
+	tbl := newTable(t)
+	dest := isa.IntReg(5)
+	old := tbl.Lookup(dest)
+	n1, p1, _ := tbl.AllocateROB(dest)
+	n2, p2, _ := tbl.AllocateROB(dest)
+	// Unwind in reverse order.
+	tbl.UnwindROB(dest, n2, p2)
+	if tbl.Lookup(dest) != n1 {
+		t.Fatal("first unwind should restore the middle mapping")
+	}
+	tbl.UnwindROB(dest, n1, p1)
+	if tbl.Lookup(dest) != old {
+		t.Fatal("second unwind should restore the original mapping")
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnwindCheckpointed(t *testing.T) {
+	tbl := newTable(t)
+	dest := isa.FPReg(6)
+	old := tbl.Lookup(dest)
+	n1, p1, _ := tbl.Allocate(dest)
+	if !tbl.FutureFreePending(old) {
+		t.Fatal("precondition: future-free set")
+	}
+	tbl.UnwindCheckpointed(dest, n1, p1)
+	if tbl.Lookup(dest) != old {
+		t.Fatal("mapping not restored")
+	}
+	if tbl.FutureFreePending(old) {
+		t.Error("unwind must clear the future-free bit it set")
+	}
+	if !tbl.Valid(old) {
+		t.Error("unwind must restore the valid bit")
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollback(t *testing.T) {
+	tbl := newTable(t)
+	d1, d2 := isa.IntReg(1), isa.FPReg(2)
+	tbl.Allocate(d1)
+	snap := tbl.TakeSnapshot()
+	mapped1 := tbl.Lookup(d1)
+
+	// Post-snapshot work to be rolled back.
+	tbl.Allocate(d1)
+	tbl.Allocate(d2)
+	tbl.Allocate(d2)
+
+	tbl.Rollback(snap, nil)
+	if tbl.Lookup(d1) != mapped1 {
+		t.Error("d1 mapping not restored")
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollbackWithPendingFrees(t *testing.T) {
+	// Registers captured in a younger checkpoint's future-free set must
+	// not return to the free list on rollback (an older window still
+	// owes them a deferred free).
+	tbl := newTable(t)
+	p0 := tbl.Lookup(isa.IntReg(1))
+	tbl.Allocate(isa.IntReg(1)) // p0 superseded in window 0
+	snap1 := tbl.TakeSnapshot() // checkpoint 1 captures {p0}
+	snapRB := tbl.TakeSnapshot()
+
+	tbl.Allocate(isa.IntReg(2))
+	tbl.Rollback(snapRB, []*bitset.Set{snap1.FutureFree()})
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// p0 is invalid but pending a free: it must NOT be on the free list.
+	if tbl.Valid(p0) {
+		t.Fatal("p0 must not be valid")
+	}
+	free := tbl.FreeCount()
+	tbl.CommitFutureFree(snap1.FutureFree())
+	if tbl.FreeCount() != free+1 {
+		t.Error("p0 should only free via the deferred commit")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	tbl := New(isa.NumLogical + 2)
+	if _, _, ok := tbl.Allocate(isa.IntReg(0)); !ok {
+		t.Fatal("first allocate should succeed")
+	}
+	if _, _, ok := tbl.Allocate(isa.IntReg(1)); !ok {
+		t.Fatal("second allocate should succeed")
+	}
+	if _, _, ok := tbl.Allocate(isa.IntReg(2)); ok {
+		t.Fatal("third allocate must fail: free list empty")
+	}
+}
+
+func TestNewPanicsOnTooFewRegisters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(isa.NumLogical - 1)
+}
+
+// TestRandomizedCheckpointing drives the table through random
+// allocate/snapshot/commit/rollback sequences, mimicking the processor's
+// usage, and checks invariants throughout. This is the rename-level
+// model of the paper's whole mechanism.
+func TestRandomizedCheckpointing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		tbl := New(96)
+		type ckpt struct {
+			snap Snapshot
+		}
+		var live []ckpt
+		live = append(live, ckpt{tbl.TakeSnapshot()})
+
+		for step := 0; step < 400; step++ {
+			switch r := rng.Intn(10); {
+			case r < 6: // rename
+				dest := isa.Reg(rng.Intn(isa.NumLogical))
+				tbl.Allocate(dest)
+			case r < 7: // take a checkpoint
+				if len(live) < 8 {
+					live = append(live, ckpt{tbl.TakeSnapshot()})
+				}
+			case r < 8: // commit the oldest window
+				if len(live) >= 2 {
+					tbl.CommitFutureFree(live[1].snap.FutureFree())
+					live = live[1:]
+				}
+			default: // roll back to a random live checkpoint
+				if len(live) >= 2 {
+					k := 1 + rng.Intn(len(live)-1)
+					var pending []*bitset.Set
+					for i := 1; i <= k; i++ {
+						pending = append(pending, live[i].snap.FutureFree())
+					}
+					tbl.Rollback(live[k].snap, pending)
+					live = live[:k+1]
+				}
+			}
+			if tbl.FreeCount() == 0 {
+				// Out of registers: commit or stop, like the pipeline.
+				if len(live) >= 2 {
+					tbl.CommitFutureFree(live[1].snap.FutureFree())
+					live = live[1:]
+				} else {
+					break
+				}
+			}
+			if err := tbl.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+	}
+}

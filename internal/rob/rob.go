@@ -1,0 +1,118 @@
+// Package rob implements the conventional reorder buffer used by the
+// baseline processor: a circular buffer that retires finished
+// instructions strictly in program order, bounded by the commit width.
+// It is the structure the paper's checkpointing mechanism replaces.
+package rob
+
+import "fmt"
+
+// ROB is a generic circular reorder buffer. T is the pipeline's dynamic
+// instruction record.
+type ROB[T any] struct {
+	buf        []T
+	head, size int
+	stats      Stats
+}
+
+// Stats counts reorder-buffer activity.
+type Stats struct {
+	Dispatched uint64
+	Committed  uint64
+	Squashed   uint64
+	FullStalls uint64
+}
+
+// New builds a reorder buffer with the given capacity.
+func New[T any](capacity int) *ROB[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("rob: capacity %d < 1", capacity))
+	}
+	return &ROB[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the capacity.
+func (r *ROB[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of in-flight entries.
+func (r *ROB[T]) Len() int { return r.size }
+
+// Full reports whether dispatch must stall.
+func (r *ROB[T]) Full() bool { return r.size == len(r.buf) }
+
+// Empty reports whether the buffer holds no instructions.
+func (r *ROB[T]) Empty() bool { return r.size == 0 }
+
+// Push appends an instruction at the tail. It returns false (and counts
+// a stall) when the buffer is full.
+func (r *ROB[T]) Push(v T) bool {
+	if r.Full() {
+		r.stats.FullStalls++
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+	r.stats.Dispatched++
+	return true
+}
+
+// Head returns the oldest instruction without removing it.
+func (r *ROB[T]) Head() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	return r.buf[r.head], true
+}
+
+// Commit retires up to width instructions from the head, stopping at the
+// first one for which done returns false. retire is called for each
+// retired instruction in program order. It returns the retired count.
+func (r *ROB[T]) Commit(width int, done func(T) bool, retire func(T)) int {
+	var zero T
+	n := 0
+	for n < width && r.size > 0 {
+		v := r.buf[r.head]
+		if !done(v) {
+			break
+		}
+		r.buf[r.head] = zero
+		r.head = (r.head + 1) % len(r.buf)
+		r.size--
+		retire(v)
+		n++
+		r.stats.Committed++
+	}
+	return n
+}
+
+// SquashTail removes instructions from the tail (youngest first) while
+// keep returns false, invoking squash for each removed instruction. It
+// is the ROB half of a branch-misprediction recovery: the walk proceeds
+// youngest to oldest and stops at the first instruction to keep.
+func (r *ROB[T]) SquashTail(keep func(T) bool, squash func(T)) int {
+	var zero T
+	n := 0
+	for r.size > 0 {
+		i := (r.head + r.size - 1) % len(r.buf)
+		v := r.buf[i]
+		if keep(v) {
+			break
+		}
+		r.buf[i] = zero
+		r.size--
+		squash(v)
+		n++
+		r.stats.Squashed++
+	}
+	return n
+}
+
+// ForEach visits entries oldest to youngest.
+func (r *ROB[T]) ForEach(fn func(v T)) {
+	for i := 0; i < r.size; i++ {
+		fn(r.buf[(r.head+i)%len(r.buf)])
+	}
+}
+
+// Stats returns a copy of the counters.
+func (r *ROB[T]) Stats() Stats { return r.stats }

@@ -1,0 +1,130 @@
+package rob
+
+import "testing"
+
+type inst struct {
+	seq  uint64
+	done bool
+}
+
+func TestPushCommitOrder(t *testing.T) {
+	r := New[*inst](4)
+	a, b, c := &inst{seq: 1, done: true}, &inst{seq: 2, done: true}, &inst{seq: 3}
+	r.Push(a)
+	r.Push(b)
+	r.Push(c)
+	var retired []uint64
+	n := r.Commit(4,
+		func(i *inst) bool { return i.done },
+		func(i *inst) { retired = append(retired, i.seq) })
+	if n != 2 || len(retired) != 2 || retired[0] != 1 || retired[1] != 2 {
+		t.Fatalf("retired %v", retired)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	// The unfinished head blocks everything behind it.
+	d := &inst{seq: 4, done: true}
+	r.Push(d)
+	if n := r.Commit(4, func(i *inst) bool { return i.done }, func(*inst) {}); n != 0 {
+		t.Fatal("unfinished head must block commit (in-order retirement)")
+	}
+}
+
+func TestCommitWidthBound(t *testing.T) {
+	r := New[*inst](8)
+	for i := uint64(1); i <= 8; i++ {
+		r.Push(&inst{seq: i, done: true})
+	}
+	if n := r.Commit(4, func(i *inst) bool { return i.done }, func(*inst) {}); n != 4 {
+		t.Fatalf("commit width not honoured: %d", n)
+	}
+}
+
+func TestFullAndStalls(t *testing.T) {
+	r := New[*inst](2)
+	r.Push(&inst{seq: 1})
+	r.Push(&inst{seq: 2})
+	if !r.Full() {
+		t.Fatal("should be full")
+	}
+	if r.Push(&inst{seq: 3}) {
+		t.Fatal("push into full ROB must fail")
+	}
+	if r.Stats().FullStalls != 1 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestSquashTail(t *testing.T) {
+	r := New[*inst](8)
+	for i := uint64(1); i <= 5; i++ {
+		r.Push(&inst{seq: i})
+	}
+	var squashed []uint64
+	n := r.SquashTail(
+		func(i *inst) bool { return i.seq <= 2 },
+		func(i *inst) { squashed = append(squashed, i.seq) })
+	if n != 3 {
+		t.Fatalf("squashed %d, want 3", n)
+	}
+	// Youngest-first order is required for rename unwinding.
+	want := []uint64{5, 4, 3}
+	for i := range want {
+		if squashed[i] != want[i] {
+			t.Fatalf("squash order %v, want %v", squashed, want)
+		}
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestHeadAndForEach(t *testing.T) {
+	r := New[*inst](4)
+	if _, ok := r.Head(); ok {
+		t.Fatal("empty head")
+	}
+	r.Push(&inst{seq: 7})
+	r.Push(&inst{seq: 8})
+	h, ok := r.Head()
+	if !ok || h.seq != 7 {
+		t.Fatal("head wrong")
+	}
+	var seen []uint64
+	r.ForEach(func(i *inst) { seen = append(seen, i.seq) })
+	if len(seen) != 2 || seen[0] != 7 || seen[1] != 8 {
+		t.Fatalf("ForEach %v", seen)
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	r := New[*inst](3)
+	seq := uint64(0)
+	retire := func(*inst) {}
+	done := func(i *inst) bool { return true }
+	for round := 0; round < 7; round++ {
+		for r.Len() < 3 {
+			seq++
+			r.Push(&inst{seq: seq, done: true})
+		}
+		r.Commit(2, done, retire)
+	}
+	// Entries must still come out in order after many wraps.
+	var got []uint64
+	r.ForEach(func(i *inst) { got = append(got, i.seq) })
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("order broken after wraparound: %v", got)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero capacity")
+		}
+	}()
+	New[int](0)
+}

@@ -1,0 +1,282 @@
+// Package stats collects and summarises simulation measurements: IPC,
+// window-occupancy distributions (Figures 7 and 11 of the paper),
+// pseudo-ROB retirement breakdowns (Figure 12), and the usual cache and
+// branch-predictor counters.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/branch"
+	"repro/internal/mem"
+)
+
+// RetireClass classifies an instruction at the moment it is retired from
+// the pseudo-ROB, matching the six sections of Figure 12 (bottom to top).
+type RetireClass int
+
+// Retirement classes.
+const (
+	// RetireMoved: not yet issued and dependent on a long-latency load;
+	// moved from the issue queue into the SLIQ.
+	RetireMoved RetireClass = iota
+	// RetireFinished: execution already complete.
+	RetireFinished
+	// RetireShortLat: not yet executed but short-latency (stays in IQ).
+	RetireShortLat
+	// RetireFinishedLoad: a load that finished or hit in L1/L2.
+	RetireFinishedLoad
+	// RetireLongLatLoad: a load that missed in L2 (the problem makers).
+	RetireLongLatLoad
+	// RetireStore: a store instruction.
+	RetireStore
+
+	NumRetireClasses
+)
+
+var retireNames = [NumRetireClasses]string{
+	"Moved", "Finished", "Short Lat.", "Finished Loads", "Long Lat. Loads", "Stores",
+}
+
+// String implements fmt.Stringer.
+func (c RetireClass) String() string {
+	if c >= 0 && c < NumRetireClasses {
+		return retireNames[c]
+	}
+	return fmt.Sprintf("retire(%d)", int(c))
+}
+
+// Breakdown counts pseudo-ROB retirements per class.
+type Breakdown [NumRetireClasses]uint64
+
+// Total returns the number of classified retirements.
+func (b Breakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns the share of class c, or 0 for an empty breakdown.
+func (b Breakdown) Fraction(c RetireClass) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b[c]) / float64(t)
+}
+
+// String renders percentages in Figure 12's order.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	for c := RetireClass(0); c < NumRetireClasses; c++ {
+		if c > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%s %.1f%%", c, 100*b.Fraction(c))
+	}
+	return sb.String()
+}
+
+// Occupancy accumulates a per-cycle histogram of window occupancy
+// ("in-flight instructions") together with the live floating-point
+// instruction counts split into blocked-long and blocked-short, exactly
+// the data behind Figure 7. The histogram form makes percentile queries
+// exact while keeping the per-cycle cost to three array increments.
+type Occupancy struct {
+	count    []uint64 // samples with this in-flight count
+	sumLong  []uint64 // total blocked-long live FP insts at this count
+	sumShort []uint64
+	samples  uint64
+	sumInfl  uint64
+	max      int
+}
+
+// NewOccupancy builds a tracker for in-flight counts up to maxInflight.
+func NewOccupancy(maxInflight int) *Occupancy {
+	if maxInflight < 1 {
+		panic(fmt.Sprintf("stats: maxInflight %d < 1", maxInflight))
+	}
+	n := maxInflight + 1
+	return &Occupancy{
+		count:    make([]uint64, n),
+		sumLong:  make([]uint64, n),
+		sumShort: make([]uint64, n),
+	}
+}
+
+// Sample records one cycle's occupancy. Counts beyond the tracker's
+// capacity are clamped to the top bucket.
+func (o *Occupancy) Sample(inflight, liveLong, liveShort int) {
+	if inflight < 0 {
+		inflight = 0
+	}
+	if inflight >= len(o.count) {
+		inflight = len(o.count) - 1
+	}
+	o.count[inflight]++
+	o.sumLong[inflight] += uint64(liveLong)
+	o.sumShort[inflight] += uint64(liveShort)
+	o.samples++
+	o.sumInfl += uint64(inflight)
+	if inflight > o.max {
+		o.max = inflight
+	}
+}
+
+// Samples returns the number of recorded cycles.
+func (o *Occupancy) Samples() uint64 { return o.samples }
+
+// Mean returns the average in-flight instruction count (Figure 11's
+// metric).
+func (o *Occupancy) Mean() float64 {
+	if o.samples == 0 {
+		return 0
+	}
+	return float64(o.sumInfl) / float64(o.samples)
+}
+
+// Max returns the largest observed in-flight count.
+func (o *Occupancy) Max() int { return o.max }
+
+// MergeInto adds this tracker's histogram into dst (suite averaging).
+// dst must have capacity at least as large as o's.
+func (o *Occupancy) MergeInto(dst *Occupancy) {
+	if len(dst.count) < len(o.count) {
+		panic("stats: MergeInto destination too small")
+	}
+	for i := range o.count {
+		dst.count[i] += o.count[i]
+		dst.sumLong[i] += o.sumLong[i]
+		dst.sumShort[i] += o.sumShort[i]
+	}
+	dst.samples += o.samples
+	dst.sumInfl += o.sumInfl
+	if o.max > dst.max {
+		dst.max = o.max
+	}
+}
+
+// Percentile returns the smallest in-flight count x such that at least
+// p (0 < p <= 1) of the sampled cycles had occupancy <= x. This is the
+// "25% of the time the ROB had less than N instructions" statistic of
+// Figure 7.
+func (o *Occupancy) Percentile(p float64) int {
+	if o.samples == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := uint64(p * float64(o.samples))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i, c := range o.count {
+		cum += c
+		if cum >= need {
+			return i
+		}
+	}
+	return len(o.count) - 1
+}
+
+// LiveAtPercentile returns the average blocked-long and blocked-short
+// live FP instruction counts over the cycles whose occupancy falls at or
+// below the p'th percentile, which is how Figure 7 stacks its bars.
+func (o *Occupancy) LiveAtPercentile(p float64) (long, short float64) {
+	cut := o.Percentile(p)
+	var n, sl, ss uint64
+	for i := 0; i <= cut; i++ {
+		n += o.count[i]
+		sl += o.sumLong[i]
+		ss += o.sumShort[i]
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(sl) / float64(n), float64(ss) / float64(n)
+}
+
+// Results aggregates everything a single simulation run produces.
+type Results struct {
+	// Name labels the configuration (for reports).
+	Name string
+
+	// Cycles is the simulated cycle count.
+	Cycles int64
+	// Committed is the number of architecturally retired instructions.
+	Committed uint64
+	// Fetched counts all fetched instructions, including re-fetches
+	// after rollbacks.
+	Fetched uint64
+	// Dispatched and Issued count pipeline activity.
+	Dispatched uint64
+	Issued     uint64
+	// Replayed counts instructions squashed by checkpoint rollbacks and
+	// later re-executed (pure overhead of coarse recovery).
+	Replayed uint64
+
+	// Rollbacks counts checkpoint rollbacks (mispredicted branches that
+	// had already left the pseudo-ROB, plus exceptions).
+	Rollbacks uint64
+	// PseudoROBRecoveries counts branch mispredictions recovered from
+	// the pseudo-ROB without a checkpoint rollback.
+	PseudoROBRecoveries uint64
+	// CheckpointsTaken and CheckpointsCommitted count checkpoint-table
+	// activity.
+	CheckpointsTaken     uint64
+	CheckpointsCommitted uint64
+	// CheckpointStallCycles counts cycles fetch was stalled because the
+	// checkpoint table was full.
+	CheckpointStallCycles uint64
+
+	// SLIQMoved counts instructions moved from the issue queues into
+	// the SLIQ; SLIQWoken counts re-insertions back into the queues.
+	SLIQMoved uint64
+	SLIQWoken uint64
+
+	// Branch and Mem expose substrate counters.
+	Branch branch.Stats
+	Mem    mem.HierarchyStats
+
+	// Retire is the pseudo-ROB retirement breakdown (checkpoint mode).
+	Retire Breakdown
+
+	// MeanInflight and MaxInflight summarise window occupancy.
+	MeanInflight float64
+	MaxInflight  int
+	// Occ carries the full occupancy distribution when the run was
+	// configured to collect it (Figure 7); nil otherwise.
+	Occ *Occupancy
+}
+
+// IPC returns committed instructions per cycle.
+func (r Results) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// ReplayRate returns replayed (thrown-away) instructions per committed
+// instruction, a measure of rollback overhead.
+func (r Results) ReplayRate() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.Replayed) / float64(r.Committed)
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%s: IPC=%.3f cycles=%d committed=%d inflight(avg)=%.0f mispred=%.2f%% L2miss=%.1f%%",
+		r.Name, r.IPC(), r.Cycles, r.Committed, r.MeanInflight,
+		100*r.Branch.MispredictRate(), 100*r.Mem.L2.MissRate())
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRetireClassNames(t *testing.T) {
+	want := map[RetireClass]string{
+		RetireMoved:        "Moved",
+		RetireFinished:     "Finished",
+		RetireShortLat:     "Short Lat.",
+		RetireFinishedLoad: "Finished Loads",
+		RetireLongLatLoad:  "Long Lat. Loads",
+		RetireStore:        "Stores",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b[RetireMoved] = 30
+	b[RetireStore] = 10
+	b[RetireFinished] = 60
+	if b.Total() != 100 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	if got := b.Fraction(RetireMoved); got != 0.3 {
+		t.Fatalf("fraction = %v", got)
+	}
+	if (Breakdown{}).Fraction(RetireMoved) != 0 {
+		t.Fatal("empty breakdown must report 0")
+	}
+	if s := b.String(); !strings.Contains(s, "Moved 30.0%") {
+		t.Fatalf("rendering: %q", s)
+	}
+}
+
+func TestOccupancyPercentiles(t *testing.T) {
+	o := NewOccupancy(100)
+	// 100 samples: occupancy i at cycle i.
+	for i := 0; i <= 99; i++ {
+		o.Sample(i, i/10, i/20)
+	}
+	if o.Samples() != 100 {
+		t.Fatalf("samples = %d", o.Samples())
+	}
+	if got := o.Percentile(0.25); got != 24 {
+		t.Errorf("p25 = %d, want 24", got)
+	}
+	if got := o.Percentile(0.50); got != 49 {
+		t.Errorf("p50 = %d, want 49", got)
+	}
+	if got := o.Percentile(1.0); got != 99 {
+		t.Errorf("p100 = %d, want 99", got)
+	}
+	if got := o.Mean(); got != 49.5 {
+		t.Errorf("mean = %v, want 49.5", got)
+	}
+	if got := o.Max(); got != 99 {
+		t.Errorf("max = %d", got)
+	}
+}
+
+func TestOccupancyLiveAtPercentile(t *testing.T) {
+	o := NewOccupancy(10)
+	o.Sample(1, 4, 2)
+	o.Sample(2, 8, 4)
+	o.Sample(10, 100, 100)
+	long, short := o.LiveAtPercentile(0.67)
+	// Cycles with occupancy <= p67 (=2): averages of (4,8) and (2,4).
+	if long != 6 || short != 3 {
+		t.Fatalf("live = (%v, %v), want (6, 3)", long, short)
+	}
+}
+
+func TestOccupancyClamping(t *testing.T) {
+	o := NewOccupancy(4)
+	o.Sample(100, 0, 0) // clamps to the top bucket
+	o.Sample(-5, 0, 0)  // clamps to zero
+	if o.Percentile(1.0) != 4 {
+		t.Fatal("overflow sample must clamp to capacity")
+	}
+	if o.Samples() != 2 {
+		t.Fatal("both samples must count")
+	}
+}
+
+func TestOccupancyMerge(t *testing.T) {
+	a, b := NewOccupancy(10), NewOccupancy(10)
+	a.Sample(1, 1, 0)
+	b.Sample(3, 0, 1)
+	b.MergeInto(a)
+	if a.Samples() != 2 {
+		t.Fatal("merge must add samples")
+	}
+	if a.Percentile(1.0) != 3 {
+		t.Fatal("merged distribution wrong")
+	}
+}
+
+func TestOccupancyEmpty(t *testing.T) {
+	o := NewOccupancy(10)
+	if o.Percentile(0.5) != 0 || o.Mean() != 0 {
+		t.Fatal("empty tracker must report zeros")
+	}
+	long, short := o.LiveAtPercentile(0.5)
+	if long != 0 || short != 0 {
+		t.Fatal("empty tracker live counts must be zero")
+	}
+}
+
+// Percentile is monotonic in p.
+func TestQuickPercentileMonotonic(t *testing.T) {
+	f := func(samples []uint8, p1, p2 uint8) bool {
+		o := NewOccupancy(256)
+		for _, s := range samples {
+			o.Sample(int(s), 0, 0)
+		}
+		a, b := float64(p1%101)/100, float64(p2%101)/100
+		if a > b {
+			a, b = b, a
+		}
+		return o.Percentile(a) <= o.Percentile(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultsDerived(t *testing.T) {
+	r := Results{Cycles: 1000, Committed: 2500, Replayed: 250}
+	if r.IPC() != 2.5 {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+	if r.ReplayRate() != 0.1 {
+		t.Fatalf("replay rate = %v", r.ReplayRate())
+	}
+	var zero Results
+	if zero.IPC() != 0 || zero.ReplayRate() != 0 {
+		t.Fatal("zero results must not divide by zero")
+	}
+	r.Name = "test"
+	if s := r.String(); !strings.Contains(s, "IPC=2.500") {
+		t.Fatalf("rendering: %q", s)
+	}
+}
