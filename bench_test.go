@@ -6,9 +6,14 @@ package repro
 // full-budget numbers recorded in EXPERIMENTS.md come from
 // cmd/experiments. The suite-average IPC of the headline configuration
 // is attached as a custom metric so regressions in simulated performance
-// (not just simulator speed) are visible.
+// (not just simulator speed) are visible. Figures execute through the
+// internal/sim worker pool; BenchmarkFigure9Parallel measures the same
+// sweep at full parallelism (see also internal/sim's
+// BenchmarkFigure9Sweep for the per-worker-count scaling curve).
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/config"
@@ -22,7 +27,7 @@ import (
 const benchInsts = 60_000
 
 func benchOpts() experiments.Options {
-	return experiments.Options{Insts: benchInsts, Seed: 42}
+	return experiments.Options{Insts: benchInsts, Seed: 42, Workers: 1}
 }
 
 // BenchmarkTable1 measures a single baseline run at the paper's default
@@ -43,7 +48,10 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFigure1 regenerates the window-size vs memory-latency sweep.
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure1(benchOpts())
+		r, err := experiments.Figure1(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.ByLatency[1000][len(r.Windows)-1], "IPC-4096@1000")
 	}
 }
@@ -51,25 +59,49 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkFigure7 regenerates the live-instruction distribution.
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure7(benchOpts())
+		r, err := experiments.Figure7(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(r.Points[2].Inflight), "median-inflight")
 	}
 }
 
-// BenchmarkFigure9 regenerates the main performance comparison
-// (Figure 11's in-flight averages come from the same runs).
-func BenchmarkFigure9(b *testing.B) {
+// benchFigure9 times Figure9 at the given worker count with suite
+// traces cached and pre-generated, so the measurement isolates the
+// sweep engine rather than the serial trace-generation phase.
+func benchFigure9(b *testing.B, workers int) {
+	opt := benchOpts().WithTraceCache()
+	opt.Workers = workers
+	if _, err := experiments.Figure9(context.Background(), opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure9(benchOpts())
+		r, err := experiments.Figure9(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.IPC[2048][128], "IPC-cooo128/2048")
-		b.ReportMetric(r.Baseline4096IPC, "IPC-base4096")
 	}
 }
+
+// BenchmarkFigure9 regenerates the main performance comparison serially
+// (Figure 11's in-flight averages come from the same runs).
+func BenchmarkFigure9(b *testing.B) { benchFigure9(b, 1) }
+
+// BenchmarkFigure9Parallel regenerates the same sweep with the worker
+// pool at GOMAXPROCS; the ratio to BenchmarkFigure9 is the engine's
+// wall-clock speedup on this host.
+func BenchmarkFigure9Parallel(b *testing.B) { benchFigure9(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkFigure10 regenerates the re-insertion delay sensitivity.
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure10(benchOpts())
+		r, err := experiments.Figure10(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(100*r.MaxSlowdown(), "worst-slowdown-%")
 	}
 }
@@ -78,7 +110,10 @@ func BenchmarkFigure10(b *testing.B) {
 // shares implementation with Figure 9, as in the paper.
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure9(benchOpts())
+		r, err := experiments.Figure9(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.Inflight[2048][128], "inflight-cooo128/2048")
 	}
 }
@@ -86,7 +121,10 @@ func BenchmarkFigure11(b *testing.B) {
 // BenchmarkFigure12 regenerates the pseudo-ROB retirement breakdown.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure12(benchOpts())
+		r, err := experiments.Figure12(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(100*r.Breakdown[2048][128].Fraction(0), "moved-%")
 	}
 }
@@ -94,7 +132,10 @@ func BenchmarkFigure12(b *testing.B) {
 // BenchmarkFigure13 regenerates the checkpoint-count sensitivity.
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure13(benchOpts())
+		r, err := experiments.Figure13(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(100*r.Slowdown(8), "slowdown-8ckpts-%")
 	}
 }
@@ -102,7 +143,10 @@ func BenchmarkFigure13(b *testing.B) {
 // BenchmarkFigure14 regenerates the virtual-register combination study.
 func BenchmarkFigure14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure14(benchOpts())
+		r, err := experiments.Figure14(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.IPC[1000][2048][512], "IPC-2048tags/512phys@1000")
 	}
 }

@@ -4,31 +4,96 @@
 //
 // Usage:
 //
-//	experiments [-figure all|table1|1|7|9|10|11|12|13|14] [-insts N] [-seed S] [-v]
+//	experiments [-figure all|table1|1|7|9|10|11|12|13|14|ablations]
+//	            [-insts N] [-seed S] [-parallel N] [-json FILE] [-v]
 //
-// Figures 9 and 11 share their simulation runs, as in the paper.
+// Figures 9 and 11 share their simulation runs, as in the paper. Every
+// figure executes through the internal/sim worker pool: -parallel N
+// bounds the pool (default GOMAXPROCS), and the rendered tables are
+// identical for every worker count because results are ordered by spec,
+// not by completion. -json FILE additionally dumps every run's raw
+// results for machine consumption.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// jsonRecord is one run in the -json dump, labelled with the figure
+// whose sweep produced it.
+type jsonRecord struct {
+	Figure    string `json:"figure"`
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config"`
+	Results   any    `json:"results"`
+}
+
 func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate (all, table1, 1, 7, 9, 10, 11, 12, 13, 14, ablations)")
 	insts := flag.Uint64("insts", experiments.DefaultInsts, "committed instructions per configuration point")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+	jsonOut := flag.String("json", "", "write every run's raw results as JSON to FILE")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Parse()
 
-	opt := experiments.Options{Insts: *insts, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := experiments.Options{Insts: *insts, Seed: *seed, Workers: *parallel}.WithTraceCache()
 	if *verbose {
 		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	records := []jsonRecord{}
+	currentFigure := ""
+	if *jsonOut != "" {
+		// Record is invoked serially by the engine; currentFigure is
+		// only written between sweeps.
+		opt.Record = func(r experiments.RunRecord) {
+			records = append(records, jsonRecord{
+				Figure:    currentFigure,
+				Benchmark: r.Benchmark,
+				Config:    r.Config,
+				Results:   r.Results,
+			})
+		}
+	}
+
+	writeJSON := func() error {
+		if *jsonOut == "" {
+			return nil
+		}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d run records to %s\n", len(records), *jsonOut)
+		return nil
+	}
+
+	fail := func(name string, err error) {
+		// Flush whatever completed before the failure (or interrupt):
+		// partial sweep output is still hours of simulation.
+		if jerr := writeJSON(); jerr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -json: %v\n", jerr)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
 	}
 
 	want := map[string]bool{}
@@ -38,48 +103,108 @@ func main() {
 	all := want["all"]
 	ran := false
 
-	section := func(name string, fn func()) {
+	section := func(name string, fn func() error) {
 		if !all && !want[name] {
 			return
 		}
 		ran = true
+		currentFigure = name
 		start := time.Now()
-		fn()
-		fmt.Printf("(%s: %.1fs)\n\n", name, time.Since(start).Seconds())
+		if err := fn(); err != nil {
+			fail("figure "+name, err)
+		}
+		fmt.Printf("(%s: %.1fs, %d workers)\n\n", name, time.Since(start).Seconds(), *parallel)
 	}
 
-	section("table1", func() {
+	section("table1", func() error {
 		fmt.Println("Table 1: architectural parameters")
 		fmt.Println(experiments.Table1())
+		return nil
 	})
-	section("1", func() { fmt.Println(experiments.Figure1(opt)) })
-	section("7", func() { fmt.Println(experiments.Figure7(opt)) })
+	section("1", func() error {
+		r, err := experiments.Figure1(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	section("7", func() error {
+		r, err := experiments.Figure7(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
 	if all || want["9"] || want["11"] {
 		ran = true
+		currentFigure = "9+11"
 		start := time.Now()
-		r := experiments.Figure9(opt)
+		r, err := experiments.Figure9(ctx, opt)
+		if err != nil {
+			fail("figure 9+11", err)
+		}
 		if all || want["9"] {
 			fmt.Println(r)
 		}
 		if all || want["11"] {
 			fmt.Println(r.Figure11String())
 		}
-		fmt.Printf("(9+11: %.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("(9+11: %.1fs, %d workers)\n\n", time.Since(start).Seconds(), *parallel)
 	}
-	section("10", func() { fmt.Println(experiments.Figure10(opt)) })
-	section("12", func() { fmt.Println(experiments.Figure12(opt)) })
-	section("13", func() { fmt.Println(experiments.Figure13(opt)) })
-	section("14", func() { fmt.Println(experiments.Figure14(opt)) })
+	section("10", func() error {
+		r, err := experiments.Figure10(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	section("12", func() error {
+		r, err := experiments.Figure12(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	section("13", func() error {
+		r, err := experiments.Figure13(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	section("14", func() error {
+		r, err := experiments.Figure14(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
 	if want["ablations"] {
 		ran = true
+		currentFigure = "ablations"
 		start := time.Now()
-		fmt.Println(experiments.Ablations(opt))
-		fmt.Printf("(ablations: %.1fs)\n\n", time.Since(start).Seconds())
+		s, err := experiments.Ablations(ctx, opt)
+		if err != nil {
+			fail("ablations", err)
+		}
+		fmt.Println(s)
+		fmt.Printf("(ablations: %.1fs, %d workers)\n\n", time.Since(start).Seconds(), *parallel)
 	}
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if err := writeJSON(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -json: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -15,7 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -76,12 +76,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	cpu, err := core.New(cfg, tr)
+	res, err := sim.Run(sim.RunSpec{
+		Name:   *workload,
+		Config: cfg,
+		Trace:  tr,
+		Insts:  *insts,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res := cpu.Run(core.RunOptions{MaxInsts: *insts})
 	printResults(cfg, res)
 }
 

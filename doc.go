@@ -5,11 +5,13 @@
 // checkpoint-based out-of-order commit), the pseudo-ROB + Slow Lane
 // Instruction Queuing mechanism, the ephemeral/virtual register
 // extension, a synthetic SPEC2000fp-stand-in workload suite, and a
-// harness that regenerates every figure of the paper's evaluation.
+// harness that regenerates every figure of the paper's evaluation
+// through a parallel worker-pool run engine (internal/sim).
 //
 // Entry points:
 //
-//   - cmd/experiments regenerates the paper's figures.
+//   - cmd/experiments regenerates the paper's figures (-parallel N
+//     bounds the worker pool, -json FILE dumps raw run results).
 //   - cmd/ooosim runs a single configuration.
 //   - examples/ holds runnable API walkthroughs.
 //   - bench_test.go (this package) provides one benchmark per figure.

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// TestRunNeverMutatesTrace is the contract the parallel sweep engine
+// (internal/sim) relies on: a Trace is shared read-only across
+// concurrently running CPUs, so Run must never write through it. The
+// test snapshots every instruction before the run and compares after.
+func TestRunNeverMutatesTrace(t *testing.T) {
+	const insts = 3_000
+	n := insts + insts/5 + 4096
+	for _, tc := range []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"rob", config.BaselineSized(128)},
+		{"checkpoint", config.CheckpointDefault(64, 512)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := trace.FPMix(n, 42)
+			before := make([]isa.Inst, tr.Len())
+			for i := int64(0); i < tr.Len(); i++ {
+				before[i] = tr.At(i)
+			}
+
+			cpu, err := New(tc.cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := cpu.Run(RunOptions{MaxInsts: insts})
+			if res.Committed == 0 {
+				t.Fatal("run committed nothing; mutation check is vacuous")
+			}
+
+			for i := int64(0); i < tr.Len(); i++ {
+				if tr.At(i) != before[i] {
+					t.Fatalf("%s: Run mutated trace at %d: %v -> %v",
+						tc.name, i, before[i], tr.At(i))
+				}
+			}
+		})
+	}
+}

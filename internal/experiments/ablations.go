@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,23 +31,29 @@ func (r AblationResult) String() string {
 	return renderTable("Ablation: "+r.Title, header, rows)
 }
 
-// sweep runs a set of labelled configurations over the suite.
-func (o Options) sweep(title string, variants []struct {
-	label string
-	cfg   config.Config
-}) AblationResult {
-	suite := o.suite()
-	res := AblationResult{Title: title, IPC: map[string]float64{}}
-	for _, v := range variants {
-		res.Labels = append(res.Labels, v.label)
-		res.IPC[v.label], _ = o.averageIPC(v.cfg, suite)
-	}
-	return res
-}
-
 type variant = struct {
 	label string
 	cfg   config.Config
+}
+
+// sweep runs a set of labelled configurations over the suite in one
+// engine submission.
+func (o Options) sweep(ctx context.Context, title string, variants []variant) (AblationResult, error) {
+	suite := o.suite()
+	points := make([]point, len(variants))
+	for i, v := range variants {
+		points[i] = point{cfg: v.cfg}
+	}
+	groups, err := o.runPoints(ctx, points, suite)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	res := AblationResult{Title: title, IPC: map[string]float64{}}
+	for i, v := range variants {
+		res.Labels = append(res.Labels, v.label)
+		res.IPC[v.label] = meanIPC(groups[i])
+	}
+	return res, nil
 }
 
 // AblationCheckpointStrategy compares checkpoint-taking policies at a
@@ -54,7 +61,7 @@ type variant = struct {
 // purely periodic strategies of several grains, against taking at every
 // opportunity. Coarser windows pack more instructions per checkpoint
 // but pay more re-executed work per rollback.
-func AblationCheckpointStrategy(opt Options) AblationResult {
+func AblationCheckpointStrategy(ctx context.Context, opt Options) (AblationResult, error) {
 	opt = opt.withDefaults()
 	mk := func(branchInt, maxInt, maxStores int) config.Config {
 		cfg := config.CheckpointDefault(128, 2048)
@@ -72,7 +79,7 @@ func AblationCheckpointStrategy(opt Options) AblationResult {
 		cfg.CheckpointMaxStores = 64
 		return cfg
 	}
-	return opt.sweep("checkpoint-taking strategy (8 checkpoints)", []variant{
+	return opt.sweep(ctx, "checkpoint-taking strategy (8 checkpoints)", []variant{
 		{"paper (branch>=64, cap 512, 64 stores)", mk(64, 512, 64)},
 		{"branch>=16, cap 512", mk(16, 512, 64)},
 		{"branch>=256, cap 512", mk(256, 512, 64)},
@@ -84,7 +91,7 @@ func AblationCheckpointStrategy(opt Options) AblationResult {
 
 // AblationWakeWidth sweeps the SLIQ re-insertion bandwidth: the paper
 // fixes 4/cycle; this shows how little of it the mechanism needs.
-func AblationWakeWidth(opt Options) AblationResult {
+func AblationWakeWidth(ctx context.Context, opt Options) (AblationResult, error) {
 	opt = opt.withDefaults()
 	var vs []variant
 	for _, w := range []int{1, 2, 4, 8} {
@@ -92,12 +99,12 @@ func AblationWakeWidth(opt Options) AblationResult {
 		cfg.SLIQWakeWidth = w
 		vs = append(vs, variant{fmt.Sprintf("wake width %d/cycle", w), cfg})
 	}
-	return opt.sweep("SLIQ wake bandwidth (IQ 64, SLIQ 1024)", vs)
+	return opt.sweep(ctx, "SLIQ wake bandwidth (IQ 64, SLIQ 1024)", vs)
 }
 
 // AblationMemoryPorts sweeps the per-cycle data-cache port count, the
 // substrate limit the issue stage enforces.
-func AblationMemoryPorts(opt Options) AblationResult {
+func AblationMemoryPorts(ctx context.Context, opt Options) (AblationResult, error) {
 	opt = opt.withDefaults()
 	var vs []variant
 	for _, p := range []int{1, 2, 4} {
@@ -105,13 +112,13 @@ func AblationMemoryPorts(opt Options) AblationResult {
 		cfg.MemoryPorts = p
 		vs = append(vs, variant{fmt.Sprintf("%d ports", p), cfg})
 	}
-	return opt.sweep("data-cache ports (COoO 128/2048)", vs)
+	return opt.sweep(ctx, "data-cache ports (COoO 128/2048)", vs)
 }
 
 // AblationBranchPrediction isolates the cost of speculation on the
 // checkpointed machine: gshare (with both recovery paths live) against
 // a perfect front end.
-func AblationBranchPrediction(opt Options) AblationResult {
+func AblationBranchPrediction(ctx context.Context, opt Options) (AblationResult, error) {
 	opt = opt.withDefaults()
 	gshare := config.CheckpointDefault(128, 2048)
 	perfect := config.CheckpointDefault(128, 2048)
@@ -119,7 +126,7 @@ func AblationBranchPrediction(opt Options) AblationResult {
 	small := config.CheckpointDefault(32, 2048)
 	smallPerfect := small
 	smallPerfect.PerfectBranchPrediction = true
-	return opt.sweep("branch prediction (checkpointed commit)", []variant{
+	return opt.sweep(ctx, "branch prediction (checkpointed commit)", []variant{
 		{"gshare, pseudo-ROB 128", gshare},
 		{"perfect, pseudo-ROB 128", perfect},
 		{"gshare, pseudo-ROB 32", small},
@@ -130,7 +137,7 @@ func AblationBranchPrediction(opt Options) AblationResult {
 // AblationPrefetch tests the introduction's claim that prefetching
 // "does not solve the problem completely": a next-line prefetcher on
 // the 128-entry baseline against the kilo-instruction alternatives.
-func AblationPrefetch(opt Options) AblationResult {
+func AblationPrefetch(ctx context.Context, opt Options) (AblationResult, error) {
 	opt = opt.withDefaults()
 	base := func(deg int) config.Config {
 		cfg := config.BaselineSized(128)
@@ -138,7 +145,7 @@ func AblationPrefetch(opt Options) AblationResult {
 		return cfg
 	}
 	cooo := config.CheckpointDefault(128, 2048)
-	return opt.sweep("prefetching vs large windows (1000-cycle memory)", []variant{
+	return opt.sweep(ctx, "prefetching vs large windows (1000-cycle memory)", []variant{
 		{"baseline-128", base(0)},
 		{"baseline-128 + prefetch 2", base(2)},
 		{"baseline-128 + prefetch 8", base(8)},
@@ -148,17 +155,21 @@ func AblationPrefetch(opt Options) AblationResult {
 }
 
 // Ablations runs every sweep and renders them.
-func Ablations(opt Options) string {
+func Ablations(ctx context.Context, opt Options) (string, error) {
 	var b strings.Builder
-	for _, r := range []AblationResult{
-		AblationCheckpointStrategy(opt),
-		AblationWakeWidth(opt),
-		AblationMemoryPorts(opt),
-		AblationBranchPrediction(opt),
-		AblationPrefetch(opt),
+	for _, run := range []func(context.Context, Options) (AblationResult, error){
+		AblationCheckpointStrategy,
+		AblationWakeWidth,
+		AblationMemoryPorts,
+		AblationBranchPrediction,
+		AblationPrefetch,
 	} {
+		r, err := run(ctx, opt)
+		if err != nil {
+			return "", err
+		}
 		b.WriteString(r.String())
 		b.WriteString("\n")
 	}
-	return b.String()
+	return b.String(), nil
 }

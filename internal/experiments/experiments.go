@@ -4,14 +4,22 @@
 // suite averages, mirroring the paper's "averaging over all the
 // applications in the set". See DESIGN.md §5 for the experiment index
 // and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Execution goes through the internal/sim worker-pool engine: every
+// figure flattens its parameter grid into one []sim.RunSpec, submits it
+// to sim.Sweep once, and post-processes the (spec-ordered) results, so
+// the whole evaluation parallelises across Options.Workers without any
+// figure-specific concurrency code.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -25,8 +33,25 @@ type Options struct {
 	Insts uint64
 	// Seed parameterises the mixed workload.
 	Seed uint64
-	// Progress, when non-nil, receives one line per completed run.
+	// Workers bounds the sweep worker pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run (in
+	// completion order when Workers > 1).
 	Progress func(line string)
+	// Record, when non-nil, receives every completed run for machine
+	// consumption (cmd/experiments -json). Calls are serialised.
+	Record func(RunRecord)
+
+	// cache, when set by WithTraceCache, shares generated suite traces
+	// across figures.
+	cache *suiteCache
+}
+
+// RunRecord is the machine-readable form of one completed run.
+type RunRecord struct {
+	Benchmark string        `json:"benchmark"`
+	Config    string        `json:"config"`
+	Results   stats.Results `json:"results"`
 }
 
 // DefaultInsts is the per-point instruction budget used by the paper
@@ -72,11 +97,48 @@ func SuiteBenchmarks(seed uint64) []Benchmark {
 	}
 }
 
-// suite materialises the benchmark traces once per experiment.
+// suiteCache memoises generated suite traces keyed by (insts, seed).
+// Traces are immutable once built (guarded by a core test), so the
+// cached set is shared read-only across figures and across every
+// concurrent CPU inside a sweep.
+type suiteCache struct {
+	mu     sync.Mutex
+	traces map[suiteKey][]suiteTrace
+}
+
+type suiteKey struct {
+	insts, seed uint64
+}
+
+// WithTraceCache returns Options that generate each suite trace set
+// once and reuse it across figures (cmd/experiments -figure all shares
+// one generation pass this way).
+func (o Options) WithTraceCache() Options {
+	o.cache = &suiteCache{traces: map[suiteKey][]suiteTrace{}}
+	return o
+}
+
+// suite materialises the benchmark traces (once per experiment, or once
+// per process under WithTraceCache).
 func (o Options) suite() []suiteTrace {
-	bs := SuiteBenchmarks(o.Seed)
+	if o.cache != nil {
+		o.cache.mu.Lock()
+		defer o.cache.mu.Unlock()
+		key := suiteKey{o.Insts, o.Seed}
+		if ts, ok := o.cache.traces[key]; ok {
+			return ts
+		}
+		ts := buildSuite(o.Insts, o.Seed)
+		o.cache.traces[key] = ts
+		return ts
+	}
+	return buildSuite(o.Insts, o.Seed)
+}
+
+func buildSuite(insts, seed uint64) []suiteTrace {
+	bs := SuiteBenchmarks(seed)
 	out := make([]suiteTrace, len(bs))
-	n := traceMargin(o.Insts)
+	n := traceMargin(insts)
 	for i, b := range bs {
 		out[i] = suiteTrace{name: b.Name, tr: b.Gen(n)}
 	}
@@ -88,29 +150,65 @@ type suiteTrace struct {
 	tr   *trace.Trace
 }
 
-// runOne simulates one configuration over one workload.
-func (o Options) runOne(cfg config.Config, st suiteTrace, collectOcc bool) stats.Results {
-	cpu, err := core.New(cfg, st.tr)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", st.name, err))
-	}
-	res := cpu.Run(core.RunOptions{MaxInsts: o.Insts, CollectOccupancy: collectOcc})
-	if o.Progress != nil {
-		o.Progress(fmt.Sprintf("  %-10s %-34s IPC=%.3f", st.name, cfg.Summary(), res.IPC()))
-	}
-	return res
+// point is one labelled configuration evaluated over the whole suite.
+type point struct {
+	cfg        config.Config
+	collectOcc bool
 }
 
-// averageIPC runs a configuration across the whole suite and returns the
-// arithmetic-mean IPC together with the per-benchmark results.
-func (o Options) averageIPC(cfg config.Config, suite []suiteTrace) (float64, []stats.Results) {
-	results := make([]stats.Results, len(suite))
-	sum := 0.0
-	for i, st := range suite {
-		results[i] = o.runOne(cfg, st, false)
-		sum += results[i].IPC()
+// runPoints expands every point over the suite into one flat RunSpec
+// list, submits it to the sweep engine in a single call, and regroups
+// the spec-ordered results per point (each group is in suite order).
+func (o Options) runPoints(ctx context.Context, points []point, suite []suiteTrace) ([][]stats.Results, error) {
+	specs := make([]sim.RunSpec, 0, len(points)*len(suite))
+	for _, p := range points {
+		for _, st := range suite {
+			specs = append(specs, sim.RunSpec{
+				Name:             st.name,
+				Config:           p.cfg,
+				Trace:            st.tr,
+				Insts:            o.Insts,
+				CollectOccupancy: p.collectOcc,
+			})
+		}
 	}
-	return sum / float64(len(suite)), results
+	sopt := sim.Options{Workers: o.Workers, Progress: o.Progress}
+	if o.Record != nil {
+		sopt.OnResult = func(spec sim.RunSpec, res stats.Results) {
+			o.Record(RunRecord{
+				Benchmark: spec.Name,
+				Config:    spec.Config.Summary(),
+				Results:   res,
+			})
+		}
+	}
+	flat, err := sim.Sweep(ctx, specs, sopt)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][]stats.Results, len(points))
+	for i := range points {
+		groups[i] = flat[i*len(suite) : (i+1)*len(suite)]
+	}
+	return groups, nil
+}
+
+// meanIPC returns the arithmetic-mean IPC of one point's suite results.
+func meanIPC(rs []stats.Results) float64 {
+	sum := 0.0
+	for _, r := range rs {
+		sum += r.IPC()
+	}
+	return sum / float64(len(rs))
+}
+
+// meanInflight returns the average of the per-run mean in-flight counts.
+func meanInflight(rs []stats.Results) float64 {
+	sum := 0.0
+	for _, r := range rs {
+		sum += r.MeanInflight
+	}
+	return sum / float64(len(rs))
 }
 
 // Table1 returns the baseline architectural parameters, rendered like

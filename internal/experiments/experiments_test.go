@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,6 +13,8 @@ import (
 func quickOpts() Options {
 	return Options{Insts: 50_000, Seed: 42}
 }
+
+func ctx() context.Context { return context.Background() }
 
 func TestSuiteBenchmarks(t *testing.T) {
 	bs := SuiteBenchmarks(1)
@@ -31,6 +34,25 @@ func TestSuiteBenchmarks(t *testing.T) {
 	}
 }
 
+func TestTraceCacheSharesSuite(t *testing.T) {
+	opt := quickOpts().WithTraceCache()
+	a := opt.suite()
+	b := opt.suite()
+	if len(a) != len(b) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].tr != b[i].tr {
+			t.Errorf("benchmark %s regenerated instead of cached", a[i].name)
+		}
+	}
+	// Without the cache each call generates fresh traces.
+	plain := quickOpts()
+	if plain.suite()[0].tr == plain.suite()[0].tr {
+		t.Error("uncached suites unexpectedly share trace pointers")
+	}
+}
+
 func TestTable1(t *testing.T) {
 	s := Table1()
 	for _, want := range []string{"gshare", "1000 cycles", "4096 entries"} {
@@ -40,8 +62,22 @@ func TestTable1(t *testing.T) {
 	}
 }
 
+func TestRunPointsPropagatesErrors(t *testing.T) {
+	opt := quickOpts()
+	suite := opt.suite()
+	// The zero config is invalid; the engine must surface the
+	// validation error instead of panicking.
+	_, err := opt.runPoints(ctx(), []point{{}}, suite)
+	if err == nil {
+		t.Fatal("invalid configuration did not produce an error")
+	}
+}
+
 func TestFigure1Shape(t *testing.T) {
-	r := Figure1(quickOpts())
+	r, err := Figure1(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	last := len(r.Windows) - 1
 	// Larger windows tolerate latency (the paper's core observation).
 	if r.ByLatency[1000][last] <= r.ByLatency[1000][0] {
@@ -66,7 +102,10 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	r := Figure7(quickOpts())
+	r, err := Figure7(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Points) != len(Figure7Percentiles) {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -89,7 +128,10 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure9And11Shape(t *testing.T) {
-	r := Figure9(quickOpts())
+	r, err := Figure9(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// COoO must beat the small baseline and trail close behind the
 	// unrealisable big one.
 	best := r.IPC[2048][128]
@@ -116,7 +158,10 @@ func TestFigure9And11Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
-	r := Figure10(quickOpts())
+	r, err := Figure10(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The paper's point: near-total insensitivity to the wake delay.
 	if slow := r.MaxSlowdown(); slow > 0.08 {
 		t.Errorf("re-insertion delay slowdown %.1f%% too large (paper ~1%%)", 100*slow)
@@ -127,7 +172,10 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
-	r := Figure12(quickOpts())
+	r, err := Figure12(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	b := r.Breakdown[2048][128]
 	if b.Total() == 0 {
 		t.Fatal("empty breakdown")
@@ -146,7 +194,10 @@ func TestFigure12Shape(t *testing.T) {
 }
 
 func TestFigure13Shape(t *testing.T) {
-	r := Figure13(quickOpts())
+	r, err := Figure13(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// More checkpoints monotonically approach the limit (within noise).
 	for i := 1; i < len(r.Checkpoints); i++ {
 		a, b := r.IPC[r.Checkpoints[i-1]], r.IPC[r.Checkpoints[i]]
@@ -163,7 +214,10 @@ func TestFigure13Shape(t *testing.T) {
 }
 
 func TestFigure14Shape(t *testing.T) {
-	r := Figure14(quickOpts())
+	r, err := Figure14(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, lat := range r.Latencies {
 		// More tags never hurt at fixed physical registers.
 		if r.IPC[lat][2048][512] < r.IPC[lat][512][512]*0.95 {
@@ -178,7 +232,10 @@ func TestFigure14Shape(t *testing.T) {
 }
 
 func TestAblationCheckpointStrategy(t *testing.T) {
-	r := AblationCheckpointStrategy(quickOpts())
+	r, err := AblationCheckpointStrategy(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Labels) != 6 {
 		t.Fatalf("variants = %d", len(r.Labels))
 	}
@@ -193,7 +250,10 @@ func TestAblationCheckpointStrategy(t *testing.T) {
 }
 
 func TestAblationWakeWidth(t *testing.T) {
-	r := AblationWakeWidth(quickOpts())
+	r, err := AblationWakeWidth(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Width 8 never loses to width 1 (more bandwidth can't hurt).
 	if r.IPC["wake width 8/cycle"] < r.IPC["wake width 1/cycle"]*0.97 {
 		t.Errorf("wider wake pump regressed: %v", r.IPC)
@@ -201,7 +261,10 @@ func TestAblationWakeWidth(t *testing.T) {
 }
 
 func TestAblationMemoryPorts(t *testing.T) {
-	r := AblationMemoryPorts(quickOpts())
+	r, err := AblationMemoryPorts(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.IPC["4 ports"] < r.IPC["1 ports"] {
 		t.Errorf("more ports regressed: %v", r.IPC)
 	}
@@ -212,7 +275,10 @@ func TestAblationMemoryPorts(t *testing.T) {
 }
 
 func TestAblationBranchPrediction(t *testing.T) {
-	r := AblationBranchPrediction(quickOpts())
+	r, err := AblationBranchPrediction(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Perfect prediction never loses at equal pseudo-ROB size.
 	if r.IPC["perfect, pseudo-ROB 128"] < r.IPC["gshare, pseudo-ROB 128"]*0.99 {
 		t.Errorf("perfect prediction regressed: %v", r.IPC)
@@ -220,7 +286,10 @@ func TestAblationBranchPrediction(t *testing.T) {
 }
 
 func TestAblationPrefetch(t *testing.T) {
-	r := AblationPrefetch(quickOpts())
+	r, err := AblationPrefetch(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Prefetching helps the small window...
 	if r.IPC["baseline-128 + prefetch 8"] <= r.IPC["baseline-128"] {
 		t.Errorf("prefetching should help streams: %v", r.IPC)

@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/config"
+import (
+	"context"
+
+	"repro/internal/config"
+)
 
 // Figure1Windows and Figure1Latencies are the paper's sweep axes.
 var (
@@ -22,9 +26,26 @@ type Figure1Result struct {
 // Figure1 sweeps window size against memory latency on the scaled
 // baseline processor (ROB, queues and LSQ all sized to the window, as
 // the paper's caption notes).
-func Figure1(opt Options) Figure1Result {
+func Figure1(ctx context.Context, opt Options) (Figure1Result, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
+
+	var points []point
+	for _, w := range Figure1Windows {
+		cfg := config.BaselineSized(w)
+		cfg.PerfectL2 = true
+		points = append(points, point{cfg: cfg})
+		for _, lat := range Figure1Latencies {
+			cfg := config.BaselineSized(w)
+			cfg.MemoryLatency = lat
+			points = append(points, point{cfg: cfg})
+		}
+	}
+	groups, err := opt.runPoints(ctx, points, suite)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+
 	res := Figure1Result{
 		Windows:   Figure1Windows,
 		PerfectL2: make([]float64, len(Figure1Windows)),
@@ -33,18 +54,16 @@ func Figure1(opt Options) Figure1Result {
 	for _, lat := range Figure1Latencies {
 		res.ByLatency[lat] = make([]float64, len(Figure1Windows))
 	}
-	for i, w := range Figure1Windows {
-		cfg := config.BaselineSized(w)
-		cfg.PerfectL2 = true
-		res.PerfectL2[i], _ = opt.averageIPC(cfg, suite)
-
+	k := 0
+	for i := range Figure1Windows {
+		res.PerfectL2[i] = meanIPC(groups[k])
+		k++
 		for _, lat := range Figure1Latencies {
-			cfg := config.BaselineSized(w)
-			cfg.MemoryLatency = lat
-			res.ByLatency[lat][i], _ = opt.averageIPC(cfg, suite)
+			res.ByLatency[lat][i] = meanIPC(groups[k])
+			k++
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders the figure as a table: one row per window size.

@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/config"
+import (
+	"context"
+
+	"repro/internal/config"
+)
 
 // Figure10Delays are the SLIQ→IQ re-insertion delays the paper sweeps.
 var Figure10Delays = []int{1, 4, 8, 12}
@@ -16,23 +20,37 @@ type Figure10Result struct {
 }
 
 // Figure10 measures sensitivity to the wake start-up delay.
-func Figure10(opt Options) Figure10Result {
+func Figure10(ctx context.Context, opt Options) (Figure10Result, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
+
+	var points []point
+	for _, iq := range Figure9IQs {
+		for _, d := range Figure10Delays {
+			cfg := config.CheckpointDefault(iq, 1024)
+			cfg.SLIQWakeDelay = d
+			points = append(points, point{cfg: cfg})
+		}
+	}
+	groups, err := opt.runPoints(ctx, points, suite)
+	if err != nil {
+		return Figure10Result{}, err
+	}
+
 	res := Figure10Result{
 		IQs:    Figure9IQs,
 		Delays: Figure10Delays,
 		IPC:    map[int]map[int]float64{},
 	}
+	k := 0
 	for _, iq := range res.IQs {
 		res.IPC[iq] = map[int]float64{}
 		for _, d := range res.Delays {
-			cfg := config.CheckpointDefault(iq, 1024)
-			cfg.SLIQWakeDelay = d
-			res.IPC[iq][d], _ = opt.averageIPC(cfg, suite)
+			res.IPC[iq][d] = meanIPC(groups[k])
+			k++
 		}
 	}
-	return res
+	return res, nil
 }
 
 // MaxSlowdown returns the worst relative IPC loss of the largest delay

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -19,29 +20,41 @@ type Figure12Result struct {
 // Figure12 classifies every instruction at the moment it leaves the
 // pseudo-ROB: moved to the SLIQ, already finished, short-latency,
 // finished/hitting loads, L2-missing loads, and stores.
-func Figure12(opt Options) Figure12Result {
+func Figure12(ctx context.Context, opt Options) (Figure12Result, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
+
+	var points []point
+	for _, sliq := range Figure9SLIQs {
+		for _, iq := range Figure9IQs {
+			points = append(points, point{cfg: config.CheckpointDefault(iq, sliq)})
+		}
+	}
+	groups, err := opt.runPoints(ctx, points, suite)
+	if err != nil {
+		return Figure12Result{}, err
+	}
+
 	res := Figure12Result{
 		SLIQs:     Figure9SLIQs,
 		IQs:       Figure9IQs,
 		Breakdown: map[int]map[int]stats.Breakdown{},
 	}
+	k := 0
 	for _, sliq := range res.SLIQs {
 		res.Breakdown[sliq] = map[int]stats.Breakdown{}
 		for _, iq := range res.IQs {
-			cfg := config.CheckpointDefault(iq, sliq)
 			var agg stats.Breakdown
-			for _, st := range suite {
-				r := opt.runOne(cfg, st, false)
+			for _, r := range groups[k] {
 				for c := stats.RetireClass(0); c < stats.NumRetireClasses; c++ {
 					agg[c] += r.Retire[c]
 				}
 			}
 			res.Breakdown[sliq][iq] = agg
+			k++
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders percentages per configuration, bottom-to-top in the

@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/config"
+import (
+	"context"
+
+	"repro/internal/config"
+)
 
 // Figure13Checkpoints is the checkpoint-count sweep of Figure 13.
 var Figure13Checkpoints = []int{4, 8, 16, 32, 64, 128}
@@ -29,22 +33,33 @@ func figure13Config(ckpts int) config.Config {
 // unfeasible 4096-entry ROB but shares the study's 2048-entry queues
 // and 2048 physical registers, so the checkpoint count is the only
 // variable.
-func Figure13(opt Options) Figure13Result {
+func Figure13(ctx context.Context, opt Options) (Figure13Result, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
-	res := Figure13Result{
-		Checkpoints: Figure13Checkpoints,
-		IPC:         map[int]float64{},
-	}
+
 	limit := config.BaselineSized(4096)
 	limit.IntQueueEntries = 2048
 	limit.FPQueueEntries = 2048
 	limit.PhysRegs = 2048
-	res.LimitIPC, _ = opt.averageIPC(limit, suite)
-	for _, k := range res.Checkpoints {
-		res.IPC[k], _ = opt.averageIPC(figure13Config(k), suite)
+
+	points := []point{{cfg: limit}}
+	for _, k := range Figure13Checkpoints {
+		points = append(points, point{cfg: figure13Config(k)})
 	}
-	return res
+	groups, err := opt.runPoints(ctx, points, suite)
+	if err != nil {
+		return Figure13Result{}, err
+	}
+
+	res := Figure13Result{
+		Checkpoints: Figure13Checkpoints,
+		IPC:         map[int]float64{},
+		LimitIPC:    meanIPC(groups[0]),
+	}
+	for i, k := range res.Checkpoints {
+		res.IPC[k] = meanIPC(groups[i+1])
+	}
+	return res, nil
 }
 
 // Slowdown returns the relative IPC loss at k checkpoints versus the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -31,9 +32,36 @@ type Figure14Result struct {
 // virtual tags standing in for rename capacity and late-allocated,
 // early-released physical registers, a few hundred physical registers
 // approach the unconstrained limit.
-func Figure14(opt Options) Figure14Result {
+func Figure14(ctx context.Context, opt Options) (Figure14Result, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
+
+	var points []point
+	for _, lat := range Figure14Latencies {
+		limit := config.BaselineSized(4096)
+		limit.MemoryLatency = lat
+		points = append(points, point{cfg: limit})
+
+		b128 := config.BaselineSized(128)
+		b128.MemoryLatency = lat
+		points = append(points, point{cfg: b128})
+
+		for _, vt := range Figure14VTags {
+			for _, ph := range Figure14Phys {
+				cfg := config.CheckpointDefault(128, 2048)
+				cfg.MemoryLatency = lat
+				cfg.VirtualRegisters = true
+				cfg.VirtualTags = vt
+				cfg.PhysRegs = ph
+				points = append(points, point{cfg: cfg})
+			}
+		}
+	}
+	groups, err := opt.runPoints(ctx, points, suite)
+	if err != nil {
+		return Figure14Result{}, err
+	}
+
 	res := Figure14Result{
 		Latencies:   Figure14Latencies,
 		VTags:       Figure14VTags,
@@ -42,29 +70,22 @@ func Figure14(opt Options) Figure14Result {
 		Limit:       map[int]float64{},
 		Baseline128: map[int]float64{},
 	}
+	k := 0
 	for _, lat := range res.Latencies {
-		limit := config.BaselineSized(4096)
-		limit.MemoryLatency = lat
-		res.Limit[lat], _ = opt.averageIPC(limit, suite)
-
-		b128 := config.BaselineSized(128)
-		b128.MemoryLatency = lat
-		res.Baseline128[lat], _ = opt.averageIPC(b128, suite)
-
+		res.Limit[lat] = meanIPC(groups[k])
+		k++
+		res.Baseline128[lat] = meanIPC(groups[k])
+		k++
 		res.IPC[lat] = map[int]map[int]float64{}
 		for _, vt := range res.VTags {
 			res.IPC[lat][vt] = map[int]float64{}
 			for _, ph := range res.Phys {
-				cfg := config.CheckpointDefault(128, 2048)
-				cfg.MemoryLatency = lat
-				cfg.VirtualRegisters = true
-				cfg.VirtualTags = vt
-				cfg.PhysRegs = ph
-				res.IPC[lat][vt][ph], _ = opt.averageIPC(cfg, suite)
+				res.IPC[lat][vt][ph] = meanIPC(groups[k])
+				k++
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders one block per memory latency.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/config"
 	"repro/internal/stats"
 )
@@ -36,19 +38,24 @@ type Figure7Result struct {
 // motivates the SLIQ: most in-flight instructions have finished but
 // cannot commit, and the live minority splits into blocked-long and
 // blocked-short.
-func Figure7(opt Options) Figure7Result {
+func Figure7(ctx context.Context, opt Options) (Figure7Result, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
 
 	cfg := config.BaselineSized(2048)
 	cfg.MemoryLatency = 500
 
+	groups, err := opt.runPoints(ctx, []point{{cfg: cfg, collectOcc: true}}, suite)
+	if err != nil {
+		return Figure7Result{}, err
+	}
+
 	// The paper averages the distribution across SPEC2000fp; we merge
 	// the per-benchmark histograms by summing them.
 	merged := stats.NewOccupancy(cfg.ROBEntries)
 	per := make(map[string]*stats.Occupancy, len(suite))
-	for _, st := range suite {
-		res := opt.runOne(cfg, st, true)
+	for i, st := range suite {
+		res := groups[0][i]
 		per[st.name] = res.Occ
 		res.Occ.MergeInto(merged)
 	}
@@ -63,7 +70,7 @@ func Figure7(opt Options) Figure7Result {
 			BlockedShort: short,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // String renders the percentile table plus per-benchmark occupancy

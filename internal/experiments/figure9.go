@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -37,9 +38,24 @@ type Figure9Result struct {
 // SLIQ sizes 512/1024/2048, against conventional baselines with
 // 128-entry and (unrealisable) 4096-entry ROB and queues. The same runs
 // also produce Figure 11's average in-flight instruction counts.
-func Figure9(opt Options) Figure9Result {
+func Figure9(ctx context.Context, opt Options) (Figure9Result, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
+
+	var points []point
+	for _, sliq := range Figure9SLIQs {
+		for _, iq := range Figure9IQs {
+			points = append(points, point{cfg: config.CheckpointDefault(iq, sliq)})
+		}
+	}
+	points = append(points,
+		point{cfg: config.BaselineSized(128)},
+		point{cfg: config.BaselineSized(4096)},
+	)
+	groups, err := opt.runPoints(ctx, points, suite)
+	if err != nil {
+		return Figure9Result{}, err
+	}
 
 	res := Figure9Result{
 		SLIQs:    Figure9SLIQs,
@@ -47,32 +63,22 @@ func Figure9(opt Options) Figure9Result {
 		IPC:      map[int]map[int]float64{},
 		Inflight: map[int]map[int]float64{},
 	}
-
+	k := 0
 	for _, sliq := range Figure9SLIQs {
 		res.IPC[sliq] = map[int]float64{}
 		res.Inflight[sliq] = map[int]float64{}
 		for _, iq := range Figure9IQs {
-			cfg := config.CheckpointDefault(iq, sliq)
-			ipc, rs := opt.averageIPC(cfg, suite)
-			res.IPC[sliq][iq] = ipc
-			infl := 0.0
-			for _, r := range rs {
-				infl += r.MeanInflight
-			}
-			res.Inflight[sliq][iq] = infl / float64(len(rs))
+			res.IPC[sliq][iq] = meanIPC(groups[k])
+			res.Inflight[sliq][iq] = meanInflight(groups[k])
+			k++
 		}
 	}
-
-	b128, rs128 := opt.averageIPC(config.BaselineSized(128), suite)
-	b4096, rs4096 := opt.averageIPC(config.BaselineSized(4096), suite)
-	res.Baseline128IPC, res.Baseline4096IPC = b128, b4096
-	for _, r := range rs128 {
-		res.Baseline128Inflight += r.MeanInflight / float64(len(rs128))
-	}
-	for _, r := range rs4096 {
-		res.Baseline4096Inflight += r.MeanInflight / float64(len(rs4096))
-	}
-	return res
+	res.Baseline128IPC = meanIPC(groups[k])
+	res.Baseline128Inflight = meanInflight(groups[k])
+	k++
+	res.Baseline4096IPC = meanIPC(groups[k])
+	res.Baseline4096Inflight = meanInflight(groups[k])
+	return res, nil
 }
 
 // String renders the IPC comparison (Figure 9).

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// figure9Grid builds a reduced figure-9 sweep (the headline COoO grid
+// plus the two baselines over three workloads) for scaling benchmarks.
+func figure9Grid(insts uint64) []RunSpec {
+	n := int(insts) + int(insts)/5 + 4096
+	traces := []*trace.Trace{
+		trace.Stream(n),
+		trace.Stencil(n),
+		trace.FPMix(n, 42),
+	}
+	var cfgs []config.Config
+	for _, sliq := range []int{512, 1024, 2048} {
+		for _, iq := range []int{32, 64, 128} {
+			cfgs = append(cfgs, config.CheckpointDefault(iq, sliq))
+		}
+	}
+	cfgs = append(cfgs, config.BaselineSized(128), config.BaselineSized(4096))
+
+	var specs []RunSpec
+	for _, cfg := range cfgs {
+		for _, tr := range traces {
+			specs = append(specs, RunSpec{Name: tr.Name(), Config: cfg, Trace: tr, Insts: insts})
+		}
+	}
+	return specs
+}
+
+// BenchmarkFigure9Sweep measures the figure-9 sweep's wall clock per
+// worker count; on a multi-core host the 8-worker series demonstrates
+// the engine's speedup over Workers=1 (the acceptance target is >= 2x).
+func BenchmarkFigure9Sweep(b *testing.B) {
+	specs := figure9Grid(20_000)
+	for _, workers := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(context.Background(), specs, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,162 @@
+// Package sim is the run engine underneath the experiment harness: it
+// executes declarative simulation points over a bounded worker pool and
+// returns results in submission order with real error propagation.
+//
+// Every figure of the paper's evaluation is a grid of (mechanism ×
+// window size × L2 latency × workload) points; each figure flattens its
+// grid into a []RunSpec and submits it to Sweep once. Traces are
+// immutable (core.CPU.Run never writes to its *trace.Trace, guarded by
+// a test), so a single generated trace is shared read-only by every
+// concurrently running CPU that sweeps over it.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// RunSpec is one declarative simulation point: a configuration bound to
+// a workload trace and an instruction budget.
+type RunSpec struct {
+	// Name labels the workload (progress lines and run records).
+	Name string
+	// Config is the processor configuration; validated by core.New.
+	Config config.Config
+	// Trace is the workload. It is shared read-only across concurrent
+	// runs — generate once, submit many.
+	Trace *trace.Trace
+	// Insts is the committed-instruction target (0 runs the full trace).
+	Insts uint64
+	// CollectOccupancy enables the full occupancy distribution
+	// (Figure 7).
+	CollectOccupancy bool
+}
+
+// Options tunes a Sweep.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run.
+	// Calls are serialised but arrive in completion order, not spec
+	// order.
+	Progress func(line string)
+	// OnResult, when non-nil, receives every completed run. Calls are
+	// serialised; order follows completion, not spec order.
+	OnResult func(spec RunSpec, res stats.Results)
+}
+
+// Run executes a single spec synchronously. Construction failures and
+// simulator panics (e.g. the commit watchdog) come back as errors
+// labelled with the spec, never as process-killing panics — a worker
+// pool must survive one bad point.
+func Run(spec RunSpec) (res stats.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: %s (%s): panic: %v", spec.Name, spec.Config.Summary(), r)
+		}
+	}()
+	cpu, nerr := core.New(spec.Config, spec.Trace)
+	if nerr != nil {
+		return stats.Results{}, fmt.Errorf("sim: %s (%s): %w", spec.Name, spec.Config.Summary(), nerr)
+	}
+	return cpu.Run(core.RunOptions{
+		MaxInsts:         spec.Insts,
+		CollectOccupancy: spec.CollectOccupancy,
+	}), nil
+}
+
+// Sweep executes every spec over a bounded worker pool and returns the
+// results in spec order: results[i] belongs to specs[i] regardless of
+// which worker finished it when, so sweep output is deterministic for
+// any worker count. The first failing spec cancels the remaining work
+// and its error is returned; ctx cancellation stops the sweep early
+// with ctx's error.
+func Sweep(ctx context.Context, specs []RunSpec, opt Options) ([]stats.Results, error) {
+	if len(specs) == 0 {
+		return nil, ctx.Err()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]stats.Results, len(specs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain remaining indices after cancellation
+				}
+				res, err := Run(specs[i])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = res
+				if opt.Progress != nil || opt.OnResult != nil {
+					mu.Lock()
+					if opt.Progress != nil {
+						opt.Progress(fmt.Sprintf("  %-10s %-34s IPC=%.3f",
+							specs[i].Name, specs[i].Config.Summary(), res.IPC()))
+					}
+					if opt.OnResult != nil {
+						opt.OnResult(specs[i], res)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range specs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -159,6 +160,55 @@ func (o *Occupancy) MergeInto(dst *Occupancy) {
 	}
 }
 
+// occupancyJSON is the wire form of Occupancy: the three histograms
+// fully determine the derived fields (samples, mean, max).
+type occupancyJSON struct {
+	Count    []uint64 `json:"count"`
+	SumLong  []uint64 `json:"sum_long"`
+	SumShort []uint64 `json:"sum_short"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (o *Occupancy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(occupancyJSON{Count: o.count, SumLong: o.sumLong, SumShort: o.sumShort})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, recomputing the derived
+// fields from the histograms.
+func (o *Occupancy) UnmarshalJSON(data []byte) error {
+	var w occupancyJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Count) == 0 || len(w.SumLong) != len(w.Count) || len(w.SumShort) != len(w.Count) {
+		return fmt.Errorf("stats: malformed occupancy histogram (%d/%d/%d buckets)",
+			len(w.Count), len(w.SumLong), len(w.SumShort))
+	}
+	o.count, o.sumLong, o.sumShort = w.Count, w.SumLong, w.SumShort
+	o.samples, o.sumInfl, o.max = 0, 0, 0
+	for i, c := range w.Count {
+		o.samples += c
+		o.sumInfl += c * uint64(i)
+		if c > 0 {
+			o.max = i
+		}
+	}
+	return nil
+}
+
+// mergeOcc returns a fresh tracker holding a+b, sized to the larger of
+// the two.
+func mergeOcc(a, b *Occupancy) *Occupancy {
+	n := len(a.count)
+	if len(b.count) > n {
+		n = len(b.count)
+	}
+	out := NewOccupancy(n - 1)
+	a.MergeInto(out)
+	b.MergeInto(out)
+	return out
+}
+
 // Percentile returns the smallest in-flight count x such that at least
 // p (0 < p <= 1) of the sampled cycles had occupancy <= x. This is the
 // "25% of the time the ROB had less than N instructions" statistic of
@@ -255,6 +305,64 @@ type Results struct {
 	// Occ carries the full occupancy distribution when the run was
 	// configured to collect it (Figure 7); nil otherwise.
 	Occ *Occupancy
+}
+
+// Merge folds another run's measurements into r, producing suite-level
+// aggregates: counters sum, the occupancy histograms merge, MaxInflight
+// takes the maximum and MeanInflight becomes the cycle-weighted mean,
+// so the merged IPC is total committed over total cycles. Name is kept
+// unless r's is empty. Merge and the JSON round-trip together make
+// sweep output machine-consumable: per-benchmark Results serialise,
+// ship, and aggregate downstream.
+func (r *Results) Merge(o Results) {
+	if r.Name == "" {
+		r.Name = o.Name
+	}
+	total := r.Cycles + o.Cycles
+	if total > 0 {
+		r.MeanInflight = (r.MeanInflight*float64(r.Cycles) + o.MeanInflight*float64(o.Cycles)) / float64(total)
+	}
+	r.Cycles = total
+	r.Committed += o.Committed
+	r.Fetched += o.Fetched
+	r.Dispatched += o.Dispatched
+	r.Issued += o.Issued
+	r.Replayed += o.Replayed
+	r.Rollbacks += o.Rollbacks
+	r.PseudoROBRecoveries += o.PseudoROBRecoveries
+	r.CheckpointsTaken += o.CheckpointsTaken
+	r.CheckpointsCommitted += o.CheckpointsCommitted
+	r.CheckpointStallCycles += o.CheckpointStallCycles
+	r.SLIQMoved += o.SLIQMoved
+	r.SLIQWoken += o.SLIQWoken
+
+	r.Branch.Predictions += o.Branch.Predictions
+	r.Branch.Mispredicts += o.Branch.Mispredicts
+
+	r.Mem.IL1.Accesses += o.Mem.IL1.Accesses
+	r.Mem.IL1.Misses += o.Mem.IL1.Misses
+	r.Mem.DL1.Accesses += o.Mem.DL1.Accesses
+	r.Mem.DL1.Misses += o.Mem.DL1.Misses
+	r.Mem.L2.Accesses += o.Mem.L2.Accesses
+	r.Mem.L2.Misses += o.Mem.L2.Misses
+	r.Mem.MemAccesses += o.Mem.MemAccesses
+	r.Mem.MergedMisses += o.Mem.MergedMisses
+	r.Mem.StoreWrites += o.Mem.StoreWrites
+	r.Mem.Prefetches += o.Mem.Prefetches
+
+	for c := range r.Retire {
+		r.Retire[c] += o.Retire[c]
+	}
+	if o.MaxInflight > r.MaxInflight {
+		r.MaxInflight = o.MaxInflight
+	}
+	if o.Occ != nil {
+		if r.Occ == nil {
+			r.Occ = mergeOcc(NewOccupancy(1), o.Occ)
+		} else {
+			r.Occ = mergeOcc(r.Occ, o.Occ)
+		}
+	}
 }
 
 // IPC returns committed instructions per cycle.

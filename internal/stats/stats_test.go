@@ -1,6 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -131,6 +134,203 @@ func TestQuickPercentileMonotonic(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestOccupancyJSONRoundTrip(t *testing.T) {
+	o := NewOccupancy(16)
+	o.Sample(3, 2, 1)
+	o.Sample(7, 5, 0)
+	o.Sample(7, 1, 1)
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &Occupancy{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples() != o.Samples() || back.Mean() != o.Mean() || back.Max() != o.Max() {
+		t.Fatalf("derived fields lost: samples %d/%d mean %v/%v max %d/%d",
+			back.Samples(), o.Samples(), back.Mean(), o.Mean(), back.Max(), o.Max())
+	}
+	if back.Percentile(0.5) != o.Percentile(0.5) {
+		t.Fatal("percentiles differ after round trip")
+	}
+	long, short := back.LiveAtPercentile(0.9)
+	wlong, wshort := o.LiveAtPercentile(0.9)
+	if long != wlong || short != wshort {
+		t.Fatal("live counts differ after round trip")
+	}
+}
+
+func TestOccupancyJSONMalformed(t *testing.T) {
+	back := &Occupancy{}
+	if err := json.Unmarshal([]byte(`{"count":[1,2],"sum_long":[1],"sum_short":[1,2]}`), back); err == nil {
+		t.Fatal("mismatched histogram lengths must fail")
+	}
+}
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	o := NewOccupancy(8)
+	o.Sample(2, 1, 0)
+	r := Results{
+		Name: "checkpoint/fpmix", Cycles: 1000, Committed: 2500,
+		Fetched: 3000, Issued: 2600, Rollbacks: 3, SLIQMoved: 40,
+		Occ: o,
+	}
+	r.Retire[RetireMoved] = 7
+	r.Branch.Predictions = 100
+	r.Branch.Mispredicts = 4
+	r.Mem.L2.Accesses = 50
+	r.Mem.L2.Misses = 10
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.IPC() != r.IPC() || back.Branch.MispredictRate() != r.Branch.MispredictRate() {
+		t.Fatal("derived metrics differ after round trip")
+	}
+	if back.Occ == nil || back.Occ.Samples() != 1 {
+		t.Fatal("occupancy lost in round trip")
+	}
+	back.Occ, r.Occ = nil, nil
+	if !reflect.DeepEqual(back, r) {
+		t.Fatalf("round trip changed results:\n%+v\n%+v", back, r)
+	}
+}
+
+func TestResultsMerge(t *testing.T) {
+	oa := NewOccupancy(8)
+	oa.Sample(2, 1, 0)
+	a := Results{Name: "a", Cycles: 100, Committed: 200, MeanInflight: 10, MaxInflight: 20, Occ: oa}
+	a.Retire[RetireStore] = 5
+	a.Branch.Predictions = 10
+
+	ob := NewOccupancy(16)
+	ob.Sample(12, 0, 1)
+	b := Results{Name: "b", Cycles: 300, Committed: 300, MeanInflight: 30, MaxInflight: 25, Occ: ob}
+	b.Retire[RetireStore] = 7
+	b.Branch.Predictions = 30
+
+	a.Merge(b)
+	if a.Name != "a" {
+		t.Errorf("merge must keep the receiver's name, got %q", a.Name)
+	}
+	if a.Cycles != 400 || a.Committed != 500 {
+		t.Errorf("counters: cycles=%d committed=%d", a.Cycles, a.Committed)
+	}
+	if a.IPC() != 500.0/400.0 {
+		t.Errorf("merged IPC = %v", a.IPC())
+	}
+	// Cycle-weighted mean: (10*100 + 30*300) / 400 = 25.
+	if math.Abs(a.MeanInflight-25) > 1e-9 {
+		t.Errorf("weighted mean in-flight = %v, want 25", a.MeanInflight)
+	}
+	if a.MaxInflight != 25 {
+		t.Errorf("max in-flight = %d, want 25", a.MaxInflight)
+	}
+	if a.Retire[RetireStore] != 12 || a.Branch.Predictions != 40 {
+		t.Error("breakdown or branch counters not summed")
+	}
+	// The occupancy grows to the larger histogram and holds both samples.
+	if a.Occ.Samples() != 2 || a.Occ.Max() != 12 {
+		t.Errorf("merged occupancy: samples=%d max=%d", a.Occ.Samples(), a.Occ.Max())
+	}
+
+	// Merging into a result without occupancy adopts the other's.
+	c := Results{Cycles: 50, Committed: 10}
+	c.Merge(a)
+	if c.Occ == nil || c.Occ.Samples() != 2 {
+		t.Error("merge must adopt occupancy when the receiver has none")
+	}
+	if c.Name != "a" {
+		t.Errorf("empty name must adopt the other's, got %q", c.Name)
+	}
+}
+
+// TestResultsMergeExhaustive guards Merge against new fields: every
+// numeric field of Results (recursively) must be aggregated, so a
+// counter added later without a Merge clause fails here instead of
+// silently dropping out of suite aggregates. Fields that are not plain
+// sums are listed explicitly.
+func TestResultsMergeExhaustive(t *testing.T) {
+	// Expected merged value when both inputs have every numeric field
+	// set to 1: sums become 2; max stays 1; the cycle-weighted mean of
+	// two equal values stays 1.
+	special := map[string]float64{
+		"MaxInflight":  1,
+		"MeanInflight": 1,
+	}
+
+	setOnes := func(r *Results) {
+		var walk func(v reflect.Value)
+		walk = func(v reflect.Value) {
+			for i := 0; i < v.NumField(); i++ {
+				f := v.Field(i)
+				switch f.Kind() {
+				case reflect.Struct:
+					walk(f)
+				case reflect.Array:
+					for j := 0; j < f.Len(); j++ {
+						f.Index(j).SetUint(1)
+					}
+				case reflect.Uint64:
+					f.SetUint(1)
+				case reflect.Int64, reflect.Int:
+					f.SetInt(1)
+				case reflect.Float64:
+					f.SetFloat(1)
+				}
+			}
+		}
+		walk(reflect.ValueOf(r).Elem())
+	}
+
+	var a, b Results
+	setOnes(&a)
+	setOnes(&b)
+	a.Merge(b)
+
+	var check func(v reflect.Value, path string)
+	check = func(v reflect.Value, path string) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			name := v.Type().Field(i).Name
+			p := path + name
+			want := 2.0
+			if w, ok := special[p]; ok {
+				want = w
+			}
+			switch f.Kind() {
+			case reflect.Struct:
+				check(f, p+".")
+			case reflect.Array:
+				for j := 0; j < f.Len(); j++ {
+					if got := float64(f.Index(j).Uint()); got != want {
+						t.Errorf("%s[%d] = %v after Merge, want %v (not aggregated?)", p, j, got, want)
+					}
+				}
+			case reflect.Uint64:
+				if got := float64(f.Uint()); got != want {
+					t.Errorf("%s = %v after Merge, want %v (not aggregated?)", p, got, want)
+				}
+			case reflect.Int64, reflect.Int:
+				if got := float64(f.Int()); got != want {
+					t.Errorf("%s = %v after Merge, want %v (not aggregated?)", p, got, want)
+				}
+			case reflect.Float64:
+				if got := f.Float(); got != want {
+					t.Errorf("%s = %v after Merge, want %v (not aggregated?)", p, got, want)
+				}
+			}
+		}
+	}
+	check(reflect.ValueOf(a), "")
 }
 
 func TestResultsDerived(t *testing.T) {
