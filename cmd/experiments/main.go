@@ -5,7 +5,8 @@
 // Usage:
 //
 //	experiments [-figure all|table1|1|7|9|10|11|12|13|14|ablations]
-//	            [-insts N] [-seed S] [-parallel N] [-json FILE] [-v]
+//	            [-insts N] [-seed S] [-parallel N] [-json FILE]
+//	            [-server URL] [-v]
 //
 // Figures 9 and 11 share their simulation runs, as in the paper. Every
 // figure executes through the internal/sim worker pool: -parallel N
@@ -13,6 +14,11 @@
 // identical for every worker count because results are ordered by spec,
 // not by completion. -json FILE additionally dumps every run's raw
 // results for machine consumption.
+//
+// -server URL routes every simulation point to an ooosimd daemon
+// instead of the in-process pool: previously computed points return
+// from the daemon's content-addressed cache without simulation, so a
+// warm rerun of a figure costs trace generation plus network only.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 // jsonRecord is one run in the -json dump, labelled with the figure
@@ -43,6 +50,7 @@ func main() {
 	insts := flag.Uint64("insts", experiments.DefaultInsts, "committed instructions per configuration point")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+	server := flag.String("server", "", "run every point against an ooosimd daemon at URL")
 	jsonOut := flag.String("json", "", "write every run's raw results as JSON to FILE")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Parse()
@@ -51,8 +59,13 @@ func main() {
 	defer stop()
 
 	opt := experiments.Options{Insts: *insts, Seed: *seed, Workers: *parallel}.WithTraceCache()
+	if *server != "" {
+		opt.Runner = (&service.Client{BaseURL: *server}).SweepRunner()
+	}
 	if *verbose {
-		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		opt.Progress = func(done, total int, line string) {
+			fmt.Fprintf(os.Stderr, "[%*d/%d]%s\n", len(fmt.Sprint(total)), done, total, line)
+		}
 	}
 
 	records := []jsonRecord{}

@@ -6,6 +6,10 @@
 //
 //	ooosim -commit checkpoint -iq 64 -sliq 1024 -workload fpmix -mem 1000
 //	ooosim -commit rob -rob 128 -workload stream -mem 500 -insts 200000
+//
+// -dump-config prints the flag-built configuration as canonical JSON
+// (the ooosimd batch-API wire form) and exits; -config FILE loads a
+// complete configuration from such a file instead of the flags.
 package main
 
 import (
@@ -33,46 +37,65 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed (fpmix)")
 	vregs := flag.Int("vtags", 0, "enable virtual registers with this many tags (0 = off)")
 	phys := flag.Int("phys", 4096, "physical registers")
+	configFile := flag.String("config", "", "load the complete configuration from a canonical-JSON file (config flags are then ignored)")
+	dumpConfig := flag.Bool("dump-config", false, "print the configuration as canonical JSON and exit (the ooosimd batch wire form)")
 	flag.Parse()
 
 	var cfg config.Config
-	switch *commit {
-	case "rob":
-		cfg = config.BaselineSized(*robEntries)
-	case "checkpoint":
-		cfg = config.CheckpointDefault(*iq, *sliq)
-		cfg.Checkpoints = *ckpts
-	default:
-		fmt.Fprintf(os.Stderr, "unknown commit mode %q\n", *commit)
-		os.Exit(2)
-	}
-	cfg.MemoryLatency = *mem
-	cfg.PerfectL2 = *perfectL2
-	cfg.PhysRegs = *phys
-	if *vregs > 0 {
-		cfg.VirtualRegisters = true
-		cfg.VirtualTags = *vregs
+	if *configFile != "" {
+		data, err := os.ReadFile(*configFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg, err = config.ParseJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *configFile, err)
+			os.Exit(1)
+		}
+	} else {
+		switch *commit {
+		case "rob":
+			cfg = config.BaselineSized(*robEntries)
+		case "checkpoint":
+			cfg = config.CheckpointDefault(*iq, *sliq)
+			cfg.Checkpoints = *ckpts
+		default:
+			fmt.Fprintf(os.Stderr, "unknown commit mode %q\n", *commit)
+			os.Exit(2)
+		}
+		cfg.MemoryLatency = *mem
+		cfg.PerfectL2 = *perfectL2
+		cfg.PhysRegs = *phys
+		if *vregs > 0 {
+			cfg.VirtualRegisters = true
+			cfg.VirtualTags = *vregs
+		}
 	}
 
-	n := int(*insts) + int(*insts)/5 + 4096
-	var tr *trace.Trace
+	if *dumpConfig {
+		data, err := cfg.CanonicalJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	// The workload flag is a trace recipe: the same declarative
+	// identity a service batch ships, so the kernel dispatch (and its
+	// validation) lives in one place.
+	recipe := trace.Recipe{Kernel: *workload, N: trace.LenFor(*insts)}
 	switch *workload {
-	case "stream":
-		tr = trace.Stream(n)
-	case "strided":
-		tr = trace.StridedStream(n, 8)
-	case "stencil":
-		tr = trace.Stencil(n)
-	case "reduction":
-		tr = trace.Reduction(n)
-	case "blocked":
-		tr = trace.Blocked(n)
-	case "pointerchase":
-		tr = trace.PointerChase(n)
-	case "fpmix":
-		tr = trace.FPMix(n, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+	case trace.KernelStrided:
+		recipe.Stride = 8
+	case trace.KernelFPMix:
+		recipe.Seed = *seed
+	}
+	tr, err := recipe.Materialise()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

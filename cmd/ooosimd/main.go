@@ -1,0 +1,80 @@
+// Command ooosimd is the simulation daemon: an HTTP service that
+// executes batches of simulation points on a shared bounded worker
+// pool behind a content-addressed result cache, so any point computed
+// before — by any client, in any earlier process — is returned without
+// simulation.
+//
+// Usage:
+//
+//	ooosimd [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
+//	        [-workers N] [-v]
+//
+// API (see internal/service):
+//
+//	POST /v1/batches             submit {"jobs":[...]}
+//	GET  /v1/batches/{id}        poll status and results
+//	GET  /v1/batches/{id}/events NDJSON progress stream
+//	GET  /healthz                liveness
+//
+// Point cmd/experiments -server at the daemon to regenerate figures
+// against the warm cache.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	cacheDir := flag.String("cache-dir", "", "disk tier of the result cache (empty: memory only)")
+	cacheEntries := flag.Int("cache-entries", service.DefaultCacheEntries, "memory tier capacity, in results")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size (shared across batches)")
+	verbose := flag.Bool("v", false, "log every request")
+	flag.Parse()
+
+	cache, err := service.NewCache(*cacheEntries, *cacheDir)
+	if err != nil {
+		log.Fatalf("ooosimd: %v", err)
+	}
+	sched := service.NewScheduler(service.SchedulerOptions{Workers: *workers, Cache: cache})
+	handler := service.NewHandler(sched)
+	if *verbose {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			inner.ServeHTTP(w, r)
+			log.Printf("%s %s (%.1fms)", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1000)
+		})
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		// In-flight simulations are not interruptible; give handlers a
+		// moment to flush, then exit.
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+
+	where := *cacheDir
+	if where == "" {
+		where = "memory only"
+	}
+	log.Printf("ooosimd: listening on %s (workers=%d, cache=%s)", *addr, *workers, where)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ooosimd: %v", err)
+	}
+}

@@ -11,7 +11,12 @@
 // Entry points:
 //
 //   - cmd/experiments regenerates the paper's figures (-parallel N
-//     bounds the worker pool, -json FILE dumps raw run results).
+//     bounds the worker pool, -json FILE dumps raw run results,
+//     -server URL runs against an ooosimd daemon).
+//   - cmd/ooosimd serves simulation as a service: batch submission
+//     over HTTP, a shared worker pool, and a content-addressed result
+//     cache that answers previously computed points without
+//     simulation (internal/service).
 //   - cmd/ooosim runs a single configuration.
 //   - examples/ holds runnable API walkthroughs.
 //   - bench_test.go (this package) provides one benchmark per figure.

@@ -1,0 +1,89 @@
+// Service walkthrough: boot the simulation service in-process, submit
+// a batch through the Go client, watch the progress stream, then
+// resubmit and watch the content-addressed cache answer every point
+// without simulation.
+//
+//	go run ./examples/service
+//
+// Against a long-running daemon the flow is identical — start
+// `go run ./cmd/ooosimd -cache-dir /tmp/ooosim-cache` and point
+// service.Client at it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/service"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	// An in-process daemon: scheduler + HTTP handler on a loopback
+	// port. The cache here is memory-only; cmd/ooosimd adds the disk
+	// tier with -cache-dir.
+	sched := service.NewScheduler(service.SchedulerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, service.NewHandler(sched))
+	client := &service.Client{BaseURL: "http://" + ln.Addr().String()}
+	ctx := context.Background()
+
+	// A batch is declarative: configurations plus trace *recipes* —
+	// the workload ships as a few bytes and is generated (once) on the
+	// server. This one is a slice of the paper's Figure 9 grid.
+	const insts = 20_000
+	recipe := trace.Recipe{Kernel: trace.KernelFPMix, N: trace.LenFor(insts), Seed: 42}
+	var jobs []service.Job
+	for _, iq := range []int{32, 64, 128} {
+		jobs = append(jobs, service.Job{
+			Name:   fmt.Sprintf("cooo-%d", iq),
+			Config: config.CheckpointDefault(iq, 1024),
+			Trace:  recipe,
+			Insts:  insts,
+		})
+	}
+	jobs = append(jobs, service.Job{
+		Name:   "baseline-128",
+		Config: config.BaselineSized(128),
+		Trace:  recipe,
+		Insts:  insts,
+	})
+
+	run := func(label string) {
+		start := time.Now()
+		hits := 0
+		results, err := client.Run(ctx, jobs, func(ev service.Event, _ *stats.Results) {
+			if ev.Type != "result" {
+				return
+			}
+			cached := ""
+			if ev.Cached {
+				cached = "  (cached)"
+				hits++
+			}
+			fmt.Printf("  [%d/%d] %-12s done%s\n", ev.Done, ev.Total, ev.Name, cached)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d points, %d cache hits, %.2fs\n", label, len(results), hits, time.Since(start).Seconds())
+		for i, res := range results {
+			fmt.Printf("  %-12s IPC=%.3f\n", jobs[i].Name, res.IPC())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("cold submission (every point simulates):")
+	run("cold")
+	fmt.Println("warm submission (identical batch, content-addressed hits):")
+	run("warm")
+}

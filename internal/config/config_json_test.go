@@ -1,0 +1,118 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestCanonicalJSONGolden pins the canonical encoding of Default().
+// Every cache fingerprint hashes this encoding, so any drift — a
+// renamed field, a changed commit-mode spelling, a new field — must
+// show up as a failing diff and a deliberate golden update (plus a
+// sim.FingerprintVersion bump when the drift changes meaning).
+func TestCanonicalJSONGolden(t *testing.T) {
+	got, err := Default().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "default_canonical.json")
+	if *update {
+		if err := os.WriteFile(golden, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(append(got, '\n'), want) {
+		t.Errorf("canonical encoding drifted from golden file:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestConfigJSONRoundTrip: encode -> ParseJSON must reproduce the
+// struct exactly for both commit modes and survive re-encoding
+// byte-identically.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		Default(),
+		BaselineSized(128),
+		CheckpointDefault(64, 1024),
+	} {
+		data, err := cfg.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Summary(), err)
+		}
+		if back != cfg {
+			t.Errorf("%s: round trip changed the config:\n got %+v\nwant %+v", cfg.Summary(), back, cfg)
+		}
+		again, err := back.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%s: re-encoding not byte-identical", cfg.Summary())
+		}
+	}
+}
+
+// TestParseJSONRejects covers the strictness guarantees: unknown
+// fields, bad commit modes, and invalid configurations all fail.
+func TestParseJSONRejects(t *testing.T) {
+	valid, err := Default().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(valid, &m); err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func(map[string]any)) []byte {
+		var c map[string]any
+		if err := json.Unmarshal(valid, &c); err != nil {
+			t.Fatal(err)
+		}
+		f(c)
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	for name, data := range map[string][]byte{
+		"unknown field": mutate(func(c map[string]any) { c["TurboBoost"] = true }),
+		"bad mode":      mutate(func(c map[string]any) { c["Commit"] = "oracle" }),
+		"numeric mode":  mutate(func(c map[string]any) { c["Commit"] = 1 }),
+		"invalid cfg":   mutate(func(c map[string]any) { c["FetchWidth"] = 0 }),
+		"not json":      []byte("fetch=4"),
+	} {
+		if _, err := ParseJSON(data); err == nil {
+			t.Errorf("%s: ParseJSON accepted %s", name, data)
+		}
+	}
+}
+
+// TestCanonicalJSONRejectsInvalid: an invalid configuration has no
+// canonical form.
+func TestCanonicalJSONRejectsInvalid(t *testing.T) {
+	if _, err := (Config{}).CanonicalJSON(); err == nil {
+		t.Error("zero config produced a canonical encoding")
+	}
+	bad := Default()
+	bad.Commit = CommitMode(42)
+	if _, err := json.Marshal(bad); err == nil {
+		t.Error("unknown commit mode marshalled")
+	}
+}

@@ -1,0 +1,67 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the commit mode as its stable string form ("rob",
+// "checkpoint") rather than the Go enum ordinal, so the wire format and
+// every fingerprint derived from it survive enum reordering.
+func (m CommitMode) MarshalJSON() ([]byte, error) {
+	switch m {
+	case CommitROB, CommitCheckpoint:
+		return json.Marshal(m.String())
+	}
+	return nil, fmt.Errorf("config: cannot encode unknown commit mode %d", int(m))
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the string form.
+func (m *CommitMode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("config: commit mode must be a string: %w", err)
+	}
+	switch s {
+	case "rob":
+		*m = CommitROB
+	case "checkpoint":
+		*m = CommitCheckpoint
+	default:
+		return fmt.Errorf("config: unknown commit mode %q (want \"rob\" or \"checkpoint\")", s)
+	}
+	return nil
+}
+
+// CanonicalJSON returns the canonical encoding of the configuration:
+// compact JSON with fields in declaration order and the commit mode as
+// a string. This is the config half of a simulation fingerprint
+// (sim.Fingerprint) and the API wire format, so it must not drift — a
+// golden-file test pins the encoding of Default().
+//
+// The configuration is validated first: an invalid configuration has no
+// canonical form (it could never produce a result worth caching).
+func (c Config) CanonicalJSON() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(c)
+}
+
+// ParseJSON decodes and validates a configuration. Unknown fields are
+// rejected: a client sending a field this server does not model must
+// hear about it, not silently get the default behaviour (and a wrong
+// cache key).
+func ParseJSON(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -14,7 +14,7 @@ import (
 // test snapshots every instruction before the run and compares after.
 func TestRunNeverMutatesTrace(t *testing.T) {
 	const insts = 3_000
-	n := insts + insts/5 + 4096
+	n := trace.LenFor(insts)
 	for _, tc := range []struct {
 		name string
 		cfg  config.Config

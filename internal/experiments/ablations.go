@@ -39,7 +39,10 @@ type variant = struct {
 // sweep runs a set of labelled configurations over the suite in one
 // engine submission.
 func (o Options) sweep(ctx context.Context, title string, variants []variant) (AblationResult, error) {
-	suite := o.suite()
+	suite, err := o.suite()
+	if err != nil {
+		return AblationResult{}, err
+	}
 	points := make([]point, len(variants))
 	for i, v := range variants {
 		points[i] = point{cfg: v.cfg}

@@ -36,11 +36,18 @@ type Options struct {
 	// Workers bounds the sweep worker pool; <= 0 uses GOMAXPROCS.
 	Workers int
 	// Progress, when non-nil, receives one line per completed run (in
-	// completion order when Workers > 1).
-	Progress func(line string)
+	// completion order when Workers > 1) plus the sweep's completion
+	// count — done runs out of total — so callers can render real
+	// progress/ETA.
+	Progress func(done, total int, line string)
 	// Record, when non-nil, receives every completed run for machine
 	// consumption (cmd/experiments -json). Calls are serialised.
 	Record func(RunRecord)
+	// Runner, when non-nil, replaces the in-process sweep engine for
+	// every figure: cmd/experiments -server installs the simulation
+	// service client's remote runner here, so the same figure code runs
+	// against a warm remote cache. Nil means sim.Sweep.
+	Runner func(ctx context.Context, specs []sim.RunSpec, opt sim.Options) ([]stats.Results, error)
 
 	// cache, when set by WithTraceCache, shares generated suite traces
 	// across figures.
@@ -73,13 +80,16 @@ func (o Options) withDefaults() Options {
 // traceMargin is the extra trace length beyond the committed-instruction
 // target so runs never exhaust the trace.
 func traceMargin(insts uint64) int {
-	return int(insts) + int(insts)/5 + 4096
+	return trace.LenFor(insts)
 }
 
-// Benchmark is one suite member: a named workload generator.
+// Benchmark is one suite member: a named workload, available both as a
+// materialised trace (Gen) and as its declarative identity (Recipe —
+// what -server ships instead of megabytes of instruction stream).
 type Benchmark struct {
-	Name string
-	Gen  func(n int) *trace.Trace
+	Name   string
+	Gen    func(n int) *trace.Trace
+	Recipe func(n int) trace.Recipe
 }
 
 // SuiteBenchmarks returns the evaluation suite, the synthetic stand-in
@@ -88,12 +98,18 @@ type Benchmark struct {
 // blocked kernel, and the mixed composite.
 func SuiteBenchmarks(seed uint64) []Benchmark {
 	return []Benchmark{
-		{"stream", trace.Stream},
-		{"strided", func(n int) *trace.Trace { return trace.StridedStream(n, 8) }},
-		{"stencil", trace.Stencil},
-		{"reduction", trace.Reduction},
-		{"blocked", trace.Blocked},
-		{"fpmix", func(n int) *trace.Trace { return trace.FPMix(n, seed) }},
+		{"stream", trace.Stream,
+			func(n int) trace.Recipe { return trace.Recipe{Kernel: trace.KernelStream, N: n} }},
+		{"strided", func(n int) *trace.Trace { return trace.StridedStream(n, 8) },
+			func(n int) trace.Recipe { return trace.Recipe{Kernel: trace.KernelStrided, N: n, Stride: 8} }},
+		{"stencil", trace.Stencil,
+			func(n int) trace.Recipe { return trace.Recipe{Kernel: trace.KernelStencil, N: n} }},
+		{"reduction", trace.Reduction,
+			func(n int) trace.Recipe { return trace.Recipe{Kernel: trace.KernelReduction, N: n} }},
+		{"blocked", trace.Blocked,
+			func(n int) trace.Recipe { return trace.Recipe{Kernel: trace.KernelBlocked, N: n} }},
+		{"fpmix", func(n int) *trace.Trace { return trace.FPMix(n, seed) },
+			func(n int) trace.Recipe { return trace.Recipe{Kernel: trace.KernelFPMix, N: n, Seed: seed} }},
 	}
 }
 
@@ -118,31 +134,48 @@ func (o Options) WithTraceCache() Options {
 	return o
 }
 
-// suite materialises the benchmark traces (once per experiment, or once
-// per process under WithTraceCache).
-func (o Options) suite() []suiteTrace {
+// suite returns the benchmark traces. With an in-process runner they
+// are materialised (once per experiment, or once per process under
+// WithTraceCache); with a remote Runner only the recipes are needed —
+// the server regenerates (and memoises) the workloads itself — so a
+// warm remote rerun skips local generation entirely.
+func (o Options) suite() ([]suiteTrace, error) {
+	if o.Runner != nil {
+		return buildSuite(o.Insts, o.Seed, true)
+	}
 	if o.cache != nil {
 		o.cache.mu.Lock()
 		defer o.cache.mu.Unlock()
 		key := suiteKey{o.Insts, o.Seed}
 		if ts, ok := o.cache.traces[key]; ok {
-			return ts
+			return ts, nil
 		}
-		ts := buildSuite(o.Insts, o.Seed)
+		ts, err := buildSuite(o.Insts, o.Seed, false)
+		if err != nil {
+			return nil, err
+		}
 		o.cache.traces[key] = ts
-		return ts
+		return ts, nil
 	}
-	return buildSuite(o.Insts, o.Seed)
+	return buildSuite(o.Insts, o.Seed, false)
 }
 
-func buildSuite(insts, seed uint64) []suiteTrace {
+func buildSuite(insts, seed uint64, recipeOnly bool) ([]suiteTrace, error) {
 	bs := SuiteBenchmarks(seed)
 	out := make([]suiteTrace, len(bs))
 	n := traceMargin(insts)
 	for i, b := range bs {
-		out[i] = suiteTrace{name: b.Name, tr: b.Gen(n)}
+		if recipeOnly {
+			tr, err := trace.RecipeOnly(b.Recipe(n))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+			}
+			out[i] = suiteTrace{name: b.Name, tr: tr}
+		} else {
+			out[i] = suiteTrace{name: b.Name, tr: b.Gen(n)}
+		}
 	}
-	return out
+	return out, nil
 }
 
 type suiteTrace struct {
@@ -182,7 +215,11 @@ func (o Options) runPoints(ctx context.Context, points []point, suite []suiteTra
 			})
 		}
 	}
-	flat, err := sim.Sweep(ctx, specs, sopt)
+	run := o.Runner
+	if run == nil {
+		run = sim.Sweep
+	}
+	flat, err := run(ctx, specs, sopt)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -36,8 +37,14 @@ func TestSuiteBenchmarks(t *testing.T) {
 
 func TestTraceCacheSharesSuite(t *testing.T) {
 	opt := quickOpts().WithTraceCache()
-	a := opt.suite()
-	b := opt.suite()
+	a, err := opt.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := opt.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a) != len(b) {
 		t.Fatalf("suite sizes differ: %d vs %d", len(a), len(b))
 	}
@@ -48,8 +55,48 @@ func TestTraceCacheSharesSuite(t *testing.T) {
 	}
 	// Without the cache each call generates fresh traces.
 	plain := quickOpts()
-	if plain.suite()[0].tr == plain.suite()[0].tr {
+	p1, err := plain.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := plain.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1[0].tr == p2[0].tr {
 		t.Error("uncached suites unexpectedly share trace pointers")
+	}
+}
+
+// TestRemoteSuiteSkipsMaterialisation: with a Runner installed the
+// suite carries recipe-only traces (identity without the instruction
+// stream), matching what the suite's Gen would have produced.
+func TestRemoteSuiteSkipsMaterialisation(t *testing.T) {
+	opt := quickOpts()
+	opt.Runner = func(_ context.Context, _ []sim.RunSpec, _ sim.Options) ([]stats.Results, error) {
+		return nil, nil
+	}
+	remote, err := opt.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range remote {
+		if st.tr.Len() != 0 {
+			t.Errorf("%s: remote suite materialised %d instructions", st.name, st.tr.Len())
+		}
+		if _, ok := st.tr.Recipe(); !ok {
+			t.Errorf("%s: remote suite trace has no recipe", st.name)
+		}
+	}
+	// Recipe and Gen must describe the same workload.
+	for _, b := range SuiteBenchmarks(1) {
+		r, ok := b.Gen(2000).Recipe()
+		if !ok {
+			t.Fatalf("%s: generated trace has no recipe", b.Name)
+		}
+		if want := b.Recipe(2000); r != want {
+			t.Errorf("%s: Gen recipe %+v != declared recipe %+v", b.Name, r, want)
+		}
 	}
 }
 
@@ -64,10 +111,13 @@ func TestTable1(t *testing.T) {
 
 func TestRunPointsPropagatesErrors(t *testing.T) {
 	opt := quickOpts()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The zero config is invalid; the engine must surface the
 	// validation error instead of panicking.
-	_, err := opt.runPoints(ctx(), []point{{}}, suite)
+	_, err = opt.runPoints(ctx(), []point{{}}, suite)
 	if err == nil {
 		t.Fatal("invalid configuration did not produce an error")
 	}

@@ -28,7 +28,10 @@ type Figure1Result struct {
 // the paper's caption notes).
 func Figure1(ctx context.Context, opt Options) (Figure1Result, error) {
 	opt = opt.withDefaults()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return Figure1Result{}, err
+	}
 
 	var points []point
 	for _, w := range Figure1Windows {

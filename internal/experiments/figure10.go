@@ -22,7 +22,10 @@ type Figure10Result struct {
 // Figure10 measures sensitivity to the wake start-up delay.
 func Figure10(ctx context.Context, opt Options) (Figure10Result, error) {
 	opt = opt.withDefaults()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return Figure10Result{}, err
+	}
 
 	var points []point
 	for _, iq := range Figure9IQs {

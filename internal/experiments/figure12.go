@@ -22,7 +22,10 @@ type Figure12Result struct {
 // finished/hitting loads, L2-missing loads, and stores.
 func Figure12(ctx context.Context, opt Options) (Figure12Result, error) {
 	opt = opt.withDefaults()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return Figure12Result{}, err
+	}
 
 	var points []point
 	for _, sliq := range Figure9SLIQs {

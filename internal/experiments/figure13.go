@@ -35,7 +35,10 @@ func figure13Config(ckpts int) config.Config {
 // variable.
 func Figure13(ctx context.Context, opt Options) (Figure13Result, error) {
 	opt = opt.withDefaults()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return Figure13Result{}, err
+	}
 
 	limit := config.BaselineSized(4096)
 	limit.IntQueueEntries = 2048

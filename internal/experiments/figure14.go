@@ -34,7 +34,10 @@ type Figure14Result struct {
 // approach the unconstrained limit.
 func Figure14(ctx context.Context, opt Options) (Figure14Result, error) {
 	opt = opt.withDefaults()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return Figure14Result{}, err
+	}
 
 	var points []point
 	for _, lat := range Figure14Latencies {

@@ -40,7 +40,10 @@ type Figure7Result struct {
 // blocked-short.
 func Figure7(ctx context.Context, opt Options) (Figure7Result, error) {
 	opt = opt.withDefaults()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return Figure7Result{}, err
+	}
 
 	cfg := config.BaselineSized(2048)
 	cfg.MemoryLatency = 500

@@ -40,7 +40,10 @@ type Figure9Result struct {
 // also produce Figure 11's average in-flight instruction counts.
 func Figure9(ctx context.Context, opt Options) (Figure9Result, error) {
 	opt = opt.withDefaults()
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return Figure9Result{}, err
+	}
 
 	var points []point
 	for _, sliq := range Figure9SLIQs {

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// Batch states.
+const (
+	// StateRunning: points are still executing (or queued).
+	StateRunning = "running"
+	// StateDone: every point completed (check Errors for failures).
+	StateDone = "done"
+)
+
+// Event is one entry in a batch's progress stream. The stream carries
+// one "result" or "error" event per point (in completion order) and a
+// final "done" event; subscribers joining late replay the full history,
+// so the stream is complete from any starting moment.
+type Event struct {
+	// Type is "result", "error" or "done".
+	Type string `json:"type"`
+	// Index is the point's position in the submitted batch (-1 on the
+	// final "done" event).
+	Index int `json:"index"`
+	// Name labels the point (Job.Name or the recipe kernel).
+	Name string `json:"name,omitempty"`
+	// Cached is true when this submission performed no simulation for
+	// the point: a cache hit (at submission or in flight) or a
+	// deduplication against a concurrent identical run.
+	Cached bool `json:"cached,omitempty"`
+	// Done and Total report batch completion: Done points (including
+	// this one) out of Total.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Error carries the point's failure ("error" events only).
+	Error string `json:"error,omitempty"`
+	// Results is the point's marshalled stats.Results ("result" events
+	// only), verbatim from the simulator or the cache.
+	Results json.RawMessage `json:"results,omitempty"`
+}
+
+// BatchStatus is the poll-endpoint snapshot of a batch.
+type BatchStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Total int    `json:"total"`
+	Done  int    `json:"done"`
+	// CacheHits counts points that needed no simulation from this
+	// submission (cache hits plus deduplicated concurrent runs).
+	CacheHits int `json:"cache_hits"`
+	// Errors lists failed points; empty means every completed point
+	// succeeded.
+	Errors []string `json:"errors,omitempty"`
+	// Results holds the marshalled stats.Results per point, in
+	// submission order; entries are null until the point completes (or
+	// if it failed).
+	Results []json.RawMessage `json:"results,omitempty"`
+}
+
+// Batch tracks one submitted job list through execution.
+type Batch struct {
+	id   string
+	jobs []Job
+	fps  []string
+
+	mu      sync.Mutex
+	state   string
+	done    int
+	hits    int
+	errs    []string
+	results []json.RawMessage
+	events  []Event
+	changed chan struct{} // closed-and-replaced on every event
+}
+
+func newBatch(id string, jobs []Job, fps []string) *Batch {
+	return &Batch{
+		id:      id,
+		jobs:    jobs,
+		fps:     fps,
+		state:   StateRunning,
+		results: make([]json.RawMessage, len(jobs)),
+		changed: make(chan struct{}),
+	}
+}
+
+// ID returns the batch identifier.
+func (b *Batch) ID() string { return b.id }
+
+// complete records one finished point and publishes its event (plus the
+// final "done" event when it is the last).
+func (b *Batch) complete(i int, raw json.RawMessage, cached bool, err error) {
+	b.mu.Lock()
+	defer func() {
+		close(b.changed)
+		b.changed = make(chan struct{})
+		b.mu.Unlock()
+	}()
+	b.done++
+	ev := Event{
+		Index: i,
+		Name:  b.jobs[i].label(),
+		Done:  b.done,
+		Total: len(b.jobs),
+	}
+	if err != nil {
+		ev.Type = "error"
+		ev.Error = err.Error()
+		b.errs = append(b.errs, b.jobs[i].label()+": "+err.Error())
+	} else {
+		ev.Type = "result"
+		ev.Cached = cached
+		ev.Results = raw
+		b.results[i] = raw
+		if cached {
+			b.hits++
+		}
+	}
+	b.events = append(b.events, ev)
+	if b.done == len(b.jobs) {
+		b.state = StateDone
+		b.events = append(b.events, Event{Type: "done", Index: -1, Done: b.done, Total: len(b.jobs)})
+	}
+}
+
+// Status returns a snapshot of the batch.
+func (b *Batch) Status() BatchStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BatchStatus{
+		ID:        b.id,
+		State:     b.state,
+		Total:     len(b.jobs),
+		Done:      b.done,
+		CacheHits: b.hits,
+		Errors:    append([]string(nil), b.errs...),
+		Results:   append([]json.RawMessage(nil), b.results...),
+	}
+	return st
+}
+
+// WaitEvent blocks until event i exists and returns it. ok is false
+// when the batch finished before producing an i'th event (the stream's
+// end) — iterate i upward from 0 to consume the full stream, history
+// and live tail alike.
+func (b *Batch) WaitEvent(ctx context.Context, i int) (ev Event, ok bool, err error) {
+	for {
+		b.mu.Lock()
+		if i < len(b.events) {
+			ev := b.events[i]
+			b.mu.Unlock()
+			return ev, true, nil
+		}
+		if b.state != StateRunning {
+			b.mu.Unlock()
+			return Event{}, false, nil
+		}
+		ch := b.changed
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return Event{}, false, ctx.Err()
+		}
+	}
+}
+
+// Wait blocks until every point completed (or ctx expires) and returns
+// the final status.
+func (b *Batch) Wait(ctx context.Context) (BatchStatus, error) {
+	for i := 0; ; i++ {
+		_, ok, err := b.WaitEvent(ctx, i)
+		if err != nil {
+			return BatchStatus{}, err
+		}
+		if !ok {
+			return b.Status(), nil
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultCacheEntries is the in-memory tier's default capacity.
+const DefaultCacheEntries = 4096
+
+// Cache is the two-tier content-addressed result store: an in-memory
+// LRU over the marshalled stats.Results of recently touched points, and
+// an optional on-disk JSON store holding every point ever computed.
+// Keys are sim.Fingerprint addresses, so a hit is exactly "this point
+// was simulated before, under identical semantics" — simulation is
+// deterministic, and the cache returns the stored bytes verbatim, so a
+// hit is byte-identical to recomputation.
+//
+// Values are raw JSON messages rather than decoded structs: the HTTP
+// layer streams them without re-encoding, and byte-identity is trivial
+// to preserve. Callers must treat returned messages as immutable.
+//
+// Disk layout under dir (see NewCache): one file per point at
+// <dir>/<fp[:2]>/<fp>.json, sharded by fingerprint prefix so no single
+// directory grows unboundedly. Files are written via temp-and-rename,
+// so a crashed daemon never leaves a torn entry behind.
+type Cache struct {
+	dir string
+
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of *cacheItem; front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	raw json.RawMessage
+}
+
+// NewCache builds a cache whose memory tier holds up to memEntries
+// results (<= 0 uses DefaultCacheEntries). dir is the disk tier's root;
+// empty disables the disk tier (memory-only, evicted results are
+// recomputed on next miss).
+func NewCache(memEntries int, dir string) (*Cache, error) {
+	if memEntries <= 0 {
+		memEntries = DefaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		dir:   dir,
+		cap:   memEntries,
+		lru:   list.New(),
+		items: map[string]*list.Element{},
+	}, nil
+}
+
+// Get returns the stored result bytes for the fingerprint, promoting a
+// disk hit into the memory tier.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	if e, ok := c.items[key]; ok {
+		c.lru.MoveToFront(e)
+		raw := e.Value.(*cacheItem).raw
+		c.mu.Unlock()
+		return raw, true
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil || !json.Valid(raw) {
+		// A missing file is the common miss; an unreadable or corrupt
+		// one is treated the same — the point just recomputes.
+		return nil, false
+	}
+	c.putMem(key, raw)
+	return raw, true
+}
+
+// Put stores a computed result under its fingerprint in both tiers.
+func (c *Cache) Put(key string, raw json.RawMessage) error {
+	c.putMem(key, raw)
+	if c.dir == "" {
+		return nil
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("service: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key[:8]+".tmp*")
+	if err != nil {
+		return fmt.Errorf("service: cache put: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache put: %w", err)
+	}
+	return nil
+}
+
+// MemLen returns the number of entries resident in the memory tier.
+func (c *Cache) MemLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache) putMem(key string, raw json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.lru.MoveToFront(e)
+		e.Value.(*cacheItem).raw = raw
+		return
+	}
+	c.items[key] = c.lru.PushFront(&cacheItem{key: key, raw: raw})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}

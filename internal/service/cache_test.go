@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeKey fabricates a well-formed fingerprint (64 hex chars).
+func fakeKey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func fakeVal(i int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"Cycles":%d}`, i))
+}
+
+// TestCacheLRUEviction: a memory-only cache holds exactly cap entries;
+// the least recently used one falls out, and touching an entry
+// protects it.
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.Put(fakeKey(i), fakeVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, ok := c.Get(fakeKey(0)); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	if err := c.Put(fakeKey(2), fakeVal(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemLen() != 2 {
+		t.Errorf("memory tier holds %d entries, want 2", c.MemLen())
+	}
+	if _, ok := c.Get(fakeKey(1)); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, i := range []int{0, 2} {
+		raw, ok := c.Get(fakeKey(i))
+		if !ok || !bytes.Equal(raw, fakeVal(i)) {
+			t.Errorf("entry %d lost or corrupted: %s", i, raw)
+		}
+	}
+}
+
+// TestCacheDiskRoundTrip: entries survive process restart (a new Cache
+// over the same dir), evicted entries re-load from disk, and a disk
+// hit promotes back into the memory tier.
+func TestCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fakeKey(0), fakeVal(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fakeKey(1), fakeVal(1)); err != nil {
+		t.Fatal(err) // evicts key 0 from memory; disk keeps it
+	}
+	if raw, ok := c.Get(fakeKey(0)); !ok || !bytes.Equal(raw, fakeVal(0)) {
+		t.Errorf("evicted entry did not reload from disk: %s", raw)
+	}
+
+	// A fresh cache over the same directory sees every entry.
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		raw, ok := c2.Get(fakeKey(i))
+		if !ok || !bytes.Equal(raw, fakeVal(i)) {
+			t.Errorf("restart lost entry %d: %s", i, raw)
+		}
+	}
+	if c2.MemLen() != 2 {
+		t.Errorf("disk hits did not promote: memory tier holds %d, want 2", c2.MemLen())
+	}
+
+	// Layout: sharded by fingerprint prefix.
+	want := filepath.Join(dir, fakeKey(0)[:2], fakeKey(0)+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Errorf("expected disk layout %s: %v", want, err)
+	}
+	// No stray temp files left behind.
+	var stray []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.Contains(filepath.Base(path), ".tmp") {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if len(stray) > 0 {
+		t.Errorf("temp files left behind: %v", stray)
+	}
+}
+
+// TestCacheCorruptDiskEntry: a torn or garbage file is a miss, not an
+// error or a poisoned result.
+func TestCacheCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey(0)
+	if err := c.Put(key, fakeVal(0)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(path, []byte(`{"Cycles":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Error("corrupt disk entry served as a hit")
+	}
+}
+
+// TestCacheMemoryOnly: without a dir, eviction is final.
+func TestCacheMemoryOnly(t *testing.T) {
+	c, err := NewCache(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(fakeKey(0), fakeVal(0))
+	c.Put(fakeKey(1), fakeVal(1))
+	if _, ok := c.Get(fakeKey(0)); ok {
+		t.Error("memory-only cache resurrected an evicted entry")
+	}
+}

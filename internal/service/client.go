@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Client talks to an ooosimd daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient (tests, timeouts).
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// decodeError surfaces the server's JSON error body.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var ae apiError
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("service: server: %s (%s)", ae.Error, resp.Status)
+	}
+	return fmt.Errorf("service: server returned %s", resp.Status)
+}
+
+// Submit posts a batch and returns its submission-time status (cache
+// hits are already complete in it).
+func (c *Client) Submit(ctx context.Context, jobs []Job) (BatchStatus, error) {
+	body, err := json.Marshal(submitRequest{Jobs: jobs})
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/batches"), bytes.NewReader(body))
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return BatchStatus{}, decodeError(resp)
+	}
+	var st BatchStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return BatchStatus{}, fmt.Errorf("service: decode submit response: %w", err)
+	}
+	return st, nil
+}
+
+// Status polls a batch.
+func (c *Client) Status(ctx context.Context, id string) (BatchStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/batches/"+id), nil)
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return BatchStatus{}, decodeError(resp)
+	}
+	var st BatchStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return BatchStatus{}, fmt.Errorf("service: decode status: %w", err)
+	}
+	return st, nil
+}
+
+// Stream consumes a batch's NDJSON progress stream from the beginning
+// (the server replays history), invoking fn per event until the final
+// "done" event, a callback error, or ctx expiry.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/batches/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // occupancy histograms are large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("service: decode event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Type == "done" {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: event stream: %w", err)
+	}
+	return fmt.Errorf("service: event stream ended before the batch finished")
+}
+
+// Run submits a batch, consumes its progress stream, and returns the
+// decoded per-point results in submission order. onEvent, when
+// non-nil, receives every event; for "result" events it also gets the
+// decoded results (each point is decoded exactly once — occupancy
+// histograms make Results expensive to re-parse). Any failed point
+// fails the whole call.
+func (c *Client) Run(ctx context.Context, jobs []Job, onEvent func(Event, *stats.Results)) ([]stats.Results, error) {
+	st, err := c.Submit(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stats.Results, len(jobs))
+	got := make([]bool, len(jobs))
+	var pointErrs []string
+	err = c.Stream(ctx, st.ID, func(ev Event) error {
+		var res *stats.Results
+		switch ev.Type {
+		case "result":
+			if ev.Index >= 0 && ev.Index < len(out) {
+				if err := json.Unmarshal(ev.Results, &out[ev.Index]); err != nil {
+					return fmt.Errorf("service: batch %s: decode point %d: %w", st.ID, ev.Index, err)
+				}
+				got[ev.Index] = true
+				res = &out[ev.Index]
+			}
+		case "error":
+			pointErrs = append(pointErrs, fmt.Sprintf("%s: %s", ev.Name, ev.Error))
+		}
+		if onEvent != nil {
+			onEvent(ev, res)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(pointErrs) > 0 {
+		return nil, fmt.Errorf("service: batch %s: %d point(s) failed: %s",
+			st.ID, len(pointErrs), strings.Join(pointErrs, "; "))
+	}
+	for i := range got {
+		if !got[i] {
+			return nil, fmt.Errorf("service: batch %s: point %d produced no result", st.ID, i)
+		}
+	}
+	return out, nil
+}
+
+// SweepRunner adapts the client to the sweep-engine signature
+// (experiments.Options.Runner): the same figure code then executes
+// against the remote daemon's warm cache instead of the in-process
+// pool. Progress and OnResult callbacks fire per streamed event, with
+// cache hits marked in the progress line.
+func (c *Client) SweepRunner() func(ctx context.Context, specs []sim.RunSpec, opt sim.Options) ([]stats.Results, error) {
+	return func(ctx context.Context, specs []sim.RunSpec, opt sim.Options) ([]stats.Results, error) {
+		jobs := make([]Job, len(specs))
+		for i, spec := range specs {
+			j, err := JobFromSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+			jobs[i] = j
+		}
+		var onEvent func(Event, *stats.Results)
+		if opt.Progress != nil || opt.OnResult != nil {
+			onEvent = func(ev Event, res *stats.Results) {
+				if res == nil {
+					return // not a result event
+				}
+				spec := specs[ev.Index]
+				if opt.Progress != nil {
+					line := sim.ProgressLine(spec, *res)
+					if ev.Cached {
+						line += "  (cached)"
+					}
+					opt.Progress(ev.Done, ev.Total, line)
+				}
+				if opt.OnResult != nil {
+					opt.OnResult(spec, *res)
+				}
+			}
+		}
+		return c.Run(ctx, jobs, onEvent)
+	}
+}

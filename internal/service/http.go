@@ -1,0 +1,89 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// API wire types.
+type submitRequest struct {
+	Jobs []Job `json:"jobs"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the daemon's HTTP API over the scheduler:
+//
+//	POST /v1/batches             submit a batch ({"jobs":[...]}),
+//	                             202 + BatchStatus (hits already done)
+//	GET  /v1/batches/{id}        poll a batch, 200 + BatchStatus
+//	GET  /v1/batches/{id}/events NDJSON progress stream: full history
+//	                             replayed, then live events, closed
+//	                             after the final "done" event
+//	GET  /healthz                liveness probe
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("POST /v1/batches", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+			return
+		}
+		b, err := s.Submit(req.Jobs)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, b.Status())
+	})
+
+	mux.HandleFunc("GET /v1/batches/{id}", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.Batch(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, apiError{Error: "no such batch"})
+			return
+		}
+		writeJSON(w, http.StatusOK, b.Status())
+	})
+
+	mux.HandleFunc("GET /v1/batches/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.Batch(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, apiError{Error: "no such batch"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		rc := http.NewResponseController(w)
+		enc := json.NewEncoder(w)
+		for i := 0; ; i++ {
+			ev, ok, err := b.WaitEvent(r.Context(), i)
+			if err != nil || !ok {
+				return // client went away, or stream complete
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			rc.Flush()
+		}
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

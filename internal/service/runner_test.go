@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TestSweepRunnerMatchesLocalSweep: the remote runner is a drop-in for
+// sim.Sweep — same results, same callback contract — which is what
+// lets every figure run against a daemon unchanged.
+func TestSweepRunnerMatchesLocalSweep(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewScheduler(SchedulerOptions{Workers: 2})))
+	defer srv.Close()
+	runner := (&Client{BaseURL: srv.URL}).SweepRunner()
+
+	const insts = 1500
+	n := trace.LenFor(insts)
+	traces := []*trace.Trace{trace.Stream(n), trace.FPMix(n, 42)}
+	var specs []sim.RunSpec
+	for _, cfg := range []config.Config{config.BaselineSized(128), config.CheckpointDefault(64, 512)} {
+		for _, tr := range traces {
+			specs = append(specs, sim.RunSpec{Name: tr.Name(), Config: cfg, Trace: tr, Insts: insts})
+		}
+	}
+	ctx := context.Background()
+
+	local, err := sim.Sweep(ctx, specs, sim.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lines, records int
+	remote, err := runner(ctx, specs, sim.Options{
+		Progress: func(done, total int, line string) {
+			lines++
+			if total != len(specs) || done < 1 || done > total {
+				t.Errorf("progress (%d,%d) out of range", done, total)
+			}
+		},
+		OnResult: func(spec sim.RunSpec, res stats.Results) { records++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != len(specs) || records != len(specs) {
+		t.Errorf("callbacks fired %d/%d times, want %d each", lines, records, len(specs))
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote returned %d results, want %d", len(remote), len(local))
+	}
+	for i := range local {
+		if !remote[i].Equal(local[i]) {
+			t.Errorf("spec %d (%s): remote results differ from local sweep", i, specs[i].Name)
+		}
+	}
+
+	// A recipe-less trace cannot ship: the runner must refuse it.
+	w := trace.DefaultWeights()
+	w.Stream++
+	anon := sim.RunSpec{Name: "anon", Config: config.BaselineSized(128), Trace: trace.Mix(n, 1, w), Insts: insts}
+	if _, err := runner(ctx, []sim.RunSpec{anon}, sim.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "recipe") {
+		t.Errorf("recipe-less spec error: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SchedulerOptions tunes a Scheduler.
+type SchedulerOptions struct {
+	// Workers bounds the simulation pool shared across every in-flight
+	// batch; <= 0 uses GOMAXPROCS. Cache lookups and event delivery
+	// never occupy a worker slot — only actual simulation does.
+	Workers int
+	// Cache is the result store; nil builds a memory-only cache with
+	// DefaultCacheEntries.
+	Cache *Cache
+	// MaxBatches bounds how many finished batches stay pollable before
+	// the oldest are forgotten; <= 0 uses 256.
+	MaxBatches int
+}
+
+// Scheduler executes batches of Jobs. Submission splits each batch into
+// cache hits (answered immediately, no simulation) and misses; misses
+// run through the simulator on the shared bounded pool, deduplicated by
+// fingerprint so concurrent identical submissions — within one batch or
+// across batches — simulate once and share the result.
+type Scheduler struct {
+	cache  *Cache
+	sem    chan struct{}
+	flight flightGroup
+	traces traceCache
+
+	// run executes one materialised point; sim.Run in production, a
+	// counting wrapper in tests.
+	run func(sim.RunSpec) (stats.Results, error)
+
+	mu         sync.Mutex
+	batches    map[string]*Batch
+	order      []string // submission order, for bounded retention
+	nextID     int
+	maxBatches int
+}
+
+// NewScheduler builds a scheduler.
+func NewScheduler(opt SchedulerOptions) *Scheduler {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache, _ = NewCache(0, "") // memory-only construction cannot fail
+	}
+	maxBatches := opt.MaxBatches
+	if maxBatches <= 0 {
+		maxBatches = 256
+	}
+	return &Scheduler{
+		cache:      cache,
+		sem:        make(chan struct{}, workers),
+		run:        sim.Run,
+		batches:    map[string]*Batch{},
+		maxBatches: maxBatches,
+	}
+}
+
+// Submit validates and fingerprints every job, registers the batch, and
+// returns it with cache hits already completed; misses execute
+// asynchronously on the shared pool. An invalid job rejects the whole
+// batch (nothing runs).
+func (s *Scheduler) Submit(jobs []Job) (*Batch, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("service: empty batch")
+	}
+	fps := make([]string, len(jobs))
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("service: job %d (%s): %w", i, j.label(), err)
+		}
+		fp, err := j.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("service: job %d (%s): %w", i, j.label(), err)
+		}
+		fps[i] = fp
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	b := newBatch(fmt.Sprintf("b%d", s.nextID), append([]Job(nil), jobs...), fps)
+	s.batches[b.id] = b
+	s.order = append(s.order, b.id)
+	for len(s.order) > s.maxBatches {
+		// Only retire finished batches; a pathological flood of
+		// still-running batches stays addressable.
+		victim := s.batches[s.order[0]]
+		if victim != nil && victim.Status().State == StateRunning {
+			break
+		}
+		delete(s.batches, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.mu.Unlock()
+
+	for i := range b.jobs {
+		if raw, ok := s.cache.Get(fps[i]); ok {
+			b.complete(i, raw, true, nil)
+		} else {
+			go s.runJob(b, i)
+		}
+	}
+	return b, nil
+}
+
+// Batch returns a previously submitted batch by ID.
+func (s *Scheduler) Batch(id string) (*Batch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	return b, ok
+}
+
+// runJob executes one cache miss: singleflight by fingerprint, then a
+// worker slot, then trace materialisation and simulation, then cache
+// fill. The result lands in the batch whatever the path. A point that
+// avoided simulation after all — the in-flight cache re-check hit, or
+// the flight deduplicated us against another submission's run — still
+// reports as cached.
+func (s *Scheduler) runJob(b *Batch, i int) {
+	job, fp := b.jobs[i], b.fps[i]
+	lateHit := false
+	raw, shared, err := s.flight.Do(fp, func() (json.RawMessage, error) {
+		// Re-check under the flight: another submission may have
+		// finished (and cached) this point between our Get and here.
+		if raw, ok := s.cache.Get(fp); ok {
+			lateHit = true
+			return raw, nil
+		}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		tr, err := s.traces.get(job.Trace)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.run(sim.RunSpec{
+			Name:             job.label(),
+			Config:           job.Config,
+			Trace:            tr,
+			Insts:            job.Insts,
+			CollectOccupancy: job.CollectOccupancy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.cache.Put(fp, raw); err != nil {
+			// A cache-fill failure (disk full, permissions) must not
+			// fail the run: the result is in hand.
+			return raw, nil
+		}
+		return raw, nil
+	})
+	b.complete(i, raw, err == nil && (shared || lateHit), err)
+}
+
+// traceCache memoises materialised traces by canonical recipe string so
+// a batch sweeping many configurations over few workloads generates
+// each workload once. Generation is deduplicated per recipe; the memo
+// is dropped wholesale when it grows past a bound (distinct recipes are
+// few in practice — a figure uses six).
+type traceCache struct {
+	mu sync.Mutex
+	m  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// traceCacheLimit bounds the memo; 64 recipes at figure sizes is a few
+// hundred MB, the most a daemon should pin for workload reuse.
+const traceCacheLimit = 64
+
+func (tc *traceCache) get(r trace.Recipe) (*trace.Trace, error) {
+	key := r.String()
+	tc.mu.Lock()
+	if tc.m == nil {
+		tc.m = map[string]*traceEntry{}
+	}
+	e, ok := tc.m[key]
+	if !ok {
+		if len(tc.m) >= traceCacheLimit {
+			tc.m = map[string]*traceEntry{}
+		}
+		e = &traceEntry{}
+		tc.m[key] = e
+	}
+	tc.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = r.Materialise() })
+	return e.tr, e.err
+}

@@ -1,0 +1,96 @@
+// Package service turns the simulator into a simulation-as-a-service
+// subsystem layered on internal/sim: clients submit batches of
+// declarative simulation points, a shared bounded worker pool executes
+// the cache misses, and a content-addressed result cache returns every
+// previously computed point without simulation.
+//
+// The pieces, bottom to top:
+//
+//   - Cache: a two-tier (in-memory LRU + on-disk JSON) store keyed by
+//     sim.Fingerprint content addresses.
+//   - Scheduler: splits submitted batches into cache hits and misses,
+//     runs misses through the simulator on one bounded pool shared by
+//     all in-flight batches (with singleflight dedupe of identical
+//     points), and publishes per-point completion events.
+//   - NewHandler / Client: the HTTP daemon surface (cmd/ooosimd) and
+//     the Go client used by cmd/experiments -server.
+//
+// Batches are declarative: a Job carries a config.Config and a
+// trace.Recipe, never a materialised trace, so a cache hit skips both
+// the simulation and the workload generation. Recipes are bounded
+// (trace.MaxRecipeInsts), which caps the per-point budget a remote
+// batch can request.
+//
+// Submitted points are not cancellable: once a batch is accepted its
+// misses run to completion even if every client disconnects. That is
+// deliberate — simulation is deterministic and results land in the
+// content-addressed cache, so finished work is never wasted; it
+// answers the next identical submission for free.
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Job is one simulation point in wire form: the declarative equivalent
+// of a sim.RunSpec, with the trace replaced by its generation recipe.
+type Job struct {
+	// Name labels the point in progress events; defaults to the
+	// recipe's kernel name.
+	Name string `json:"name,omitempty"`
+	// Config is the processor configuration.
+	Config config.Config `json:"config"`
+	// Trace is the workload's generation recipe.
+	Trace trace.Recipe `json:"trace"`
+	// Insts is the committed-instruction target (0 runs the full
+	// trace).
+	Insts uint64 `json:"insts,omitempty"`
+	// CollectOccupancy enables the full occupancy distribution.
+	CollectOccupancy bool `json:"collect_occupancy,omitempty"`
+}
+
+// Validate reports an unusable job.
+func (j Job) Validate() error {
+	if err := j.Config.Validate(); err != nil {
+		return err
+	}
+	return j.Trace.Validate()
+}
+
+// Fingerprint returns the job's content address (see sim.Fingerprint).
+func (j Job) Fingerprint() (string, error) {
+	return sim.Fingerprint(j.Config, j.Trace.String(), j.Insts, j.CollectOccupancy)
+}
+
+// label names the job in events and errors.
+func (j Job) label() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return j.Trace.Kernel
+}
+
+// JobFromSpec converts an in-process sweep spec to wire form. It fails
+// for specs whose trace carries no generation recipe (custom trace.Mix
+// weights), which cannot be described remotely.
+func JobFromSpec(spec sim.RunSpec) (Job, error) {
+	if spec.Trace == nil {
+		return Job{}, fmt.Errorf("service: spec %q has no trace", spec.Name)
+	}
+	r, ok := spec.Trace.Recipe()
+	if !ok {
+		return Job{}, fmt.Errorf("service: spec %q: trace %q has no generation recipe, cannot run remotely",
+			spec.Name, spec.Trace.Name())
+	}
+	return Job{
+		Name:             spec.Name,
+		Config:           spec.Config,
+		Trace:            r,
+		Insts:            spec.Insts,
+		CollectOccupancy: spec.CollectOccupancy,
+	}, nil
+}

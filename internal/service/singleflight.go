@@ -1,0 +1,62 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key: the first caller of
+// Do for a key runs fn, every concurrent caller for the same key waits
+// for that one execution and shares its outcome. A minimal in-tree
+// version of x/sync/singleflight (the module has no dependencies),
+// specialised to the cache's value type.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	raw  json.RawMessage
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers. shared is true for
+// callers that received another caller's execution.
+func (g *flightGroup) Do(key string, fn func() (json.RawMessage, error)) (raw json.RawMessage, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.raw, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.raw, c.err = runProtected(fn)
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.raw, false, c.err
+}
+
+// runProtected converts a panicking fn into an error. The leader runs
+// fn with followers parked on its done channel; an unrecovered panic
+// would never close that channel (hanging every follower) and, one
+// frame up, would kill the daemon — trace generation is the main risk,
+// since it allocates client-controlled amounts and runs outside
+// sim.Run's own recover.
+func runProtected(fn func() (json.RawMessage, error)) (raw json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			raw, err = nil, fmt.Errorf("service: point panicked: %v", r)
+		}
+	}()
+	return fn()
+}

@@ -13,7 +13,7 @@ import (
 // figure9Grid builds a reduced figure-9 sweep (the headline COoO grid
 // plus the two baselines over three workloads) for scaling benchmarks.
 func figure9Grid(insts uint64) []RunSpec {
-	n := int(insts) + int(insts)/5 + 4096
+	n := trace.LenFor(insts)
 	traces := []*trace.Trace{
 		trace.Stream(n),
 		trace.Stencil(n),

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// FingerprintVersion tags every fingerprint with the simulator
+// semantics that produced it. Bump it whenever a change alters what any
+// configuration computes (timing model fixes, new default behaviour, a
+// meaning-changing canonical-encoding change): old content-addressed
+// cache entries then miss instead of serving stale results.
+const FingerprintVersion = 1
+
+// Fingerprint returns the content address of one simulation point: a
+// hex SHA-256 over the canonical configuration encoding, the canonical
+// trace-recipe string, the instruction budget, and the collection
+// flags, prefixed with FingerprintVersion. Equal fingerprints imply
+// equal Results (simulation is deterministic); the service's result
+// cache and singleflight dedupe both key on it.
+//
+// The trace recipe is hashed instead of the materialised instruction
+// stream so a fingerprint is computable without generating the trace —
+// the whole point of a cache hit is to skip that work.
+func Fingerprint(cfg config.Config, traceRecipe string, insts uint64, collectOccupancy bool) (string, error) {
+	cj, err := cfg.CanonicalJSON()
+	if err != nil {
+		return "", fmt.Errorf("sim: fingerprint: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "ooosim-fp-v%d\x00", FingerprintVersion)
+	h.Write(cj)
+	fmt.Fprintf(h, "\x00%s\x00%d\x00%t", traceRecipe, insts, collectOccupancy)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Fingerprint returns the spec's content address. It fails for specs
+// whose trace has no generation recipe (custom trace.Mix weights):
+// those run fine locally but cannot be identified without hashing the
+// stream itself, so they are not cacheable.
+func (s RunSpec) Fingerprint() (string, error) {
+	if s.Trace == nil {
+		return "", fmt.Errorf("sim: fingerprint: spec %q has no trace", s.Name)
+	}
+	r, ok := s.Trace.Recipe()
+	if !ok {
+		return "", fmt.Errorf("sim: fingerprint: trace %q has no generation recipe", s.Trace.Name())
+	}
+	return Fingerprint(s.Config, r.String(), s.Insts, s.CollectOccupancy)
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestFingerprintDiscriminates: every input dimension must change the
+// address, and identical inputs must agree across calls.
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := func() (config.Config, string, uint64, bool) {
+		return config.CheckpointDefault(64, 1024), "fpmix/n=360000/seed=42/stride=0", 300_000, false
+	}
+
+	cfg, recipe, insts, occ := base()
+	ref, err := Fingerprint(cfg, recipe, insts, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Fingerprint(cfg, recipe, insts, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != again {
+		t.Fatalf("identical inputs produced different fingerprints: %s vs %s", ref, again)
+	}
+	if len(ref) != 64 {
+		t.Fatalf("fingerprint %q is not hex sha256", ref)
+	}
+
+	variants := map[string]string{}
+	add := func(name string, cfg config.Config, recipe string, insts uint64, occ bool) {
+		fp, err := Fingerprint(cfg, recipe, insts, occ)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fp == ref {
+			t.Errorf("%s: fingerprint did not change", name)
+		}
+		if prev, dup := variants[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		variants[fp] = name
+	}
+
+	cfg2, _, _, _ := base()
+	cfg2.MemoryLatency = 500
+	add("config change", cfg2, recipe, insts, occ)
+	add("recipe change", cfg, "stream/n=360000/seed=0/stride=0", insts, occ)
+	add("insts change", cfg, recipe, insts+1, occ)
+	add("occupancy flag", cfg, recipe, insts, true)
+}
+
+// TestFingerprintRejectsInvalid: no canonical form, no address.
+func TestFingerprintRejectsInvalid(t *testing.T) {
+	if _, err := Fingerprint(config.Config{}, "stream/n=1/seed=0/stride=0", 1, false); err == nil {
+		t.Error("invalid config fingerprinted")
+	}
+}
+
+// TestRunSpecFingerprint covers the spec-level hook, including the
+// recipe-less and trace-less failure paths.
+func TestRunSpecFingerprint(t *testing.T) {
+	tr := trace.Stream(2000)
+	spec := RunSpec{Name: "stream", Config: config.BaselineSized(128), Trace: tr, Insts: 1000}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tr.Recipe()
+	direct, err := Fingerprint(spec.Config, r.String(), spec.Insts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != direct {
+		t.Errorf("spec fingerprint %s != direct fingerprint %s", fp, direct)
+	}
+
+	w := trace.DefaultWeights()
+	w.Blocked++
+	spec.Trace = trace.Mix(2000, 1, w)
+	if _, err := spec.Fingerprint(); err == nil {
+		t.Error("recipe-less trace fingerprinted")
+	}
+	spec.Trace = nil
+	if _, err := spec.Fingerprint(); err == nil {
+		t.Error("nil trace fingerprinted")
+	}
+}

@@ -43,13 +43,21 @@ type RunSpec struct {
 type Options struct {
 	// Workers bounds the worker pool; <= 0 uses GOMAXPROCS.
 	Workers int
-	// Progress, when non-nil, receives one line per completed run.
-	// Calls are serialised but arrive in completion order, not spec
-	// order.
-	Progress func(line string)
+	// Progress, when non-nil, receives one line per completed run
+	// together with the sweep's completion count: done runs out of
+	// total (done counts this run). Calls are serialised but arrive in
+	// completion order, not spec order.
+	Progress func(done, total int, line string)
 	// OnResult, when non-nil, receives every completed run. Calls are
 	// serialised; order follows completion, not spec order.
 	OnResult func(spec RunSpec, res stats.Results)
+}
+
+// ProgressLine renders the one-line completion report for a finished
+// spec. The local sweep and the remote service client both use it, so
+// -server progress output matches in-process output byte for byte.
+func ProgressLine(spec RunSpec, res stats.Results) string {
+	return fmt.Sprintf("  %-10s %-34s IPC=%.3f", spec.Name, spec.Config.Summary(), res.IPC())
 }
 
 // Run executes a single spec synchronously. Construction failures and
@@ -98,6 +106,7 @@ func Sweep(ctx context.Context, specs []RunSpec, opt Options) ([]stats.Results, 
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		done     int
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -125,9 +134,9 @@ func Sweep(ctx context.Context, specs []RunSpec, opt Options) ([]stats.Results, 
 				results[i] = res
 				if opt.Progress != nil || opt.OnResult != nil {
 					mu.Lock()
+					done++
 					if opt.Progress != nil {
-						opt.Progress(fmt.Sprintf("  %-10s %-34s IPC=%.3f",
-							specs[i].Name, specs[i].Config.Summary(), res.IPC()))
+						opt.Progress(done, len(specs), ProgressLine(specs[i], res))
 					}
 					if opt.OnResult != nil {
 						opt.OnResult(specs[i], res)

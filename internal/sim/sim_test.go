@@ -18,7 +18,7 @@ const testInsts = 4_000
 // collecting configuration crossed with the suite workloads, plus a
 // couple of COoO points, all sharing traces across specs.
 func figure7Grid() []RunSpec {
-	n := testInsts + testInsts/5 + 4096
+	n := trace.LenFor(testInsts)
 	traces := []*trace.Trace{
 		trace.Stream(n),
 		trace.Stencil(n),
@@ -72,7 +72,7 @@ func TestSweepDeterminism(t *testing.T) {
 // at full parallelism; the race detector (CI runs go test -race)
 // verifies the trace really is consumed read-only.
 func TestSweepSharedTraceConcurrency(t *testing.T) {
-	n := testInsts + testInsts/5 + 4096
+	n := trace.LenFor(testInsts)
 	tr := trace.FPMix(n, 7)
 	var specs []RunSpec
 	for i := 0; i < 8; i++ {
@@ -98,7 +98,7 @@ func TestSweepSharedTraceConcurrency(t *testing.T) {
 // completion order scrambles under parallelism: each spec gets a
 // distinct instruction budget that must come back in its slot.
 func TestSweepOrder(t *testing.T) {
-	n := testInsts + testInsts/5 + 4096
+	n := trace.LenFor(testInsts)
 	tr := trace.Stream(n)
 	budgets := []uint64{1000, 2000, 3000, 4000, 1500, 2500}
 	var specs []RunSpec
@@ -122,7 +122,7 @@ func TestSweepOrder(t *testing.T) {
 // TestSweepErrorPropagation checks a failing spec surfaces as a labelled
 // error (no panic) and poisons the whole sweep.
 func TestSweepErrorPropagation(t *testing.T) {
-	n := testInsts + testInsts/5 + 4096
+	n := trace.LenFor(testInsts)
 	tr := trace.Stream(n)
 	specs := []RunSpec{
 		{Name: "good", Config: config.BaselineSized(128), Trace: tr, Insts: 1000},
@@ -151,7 +151,7 @@ func TestRunRecoversPanics(t *testing.T) {
 func TestSweepCancellation(t *testing.T) {
 	cctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	n := testInsts + testInsts/5 + 4096
+	n := trace.LenFor(testInsts)
 	tr := trace.Stream(n)
 	specs := []RunSpec{{Name: "x", Config: config.BaselineSized(128), Trace: tr, Insts: 1000}}
 	_, err := Sweep(cctx, specs, Options{Workers: 2})
@@ -160,13 +160,23 @@ func TestSweepCancellation(t *testing.T) {
 	}
 }
 
-// TestSweepProgressAndOnResult checks the callbacks fire once per run.
+// TestSweepProgressAndOnResult checks the callbacks fire once per run
+// and that Progress counts completions monotonically up to the total.
 func TestSweepProgressAndOnResult(t *testing.T) {
 	specs := figure7Grid()
-	var lines, records int
+	var lines, records, lastDone int
 	_, err := Sweep(context.Background(), specs, Options{
-		Workers:  4,
-		Progress: func(string) { lines++ },
+		Workers: 4,
+		Progress: func(done, total int, line string) {
+			lines++
+			if total != len(specs) {
+				t.Errorf("progress total %d, want %d", total, len(specs))
+			}
+			if done != lastDone+1 {
+				t.Errorf("progress done %d after %d, want monotone +1", done, lastDone)
+			}
+			lastDone = done
+		},
 		OnResult: func(RunSpec, stats.Results) { records++ },
 	})
 	if err != nil {
@@ -174,5 +184,8 @@ func TestSweepProgressAndOnResult(t *testing.T) {
 	}
 	if lines != len(specs) || records != len(specs) {
 		t.Errorf("callbacks fired %d/%d times, want %d each", lines, records, len(specs))
+	}
+	if lastDone != len(specs) {
+		t.Errorf("final done count %d, want %d", lastDone, len(specs))
 	}
 }

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -363,6 +364,17 @@ func (r *Results) Merge(o Results) {
 			r.Occ = mergeOcc(r.Occ, o.Occ)
 		}
 	}
+}
+
+// Equal reports whether two result sets are identical. Comparison goes
+// through the canonical JSON encoding, which covers the occupancy
+// histogram a plain struct compare cannot (Occ is a pointer) and is
+// exactly the equality the content-addressed result cache promises:
+// a cache hit returns results byte-identical to recomputation.
+func (r Results) Equal(o Results) bool {
+	a, aerr := json.Marshal(r)
+	b, berr := json.Marshal(o)
+	return aerr == nil && berr == nil && bytes.Equal(a, b)
 }
 
 // IPC returns committed instructions per cycle.

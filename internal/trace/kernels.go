@@ -365,7 +365,7 @@ var fullWindow = regWindow{intBase: 0, intN: isa.NumIntRegs, fpBase: 0, fpN: isa
 func Stream(n int) *Trace {
 	b := newBuilder(n)
 	fill(b, newStreamKernel(fullWindow, 0, 0x1000, 1, newPRNG(1)), n)
-	return b.trace("stream")
+	return b.trace("stream").withRecipe(Recipe{Kernel: KernelStream, N: n})
 }
 
 // StridedStream generates the triad with the given stride in elements;
@@ -373,21 +373,21 @@ func Stream(n int) *Trace {
 func StridedStream(n, strideElems int) *Trace {
 	b := newBuilder(n)
 	fill(b, newStreamKernel(fullWindow, 0, 0x1000, strideElems, newPRNG(1)), n)
-	return b.trace("stream-strided")
+	return b.trace("stream-strided").withRecipe(Recipe{Kernel: KernelStrided, N: n, Stride: strideElems})
 }
 
 // Stencil generates n instructions of the 3-point stencil.
 func Stencil(n int) *Trace {
 	b := newBuilder(n)
 	fill(b, newStencilKernel(fullWindow, 1, 0x2000), n)
-	return b.trace("stencil")
+	return b.trace("stencil").withRecipe(Recipe{Kernel: KernelStencil, N: n})
 }
 
 // Reduction generates n instructions of the unrolled dot product.
 func Reduction(n int) *Trace {
 	b := newBuilder(n)
 	fill(b, newReductionKernel(fullWindow, 2, 0x3000), n)
-	return b.trace("reduction")
+	return b.trace("reduction").withRecipe(Recipe{Kernel: KernelReduction, N: n})
 }
 
 // Blocked generates n instructions of the cache-blocked matrix-vector
@@ -395,12 +395,12 @@ func Reduction(n int) *Trace {
 func Blocked(n int) *Trace {
 	b := newBuilder(n)
 	fill(b, newBlockedKernel(fullWindow, 3, 0x4000), n)
-	return b.trace("blocked")
+	return b.trace("blocked").withRecipe(Recipe{Kernel: KernelBlocked, N: n})
 }
 
 // PointerChase generates n instructions of serial dependent misses.
 func PointerChase(n int) *Trace {
 	b := newBuilder(n)
 	fill(b, newChaseKernel(fullWindow, 4, 0x5000, newPRNG(7)), n)
-	return b.trace("pointerchase")
+	return b.trace("pointerchase").withRecipe(Recipe{Kernel: KernelPointerChase, N: n})
 }

@@ -118,5 +118,11 @@ func Mix(n int, seed uint64, w MixWeights) *Trace {
 		}
 	}
 	b.insts = b.insts[:n]
-	return b.trace("fpmix")
+	tr := b.trace("fpmix")
+	// Only the default mix has a declarative recipe; custom weights
+	// produce an anonymous (unfingerprintable) trace.
+	if w == DefaultWeights() {
+		tr = tr.withRecipe(Recipe{Kernel: KernelFPMix, N: n, Seed: seed})
+	}
+	return tr
 }

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// Kernel names accepted by Recipe. Each maps to one public generator.
+const (
+	KernelStream       = "stream"
+	KernelStrided      = "strided"
+	KernelStencil      = "stencil"
+	KernelReduction    = "reduction"
+	KernelBlocked      = "blocked"
+	KernelPointerChase = "pointerchase"
+	KernelFPMix        = "fpmix"
+)
+
+// Recipe is the declarative identity of a generated trace: enough
+// information to regenerate it bit-for-bit anywhere. It is the workload
+// half of a simulation fingerprint (sim.Fingerprint) and the wire form
+// a service client ships instead of the materialised instruction
+// stream — a few dozen bytes standing in for megabytes of trace.
+type Recipe struct {
+	// Kernel names the generator (Kernel* constants).
+	Kernel string `json:"kernel"`
+	// N is the dynamic instruction count to generate.
+	N int `json:"n"`
+	// Seed parameterises KernelFPMix; other kernels ignore it.
+	Seed uint64 `json:"seed,omitempty"`
+	// Stride is the element stride of KernelStrided; other kernels
+	// ignore it.
+	Stride int `json:"stride,omitempty"`
+}
+
+// LenFor returns the trace length to generate for a run with the given
+// committed-instruction budget: the budget plus 20% headroom (rollback
+// replays, wrong-path fetch) plus a constant tail, so the run never
+// exhausts its trace. Every surface that sizes a workload from a
+// budget must use this one function: the length goes into trace
+// recipes and therefore into cache fingerprints, so a drifted copy
+// would key the same logical point differently and silently break
+// cross-client cache sharing.
+func LenFor(insts uint64) int {
+	return int(insts) + int(insts)/5 + 4096
+}
+
+// MaxRecipeInsts bounds Recipe.N. Recipes arrive over the wire and
+// materialisation allocates the whole stream up front, so an absurd
+// count must be rejected before it reaches the allocator. The bound is
+// ~25x the paper's figure scale (364k instructions per point).
+const MaxRecipeInsts = 8 << 20
+
+// Validate reports unknown kernels and nonsensical parameters. It also
+// rejects parameters the kernel ignores (a seed on "stream", a stride
+// on "fpmix"): two recipes that generate identical traces must render
+// identical canonical strings, or equal simulations would get distinct
+// fingerprints and defeat the content-addressed cache.
+func (r Recipe) Validate() error {
+	if r.N < 1 || r.N > MaxRecipeInsts {
+		return fmt.Errorf("trace: recipe %s: instruction count %d outside [1,%d]",
+			r.Kernel, r.N, MaxRecipeInsts)
+	}
+	switch r.Kernel {
+	case KernelStrided:
+		if r.Stride < 1 {
+			return fmt.Errorf("trace: recipe %s: stride %d < 1", r.Kernel, r.Stride)
+		}
+	case KernelStream, KernelStencil, KernelReduction, KernelBlocked,
+		KernelPointerChase, KernelFPMix:
+		if r.Stride != 0 {
+			return fmt.Errorf("trace: recipe %s: stride %d on a kernel that ignores it", r.Kernel, r.Stride)
+		}
+	default:
+		return fmt.Errorf("trace: recipe: unknown kernel %q", r.Kernel)
+	}
+	if r.Seed != 0 && r.Kernel != KernelFPMix {
+		return fmt.Errorf("trace: recipe %s: seed %d on a kernel that ignores it", r.Kernel, r.Seed)
+	}
+	return nil
+}
+
+// String renders the canonical form used inside fingerprints. Every
+// field is always present so the encoding cannot drift with omission
+// rules; changing this string invalidates every content-addressed
+// cache entry, which is exactly the intent.
+func (r Recipe) String() string {
+	return fmt.Sprintf("%s/n=%d/seed=%d/stride=%d", r.Kernel, r.N, r.Seed, r.Stride)
+}
+
+// Materialise regenerates the trace the recipe describes. Generation is
+// deterministic: two Materialise calls of equal recipes produce
+// instruction-identical traces.
+func (r Recipe) Materialise() (*Trace, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	switch r.Kernel {
+	case KernelStream:
+		return Stream(r.N), nil
+	case KernelStrided:
+		return StridedStream(r.N, r.Stride), nil
+	case KernelStencil:
+		return Stencil(r.N), nil
+	case KernelReduction:
+		return Reduction(r.N), nil
+	case KernelBlocked:
+		return Blocked(r.N), nil
+	case KernelPointerChase:
+		return PointerChase(r.N), nil
+	case KernelFPMix:
+		return FPMix(r.N, r.Seed), nil
+	}
+	panic("unreachable: Validate accepted kernel " + r.Kernel)
+}
+
+// Recipe returns the trace's generation recipe. ok is false for traces
+// without a declarative identity (custom Mix weights); such traces run
+// fine locally but cannot be fingerprinted or shipped to a service.
+func (t *Trace) Recipe() (Recipe, bool) {
+	return t.recipe, t.hasRecipe
+}
+
+// RecipeOnly returns an empty trace carrying just the recipe: a handle
+// for callers that only need the workload's identity — a client
+// shipping specs to a remote service — without paying materialisation.
+// It must never be simulated directly (Len is 0; the core would fail
+// immediately); Materialise the recipe for that.
+func RecipeOnly(r Recipe) (*Trace, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return (&Trace{name: r.Kernel}).withRecipe(r), nil
+}
+
+// withRecipe records the generation recipe on a freshly built trace.
+func (t *Trace) withRecipe(r Recipe) *Trace {
+	t.recipe = r
+	t.hasRecipe = true
+	return t
+}

@@ -29,6 +29,12 @@ import (
 type Trace struct {
 	name  string
 	insts []isa.Inst
+
+	// recipe, when hasRecipe, is the declarative generation identity
+	// (see Recipe): what a service ships and what fingerprints hash
+	// instead of the materialised stream.
+	recipe    Recipe
+	hasRecipe bool
 }
 
 // Name returns the workload name.
