@@ -109,18 +109,44 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Validate every requested figure name before running anything: a
+	// typo in a comma-separated list must not silently vanish next to
+	// valid names ("-figure 9,typo" used to run figure 9 and say
+	// nothing about "typo").
+	known := map[string]bool{
+		"all": true, "table1": true, "1": true, "7": true, "9": true, "10": true,
+		"11": true, "12": true, "13": true, "14": true, "ablations": true,
+	}
 	want := map[string]bool{}
+	bad := []string{}
 	for _, f := range strings.Split(*figure, ",") {
-		want[strings.TrimSpace(f)] = true
+		name := strings.TrimSpace(f)
+		if name == "" {
+			continue // tolerate trailing/doubled commas
+		}
+		if !known[name] {
+			bad = append(bad, fmt.Sprintf("%q", name))
+			continue
+		}
+		want[name] = true
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %s (valid: all, table1, 1, 7, 9, 10, 11, 12, 13, 14, ablations)\n",
+			strings.Join(bad, ", "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "no figure requested")
+		flag.Usage()
+		os.Exit(2)
 	}
 	all := want["all"]
-	ran := false
 
 	section := func(name string, fn func() error) {
 		if !all && !want[name] {
 			return
 		}
-		ran = true
 		currentFigure = name
 		start := time.Now()
 		if err := fn(); err != nil {
@@ -151,12 +177,21 @@ func main() {
 		return nil
 	})
 	if all || want["9"] || want["11"] {
-		ran = true
-		currentFigure = "9+11"
+		// The two figures share one sweep; label its records by what
+		// was actually requested ("-figure 11 -json" must not file
+		// results under a figure the user never asked for).
+		switch {
+		case all || (want["9"] && want["11"]):
+			currentFigure = "9+11"
+		case want["11"]:
+			currentFigure = "11"
+		default:
+			currentFigure = "9"
+		}
 		start := time.Now()
 		r, err := experiments.Figure9(ctx, opt)
 		if err != nil {
-			fail("figure 9+11", err)
+			fail("figure "+currentFigure, err)
 		}
 		if all || want["9"] {
 			fmt.Println(r)
@@ -164,7 +199,7 @@ func main() {
 		if all || want["11"] {
 			fmt.Println(r.Figure11String())
 		}
-		fmt.Printf("(9+11: %.1fs, %d workers)\n\n", time.Since(start).Seconds(), *parallel)
+		fmt.Printf("(%s: %.1fs, %d workers)\n\n", currentFigure, time.Since(start).Seconds(), *parallel)
 	}
 	section("10", func() error {
 		r, err := experiments.Figure10(ctx, opt)
@@ -198,23 +233,16 @@ func main() {
 		fmt.Println(r)
 		return nil
 	})
-	if want["ablations"] {
-		ran = true
-		currentFigure = "ablations"
-		start := time.Now()
+	// The usage string has always advertised ablations as part of
+	// "all"; honour it (it used to be silently skipped).
+	section("ablations", func() error {
 		s, err := experiments.Ablations(ctx, opt)
 		if err != nil {
-			fail("ablations", err)
+			return err
 		}
 		fmt.Println(s)
-		fmt.Printf("(ablations: %.1fs, %d workers)\n\n", time.Since(start).Seconds(), *parallel)
-	}
-
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
-		flag.Usage()
-		os.Exit(2)
-	}
+		return nil
+	})
 
 	if err := writeJSON(); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: -json: %v\n", err)

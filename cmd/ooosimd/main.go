@@ -57,7 +57,20 @@ func main() {
 		})
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// A client that stalls mid-headers or parks an idle connection
+		// must not wedge the daemon (the default is no timeout at all).
+		// WriteTimeout and ReadTimeout stay 0 on purpose:
+		// /v1/batches/{id}/events streams NDJSON for as long as a batch
+		// runs, and either deadline would sever live streams (ReadTimeout
+		// trips the server's background read mid-handler). Slow-loris
+		// headers are bounded by ReadHeaderTimeout and parked keep-alive
+		// connections by IdleTimeout.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {

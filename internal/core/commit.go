@@ -39,6 +39,7 @@ func (c *CPU) commitROB() {
 			c.committed++
 			c.inflight--
 			c.lastCommitCycle = c.now
+			c.pool.release(d)
 		})
 }
 
@@ -67,7 +68,9 @@ func (c *CPU) commitCheckpoints() {
 }
 
 // retireWindow removes committed instructions (Seq < endSeq) from the
-// simulator's in-flight list.
+// simulator's in-flight list. Records still resident in the pseudo-ROB
+// stay alive (Retired) until extraction classifies them for Figure 12;
+// everything else recycles now.
 func (c *CPU) retireWindow(endSeq uint64) {
 	for c.master.len() > 0 && c.master.front().Seq < endSeq {
 		d := c.master.popFront()
@@ -80,5 +83,10 @@ func (c *CPU) retireWindow(endSeq uint64) {
 		d.lsqe = nil
 		c.committed++
 		c.inflight--
+		if d.inProb {
+			d.Retired = true
+		} else {
+			c.pool.release(d)
+		}
 	}
 }

@@ -18,6 +18,15 @@ import (
 	"repro/internal/vreg"
 )
 
+// consumerRef is one wakeup registration: a waiting instruction plus the
+// Seq it had when it registered. Records recycle (see DynInst), so the
+// Seq is re-checked at wake time — a mismatch means the slot was reused
+// by a younger instruction and the registration is stale.
+type consumerRef struct {
+	d   *DynInst
+	seq uint64
+}
+
 // CPU is one simulated processor instance bound to a workload trace.
 // Construct with New; drive with Run. A CPU is single-use per Run — the
 // harness builds a fresh CPU per configuration point.
@@ -28,8 +37,8 @@ type CPU struct {
 	pred branch.Predictor
 	fus  *fu.Pool
 	rt   *rename.Table
-	intQ *queue.IQ
-	fpQ  *queue.IQ
+	intQ *queue.IQ[*DynInst]
+	fpQ  *queue.IQ[*DynInst]
 	lq   *lsq.LSQ
 
 	// ROB mode.
@@ -38,8 +47,11 @@ type CPU struct {
 	// Checkpoint mode.
 	ckpts  *checkpoint.Table
 	prob   *queue.Deque[*DynInst]
-	sliq   *queue.SLIQ
+	sliq   *queue.SLIQ[*DynInst]
 	master masterList // simulator-side in-flight list (not modelled HW)
+
+	// pool recycles DynInst records (see the contract on DynInst).
+	pool instPool
 
 	// Virtual-register extension (Figure 14); nil when disabled.
 	vt           *vreg.Tracker
@@ -60,7 +72,7 @@ type CPU struct {
 	// Scoreboard.
 	regReady  []bool
 	longTaint []bool
-	consumers [][]*DynInst
+	consumers [][]consumerRef
 	producer  []*DynInst
 
 	completions completionHeap
@@ -72,15 +84,18 @@ type CPU struct {
 	maskOwner    [isa.NumLogical]rename.PhysReg
 	maskOwnerSeq [isa.NumLogical]uint64
 
-	// Exception injection: trace position -> protocol phase
-	// (1 = armed, raises on completion; 2 = replay, checkpoint and
-	// deliver precisely).
-	exceptArm  map[int64]int
+	// Exception injection, indexed by trace position (lazily allocated
+	// on the first InjectExceptionAt — the hot path then skips it with
+	// one nil check instead of the former per-dispatch map lookups):
+	// 1 = armed, raises on completion; 2 = replay, checkpoint and
+	// deliver precisely.
+	exceptArm  []uint8
 	exceptions uint64
 	// knownBranch marks trace positions of branches whose misprediction
 	// caused a checkpoint rollback; on replay their resolved direction
-	// is known to the recovery hardware.
-	knownBranch map[int64]bool
+	// is known to the recovery hardware. Lazily allocated on the first
+	// rollback (ROB mode never pays for it).
+	knownBranch []bool
 
 	// Counters.
 	inflight          int
@@ -107,6 +122,14 @@ type CPU struct {
 	// front end then takes an emergency checkpoint to close the window
 	// (deadlock avoidance, see dispatchStage).
 	resourceStalled bool
+
+	// issueRetry is the issue stage's scratch list of entries popped
+	// but not issued this cycle (structural hazards); kept on the CPU
+	// so the per-cycle loop never allocates it.
+	issueRetry []*queue.IQEntry[*DynInst]
+	// sliqAccept is the bound SLIQ drain callback, built once so the
+	// per-cycle drain doesn't allocate a closure.
+	sliqAccept func(seq uint64, d *DynInst) bool
 
 	lastCommitCycle int64
 }
@@ -177,20 +200,18 @@ func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
 	}
 
 	c := &CPU{
-		cfg:         cfg,
-		tr:          tr,
-		hier:        mem.NewHierarchy(cfg),
-		fus:         fu.NewPool(cfg),
-		rt:          rename.New(physSpace),
-		intQ:        queue.NewIQ(cfg.IntQueueEntries),
-		fpQ:         queue.NewIQ(cfg.FPQueueEntries),
-		lq:          lsq.New(cfg.LSQEntries),
-		regReady:    make([]bool, physSpace),
-		longTaint:   make([]bool, physSpace),
-		consumers:   make([][]*DynInst, physSpace),
-		producer:    make([]*DynInst, physSpace),
-		exceptArm:   make(map[int64]int),
-		knownBranch: make(map[int64]bool),
+		cfg:       cfg,
+		tr:        tr,
+		hier:      mem.NewHierarchy(cfg),
+		fus:       fu.NewPool(cfg),
+		rt:        rename.New(physSpace),
+		intQ:      queue.NewIQ[*DynInst](cfg.IntQueueEntries),
+		fpQ:       queue.NewIQ[*DynInst](cfg.FPQueueEntries),
+		lq:        lsq.New(cfg.LSQEntries),
+		regReady:  make([]bool, physSpace),
+		longTaint: make([]bool, physSpace),
+		consumers: make([][]consumerRef, physSpace),
+		producer:  make([]*DynInst, physSpace),
 	}
 	for l := 0; l < isa.NumLogical; l++ {
 		c.regReady[c.rt.Lookup(isa.Reg(l))] = true
@@ -212,7 +233,7 @@ func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
 		})
 		c.prob = queue.NewDeque[*DynInst](cfg.PseudoROBEntries)
 		if cfg.SLIQEntries > 0 {
-			c.sliq = queue.NewSLIQ(cfg.SLIQEntries, cfg.SLIQWakeDelay, cfg.SLIQWakeWidth)
+			c.sliq = queue.NewSLIQ[*DynInst](cfg.SLIQEntries, cfg.SLIQWakeDelay, cfg.SLIQWakeWidth, physSpace)
 		}
 	}
 	for i := range c.maskOwner {
@@ -220,24 +241,25 @@ func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
 	}
 	if cfg.VirtualRegisters {
 		c.vt = vreg.New(cfg.VirtualTags, cfg.PhysRegs, isa.NumLogical)
+		// prevProd links outlive commit in this mode; records must not
+		// recycle (see DynInst).
+		c.pool.disabled = true
 	}
 	c.lastLoadAddr = 1 << 20
+	if c.sliq != nil {
+		c.sliqAccept = c.acceptFromSLIQ
+	}
 
-	// Warm the instruction path: cold code misses are an artefact of
-	// short runs (see mem.Hierarchy.PrimeFetch).
-	seen := make(map[uint64]struct{})
-	for i := int64(0); i < tr.Len(); i++ {
-		in := tr.At(i)
-		pc := in.PC &^ 31 // IL1 line granularity
-		if _, ok := seen[pc]; !ok {
-			seen[pc] = struct{}{}
-			c.hier.PrimeFetch(pc)
-		}
-		// Fast-forward cache warmup: replay the data stream so the
-		// simulation starts from steady-state cache contents (the
-		// paper's 300M-instruction regions run warm).
-		if in.Op.IsMem() {
-			c.hier.WarmData(in.Addr)
+	// Warm the instruction path and the data caches: cold misses are an
+	// artefact of short runs (see mem.Hierarchy.PrimeFetch). The
+	// footprint — first-seen IL1 lines interleaved with the data stream
+	// — is precomputed once per trace and shared across every CPU built
+	// over it (trace.WarmFootprint).
+	for _, ev := range tr.WarmFootprint() {
+		if ev.Fetch {
+			c.hier.PrimeFetch(ev.Addr)
+		} else {
+			c.hier.WarmData(ev.Addr)
 		}
 	}
 	for pc := uint64(0xF0000000); pc < 0xF0000000+64*4; pc += 32 {
@@ -267,7 +289,33 @@ type RunOptions struct {
 // checkpoint placed exactly before it (the paper's two-pass protocol).
 // Checkpoint mode only; must be called before Run.
 func (c *CPU) InjectExceptionAt(pos int64) {
+	if c.exceptArm == nil {
+		c.exceptArm = make([]uint8, c.tr.Len())
+	}
 	c.exceptArm[pos] = 1
+}
+
+// exceptPhase returns the exception protocol phase armed at pos (0 when
+// none).
+func (c *CPU) exceptPhase(pos int64) uint8 {
+	if c.exceptArm == nil || pos < 0 {
+		return 0
+	}
+	return c.exceptArm[pos]
+}
+
+// branchKnown reports whether the branch at pos replays with a known
+// resolution after a checkpoint rollback.
+func (c *CPU) branchKnown(pos int64) bool {
+	return c.knownBranch != nil && c.knownBranch[pos]
+}
+
+// markBranchKnown records a rollback-resolved branch position.
+func (c *CPU) markBranchKnown(pos int64) {
+	if c.knownBranch == nil {
+		c.knownBranch = make([]bool, c.tr.Len())
+	}
+	c.knownBranch[pos] = true
 }
 
 // Exceptions returns the number of precisely delivered exceptions.
@@ -337,7 +385,7 @@ func (c *CPU) fetchExhausted() bool {
 // iqFor returns the instruction queue for an operation class: FP
 // arithmetic uses the floating-point queue, everything else (including
 // memory and control) the integer queue, as in the paper.
-func (c *CPU) iqFor(op isa.Op) *queue.IQ {
+func (c *CPU) iqFor(op isa.Op) *queue.IQ[*DynInst] {
 	if op == isa.FPAlu {
 		return c.fpQ
 	}

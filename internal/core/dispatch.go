@@ -11,6 +11,9 @@ import (
 // fetch (correct path or wrong path), renaming, checkpoint taking,
 // pseudo-ROB insertion/extraction and dispatch into the issue queues.
 func (c *CPU) dispatchStage() {
+	// Records released last cycle (and earlier this cycle by commit/
+	// writeback) become reusable now; dispatch is the only acquirer.
+	c.pool.recycleDead()
 	if c.sliq != nil {
 		c.drainSLIQ()
 	}
@@ -93,7 +96,7 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	// resource (otherwise an open window could never commit and the
 	// stalled resource would never recycle).
 	if ckptMode {
-		needCkpt := c.ckpts.ShouldTake(inst.Op) || (pos >= 0 && c.exceptArm[pos] == 2)
+		needCkpt := c.ckpts.ShouldTake(inst.Op) || c.exceptPhase(pos) == 2
 		if needCkpt {
 			if c.ckpts.Full() {
 				c.ckptStallCycles++
@@ -101,10 +104,10 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 				return false
 			}
 			c.takeCheckpoint(pos)
-			if pos >= 0 && c.exceptArm[pos] == 2 {
+			if c.exceptPhase(pos) == 2 {
 				// Second pass of the exception protocol: the excepting
 				// instruction is now precisely checkpointed; deliver.
-				delete(c.exceptArm, pos)
+				c.exceptArm[pos] = 0
 				c.exceptions++
 			}
 		}
@@ -135,7 +138,7 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	}
 	// Stores live in the LSQ, not the general-purpose queues (paper
 	// section 2, "Committing Store Instructions").
-	var iq *queue.IQ
+	var iq *queue.IQ[*DynInst]
 	if inst.Op != isa.Store {
 		iq = c.iqFor(inst.Op)
 		if iq.Full() {
@@ -162,24 +165,23 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	}
 
 	// All resources available: build and dispatch.
-	d := &DynInst{
-		Seq:       c.nextSeq,
-		Pos:       pos,
-		Inst:      inst,
-		DestPhys:  rename.PhysNone,
-		PrevPhys:  rename.PhysNone,
-		WrongPath: wrongPath,
-		heapIdx:   -1,
-	}
+	d := c.pool.acquire()
+	d.Seq = c.nextSeq
+	d.Pos = pos
+	d.Inst = inst
+	d.WrongPath = wrongPath
 	c.nextSeq++
 	c.fetched++
 
 	// Rename sources before the destination (an instruction may read
 	// the register it overwrites).
-	srcs := inst.Sources(make([]isa.Reg, 0, 2))
-	d.NumSrcs = len(srcs)
-	for i, s := range srcs {
-		d.SrcPhys[i] = c.rt.Lookup(s)
+	if inst.Src1 != isa.RegNone {
+		d.SrcPhys[0] = c.rt.Lookup(inst.Src1)
+		d.NumSrcs = 1
+	}
+	if inst.Src2 != isa.RegNone {
+		d.SrcPhys[d.NumSrcs] = c.rt.Lookup(inst.Src2)
+		d.NumSrcs++
 	}
 	if inst.Op.HasDest() {
 		var ok bool
@@ -207,7 +209,7 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 		p := d.SrcPhys[i]
 		if !c.regReady[p] {
 			pending++
-			c.consumers[p] = append(c.consumers[p], d)
+			c.consumers[p] = append(c.consumers[p], consumerRef{d: d, seq: d.Seq})
 			if c.longTaint[p] {
 				long = true
 			}
@@ -236,8 +238,7 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 			c.completions.push(d)
 		}
 	} else {
-		d.iqe = iq.Insert(d.Seq, pending, d)
-		if d.iqe == nil {
+		if !iq.Insert(&d.iqe, d.Seq, pending) {
 			panic("core: issue queue full after Full() check")
 		}
 	}
@@ -271,7 +272,7 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	// inside one window (a livelock the stress suite exposed).
 	if inst.Op == isa.Branch && !wrongPath {
 		mispredict := false
-		if !c.cfg.PerfectBranchPrediction && !c.knownBranch[pos] {
+		if !c.cfg.PerfectBranchPrediction && !c.branchKnown(pos) {
 			mispredict = c.pred.Predict(inst.PC) != inst.Taken
 		}
 		c.pred.Update(inst.PC, inst.Taken)
@@ -282,7 +283,7 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	}
 
 	// Exception protocol, first pass: raise when it completes.
-	if pos >= 0 && c.exceptArm[pos] == 1 && c.cfg.Commit == config.CommitCheckpoint {
+	if c.exceptPhase(pos) == 1 && c.cfg.Commit == config.CommitCheckpoint {
 		d.ExceptAt = true
 	}
 
@@ -335,37 +336,41 @@ func (c *CPU) nextWrongPathInst() isa.Inst {
 // the bypass that keeps the two-level queue hierarchy deadlock-free when
 // the small queues are saturated with dependants of slow-lane residents.
 func (c *CPU) drainSLIQ() {
-	c.sliq.Drain(c.now, func(seq uint64, payload any) bool {
-		d := payload.(*DynInst)
-		if d.Squashed {
-			return true // consume and continue
+	c.sliq.Drain(c.now, c.sliqAccept)
+}
+
+// acceptFromSLIQ is the SLIQ drain callback (bound once in New).
+func (c *CPU) acceptFromSLIQ(seq uint64, d *DynInst) bool {
+	if d.Squashed {
+		return true // consume and continue
+	}
+	// Re-compute source availability, as the paper requires.
+	pending := 0
+	for i := 0; i < d.NumSrcs; i++ {
+		if !c.regReady[d.SrcPhys[i]] {
+			pending++
 		}
-		// Re-compute source availability, as the paper requires.
-		pending := 0
-		for i := 0; i < d.NumSrcs; i++ {
-			if !c.regReady[d.SrcPhys[i]] {
-				pending++
-			}
-		}
-		iq := c.iqFor(d.Inst.Op)
-		if !iq.Full() {
-			d.inSLIQ = false
-			d.iqe = iq.Insert(seq, pending, d)
-			return true
-		}
-		if pending > 0 {
-			return false // must wait in order for queue space
-		}
-		// Bypass: issue directly from the wake pump.
-		if d.Inst.Op == isa.Load && c.portsUsed >= c.cfg.MemoryPorts {
-			return false
-		}
-		aluDone, ok := c.fus.TryIssue(d.Inst.Op, c.now)
-		if !ok {
-			return false
-		}
+	}
+	iq := c.iqFor(d.Inst.Op)
+	if !iq.Full() {
 		d.inSLIQ = false
-		c.startExecution(d, aluDone)
+		if !iq.Insert(&d.iqe, seq, pending) {
+			panic("core: issue queue full after Full() check")
+		}
 		return true
-	})
+	}
+	if pending > 0 {
+		return false // must wait in order for queue space
+	}
+	// Bypass: issue directly from the wake pump.
+	if d.Inst.Op == isa.Load && c.portsUsed >= c.cfg.MemoryPorts {
+		return false
+	}
+	aluDone, ok := c.fus.TryIssue(d.Inst.Op, c.now)
+	if !ok {
+		return false
+	}
+	d.inSLIQ = false
+	c.startExecution(d, aluDone)
+	return true
 }

@@ -5,7 +5,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/checkpoint"
@@ -17,10 +16,26 @@ import (
 
 // DynInst is the pipeline's record of one in-flight dynamic instruction.
 // Fields are managed by the CPU; tests inspect them read-only.
+//
+// Ownership and recycling contract: records are acquired from a per-CPU
+// free list at dispatch and returned to it when the instruction leaves
+// the pipeline — at commit (ROB retire or checkpoint-window retirement)
+// or at squash. After releaseInst, no component may hold a *DynInst it
+// intends to dereference as that instruction: Seq is the only durable
+// identity, so every structure that can outlive an instruction (the
+// consumer lists, SLIQ residency, LSQ forward waiters, the SLIQ
+// dependence-mask owners) stores the Seq alongside the pointer and
+// treats a mismatch as "instruction is gone". The completion heap and
+// the issue queues never hold released records (squash purges both
+// eagerly). Released records are quarantined on a dead list until the
+// next dispatch stage, so stale pointers created in the same cycle still
+// observe Squashed==true; debug builds (debugPool, enabled by the test
+// suite) additionally poison freed records to catch pool misuse.
 type DynInst struct {
 	// Seq is the dynamic sequence number: unique and monotonically
 	// increasing across fetches, including wrong-path and replayed
-	// instructions. All age comparisons use Seq.
+	// instructions. All age comparisons — and all liveness checks
+	// against possibly-recycled records — use Seq.
 	Seq uint64
 	// Pos is the trace position this instruction came from; -1 for
 	// wrong-path instructions.
@@ -58,9 +73,15 @@ type DynInst struct {
 	// Replayed marks the second-pass execution of an instruction after
 	// an exception rollback.
 	Replayed bool
+	// Retired marks an instruction whose window already committed while
+	// it still sits in the pseudo-ROB; extraction classifies it (Figure
+	// 12 counts committed work too) and then recycles the record.
+	Retired bool
 
-	// Structure handles.
-	iqe  *queue.IQEntry
+	// Structure handles. iqe is the embedded issue-queue entry (see
+	// queue.IQEntry): queue residence costs no allocation, and
+	// iqe.Resident() replaces the former nil-pointer check.
+	iqe  queue.IQEntry[*DynInst]
 	lsqe *lsq.Entry
 	ckpt *checkpoint.Entry
 	// inSLIQ marks residence in the slow lane; inProb marks residence
@@ -68,9 +89,12 @@ type DynInst struct {
 	inSLIQ bool
 	inProb bool
 	// heapIdx is this instruction's position in the completion heap.
-	heapIdx int
+	heapIdx int32
 
-	// Virtual-register extension state (Figure 14).
+	// Virtual-register extension state (Figure 14). The free-list pool
+	// is disabled in virtual-register mode: prevProd links may point at
+	// instructions that committed long before their redefiner completes,
+	// so records must outlive commit there.
 	// prevProd is the producer of the value this instruction redefines.
 	prevProd *DynInst
 	// fusedRelease: the redefiner completed first, so binding this
@@ -108,41 +132,123 @@ func (d *DynInst) String() string {
 	return fmt.Sprintf("#%d pos=%d %v [%s]", d.Seq, d.Pos, d.Inst, state)
 }
 
+// instPool recycles DynInst records within one CPU. Fresh records come
+// from block allocations (instBlockSize at a time); released records
+// sit on the dead list until recycleDead folds them into the free list
+// at the start of the next dispatch stage (the quarantine that keeps
+// same-cycle stale pointers observing the squashed record, not a reused
+// one). disabled turns the pool into a plain allocator (virtual-register
+// mode, see DynInst).
+type instPool struct {
+	free     []*DynInst
+	dead     []*DynInst
+	block    []DynInst
+	disabled bool
+}
+
+const instBlockSize = 256
+
+// debugPool enables pool-misuse checks: released records are poisoned
+// and acquisition verifies the poison. The core test suite switches it
+// on (see TestMain); it stays off in production runs to keep the reset
+// path minimal.
+var debugPool = false
+
+// poisonSeq marks a record resident in the free list.
+const poisonSeq = ^uint64(0) - 0x5eed
+
+// acquire returns a zeroed record with iqe.Payload bound.
+func (p *instPool) acquire() *DynInst {
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		if debugPool && d.Seq != poisonSeq {
+			panic(fmt.Sprintf("core: pool corruption: free-list record has seq %d", d.Seq))
+		}
+		*d = DynInst{}
+		d.init()
+		return d
+	}
+	if len(p.block) == 0 {
+		p.block = make([]DynInst, instBlockSize)
+	}
+	d := &p.block[0]
+	p.block = p.block[1:]
+	d.init()
+	return d
+}
+
+// init sets the non-zero defaults of a fresh record.
+func (d *DynInst) init() {
+	d.DestPhys = rename.PhysNone
+	d.PrevPhys = rename.PhysNone
+	d.heapIdx = -1
+	d.iqe.Payload = d
+}
+
+// release quarantines a record that left the pipeline (committed or
+// squashed); recycleDead makes it reusable one stage later.
+func (p *instPool) release(d *DynInst) {
+	if p.disabled {
+		return
+	}
+	if debugPool {
+		if d.Seq == poisonSeq {
+			panic("core: double release of a pooled DynInst")
+		}
+		if d.iqe.Resident() {
+			panic(fmt.Sprintf("core: releasing issue-queue-resident %v", d))
+		}
+		if d.heapIdx >= 0 {
+			panic(fmt.Sprintf("core: releasing completion-scheduled %v", d))
+		}
+		if d.inSLIQ || d.inProb {
+			panic(fmt.Sprintf("core: releasing queue-resident %v (sliq=%v prob=%v)", d, d.inSLIQ, d.inProb))
+		}
+	}
+	p.dead = append(p.dead, d)
+}
+
+// recycleDead folds the quarantine into the free list.
+func (p *instPool) recycleDead() {
+	if len(p.dead) == 0 {
+		return
+	}
+	for i, d := range p.dead {
+		p.dead[i] = nil
+		if debugPool {
+			d.Seq = poisonSeq
+		}
+		p.free = append(p.free, d)
+	}
+	p.dead = p.dead[:0]
+}
+
 // completionHeap orders in-flight completions by DoneCycle (ties by Seq
-// for determinism).
+// for determinism). It is a typed min-heap (no container/heap interface
+// dispatch) with positional removal so squash can purge scheduled
+// completions eagerly — a record in this heap is never a released one.
 type completionHeap struct {
 	entries []*DynInst
 }
 
 func (h *completionHeap) Len() int { return len(h.entries) }
-func (h *completionHeap) Less(i, j int) bool {
-	a, b := h.entries[i], h.entries[j]
+
+// less orders by (DoneCycle, Seq).
+func (h *completionHeap) less(a, b *DynInst) bool {
 	if a.DoneCycle != b.DoneCycle {
 		return a.DoneCycle < b.DoneCycle
 	}
 	return a.Seq < b.Seq
 }
-func (h *completionHeap) Swap(i, j int) {
-	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
-	h.entries[i].heapIdx = i
-	h.entries[j].heapIdx = j
-}
-func (h *completionHeap) Push(x any) {
-	d := x.(*DynInst)
-	d.heapIdx = len(h.entries)
-	h.entries = append(h.entries, d)
-}
-func (h *completionHeap) Pop() any {
-	n := len(h.entries)
-	d := h.entries[n-1]
-	h.entries[n-1] = nil
-	h.entries = h.entries[:n-1]
-	d.heapIdx = -1
-	return d
-}
 
 // push schedules a completion.
-func (h *completionHeap) push(d *DynInst) { heap.Push(h, d) }
+func (h *completionHeap) push(d *DynInst) {
+	d.heapIdx = int32(len(h.entries))
+	h.entries = append(h.entries, d)
+	h.up(len(h.entries) - 1)
+}
 
 // peek returns the earliest completion without removing it.
 func (h *completionHeap) peek() *DynInst {
@@ -153,4 +259,72 @@ func (h *completionHeap) peek() *DynInst {
 }
 
 // pop removes and returns the earliest completion.
-func (h *completionHeap) pop() *DynInst { return heap.Pop(h).(*DynInst) }
+func (h *completionHeap) pop() *DynInst {
+	d := h.entries[0]
+	h.removeAt(0)
+	return d
+}
+
+// remove unschedules a completion (squash).
+func (h *completionHeap) remove(d *DynInst) {
+	if d.heapIdx < 0 {
+		return
+	}
+	if h.entries[d.heapIdx] != d {
+		panic(fmt.Sprintf("core: completion heap desync for %v", d))
+	}
+	h.removeAt(int(d.heapIdx))
+}
+
+func (h *completionHeap) removeAt(i int) {
+	e := h.entries
+	last := len(e) - 1
+	d := e[i]
+	if i != last {
+		e[i] = e[last]
+		e[i].heapIdx = int32(i)
+	}
+	e[last] = nil
+	h.entries = e[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	d.heapIdx = -1
+}
+
+func (h *completionHeap) up(i int) {
+	e := h.entries
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(e[i], e[parent]) {
+			break
+		}
+		e[parent], e[i] = e[i], e[parent]
+		e[parent].heapIdx = int32(parent)
+		e[i].heapIdx = int32(i)
+		i = parent
+	}
+}
+
+func (h *completionHeap) down(i int) {
+	e := h.entries
+	n := len(e)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h.less(e[r], e[l]) {
+			min = r
+		}
+		if !h.less(e[min], e[i]) {
+			break
+		}
+		e[i], e[min] = e[min], e[i]
+		e[i].heapIdx = int32(i)
+		e[min].heapIdx = int32(min)
+		i = min
+	}
+}

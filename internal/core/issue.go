@@ -15,14 +15,14 @@ func (c *CPU) issueStage() {
 	budget := c.cfg.IssueWidth
 	failures := 0
 	maxFailures := 2 * c.cfg.IssueWidth
-	var retry []*queue.IQEntry
+	retry := c.issueRetry[:0]
 
 	for budget > 0 && failures < maxFailures {
 		e := c.popOldestReady()
 		if e == nil {
 			break
 		}
-		d := e.Payload.(*DynInst)
+		d := e.Payload
 		if d.Squashed {
 			continue
 		}
@@ -40,9 +40,11 @@ func (c *CPU) issueStage() {
 		c.startExecution(d, aluDone)
 		budget--
 	}
-	for _, e := range retry {
-		c.iqFor(e.Payload.(*DynInst).Inst.Op).Unissue(e)
+	for i, e := range retry {
+		c.iqFor(e.Payload.Inst.Op).Unissue(e)
+		retry[i] = nil
 	}
+	c.issueRetry = retry[:0]
 }
 
 // propagateLongTaint marks a register as transitively dependent on an
@@ -55,8 +57,9 @@ func (c *CPU) propagateLongTaint(p rename.PhysReg) {
 		return
 	}
 	c.longTaint[p] = true
-	for _, cons := range c.consumers[p] {
-		if cons.Squashed || cons.Done || cons.Issued {
+	for _, ref := range c.consumers[p] {
+		cons := ref.d
+		if cons.Seq != ref.seq || cons.Squashed || cons.Done || cons.Issued {
 			continue
 		}
 		if cons.countedLive && !cons.LiveLong {
@@ -72,7 +75,7 @@ func (c *CPU) propagateLongTaint(p rename.PhysReg) {
 
 // popOldestReady pops the globally oldest ready entry across both issue
 // queues.
-func (c *CPU) popOldestReady() *queue.IQEntry {
+func (c *CPU) popOldestReady() *queue.IQEntry[*DynInst] {
 	ei, ef := c.intQ.PeekReady(), c.fpQ.PeekReady()
 	switch {
 	case ei == nil && ef == nil:
@@ -93,7 +96,6 @@ func (c *CPU) popOldestReady() *queue.IQEntry {
 // for memory operations).
 func (c *CPU) startExecution(d *DynInst, aluDone int64) {
 	d.Issued = true
-	d.iqe = nil
 	c.issued++
 	if d.countedLive {
 		// Leaving the issue queue ends the instruction's "live" phase
@@ -110,22 +112,25 @@ func (c *CPU) startExecution(d *DynInst, aluDone int64) {
 	case isa.Load:
 		c.portsUsed++
 		c.lastLoadAddr = d.Inst.Addr
-		switch c.lq.LookupForward(d.Seq, d.Inst.Addr, func(uint64) {
-			// The blocking store executed; the load completes a
-			// cycle later (forwarding bypass).
-			if d.Squashed {
-				return
-			}
-			d.forwardWait = false
-			d.DoneCycle = c.now + 1
-			c.completions.push(d)
-		}) {
+		res, store := c.lq.LookupForward(d.Seq, d.Inst.Addr)
+		switch res {
 		case lsq.ForwardReady:
 			d.DoneCycle = aluDone + int64(c.cfg.DL1.LatencyCycles)
 			c.completions.push(d)
 		case lsq.ForwardWait:
 			d.forwardWait = true
-			// Completion is scheduled by the callback above.
+			// The blocking store executed; the load completes a cycle
+			// later (forwarding bypass). The callback outlives the
+			// load on squash, so it re-checks identity by Seq.
+			seq := d.Seq
+			c.lq.AddWaiter(store, func(uint64) {
+				if d.Squashed || d.Seq != seq {
+					return
+				}
+				d.forwardWait = false
+				d.DoneCycle = c.now + 1
+				c.completions.push(d)
+			})
 		case lsq.NoConflict:
 			res := c.hier.Load(aluDone, d.Inst.Addr)
 			d.DoneCycle = res.Done

@@ -11,7 +11,8 @@ import (
 // decision (section 3): only now — when the instruction is the oldest in
 // the FIFO — is it classified, and not-yet-issued instructions that
 // transitively depend on an L2-missing load are moved from the precious
-// issue queue into the SLIQ.
+// issue queue into the SLIQ. Records whose window already committed are
+// recycled once classified (see retireWindow).
 func (c *CPU) extractPseudoROB() {
 	d, ok := c.prob.PopFront()
 	if !ok {
@@ -19,6 +20,9 @@ func (c *CPU) extractPseudoROB() {
 	}
 	d.inProb = false
 	c.classifyExtract(d)
+	if d.Retired {
+		c.pool.release(d)
+	}
 }
 
 // note records the classification on the instruction for debugging.
@@ -108,9 +112,8 @@ func (c *CPU) classifyWaiting(d *DynInst) {
 // instruction sequence) of the long-latency load at the root of the
 // chain.
 func (c *CPU) maskDependence(d *DynInst) (bool, rename.PhysReg, uint64) {
-	srcs := d.Inst.Sources(make([]isa.Reg, 0, 2))
-	for _, s := range srcs {
-		if !c.depMask[s] {
+	for _, s := range [2]isa.Reg{d.Inst.Src1, d.Inst.Src2} {
+		if s == isa.RegNone || !c.depMask[s] {
 			continue
 		}
 		root := c.maskOwner[s]
@@ -129,7 +132,8 @@ func (c *CPU) maskDependence(d *DynInst) (bool, rename.PhysReg, uint64) {
 // a write from the producer recorded in the mask — the condition under
 // which waiting on it is guaranteed to end with a TriggerReady. The
 // sequence check rejects registers freed and reallocated since the mask
-// bit was set.
+// bit was set (and, with recycled records, producers whose slot was
+// reused by a younger instruction).
 func (c *CPU) triggerLive(root rename.PhysReg, rootSeq uint64) bool {
 	if root == rename.PhysNone || c.regReady[root] {
 		return false
@@ -171,7 +175,7 @@ func (c *CPU) maskRedefine(d *DynInst, dependent bool, root rename.PhysReg) {
 // slow lane. It returns false when no SLIQ is configured, it is full, or
 // the trigger register already produced its value.
 func (c *CPU) moveToSLIQ(d *DynInst, root rename.PhysReg) bool {
-	if c.sliq == nil || d.iqe == nil {
+	if c.sliq == nil || !d.iqe.Resident() {
 		return false
 	}
 	if d.iqe.Pending() == 0 {
@@ -184,8 +188,7 @@ func (c *CPU) moveToSLIQ(d *DynInst, root rename.PhysReg) bool {
 	if !c.sliq.Insert(d.Seq, root, d) {
 		return false
 	}
-	c.iqFor(d.Inst.Op).Remove(d.iqe)
-	d.iqe = nil
+	c.iqFor(d.Inst.Op).Remove(&d.iqe)
 	d.inSLIQ = true
 	return true
 }

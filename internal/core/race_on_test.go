@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// budgets are skipped under it (the runtime itself allocates).
+const raceEnabled = true

@@ -41,7 +41,7 @@ func (c *CPU) resolveMispredict(b *DynInst) {
 	// The rollback hardware knows this branch's direction; its replay
 	// will not mispredict (see tryDispatch).
 	if b.Pos >= 0 {
-		c.knownBranch[b.Pos] = true
+		c.markBranchKnown(b.Pos)
 	}
 	c.rollbackToCheckpoint(b.ckpt)
 	c.fetchResumeAt = c.now + penalty
@@ -90,8 +90,8 @@ func (c *CPU) rollbackToCheckpoint(target *checkpoint.Entry) {
 	startSeq := target.StartSeq
 
 	if c.sliq != nil {
-		c.sliq.SquashYounger(startSeq, func(p any) {
-			p.(*DynInst).inSLIQ = false
+		c.sliq.SquashYounger(startSeq, func(d *DynInst) {
+			d.inSLIQ = false
 		})
 	}
 	for {
@@ -130,6 +130,9 @@ func (c *CPU) raiseException(d *DynInst) {
 	if c.cfg.Commit != config.CommitCheckpoint {
 		return
 	}
+	if c.exceptArm == nil {
+		c.exceptArm = make([]uint8, c.tr.Len())
+	}
 	c.exceptArm[d.Pos] = 2
 	c.rollbackToCheckpoint(d.ckpt)
 	c.fetchResumeAt = c.now + int64(c.cfg.BranchMispredictPenalty)
@@ -139,7 +142,9 @@ func (c *CPU) raiseException(d *DynInst) {
 // selects per-instruction CAM unwinding (ROB and pseudo-ROB recoveries,
 // which walk in reverse program order); full rollbacks restore a
 // snapshot instead and pass false. The caller removes the instruction
-// from ROB/pseudo-ROB/master/LSQ; this handles everything else.
+// from ROB/pseudo-ROB/master/LSQ; this handles everything else, and
+// finally releases the record to the free list (quarantined until the
+// next dispatch stage — see instPool).
 func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 	if d.Squashed {
 		return
@@ -154,9 +159,13 @@ func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 			c.liveFPShort--
 		}
 	}
-	if d.iqe != nil {
-		c.iqFor(d.Inst.Op).Remove(d.iqe)
-		d.iqe = nil
+	if d.iqe.Resident() {
+		c.iqFor(d.Inst.Op).Remove(&d.iqe)
+	}
+	// Unschedule any pending completion so the heap never holds a
+	// released record.
+	if d.heapIdx >= 0 {
+		c.completions.remove(d)
 	}
 	d.lsqe = nil
 
@@ -197,7 +206,7 @@ func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 		}
 		c.regReady[d.DestPhys] = false
 		c.longTaint[d.DestPhys] = false
-		c.consumers[d.DestPhys] = nil
+		c.consumers[d.DestPhys] = c.consumers[d.DestPhys][:0]
 		if c.producer[d.DestPhys] == d {
 			c.producer[d.DestPhys] = nil
 		}
@@ -207,4 +216,5 @@ func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 	if !d.WrongPath {
 		c.replayed++
 	}
+	c.pool.release(d)
 }

@@ -20,6 +20,8 @@ func (c *CPU) writebackStage() {
 		}
 		c.completions.pop()
 		if d.Squashed {
+			// Unreachable in steady state: squash purges scheduled
+			// completions eagerly. Kept as a guard for late pushes.
 			continue
 		}
 		c.completeInst(d)
@@ -55,7 +57,15 @@ func (c *CPU) finishCompletion(d *DynInst) {
 	if d.DestPhys != rename.PhysNone {
 		c.regReady[d.DestPhys] = true
 		c.longTaint[d.DestPhys] = false
-		for _, cons := range c.consumers[d.DestPhys] {
+		waiting := c.consumers[d.DestPhys]
+		for i, ref := range waiting {
+			cons := ref.d
+			waiting[i] = consumerRef{}
+			if cons.Seq != ref.seq {
+				// The record was recycled: the registering instruction
+				// is gone (squashed and released).
+				continue
+			}
 			switch {
 			case cons.Squashed:
 			case cons.Inst.Op == isa.Store:
@@ -69,11 +79,11 @@ func (c *CPU) finishCompletion(d *DynInst) {
 						c.completions.push(cons)
 					}
 				}
-			case cons.iqe != nil:
-				c.iqFor(cons.Inst.Op).Wake(cons.iqe)
+			case cons.iqe.Resident():
+				c.iqFor(cons.Inst.Op).Wake(&cons.iqe)
 			}
 		}
-		c.consumers[d.DestPhys] = nil
+		c.consumers[d.DestPhys] = waiting[:0]
 		if c.sliq != nil {
 			c.sliq.TriggerReady(d.DestPhys, c.now)
 		}
@@ -88,6 +98,9 @@ func (c *CPU) finishCompletion(d *DynInst) {
 	if d.Inst.Op == isa.Branch && d.Mispredicted && c.divergedAt == d {
 		c.resolveMispredict(d)
 	}
+	// Safe even if the recovery above squashed-and-released d: released
+	// records are quarantined with their fields intact until the next
+	// dispatch stage (see instPool).
 	if d.ExceptAt && !d.Squashed {
 		d.ExceptAt = false
 		c.raiseException(d)

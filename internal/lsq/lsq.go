@@ -7,6 +7,14 @@
 // checkpoint mode, entries are held until the owning checkpoint commits,
 // which is why the paper bounds stores per checkpoint (64) to avoid
 // deadlock.
+//
+// Disambiguation is indexed: resident stores chain per effective
+// address (youngest first, intrusively through the entries), so
+// LookupForward is one map probe plus a short chain walk instead of the
+// former backward scan of the whole queue — the scan was the single
+// hottest path in the simulator at kilo-instruction windows. Entries
+// recycle through an internal free list; steady-state inserts allocate
+// nothing.
 package lsq
 
 import (
@@ -24,7 +32,10 @@ const (
 	KindStore
 )
 
-// Entry is one memory operation in the queue.
+// Entry is one memory operation in the queue. Entries are owned by the
+// LSQ and recycled after removal: the pipeline must drop its handle when
+// it retires or squashes the instruction and must not dereference it
+// afterwards.
 type Entry struct {
 	Seq  uint64
 	Kind Kind
@@ -35,6 +46,9 @@ type Entry struct {
 	Payload any
 	// waiters are loads blocked on this store's data (forwarding).
 	waiters []func(storeSeq uint64)
+	// olderSame chains stores to the same address, newest first (the
+	// forwarding index; intrusive so indexing allocates nothing).
+	olderSame *Entry
 }
 
 // Stats counts queue activity.
@@ -52,7 +66,11 @@ type Stats struct {
 type LSQ struct {
 	capacity int
 	entries  []*Entry // seq-ordered
-	stats    Stats
+	// stores maps an effective address to its youngest resident store;
+	// older stores to the same address chain behind it via olderSame.
+	stores map[uint64]*Entry
+	free   []*Entry
+	stats  Stats
 }
 
 // New builds a load/store queue with the given capacity.
@@ -60,7 +78,7 @@ func New(capacity int) *LSQ {
 	if capacity < 1 {
 		panic(fmt.Sprintf("lsq: capacity %d < 1", capacity))
 	}
-	return &LSQ{capacity: capacity}
+	return &LSQ{capacity: capacity, stores: make(map[uint64]*Entry)}
 }
 
 // Cap returns the capacity.
@@ -93,9 +111,56 @@ func (q *LSQ) Insert(seq uint64, op isa.Op, addr uint64, payload any) *Entry {
 	default:
 		panic(fmt.Sprintf("lsq: non-memory op %v", op))
 	}
-	e := &Entry{Seq: seq, Kind: k, Addr: addr, Payload: payload}
+	var e *Entry
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = new(Entry)
+	}
+	e.Seq, e.Kind, e.Addr, e.Executed, e.Payload = seq, k, addr, false, payload
 	q.entries = append(q.entries, e)
+	if k == KindStore {
+		// Inserts arrive in seq order, so the new store is the
+		// youngest at its address: it heads the chain.
+		e.olderSame = q.stores[addr]
+		q.stores[addr] = e
+	}
 	return e
+}
+
+// recycle returns a removed entry to the free list. The entry's waiter
+// backing array is kept for reuse.
+func (q *LSQ) recycle(e *Entry) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	e.Payload = nil
+	e.olderSame = nil
+	q.free = append(q.free, e)
+}
+
+// dropStore unlinks a store from the forwarding index. Chains are short
+// (stores resident at one address), so the walk is cheap.
+func (q *LSQ) dropStore(e *Entry) {
+	head := q.stores[e.Addr]
+	if head == e {
+		if e.olderSame == nil {
+			delete(q.stores, e.Addr)
+		} else {
+			q.stores[e.Addr] = e.olderSame
+		}
+		return
+	}
+	for x := head; x != nil; x = x.olderSame {
+		if x.olderSame == e {
+			x.olderSame = e.olderSame
+			return
+		}
+	}
+	panic(fmt.Sprintf("lsq: store seq %d missing from the forwarding index", e.Seq))
 }
 
 // MarkExecuted records that the entry's address (and data for stores)
@@ -104,10 +169,11 @@ func (q *LSQ) Insert(seq uint64, op isa.Op, addr uint64, payload any) *Entry {
 func (q *LSQ) MarkExecuted(e *Entry) {
 	e.Executed = true
 	if e.Kind == KindStore {
-		for _, w := range e.waiters {
+		for i, w := range e.waiters {
+			e.waiters[i] = nil
 			w(e.Seq)
 		}
-		e.waiters = nil
+		e.waiters = e.waiters[:0]
 	}
 }
 
@@ -121,41 +187,41 @@ const (
 	// ForwardReady: an older executed store matches; forward its data.
 	ForwardReady
 	// ForwardWait: an older store matches but its data is not ready;
-	// the load must wait (the callback fires when it is).
+	// the load must wait (register a callback via AddWaiter).
 	ForwardWait
 )
 
 // LookupForward finds the youngest store older than loadSeq with a
-// matching address. When the store is not yet executed, onReady is
-// retained and invoked at MarkExecuted time so the pipeline can complete
-// the forwarded load.
-func (q *LSQ) LookupForward(loadSeq uint64, addr uint64, onReady func(storeSeq uint64)) ForwardResult {
-	for i := len(q.entries) - 1; i >= 0; i-- {
-		e := q.entries[i]
-		if e.Seq >= loadSeq {
-			continue
-		}
-		if e.Kind != KindStore {
-			continue
-		}
-		if e.Kind == KindStore && !e.Executed {
-			// Unresolved store address: a conservative design would
-			// stall, but following the paper's pseudo-perfect
-			// disambiguation we compare against the architectural
-			// address the generator provided.
-			if e.Addr == addr {
-				e.waiters = append(e.waiters, onReady)
-				q.stats.ForwardStalls++
-				return ForwardWait
-			}
-			continue
-		}
-		if e.Addr == addr {
-			q.stats.Forwards++
-			return ForwardReady
-		}
+// matching address. On ForwardWait it returns the blocking store so the
+// caller can register a wake callback with AddWaiter. Unresolved store
+// addresses are compared against the architectural address the generator
+// provided, per the paper's pseudo-perfect disambiguation.
+func (q *LSQ) LookupForward(loadSeq uint64, addr uint64) (ForwardResult, *Entry) {
+	// The chain is youngest-first: the first store older than the load
+	// is the youngest matching one.
+	e := q.stores[addr]
+	for e != nil && e.Seq >= loadSeq {
+		e = e.olderSame
 	}
-	return NoConflict
+	if e == nil {
+		return NoConflict, nil
+	}
+	if !e.Executed {
+		q.stats.ForwardStalls++
+		return ForwardWait, e
+	}
+	q.stats.Forwards++
+	return ForwardReady, nil
+}
+
+// AddWaiter registers a callback invoked when the (unexecuted) store's
+// data becomes available; callers obtain store from a ForwardWait
+// lookup. Waiters of squashed stores are dropped without being invoked.
+func (q *LSQ) AddWaiter(store *Entry, onReady func(storeSeq uint64)) {
+	if store.Executed {
+		panic(fmt.Sprintf("lsq: waiter on executed store seq %d", store.Seq))
+	}
+	store.waiters = append(store.waiters, onReady)
 }
 
 // DrainStoresBefore removes every store with Seq < endSeq, invoking
@@ -174,9 +240,11 @@ func (q *LSQ) DrainStoresBefore(endSeq uint64, write func(addr uint64)) int {
 				panic(fmt.Sprintf("lsq: draining unexecuted store seq %d", e.Seq))
 			}
 			write(e.Addr)
+			q.dropStore(e)
 			q.stats.StoresDrained++
 			n++
 		}
+		q.recycle(e)
 	}
 	// Zero the tail so removed entries can be collected.
 	for i := len(kept); i < len(q.entries); i++ {
@@ -196,22 +264,29 @@ func (q *LSQ) Retire(e *Entry, write func(addr uint64)) {
 					panic(fmt.Sprintf("lsq: retiring unexecuted store seq %d", e.Seq))
 				}
 				write(e.Addr)
+				q.dropStore(e)
 				q.stats.StoresDrained++
 			}
 			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.recycle(e)
 			return
 		}
 	}
 	panic(fmt.Sprintf("lsq: retire of unknown entry seq %d", e.Seq))
 }
 
-// SquashYounger removes every entry with Seq >= seq (rollback).
+// SquashYounger removes every entry with Seq >= seq (rollback). Pending
+// forward waiters of squashed stores are dropped unfired (their loads
+// are younger than the store and therefore squashed too).
 func (q *LSQ) SquashYounger(seq uint64) int {
 	n := 0
 	kept := q.entries[:0]
 	for _, e := range q.entries {
 		if e.Seq >= seq {
-			e.waiters = nil
+			if e.Kind == KindStore {
+				q.dropStore(e)
+			}
+			q.recycle(e)
 			n++
 			continue
 		}
@@ -237,6 +312,29 @@ func (q *LSQ) CheckInvariants() error {
 	}
 	if len(q.entries) > q.capacity {
 		return fmt.Errorf("lsq: %d entries exceed capacity %d", len(q.entries), q.capacity)
+	}
+	stores := 0
+	for addr, head := range q.stores {
+		prev := ^uint64(0)
+		for e := head; e != nil; e = e.olderSame {
+			if e.Addr != addr {
+				return fmt.Errorf("lsq: store seq %d indexed under %#x, has addr %#x", e.Seq, addr, e.Addr)
+			}
+			if e.Seq >= prev {
+				return fmt.Errorf("lsq: store chain for %#x out of order", addr)
+			}
+			prev = e.Seq
+			stores++
+		}
+	}
+	resident := 0
+	for _, e := range q.entries {
+		if e.Kind == KindStore {
+			resident++
+		}
+	}
+	if stores != resident {
+		return fmt.Errorf("lsq: forwarding index has %d stores, queue has %d", stores, resident)
 	}
 	return nil
 }

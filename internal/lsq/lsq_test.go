@@ -65,9 +65,9 @@ func TestForwardReady(t *testing.T) {
 	q := New(8)
 	s := q.Insert(1, isa.Store, 0x100, nil)
 	q.MarkExecuted(s)
-	got := q.LookupForward(2, 0x100, nil)
-	if got != ForwardReady {
-		t.Fatalf("got %v, want ForwardReady", got)
+	got, blocking := q.LookupForward(2, 0x100)
+	if got != ForwardReady || blocking != nil {
+		t.Fatalf("got %v (store %v), want ForwardReady", got, blocking)
 	}
 	if q.Stats().Forwards != 1 {
 		t.Fatal("forward not counted")
@@ -77,11 +77,12 @@ func TestForwardReady(t *testing.T) {
 func TestForwardWaitThenReady(t *testing.T) {
 	q := New(8)
 	s := q.Insert(1, isa.Store, 0x100, nil)
-	fired := uint64(0)
-	got := q.LookupForward(2, 0x100, func(storeSeq uint64) { fired = storeSeq })
-	if got != ForwardWait {
-		t.Fatalf("got %v, want ForwardWait", got)
+	got, blocking := q.LookupForward(2, 0x100)
+	if got != ForwardWait || blocking != s {
+		t.Fatalf("got %v (store %v), want ForwardWait on seq 1", got, blocking)
 	}
+	fired := uint64(0)
+	q.AddWaiter(blocking, func(storeSeq uint64) { fired = storeSeq })
 	q.MarkExecuted(s)
 	if fired != 1 {
 		t.Fatal("waiter must fire when the store executes")
@@ -97,19 +98,31 @@ func TestForwardYoungestMatchingStore(t *testing.T) {
 	// The load must see the youngest older store; both executed, so
 	// ForwardReady — and critically, not a store younger than the load.
 	q.Insert(3, isa.Load, 0x100, nil)
-	if got := q.LookupForward(3, 0x100, nil); got != ForwardReady {
+	if got, _ := q.LookupForward(3, 0x100); got != ForwardReady {
 		t.Fatalf("got %v", got)
 	}
 	// A load older than every store must not forward.
-	if got := q.LookupForward(0, 0x100, nil); got != NoConflict {
+	if got, _ := q.LookupForward(0, 0x100); got != NoConflict {
 		t.Fatalf("older load forwarded: %v", got)
+	}
+}
+
+func TestForwardWaitPicksYoungestOlderStore(t *testing.T) {
+	q := New(8)
+	s1 := q.Insert(1, isa.Store, 0x100, nil)
+	s2 := q.Insert(2, isa.Store, 0x100, nil)
+	q.MarkExecuted(s1)
+	// s2 (younger, unexecuted) shadows the executed s1.
+	got, blocking := q.LookupForward(3, 0x100)
+	if got != ForwardWait || blocking != s2 {
+		t.Fatalf("got %v (store %v), want ForwardWait on seq 2", got, blocking)
 	}
 }
 
 func TestNoConflictDifferentAddress(t *testing.T) {
 	q := New(8)
 	q.Insert(1, isa.Store, 0x100, nil)
-	if got := q.LookupForward(2, 0x108, nil); got != NoConflict {
+	if got, _ := q.LookupForward(2, 0x108); got != NoConflict {
 		t.Fatalf("got %v, want NoConflict", got)
 	}
 }
@@ -173,14 +186,56 @@ func TestSquashYounger(t *testing.T) {
 	q.Insert(3, isa.Load, 0x30, nil)
 	// A waiter on the store must be dropped with it.
 	fired := false
-	q.LookupForward(3, 0x20, func(uint64) { fired = true })
+	res, blocking := q.LookupForward(3, 0x20)
+	if res != ForwardWait || blocking != s {
+		t.Fatalf("got %v, want ForwardWait on the store", res)
+	}
+	q.AddWaiter(blocking, func(uint64) { fired = true })
 	n := q.SquashYounger(2)
 	if n != 2 || q.Len() != 1 {
 		t.Fatalf("squashed %d, len %d", n, q.Len())
 	}
-	q.MarkExecuted(s) // dead entry; must not fire dropped waiters
+	// Recycle the squashed records: a new store at the same address
+	// (likely reusing the recycled entry) must not carry the dropped
+	// waiter, and the old store must be gone from the forwarding index.
+	s2 := q.Insert(4, isa.Store, 0x20, nil)
+	q.MarkExecuted(s2)
 	if fired {
-		t.Fatal("squashed store fired a stale waiter")
+		t.Fatal("squashed store's waiter leaked onto a recycled entry")
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForwardIndexAfterChurn exercises the per-address store index
+// through a drain/squash/reuse cycle and cross-checks it against the
+// queue invariants.
+func TestForwardIndexAfterChurn(t *testing.T) {
+	q := New(16)
+	seq := uint64(0)
+	insert := func(op isa.Op, addr uint64) *Entry {
+		seq++
+		return q.Insert(seq, op, addr, nil)
+	}
+	a := insert(isa.Store, 0x10)
+	b := insert(isa.Store, 0x10)
+	c := insert(isa.Store, 0x20)
+	q.MarkExecuted(a)
+	q.MarkExecuted(b)
+	q.MarkExecuted(c)
+	q.DrainStoresBefore(2, func(uint64) {}) // drains a
+	if got, _ := q.LookupForward(10, 0x10); got != ForwardReady {
+		t.Fatalf("got %v, want forward from b", got)
+	}
+	q.SquashYounger(3) // squashes c
+	if got, _ := q.LookupForward(10, 0x20); got != NoConflict {
+		t.Fatalf("got %v, want NoConflict after squash", got)
+	}
+	d := insert(isa.Store, 0x20)
+	q.MarkExecuted(d)
+	if got, _ := q.LookupForward(10, 0x20); got != ForwardReady {
+		t.Fatalf("got %v, want forward from reinserted store", got)
 	}
 	if err := q.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -3,42 +3,52 @@
 // event-driven wakeup and oldest-first select), a generic deque used for
 // the pseudo-ROB, and the Slow Lane Instruction Queue (SLIQ) of the
 // paper's section 3.
+//
+// The issue queue and the SLIQ are on the simulator's innermost loop
+// (one insert per dispatched instruction, one wake per produced value),
+// so both are allocation-free in steady state: IQ entries are intrusive
+// — the pipeline embeds IQEntry in its own instruction record and queue
+// residence costs nothing — and SLIQ entries recycle through an internal
+// free list. Both replace the former container/heap + `any` payloads
+// with typed min-heaps.
 package queue
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// IQEntry is one instruction resident in an issue queue. The pipeline
-// allocates entries via Insert and keeps the pointer for wakeup and
-// removal; all fields are managed by the queue.
-type IQEntry struct {
+// IQEntry is one instruction's issue-queue residence state. The pipeline
+// embeds it in its per-instruction record (intrusive design) and passes
+// a pointer to the embedded entry to Insert; entering and leaving the
+// queue therefore allocates nothing. Payload points back at the owning
+// record; all other fields are managed by the queue.
+type IQEntry[P any] struct {
 	// Seq is the dynamic sequence number, used for oldest-first select.
 	Seq uint64
-	// Payload is an opaque handle back to the pipeline's record.
-	Payload any
+	// Payload is the typed handle back to the pipeline's record.
+	Payload P
 
-	pending  int // unready source operands
-	heapIdx  int // index in the ready heap, or -1
+	pending  int32 // unready source operands
+	heapIdx  int32 // index in the ready heap, or -1
 	resident bool
-	q        *IQ
+	q        *IQ[P]
 }
 
 // Pending returns the number of source operands still awaited.
-func (e *IQEntry) Pending() int { return e.pending }
+func (e *IQEntry[P]) Pending() int { return int(e.pending) }
 
 // Ready reports whether the entry is in the ready set.
-func (e *IQEntry) Ready() bool { return e.resident && e.pending == 0 }
+func (e *IQEntry[P]) Ready() bool { return e.resident && e.pending == 0 }
+
+// Resident reports whether the entry currently occupies a queue slot.
+func (e *IQEntry[P]) Resident() bool { return e.resident }
 
 // IQ is a fixed-capacity issue queue. Entries wait until their pending
 // source count reaches zero, then become selectable oldest-first.
 // Select bandwidth and functional-unit availability are enforced by the
 // caller (the pipeline's issue stage).
-type IQ struct {
+type IQ[P any] struct {
 	capacity int
 	occupied int
-	ready    readyHeap
+	ready    []*IQEntry[P] // min-heap by Seq
 	stats    IQStats
 }
 
@@ -52,50 +62,58 @@ type IQStats struct {
 }
 
 // NewIQ builds an issue queue with the given capacity.
-func NewIQ(capacity int) *IQ {
+func NewIQ[P any](capacity int) *IQ[P] {
 	if capacity < 1 {
 		panic(fmt.Sprintf("queue: IQ capacity %d < 1", capacity))
 	}
-	return &IQ{capacity: capacity}
+	return &IQ[P]{capacity: capacity}
 }
 
 // Cap returns the queue capacity.
-func (q *IQ) Cap() int { return q.capacity }
+func (q *IQ[P]) Cap() int { return q.capacity }
 
 // Len returns the number of resident entries.
-func (q *IQ) Len() int { return q.occupied }
+func (q *IQ[P]) Len() int { return q.occupied }
 
 // Free returns the number of available entries.
-func (q *IQ) Free() int { return q.capacity - q.occupied }
+func (q *IQ[P]) Free() int { return q.capacity - q.occupied }
 
 // Full reports whether the queue has no free entry.
-func (q *IQ) Full() bool { return q.occupied >= q.capacity }
+func (q *IQ[P]) Full() bool { return q.occupied >= q.capacity }
 
 // ReadyCount returns the number of selectable entries.
-func (q *IQ) ReadyCount() int { return q.ready.Len() }
+func (q *IQ[P]) ReadyCount() int { return len(q.ready) }
 
 // Insert adds an instruction with the given number of not-yet-ready
-// sources. It returns nil when the queue is full.
-func (q *IQ) Insert(seq uint64, pendingSources int, payload any) *IQEntry {
+// sources. e is the caller-owned (typically embedded) entry; it must not
+// be resident. Insert returns false when the queue is full.
+func (q *IQ[P]) Insert(e *IQEntry[P], seq uint64, pendingSources int) bool {
 	if q.Full() {
 		q.stats.FullStalls++
-		return nil
+		return false
 	}
 	if pendingSources < 0 {
 		panic(fmt.Sprintf("queue: negative pending count %d", pendingSources))
 	}
-	e := &IQEntry{Seq: seq, Payload: payload, pending: pendingSources, heapIdx: -1, resident: true, q: q}
+	if e.resident {
+		panic(fmt.Sprintf("queue: double insert of seq %d", e.Seq))
+	}
+	e.Seq = seq
+	e.pending = int32(pendingSources)
+	e.heapIdx = -1
+	e.resident = true
+	e.q = q
 	q.occupied++
 	q.stats.Inserted++
 	if e.pending == 0 {
-		heap.Push(&q.ready, e)
+		q.heapPush(e)
 	}
-	return e
+	return true
 }
 
 // Wake signals that one of e's source operands became ready. When the
 // last source arrives the entry joins the ready set.
-func (q *IQ) Wake(e *IQEntry) {
+func (q *IQ[P]) Wake(e *IQEntry[P]) {
 	if !e.resident || e.q != q {
 		panic("queue: Wake on non-resident entry")
 	}
@@ -104,18 +122,18 @@ func (q *IQ) Wake(e *IQEntry) {
 	}
 	e.pending--
 	if e.pending == 0 {
-		heap.Push(&q.ready, e)
+		q.heapPush(e)
 	}
 }
 
 // PopReady removes and returns the oldest ready entry, or nil when no
 // entry is selectable. The entry leaves the queue (its slot is freed);
 // the caller has committed to issuing it.
-func (q *IQ) PopReady() *IQEntry {
-	if q.ready.Len() == 0 {
+func (q *IQ[P]) PopReady() *IQEntry[P] {
+	if len(q.ready) == 0 {
 		return nil
 	}
-	e := heap.Pop(&q.ready).(*IQEntry)
+	e := q.heapPop()
 	e.resident = false
 	q.occupied--
 	q.stats.Issued++
@@ -123,34 +141,34 @@ func (q *IQ) PopReady() *IQEntry {
 }
 
 // PeekReady returns the oldest ready entry without removing it.
-func (q *IQ) PeekReady() *IQEntry {
-	if q.ready.Len() == 0 {
+func (q *IQ[P]) PeekReady() *IQEntry[P] {
+	if len(q.ready) == 0 {
 		return nil
 	}
-	return q.ready.entries[0]
+	return q.ready[0]
 }
 
 // Unissue reinserts an entry popped by PopReady back into the ready set,
 // used when issue fails on a structural hazard (all functional units
 // busy) and the instruction must retry next cycle.
-func (q *IQ) Unissue(e *IQEntry) {
+func (q *IQ[P]) Unissue(e *IQEntry[P]) {
 	if e.resident {
 		panic("queue: Unissue of resident entry")
 	}
 	e.resident = true
 	q.occupied++
 	q.stats.Issued--
-	heap.Push(&q.ready, e)
+	q.heapPush(e)
 }
 
 // Remove deletes a resident entry regardless of readiness (squash, or a
 // move to the SLIQ). It is a no-op for entries already gone.
-func (q *IQ) Remove(e *IQEntry) {
+func (q *IQ[P]) Remove(e *IQEntry[P]) {
 	if !e.resident || e.q != q {
 		return
 	}
 	if e.heapIdx >= 0 {
-		heap.Remove(&q.ready, e.heapIdx)
+		q.heapRemove(int(e.heapIdx))
 	}
 	e.resident = false
 	q.occupied--
@@ -158,35 +176,85 @@ func (q *IQ) Remove(e *IQEntry) {
 }
 
 // Resident reports whether e currently occupies a slot of this queue.
-func (q *IQ) Resident(e *IQEntry) bool { return e != nil && e.resident && e.q == q }
+func (q *IQ[P]) Resident(e *IQEntry[P]) bool { return e != nil && e.resident && e.q == q }
 
 // Stats returns a copy of the counters.
-func (q *IQ) Stats() IQStats { return q.stats }
+func (q *IQ[P]) Stats() IQStats { return q.stats }
 
-// readyHeap is a min-heap of ready entries ordered by Seq.
-type readyHeap struct {
-	entries []*IQEntry
+// The ready set is a hand-rolled min-heap over Seq: a typed sibling of
+// container/heap without the interface dispatch and `any` boxing that
+// dominated the issue stage's profile.
+
+func (q *IQ[P]) heapPush(e *IQEntry[P]) {
+	e.heapIdx = int32(len(q.ready))
+	q.ready = append(q.ready, e)
+	q.heapUp(len(q.ready) - 1)
 }
 
-func (h *readyHeap) Len() int { return len(h.entries) }
-func (h *readyHeap) Less(i, j int) bool {
-	return h.entries[i].Seq < h.entries[j].Seq
-}
-func (h *readyHeap) Swap(i, j int) {
-	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
-	h.entries[i].heapIdx = i
-	h.entries[j].heapIdx = j
-}
-func (h *readyHeap) Push(x any) {
-	e := x.(*IQEntry)
-	e.heapIdx = len(h.entries)
-	h.entries = append(h.entries, e)
-}
-func (h *readyHeap) Pop() any {
-	n := len(h.entries)
-	e := h.entries[n-1]
-	h.entries[n-1] = nil
-	h.entries = h.entries[:n-1]
+func (q *IQ[P]) heapPop() *IQEntry[P] {
+	h := q.ready
+	e := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[0].heapIdx = 0
+	h[last] = nil
+	q.ready = h[:last]
+	if last > 0 {
+		q.heapDown(0)
+	}
 	e.heapIdx = -1
 	return e
+}
+
+func (q *IQ[P]) heapRemove(i int) {
+	h := q.ready
+	last := len(h) - 1
+	e := h[i]
+	if i != last {
+		h[i] = h[last]
+		h[i].heapIdx = int32(i)
+	}
+	h[last] = nil
+	q.ready = h[:last]
+	if i < last {
+		q.heapDown(i)
+		q.heapUp(i)
+	}
+	e.heapIdx = -1
+}
+
+func (q *IQ[P]) heapUp(i int) {
+	h := q.ready
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Seq <= h[i].Seq {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		h[parent].heapIdx = int32(parent)
+		h[i].heapIdx = int32(i)
+		i = parent
+	}
+}
+
+func (q *IQ[P]) heapDown(i int) {
+	h := q.ready
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h[r].Seq < h[l].Seq {
+			min = r
+		}
+		if h[i].Seq <= h[min].Seq {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		h[i].heapIdx = int32(i)
+		h[min].heapIdx = int32(min)
+		i = min
+	}
 }

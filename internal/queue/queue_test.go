@@ -6,16 +6,21 @@ import (
 	"repro/internal/rename"
 )
 
+// ent builds a standalone entry for tests; the pipeline embeds entries
+// in its instruction records instead.
+func ent(payload string) *IQEntry[string] {
+	e := &IQEntry[string]{}
+	e.Payload = payload
+	return e
+}
+
 func TestIQInsertPopOrder(t *testing.T) {
-	q := NewIQ(8)
+	q := NewIQ[string](8)
 	// Ready entries pop oldest-first regardless of insertion order of
 	// readiness.
-	e3 := q.Insert(3, 0, "c")
-	e1 := q.Insert(1, 0, "a")
-	e2 := q.Insert(2, 0, "b")
-	_ = e1
-	_ = e2
-	_ = e3
+	if !q.Insert(ent("c"), 3, 0) || !q.Insert(ent("a"), 1, 0) || !q.Insert(ent("b"), 2, 0) {
+		t.Fatal("insert failed")
+	}
 	var got []uint64
 	for {
 		e := q.PopReady()
@@ -36,8 +41,9 @@ func TestIQInsertPopOrder(t *testing.T) {
 }
 
 func TestIQWakeup(t *testing.T) {
-	q := NewIQ(4)
-	e := q.Insert(1, 2, nil)
+	q := NewIQ[string](4)
+	e := ent("x")
+	q.Insert(e, 1, 2)
 	if e.Ready() || q.ReadyCount() != 0 {
 		t.Fatal("entry with pending sources must not be ready")
 	}
@@ -55,8 +61,9 @@ func TestIQWakeup(t *testing.T) {
 }
 
 func TestIQWakePanics(t *testing.T) {
-	q := NewIQ(4)
-	e := q.Insert(1, 0, nil)
+	q := NewIQ[string](4)
+	e := ent("x")
+	q.Insert(e, 1, 0)
 	defer func() {
 		if recover() == nil {
 			t.Error("waking a ready entry must panic (underflow)")
@@ -66,13 +73,13 @@ func TestIQWakePanics(t *testing.T) {
 }
 
 func TestIQCapacity(t *testing.T) {
-	q := NewIQ(2)
-	q.Insert(1, 1, nil)
-	q.Insert(2, 1, nil)
+	q := NewIQ[string](2)
+	q.Insert(ent("a"), 1, 1)
+	q.Insert(ent("b"), 2, 1)
 	if !q.Full() || q.Free() != 0 {
 		t.Fatal("queue should be full")
 	}
-	if q.Insert(3, 1, nil) != nil {
+	if q.Insert(ent("c"), 3, 1) {
 		t.Fatal("insert into a full queue must fail")
 	}
 	if q.Stats().FullStalls != 1 {
@@ -81,8 +88,8 @@ func TestIQCapacity(t *testing.T) {
 }
 
 func TestIQUnissue(t *testing.T) {
-	q := NewIQ(4)
-	q.Insert(5, 0, nil)
+	q := NewIQ[string](4)
+	q.Insert(ent("a"), 5, 0)
 	e := q.PopReady()
 	if q.Len() != 0 {
 		t.Fatal("pop must free the slot")
@@ -97,9 +104,11 @@ func TestIQUnissue(t *testing.T) {
 }
 
 func TestIQRemove(t *testing.T) {
-	q := NewIQ(4)
-	eWait := q.Insert(1, 1, nil)
-	eReady := q.Insert(2, 0, nil)
+	q := NewIQ[string](4)
+	eWait := ent("w")
+	eReady := ent("r")
+	q.Insert(eWait, 1, 1)
+	q.Insert(eReady, 2, 0)
 	q.Remove(eWait)
 	q.Remove(eReady)
 	if q.Len() != 0 || q.ReadyCount() != 0 {
@@ -111,9 +120,40 @@ func TestIQRemove(t *testing.T) {
 	}
 }
 
+func TestIQReinsertAfterRemove(t *testing.T) {
+	// An embedded entry cycles through insert/remove/insert (the
+	// SLIQ-move-and-wake path); residence state must reset each time.
+	q := NewIQ[string](4)
+	e := ent("x")
+	q.Insert(e, 1, 1)
+	q.Remove(e)
+	if e.Resident() {
+		t.Fatal("removed entry must not be resident")
+	}
+	if !q.Insert(e, 7, 0) {
+		t.Fatal("reinsert failed")
+	}
+	if got := q.PopReady(); got != e || got.Seq != 7 {
+		t.Fatalf("reinserted entry wrong: %v", got)
+	}
+}
+
+func TestIQDoubleInsertPanics(t *testing.T) {
+	q := NewIQ[string](4)
+	e := ent("x")
+	q.Insert(e, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double insert of a resident entry must panic")
+		}
+	}()
+	q.Insert(e, 2, 0)
+}
+
 func TestIQResident(t *testing.T) {
-	q := NewIQ(4)
-	e := q.Insert(1, 0, nil)
+	q := NewIQ[string](4)
+	e := ent("x")
+	q.Insert(e, 1, 0)
 	if !q.Resident(e) {
 		t.Fatal("inserted entry must be resident")
 	}
@@ -215,8 +255,10 @@ func TestDequeEmptyPops(t *testing.T) {
 	}
 }
 
+const sliqRegs = 64
+
 func TestSLIQWakeFlow(t *testing.T) {
-	s := NewSLIQ(16, 4, 4)
+	s := NewSLIQ[int](16, 4, 4, sliqRegs)
 	trig := rename.PhysReg(7)
 	for i := uint64(0); i < 6; i++ {
 		if !s.Insert(i, trig, int(i)) {
@@ -227,16 +269,16 @@ func TestSLIQWakeFlow(t *testing.T) {
 		t.Fatalf("len=%d waiting=%d", s.Len(), s.WaitingOn())
 	}
 	// No drain before the trigger fires.
-	if n := s.Drain(100, func(uint64, any) bool { return true }); n != 0 {
+	if n := s.Drain(100, func(uint64, int) bool { return true }); n != 0 {
 		t.Fatal("nothing should drain before the trigger")
 	}
 	s.TriggerReady(trig, 100)
 	// Start-up delay: not eligible until cycle 104.
-	if n := s.Drain(103, func(uint64, any) bool { return true }); n != 0 {
+	if n := s.Drain(103, func(uint64, int) bool { return true }); n != 0 {
 		t.Fatal("drain before the wake delay must yield nothing")
 	}
 	var got []uint64
-	n := s.Drain(104, func(seq uint64, _ any) bool { got = append(got, seq); return true })
+	n := s.Drain(104, func(seq uint64, _ int) bool { got = append(got, seq); return true })
 	if n != 4 {
 		t.Fatalf("first pump cycle drained %d, want width=4", n)
 	}
@@ -245,7 +287,7 @@ func TestSLIQWakeFlow(t *testing.T) {
 			t.Fatalf("drain order %v, want oldest-first", got)
 		}
 	}
-	if n := s.Drain(105, func(uint64, any) bool { return true }); n != 2 {
+	if n := s.Drain(105, func(uint64, int) bool { return true }); n != 2 {
 		t.Fatalf("second pump cycle drained %d, want 2", n)
 	}
 	st := s.Stats()
@@ -255,25 +297,25 @@ func TestSLIQWakeFlow(t *testing.T) {
 }
 
 func TestSLIQDrainStopsWhenRejected(t *testing.T) {
-	s := NewSLIQ(8, 0, 4)
-	s.Insert(1, 1, nil)
-	s.Insert(2, 1, nil)
+	s := NewSLIQ[int](8, 0, 4, sliqRegs)
+	s.Insert(1, 1, 0)
+	s.Insert(2, 1, 0)
 	s.TriggerReady(1, 10)
-	n := s.Drain(10, func(seq uint64, _ any) bool { return seq == 1 })
+	n := s.Drain(10, func(seq uint64, _ int) bool { return seq == 1 })
 	if n != 1 {
 		t.Fatalf("drained %d, want 1 (head rejected stops the pump)", n)
 	}
 	// Entry 2 is retained and drains later.
-	if n := s.Drain(11, func(uint64, any) bool { return true }); n != 1 {
+	if n := s.Drain(11, func(uint64, int) bool { return true }); n != 1 {
 		t.Fatal("retained entry must drain on a later cycle")
 	}
 }
 
 func TestSLIQCapacity(t *testing.T) {
-	s := NewSLIQ(2, 4, 4)
-	s.Insert(1, 1, nil)
-	s.Insert(2, 1, nil)
-	if s.Insert(3, 1, nil) {
+	s := NewSLIQ[int](2, 4, 4, sliqRegs)
+	s.Insert(1, 1, 0)
+	s.Insert(2, 1, 0)
+	if s.Insert(3, 1, 0) {
 		t.Fatal("full SLIQ must reject")
 	}
 	if s.Stats().FullStalls != 1 {
@@ -282,13 +324,13 @@ func TestSLIQCapacity(t *testing.T) {
 }
 
 func TestSLIQSquashYounger(t *testing.T) {
-	s := NewSLIQ(8, 4, 4)
+	s := NewSLIQ[int](8, 4, 4, sliqRegs)
 	var squashed []int
 	for i := uint64(0); i < 6; i++ {
 		s.Insert(i, rename.PhysReg(i%2), int(i))
 	}
 	s.TriggerReady(0, 0) // seqs 0,2,4 become wakeable
-	s.SquashYounger(3, func(p any) { squashed = append(squashed, p.(int)) })
+	s.SquashYounger(3, func(p int) { squashed = append(squashed, p) })
 	if len(squashed) != 3 { // 3,4,5
 		t.Fatalf("squashed %v, want 3 entries", squashed)
 	}
@@ -297,19 +339,19 @@ func TestSLIQSquashYounger(t *testing.T) {
 	}
 	// Only the surviving wakeable entries drain.
 	var drained []uint64
-	s.Drain(100, func(seq uint64, _ any) bool { drained = append(drained, seq); return true })
+	s.Drain(100, func(seq uint64, _ int) bool { drained = append(drained, seq); return true })
 	if len(drained) != 2 || drained[0] != 0 || drained[1] != 2 {
 		t.Fatalf("drained %v, want [0 2]", drained)
 	}
 }
 
 func TestSLIQMultipleTriggers(t *testing.T) {
-	s := NewSLIQ(8, 1, 4)
+	s := NewSLIQ[string](8, 1, 4, sliqRegs)
 	s.Insert(1, 10, "a")
 	s.Insert(2, 20, "b")
 	s.TriggerReady(20, 0)
 	var got []uint64
-	s.Drain(1, func(seq uint64, _ any) bool { got = append(got, seq); return true })
+	s.Drain(1, func(seq uint64, _ string) bool { got = append(got, seq); return true })
 	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("only trigger-20's entry should wake, got %v", got)
 	}
@@ -318,20 +360,46 @@ func TestSLIQMultipleTriggers(t *testing.T) {
 	}
 	s.TriggerReady(10, 5)
 	got = nil
-	s.Drain(6, func(seq uint64, _ any) bool { got = append(got, seq); return true })
+	s.Drain(6, func(seq uint64, _ string) bool { got = append(got, seq); return true })
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("trigger-10's entry should wake, got %v", got)
 	}
 }
 
 func TestSLIQClear(t *testing.T) {
-	s := NewSLIQ(8, 4, 4)
-	s.Insert(1, 1, nil)
-	s.Insert(2, 2, nil)
+	s := NewSLIQ[int](8, 4, 4, sliqRegs)
+	s.Insert(1, 1, 0)
+	s.Insert(2, 2, 0)
 	s.TriggerReady(1, 0)
 	n := 0
-	s.Clear(func(any) { n++ })
+	s.Clear(func(int) { n++ })
 	if n != 2 || s.Len() != 0 {
 		t.Fatalf("clear squashed %d, len %d", n, s.Len())
+	}
+}
+
+// TestSLIQRecycling exercises the internal entry pool: entries squashed
+// or drained must be reusable without cross-talk between generations.
+func TestSLIQRecycling(t *testing.T) {
+	s := NewSLIQ[int](8, 0, 8, sliqRegs)
+	for round := 0; round < 5; round++ {
+		base := uint64(round * 10)
+		s.Insert(base+1, 3, round*10+1)
+		s.Insert(base+2, 3, round*10+2)
+		s.Insert(base+3, 4, round*10+3)
+		// Squash one while waiting, wake and drain the others.
+		s.SquashYounger(base+3, func(int) {})
+		s.TriggerReady(3, int64(round))
+		var got []int
+		s.Drain(int64(round), func(_ uint64, p int) bool { got = append(got, p); return true })
+		if len(got) != 2 || got[0] != round*10+1 || got[1] != round*10+2 {
+			t.Fatalf("round %d drained %v", round, got)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("round %d: len = %d, want 0", round, s.Len())
+		}
+	}
+	if st := s.Stats(); st.Inserted != 15 || st.Woken != 10 || st.Squashed != 5 {
+		t.Fatalf("stats: %+v", s.Stats())
 	}
 }

@@ -1,7 +1,6 @@
 package queue
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/rename"
@@ -15,16 +14,23 @@ import (
 // written, a wake process begins: after a configurable start-up delay,
 // entries re-enter the issue queue at a configurable width per cycle,
 // oldest first ("linearly from one point", as the paper puts it).
-type SLIQ struct {
+//
+// Entries recycle through an internal free list and the trigger index is
+// a slice over the physical-register space, so steady-state inserts and
+// trigger writes allocate nothing.
+type SLIQ[P any] struct {
 	capacity int
 	delay    int64
 	width    int
 
 	occupied int
-	// waiting maps a trigger register to its not-yet-woken entries.
-	waiting map[rename.PhysReg][]*sliqEntry
-	// wakeable orders woken entries by sequence number.
-	wakeable sliqHeap
+	// waiting[reg] holds the not-yet-woken entries tagged with reg.
+	waiting [][]*sliqEntry[P]
+	// wakeable orders woken entries by sequence number (min-heap).
+	wakeable []*sliqEntry[P]
+	// free recycles entry records (squash-on-rollback and drain both
+	// feed it; Insert consumes it).
+	free []*sliqEntry[P]
 
 	stats SLIQStats
 }
@@ -38,75 +44,98 @@ type SLIQStats struct {
 	WakeStarts uint64 // wake processes begun (one per trigger write)
 }
 
-type sliqEntry struct {
+type sliqEntry[P any] struct {
 	seq        uint64
 	trigger    rename.PhysReg
-	payload    any
+	payload    P
 	eligibleAt int64 // cycle from which it may re-enter the IQ; -1 = waiting
 	squashed   bool
-	heapIdx    int
+	heapIdx    int32
 }
 
 // NewSLIQ builds a slow lane queue. capacity is the entry count; delay
 // is the start-up penalty in cycles between the trigger register write
 // and the first re-insertion (the paper uses 4 and shows insensitivity
 // from 1 to 12 in Figure 10); width is the re-insertion bandwidth per
-// cycle (4 in the paper).
-func NewSLIQ(capacity int, delay, width int) *SLIQ {
+// cycle (4 in the paper); nRegs bounds the trigger register name space
+// (the physical register file size).
+func NewSLIQ[P any](capacity, delay, width, nRegs int) *SLIQ[P] {
 	if capacity < 1 {
 		panic(fmt.Sprintf("queue: SLIQ capacity %d < 1", capacity))
 	}
 	if delay < 0 || width < 1 {
 		panic(fmt.Sprintf("queue: SLIQ delay %d / width %d invalid", delay, width))
 	}
-	return &SLIQ{
+	if nRegs < 1 {
+		panic(fmt.Sprintf("queue: SLIQ register space %d < 1", nRegs))
+	}
+	return &SLIQ[P]{
 		capacity: capacity,
 		delay:    int64(delay),
 		width:    width,
-		waiting:  make(map[rename.PhysReg][]*sliqEntry),
+		waiting:  make([][]*sliqEntry[P], nRegs),
 	}
 }
 
 // Cap returns the capacity.
-func (s *SLIQ) Cap() int { return s.capacity }
+func (s *SLIQ[P]) Cap() int { return s.capacity }
 
 // Len returns the number of resident entries.
-func (s *SLIQ) Len() int { return s.occupied }
+func (s *SLIQ[P]) Len() int { return s.occupied }
 
 // Full reports whether no entry can be inserted.
-func (s *SLIQ) Full() bool { return s.occupied >= s.capacity }
+func (s *SLIQ[P]) Full() bool { return s.occupied >= s.capacity }
 
 // Insert moves an instruction into the slow lane, tagged with the
 // physical register of the long-latency load it waits on. It returns
 // false when the SLIQ is full (the instruction then stays in the issue
 // queue, consuming a precious entry — the caller's fallback).
-func (s *SLIQ) Insert(seq uint64, trigger rename.PhysReg, payload any) bool {
+func (s *SLIQ[P]) Insert(seq uint64, trigger rename.PhysReg, payload P) bool {
 	if s.Full() {
 		s.stats.FullStalls++
 		return false
 	}
-	e := &sliqEntry{seq: seq, trigger: trigger, payload: payload, eligibleAt: -1, heapIdx: -1}
+	var e *sliqEntry[P]
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(sliqEntry[P])
+	}
+	*e = sliqEntry[P]{seq: seq, trigger: trigger, payload: payload, eligibleAt: -1, heapIdx: -1}
 	s.waiting[trigger] = append(s.waiting[trigger], e)
 	s.occupied++
 	s.stats.Inserted++
 	return true
 }
 
+// recycle returns a no-longer-referenced entry to the free list.
+func (s *SLIQ[P]) recycle(e *sliqEntry[P]) {
+	var zero P
+	e.payload = zero
+	s.free = append(s.free, e)
+}
+
 // TriggerReady starts the wake process for every entry waiting on reg:
 // they become eligible for re-insertion delay cycles after now.
-func (s *SLIQ) TriggerReady(reg rename.PhysReg, now int64) {
-	entries, ok := s.waiting[reg]
-	if !ok {
+func (s *SLIQ[P]) TriggerReady(reg rename.PhysReg, now int64) {
+	entries := s.waiting[reg]
+	if len(entries) == 0 {
 		return
 	}
-	delete(s.waiting, reg)
+	s.waiting[reg] = entries[:0]
 	started := false
-	for _, e := range entries {
+	for i, e := range entries {
+		entries[i] = nil
 		if e.squashed {
+			// Unreachable: SquashYounger removes waiting entries
+			// eagerly (and recycles them there — recycling again here
+			// would corrupt the free list).
 			continue
 		}
 		e.eligibleAt = now + s.delay
-		heap.Push(&s.wakeable, e)
+		s.heapPush(e)
 		started = true
 	}
 	if started {
@@ -119,12 +148,12 @@ func (s *SLIQ) TriggerReady(reg rename.PhysReg, now int64) {
 // issue queue (or issues it directly) and returns true; returning false
 // retains the entry at the head and stops this cycle's pump — the walk
 // is strictly in order, as in the paper.
-func (s *SLIQ) Drain(now int64, accept func(seq uint64, payload any) bool) int {
+func (s *SLIQ[P]) Drain(now int64, accept func(seq uint64, payload P) bool) int {
 	drained := 0
-	for drained < s.width && s.wakeable.Len() > 0 {
-		e := s.wakeable.entries[0]
+	for drained < s.width && len(s.wakeable) > 0 {
+		e := s.wakeable[0]
 		if e.squashed {
-			heap.Pop(&s.wakeable)
+			s.recycle(s.heapPop())
 			continue
 		}
 		if e.eligibleAt > now {
@@ -136,7 +165,7 @@ func (s *SLIQ) Drain(now int64, accept func(seq uint64, payload any) bool) int {
 		if !accept(e.seq, e.payload) {
 			break
 		}
-		heap.Pop(&s.wakeable)
+		s.recycle(s.heapPop())
 		s.occupied--
 		s.stats.Woken++
 		drained++
@@ -145,29 +174,32 @@ func (s *SLIQ) Drain(now int64, accept func(seq uint64, payload any) bool) int {
 }
 
 // SquashYounger removes every entry with sequence number >= seq,
-// calling onSquash for each removed payload.
-func (s *SLIQ) SquashYounger(seq uint64, onSquash func(payload any)) {
+// calling onSquash for each removed payload. Entries already woken stay
+// in the wake heap (marked dead) and are collected by Drain.
+func (s *SLIQ[P]) SquashYounger(seq uint64, onSquash func(payload P)) {
 	for trigger, entries := range s.waiting {
+		if len(entries) == 0 {
+			continue
+		}
 		kept := entries[:0]
 		for _, e := range entries {
 			if e.seq >= seq {
-				e.squashed = true
 				s.occupied--
 				s.stats.Squashed++
 				onSquash(e.payload)
+				s.recycle(e)
 			} else {
 				kept = append(kept, e)
 			}
 		}
-		if len(kept) == 0 {
-			delete(s.waiting, trigger)
-		} else {
-			s.waiting[trigger] = kept
+		for i := len(kept); i < len(entries); i++ {
+			entries[i] = nil
 		}
+		s.waiting[trigger] = kept
 	}
 	// Wakeable entries are lazily discarded in Drain; account for them
 	// now so Len stays exact.
-	for _, e := range s.wakeable.entries {
+	for _, e := range s.wakeable {
 		if !e.squashed && e.seq >= seq {
 			e.squashed = true
 			s.occupied--
@@ -178,14 +210,16 @@ func (s *SLIQ) SquashYounger(seq uint64, onSquash func(payload any)) {
 }
 
 // Clear empties the queue (total flush), invoking onSquash per entry.
-func (s *SLIQ) Clear(onSquash func(payload any)) {
+func (s *SLIQ[P]) Clear(onSquash func(payload P)) {
 	s.SquashYounger(0, onSquash)
-	s.waiting = make(map[rename.PhysReg][]*sliqEntry)
-	s.wakeable.entries = s.wakeable.entries[:0]
+	for _, e := range s.wakeable {
+		s.recycle(e)
+	}
+	s.wakeable = s.wakeable[:0]
 }
 
 // WaitingOn returns the number of entries not yet triggered.
-func (s *SLIQ) WaitingOn() int {
+func (s *SLIQ[P]) WaitingOn() int {
 	n := 0
 	for _, entries := range s.waiting {
 		for _, e := range entries {
@@ -198,32 +232,64 @@ func (s *SLIQ) WaitingOn() int {
 }
 
 // Stats returns a copy of the counters.
-func (s *SLIQ) Stats() SLIQStats { return s.stats }
+func (s *SLIQ[P]) Stats() SLIQStats { return s.stats }
 
-// sliqHeap is a min-heap of wakeable entries by seq.
-type sliqHeap struct {
-	entries []*sliqEntry
+// The wake set is a typed min-heap over seq (see the IQ ready heap for
+// the rationale).
+
+func (s *SLIQ[P]) heapPush(e *sliqEntry[P]) {
+	e.heapIdx = int32(len(s.wakeable))
+	s.wakeable = append(s.wakeable, e)
+	s.heapUp(len(s.wakeable) - 1)
 }
 
-func (h *sliqHeap) Len() int { return len(h.entries) }
-func (h *sliqHeap) Less(i, j int) bool {
-	return h.entries[i].seq < h.entries[j].seq
-}
-func (h *sliqHeap) Swap(i, j int) {
-	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
-	h.entries[i].heapIdx = i
-	h.entries[j].heapIdx = j
-}
-func (h *sliqHeap) Push(x any) {
-	e := x.(*sliqEntry)
-	e.heapIdx = len(h.entries)
-	h.entries = append(h.entries, e)
-}
-func (h *sliqHeap) Pop() any {
-	n := len(h.entries)
-	e := h.entries[n-1]
-	h.entries[n-1] = nil
-	h.entries = h.entries[:n-1]
+func (s *SLIQ[P]) heapPop() *sliqEntry[P] {
+	h := s.wakeable
+	e := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[0].heapIdx = 0
+	h[last] = nil
+	s.wakeable = h[:last]
+	if last > 0 {
+		s.heapDown(0)
+	}
 	e.heapIdx = -1
 	return e
+}
+
+func (s *SLIQ[P]) heapUp(i int) {
+	h := s.wakeable
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].seq <= h[i].seq {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		h[parent].heapIdx = int32(parent)
+		h[i].heapIdx = int32(i)
+		i = parent
+	}
+}
+
+func (s *SLIQ[P]) heapDown(i int) {
+	h := s.wakeable
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h[r].seq < h[l].seq {
+			min = r
+		}
+		if h[i].seq <= h[min].seq {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		h[i].heapIdx = int32(i)
+		h[min].heapIdx = int32(min)
+		i = min
+	}
 }

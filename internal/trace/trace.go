@@ -21,6 +21,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -35,6 +36,11 @@ type Trace struct {
 	// instead of the materialised stream.
 	recipe    Recipe
 	hasRecipe bool
+
+	// warmOnce/warmEvents lazily cache the cache warm-up footprint
+	// (see WarmFootprint). Shared read-only across concurrent CPUs.
+	warmOnce   sync.Once
+	warmEvents []WarmEvent
 }
 
 // Name returns the workload name.
@@ -57,6 +63,50 @@ func (t *Trace) Validate() error {
 		}
 	}
 	return nil
+}
+
+// WarmLineBytes is the instruction-cache line granularity of the warm-up
+// footprint (the simulator's IL1 line size, Table 1).
+const WarmLineBytes = 32
+
+// WarmEvent is one step of a trace's cache warm-up replay: either the
+// first-seen IL1 line of an instruction fetch (Fetch true) or one data
+// access (Fetch false). Addr is the line-aligned PC for fetches and the
+// effective byte address for data.
+type WarmEvent struct {
+	Addr  uint64
+	Fetch bool
+}
+
+// WarmFootprint returns the trace's cache warm-up footprint: the exact
+// interleaving of first-seen instruction lines and data accesses that a
+// harness must replay through a cold hierarchy to reach the steady-state
+// cache contents a long-running benchmark would have (the paper's
+// 300M-instruction regions run warm).
+//
+// It is computed once per trace and cached: a parameter sweep builds one
+// CPU per configuration point over the same trace, and rediscovering the
+// footprint (an O(trace) pass with a dedup map) per point dominated CPU
+// construction. The result is shared read-only; callers must not modify
+// it.
+func (t *Trace) WarmFootprint() []WarmEvent {
+	t.warmOnce.Do(func() {
+		seen := make(map[uint64]struct{})
+		events := make([]WarmEvent, 0, len(t.insts)/2)
+		for i := range t.insts {
+			in := &t.insts[i]
+			pc := in.PC &^ (WarmLineBytes - 1)
+			if _, ok := seen[pc]; !ok {
+				seen[pc] = struct{}{}
+				events = append(events, WarmEvent{Addr: pc, Fetch: true})
+			}
+			if in.Op.IsMem() {
+				events = append(events, WarmEvent{Addr: in.Addr})
+			}
+		}
+		t.warmEvents = events
+	})
+	return t.warmEvents
 }
 
 // OpCounts returns a histogram of operation classes.
