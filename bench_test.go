@@ -95,6 +95,20 @@ func BenchmarkFigure9(b *testing.B) { benchFigure9(b, 1) }
 // wall-clock speedup on this host.
 func BenchmarkFigure9Parallel(b *testing.B) { benchFigure9(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkAblationCommitPolicies regenerates the commit-policy
+// comparison (rob 128/4096, checkpoint, adaptive, oracle over the
+// figure-9 workload set) — the ablation added with the policy engine.
+func BenchmarkAblationCommitPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationCommitPolicies(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.IPC["adaptive-128/2048"], "IPC-adaptive")
+		b.ReportMetric(r.IPC["oracle-unbounded"], "IPC-oracle")
+	}
+}
+
 // BenchmarkFigure10 regenerates the re-insertion delay sensitivity.
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-figure all|table1|1|7|9|10|11|12|13|14|ablations]
-//	            [-insts N] [-seed S] [-parallel N] [-json FILE]
-//	            [-server URL] [-v]
+//	experiments [-figure all|table1|1|7|9|10|11|12|13|14|commit-policies|ablations]
+//	            [-commit policy,...] [-insts N] [-seed S] [-parallel N]
+//	            [-json FILE] [-server URL] [-list] [-v]
+//
+// -list prints every valid -figure name with a one-line description and
+// exits. -commit restricts the commit-policies ablation to a subset of
+// the registered policies (rob, checkpoint, adaptive, oracle).
 //
 // Figures 9 and 11 share their simulation runs, as in the paper. Every
 // figure executes through the internal/sim worker pool: -parallel N
@@ -32,9 +36,35 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/service"
 )
+
+// sections is the single source of truth for valid -figure names, in
+// presentation order; -list prints it, validation checks against it.
+var sections = []struct{ name, desc string }{
+	{"all", "every section below"},
+	{"table1", "Table 1: architectural parameters"},
+	{"1", "Figure 1: IPC vs in-flight instructions and memory latency (baseline)"},
+	{"7", "Figure 7: live instructions inside the window (occupancy percentiles)"},
+	{"9", "Figure 9: main performance results (COoO vs baselines)"},
+	{"10", "Figure 10: SLIQ re-insertion delay sensitivity"},
+	{"11", "Figure 11: average in-flight instructions (same runs as figure 9)"},
+	{"12", "Figure 12: pseudo-ROB retirement breakdown"},
+	{"13", "Figure 13: checkpoint-count sensitivity"},
+	{"14", "Figure 14: virtual registers combined with checkpointed commit"},
+	{"commit-policies", "ablation: rob vs checkpoint vs adaptive vs oracle on the figure-9 workloads"},
+	{"ablations", "every ablation sweep (includes commit-policies)"},
+}
+
+func sectionNames() string {
+	names := make([]string, len(sections))
+	for i, s := range sections {
+		names[i] = s.name
+	}
+	return strings.Join(names, ", ")
+}
 
 // jsonRecord is one run in the -json dump, labelled with the figure
 // whose sweep produced it.
@@ -46,14 +76,40 @@ type jsonRecord struct {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate (all, table1, 1, 7, 9, 10, 11, 12, 13, 14, ablations)")
+	figure := flag.String("figure", "all", "which figure to regenerate (see -list)")
+	commit := flag.String("commit", "", "comma-separated commit policies for the commit-policies ablation (default: all registered)")
 	insts := flag.Uint64("insts", experiments.DefaultInsts, "committed instructions per configuration point")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool size")
 	server := flag.String("server", "", "run every point against an ooosimd daemon at URL")
 	jsonOut := flag.String("json", "", "write every run's raw results as JSON to FILE")
+	list := flag.Bool("list", false, "print every valid -figure name with a description and exit")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Parse()
+
+	if *list {
+		for _, s := range sections {
+			fmt.Printf("%-16s %s\n", s.name, s.desc)
+		}
+		return
+	}
+
+	// Resolve -commit up front: a typo must fail fast, not after an
+	// hours-long sweep reaches the ablation. (Whether the flag applies
+	// to anything requested is checked after -figure is parsed below.)
+	var commitModes []config.CommitMode
+	for _, name := range strings.Split(*commit, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		mode, err := config.ParseCommitMode(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-commit: %v\n", err)
+			os.Exit(2)
+		}
+		commitModes = append(commitModes, mode)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -113,9 +169,9 @@ func main() {
 	// typo in a comma-separated list must not silently vanish next to
 	// valid names ("-figure 9,typo" used to run figure 9 and say
 	// nothing about "typo").
-	known := map[string]bool{
-		"all": true, "table1": true, "1": true, "7": true, "9": true, "10": true,
-		"11": true, "12": true, "13": true, "14": true, "ablations": true,
+	known := map[string]bool{}
+	for _, s := range sections {
+		known[s.name] = true
 	}
 	want := map[string]bool{}
 	bad := []string{}
@@ -131,8 +187,8 @@ func main() {
 		want[name] = true
 	}
 	if len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %s (valid: all, table1, 1, 7, 9, 10, 11, 12, 13, 14, ablations)\n",
-			strings.Join(bad, ", "))
+		fmt.Fprintf(os.Stderr, "unknown figure %s (valid: %s; try -list)\n",
+			strings.Join(bad, ", "), sectionNames())
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -143,8 +199,18 @@ func main() {
 	}
 	all := want["all"]
 
-	section := func(name string, fn func() error) {
-		if !all && !want[name] {
+	// -commit only shapes the commit-policies sweep (standalone or
+	// inside the ablation run); setting it for any other selection
+	// would be silently ignored — reject it instead.
+	if len(commitModes) > 0 && !all && !want["commit-policies"] && !want["ablations"] {
+		fmt.Fprintln(os.Stderr, "-commit only applies to the commit-policies ablation; add -figure commit-policies (or ablations)")
+		os.Exit(2)
+	}
+
+	// runSection labels, times and error-wraps one section; include
+	// decides whether it runs at all.
+	runSection := func(name string, include bool, fn func() error) {
+		if !include {
 			return
 		}
 		currentFigure = name
@@ -153,6 +219,9 @@ func main() {
 			fail("figure "+name, err)
 		}
 		fmt.Printf("(%s: %.1fs, %d workers)\n\n", name, time.Since(start).Seconds(), *parallel)
+	}
+	section := func(name string, fn func() error) {
+		runSection(name, all || want[name], fn)
 	}
 
 	section("table1", func() error {
@@ -233,10 +302,21 @@ func main() {
 		fmt.Println(r)
 		return nil
 	})
+	// Standalone only when the ablation run below will not already
+	// cover the sweep — "-figure commit-policies,ablations" must not
+	// simulate it twice (or record it twice in -json).
+	runSection("commit-policies", want["commit-policies"] && !all && !want["ablations"], func() error {
+		r, err := experiments.AblationCommitPolicies(ctx, opt, commitModes...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
 	// The usage string has always advertised ablations as part of
 	// "all"; honour it (it used to be silently skipped).
 	section("ablations", func() error {
-		s, err := experiments.Ablations(ctx, opt)
+		s, err := experiments.Ablations(ctx, opt, commitModes...)
 		if err != nil {
 			return err
 		}

@@ -25,11 +25,12 @@ import (
 )
 
 func main() {
-	commit := flag.String("commit", "checkpoint", "commit mechanism: rob or checkpoint")
+	commit := flag.String("commit", "checkpoint", "commit policy: rob, checkpoint, adaptive or oracle")
 	robEntries := flag.Int("rob", 4096, "ROB entries (rob mode); also sizes queues")
-	iq := flag.Int("iq", 128, "issue-queue and pseudo-ROB entries (checkpoint mode)")
-	sliq := flag.Int("sliq", 2048, "SLIQ entries (checkpoint mode; 0 disables)")
-	ckpts := flag.Int("checkpoints", 8, "checkpoint-table entries")
+	iq := flag.Int("iq", 128, "issue-queue and pseudo-ROB entries (checkpoint/adaptive modes)")
+	sliq := flag.Int("sliq", 2048, "SLIQ entries (checkpoint/adaptive modes; 0 disables)")
+	ckpts := flag.Int("checkpoints", 8, "checkpoint-table entries (checkpoint/adaptive modes)")
+	confThreshold := flag.Int("conf-threshold", 8, "adaptive mode: a branch below this confidence gets a checkpoint (1..15)")
 	mem := flag.Int("mem", 1000, "memory latency in cycles")
 	perfectL2 := flag.Bool("perfect-l2", false, "make every L2 access hit")
 	workload := flag.String("workload", "fpmix", "stream|strided|stencil|reduction|blocked|pointerchase|fpmix")
@@ -54,14 +55,53 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		switch *commit {
-		case "rob":
+		mode, err := config.ParseCommitMode(*commit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// A flag only some policies read must not be silently dropped
+		// for the others (the CLI mirror of config.Validate's
+		// ignored-parameter-block rule): an explicitly passed flag that
+		// the selected policy ignores is an error, not a no-op.
+		ckptFamily := []config.CommitMode{config.CommitCheckpoint, config.CommitAdaptive}
+		flagModes := map[string][]config.CommitMode{
+			"rob":            {config.CommitROB},
+			"iq":             ckptFamily,
+			"sliq":           ckptFamily,
+			"checkpoints":    ckptFamily,
+			"vtags":          ckptFamily,
+			"conf-threshold": {config.CommitAdaptive},
+		}
+		flag.Visit(func(f *flag.Flag) {
+			allowed, restricted := flagModes[f.Name]
+			if !restricted {
+				return
+			}
+			for _, m := range allowed {
+				if m == mode {
+					return
+				}
+			}
+			fmt.Fprintf(os.Stderr, "-%s does not apply to -commit %s\n", f.Name, mode)
+			os.Exit(2)
+		})
+		switch mode {
+		case config.CommitROB:
 			cfg = config.BaselineSized(*robEntries)
-		case "checkpoint":
+		case config.CommitCheckpoint:
 			cfg = config.CheckpointDefault(*iq, *sliq)
 			cfg.Checkpoints = *ckpts
+		case config.CommitAdaptive:
+			cfg = config.AdaptiveDefault(*iq, *sliq)
+			cfg.Checkpoints = *ckpts
+			cfg.AdaptiveConfidenceThreshold = *confThreshold
+		case config.CommitOracle:
+			cfg = config.OracleDefault()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown commit mode %q\n", *commit)
+			// A policy registered without CLI wiring: surface it rather
+			// than silently building the wrong machine.
+			fmt.Fprintf(os.Stderr, "commit policy %q has no flag mapping; use -config FILE\n", mode)
 			os.Exit(2)
 		}
 		cfg.MemoryLatency = *mem

@@ -1,8 +1,10 @@
 // Package repro is a from-scratch Go reproduction of "Out-of-Order
 // Commit Processors" (Cristal, Ortega, Llosa, Valero — HPCA 2004): a
-// cycle-level superscalar processor simulator with two retirement
-// mechanisms (a conventional reorder buffer and the paper's
-// checkpoint-based out-of-order commit), the pseudo-ROB + Slow Lane
+// cycle-level superscalar processor simulator with four pluggable
+// retirement mechanisms (a conventional reorder buffer, the paper's
+// checkpoint-based out-of-order commit, adaptive-confidence
+// checkpointing, and an unbounded-window oracle limit — see
+// core.CommitPolicy), the pseudo-ROB + Slow Lane
 // Instruction Queuing mechanism, the ephemeral/virtual register
 // extension, a synthetic SPEC2000fp-stand-in workload suite, and a
 // harness that regenerates every figure of the paper's evaluation

@@ -137,6 +137,66 @@ func (p *Perfect) RestoreHistory(uint64) {}
 // Stats implements Predictor.
 func (p *Perfect) Stats() Stats { return p.stats }
 
+// Confidence is a branch-confidence estimator in the style of
+// Jacobsen, Rotenberg and Smith: a table of saturating counters indexed
+// by PC, incremented on every correct prediction and reset on every
+// misprediction. A counter below the caller's threshold means the
+// branch has mispredicted recently and is likely to do so again — the
+// adaptive commit policy places a checkpoint immediately before such
+// branches so the eventual rollback is cheap.
+//
+// Counters start at the ceiling ("confident until proven otherwise"):
+// a cold workload behaves exactly like one without the estimator until
+// the first misprediction, instead of checkpointing at every branch
+// while the table warms up.
+type Confidence struct {
+	table []uint8
+	mask  uint64
+	max   uint8
+}
+
+// NewConfidence builds an estimator with a 2^bits-entry table of
+// counters saturating at max (1..255).
+func NewConfidence(bits, max int) *Confidence {
+	if bits < 1 || bits > 30 {
+		panic(fmt.Sprintf("branch: confidence bits %d out of range", bits))
+	}
+	if max < 1 || max > 255 {
+		panic(fmt.Sprintf("branch: confidence counter max %d out of range", max))
+	}
+	e := &Confidence{
+		table: make([]uint8, 1<<bits),
+		mask:  (1 << bits) - 1,
+		max:   uint8(max),
+	}
+	for i := range e.table {
+		e.table[i] = e.max
+	}
+	return e
+}
+
+func (e *Confidence) index(pc uint64) uint64 {
+	// Drop the low two bits: instructions are 4-byte aligned.
+	return (pc >> 2) & e.mask
+}
+
+// Value returns the current counter for the branch at pc.
+func (e *Confidence) Value(pc uint64) uint8 { return e.table[e.index(pc)] }
+
+// Update trains the estimator with one resolved prediction: correct
+// predictions saturate the counter upward, a misprediction resets it to
+// zero (the JRS "resetting counter" scheme).
+func (e *Confidence) Update(pc uint64, correct bool) {
+	i := e.index(pc)
+	if !correct {
+		e.table[i] = 0
+		return
+	}
+	if e.table[i] < e.max {
+		e.table[i]++
+	}
+}
+
 // Static predicts a fixed direction (taken by default), the classic
 // not-taken/taken baseline predictor.
 type Static struct {

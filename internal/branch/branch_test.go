@@ -140,3 +140,60 @@ var (
 	_ Predictor = (*Perfect)(nil)
 	_ Predictor = (*Static)(nil)
 )
+
+func TestConfidenceStartsSaturated(t *testing.T) {
+	e := NewConfidence(4, 15)
+	if got := e.Value(0x40); got != 15 {
+		t.Fatalf("cold counter = %d, want the ceiling (confident until proven otherwise)", got)
+	}
+}
+
+func TestConfidenceResetsOnMispredictAndRebuilds(t *testing.T) {
+	e := NewConfidence(4, 15)
+	const pc = 0x80
+	e.Update(pc, false)
+	if got := e.Value(pc); got != 0 {
+		t.Fatalf("after a misprediction counter = %d, want 0 (resetting scheme)", got)
+	}
+	for i := 1; i <= 20; i++ {
+		e.Update(pc, true)
+		want := uint8(i)
+		if i > 15 {
+			want = 15 // saturates at the ceiling
+		}
+		if got := e.Value(pc); got != want {
+			t.Fatalf("after %d correct predictions counter = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestConfidenceIndexesPerBranch(t *testing.T) {
+	e := NewConfidence(4, 15)
+	e.Update(0x100, false)
+	if e.Value(0x104) != 15 {
+		t.Error("a neighbouring branch must keep its own counter")
+	}
+	// PCs 2^(bits+2) apart alias to the same counter (the low two bits
+	// are dropped: instructions are 4-byte aligned).
+	if e.Value(0x100+16*4) != 0 {
+		t.Error("aliasing PCs must share a counter")
+	}
+}
+
+func TestConfidenceRejectsBadParameters(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewConfidence(0, 15) },
+		func() { NewConfidence(31, 15) },
+		func() { NewConfidence(4, 0) },
+		func() { NewConfidence(4, 256) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected a panic for invalid parameters")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -8,29 +8,36 @@ import (
 	"strings"
 )
 
-// CommitMode selects the retirement mechanism of the simulated processor.
-type CommitMode int
+// CommitMode names the retirement mechanism (the commit policy) of the
+// simulated processor. It is the string key of the commit-policy
+// registry: the wire form, the fingerprint component, and the -commit
+// CLI value are all this name. See policy.go for the registered
+// policies and their parameter-block contracts.
+type CommitMode string
 
 const (
 	// CommitROB is the conventional baseline: a reorder buffer retires
 	// instructions strictly in program order.
-	CommitROB CommitMode = iota
+	CommitROB CommitMode = "rob"
 	// CommitCheckpoint is the paper's proposal: no ROB; a small
 	// checkpoint table commits whole checkpoints out of order with
 	// respect to instruction completion (in order among checkpoints).
-	CommitCheckpoint
+	CommitCheckpoint CommitMode = "checkpoint"
+	// CommitAdaptive is checkpointed commit with confidence-driven
+	// checkpoint placement: instead of the paper's fixed
+	// instruction-interval heuristics, checkpoints are taken at branches
+	// a small saturating-counter estimator marks as low-confidence, so
+	// likely rollback targets are cheap to roll back to.
+	CommitAdaptive CommitMode = "adaptive"
+	// CommitOracle is the unbounded-window upper-bound baseline for
+	// Figure 1-style limit studies: in-order retirement with no commit
+	// structure limit at all (window growth is bounded only by the
+	// register file, queues and LSQ).
+	CommitOracle CommitMode = "oracle"
 )
 
 // String implements fmt.Stringer.
-func (m CommitMode) String() string {
-	switch m {
-	case CommitROB:
-		return "rob"
-	case CommitCheckpoint:
-		return "checkpoint"
-	}
-	return fmt.Sprintf("commitmode(%d)", int(m))
-}
+func (m CommitMode) String() string { return string(m) }
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
@@ -98,8 +105,9 @@ type Config struct {
 	// units per cycle.
 	IssueWidth int
 	// CommitWidth is the number of instructions retired per cycle in
-	// ROB mode. Checkpoint commit retires whole checkpoints and is not
-	// bound by this width (the paper's point).
+	// ROB mode. Checkpoint commit retires whole checkpoints and the
+	// oracle has no retire bound, so every other policy requires this
+	// to be 0 (the paper's point, enforced by Validate).
 	CommitWidth int
 
 	// BranchPredictorBits is log2 of the gshare table size (14 -> 16K
@@ -141,13 +149,18 @@ type Config struct {
 	// ROBEntries is the reorder-buffer capacity (ROB mode only).
 	ROBEntries int
 
-	// Commit selects the retirement mechanism.
+	// Commit selects the commit policy. Each policy reads its own
+	// parameter block below; Validate rejects non-zero parameters the
+	// selected policy ignores, so configurations describing the same
+	// simulation always fingerprint identically.
 	Commit CommitMode
 
-	// Checkpoints is the checkpoint-table capacity (checkpoint mode).
+	// Checkpoints is the checkpoint-table capacity (checkpoint family).
 	Checkpoints int
 	// CheckpointBranchInterval is the instruction count after which the
-	// next branch forces a checkpoint (64 in the paper).
+	// next branch forces a checkpoint (64 in the paper). The adaptive
+	// policy replaces this rule with the confidence estimator and
+	// requires it to be 0.
 	CheckpointBranchInterval int
 	// CheckpointMaxInterval unconditionally forces a checkpoint after
 	// this many instructions (512 in the paper).
@@ -155,6 +168,16 @@ type Config struct {
 	// CheckpointMaxStores forces a checkpoint after this many stores
 	// to bound LSQ occupancy (64 in the paper).
 	CheckpointMaxStores int
+
+	// AdaptiveConfidenceBits is log2 of the branch-confidence estimator
+	// table (adaptive policy only).
+	AdaptiveConfidenceBits int
+	// AdaptiveConfidenceMax is the saturating-counter ceiling of the
+	// estimator (15 = 4-bit counters).
+	AdaptiveConfidenceMax int
+	// AdaptiveConfidenceThreshold classifies a branch as low-confidence
+	// (and worth a checkpoint) while its counter is below this value.
+	AdaptiveConfidenceThreshold int
 
 	// PseudoROBEntries sizes the pseudo-ROB FIFO (checkpoint mode).
 	// The paper always sizes it equal to the instruction queues.
@@ -206,17 +229,11 @@ func Default() Config {
 		FPQueueEntries:  4096,
 		ROBEntries:      4096,
 
+		// Default is the ROB baseline; the checkpoint-family parameter
+		// blocks stay zero (Validate rejects parameters the selected
+		// policy ignores — see policy.go). CheckpointDefault and
+		// AdaptiveDefault fill in the paper's checkpoint parameters.
 		Commit: CommitROB,
-
-		Checkpoints:              8,
-		CheckpointBranchInterval: 64,
-		CheckpointMaxInterval:    512,
-		CheckpointMaxStores:      64,
-
-		PseudoROBEntries: 128,
-		SLIQEntries:      2048,
-		SLIQWakeDelay:    4,
-		SLIQWakeWidth:    4,
 
 		IntAlu: FUConfig{Count: 4, Latency: 1, Repeat: 1},
 		IntMul: FUConfig{Count: 2, Latency: 3, Repeat: 1},
@@ -229,16 +246,55 @@ func Default() Config {
 }
 
 // CheckpointDefault returns the paper's Commit Out-of-Order processor
-// configuration: checkpoint commit, 8 checkpoints, pseudo-ROB and issue
-// queues of iqEntries, and a SLIQ of sliqEntries.
+// configuration: checkpoint commit, 8 checkpoints with the paper's
+// taking heuristics (branch>=64, cap 512, 64 stores), pseudo-ROB and
+// issue queues of iqEntries, and a SLIQ of sliqEntries (0 disables the
+// SLIQ and its wake parameters).
 func CheckpointDefault(iqEntries, sliqEntries int) Config {
 	c := Default()
 	c.Commit = CommitCheckpoint
 	c.ROBEntries = 0
+	c.CommitWidth = 0 // checkpoint commit retires whole windows, not N/cycle
+	c.Checkpoints = 8
+	c.CheckpointBranchInterval = 64
+	c.CheckpointMaxInterval = 512
+	c.CheckpointMaxStores = 64
 	c.IntQueueEntries = iqEntries
 	c.FPQueueEntries = iqEntries
 	c.PseudoROBEntries = iqEntries
 	c.SLIQEntries = sliqEntries
+	if sliqEntries > 0 {
+		c.SLIQWakeDelay = 4
+		c.SLIQWakeWidth = 4
+	}
+	return c
+}
+
+// AdaptiveDefault returns the adaptive-confidence checkpointing
+// configuration: the checkpointed processor with the fixed
+// branch-interval rule replaced by a 4K-entry, 4-bit saturating-counter
+// confidence estimator (checkpoints are placed at low-confidence
+// branches; the max-interval and max-stores safety rules remain).
+func AdaptiveDefault(iqEntries, sliqEntries int) Config {
+	c := CheckpointDefault(iqEntries, sliqEntries)
+	c.Commit = CommitAdaptive
+	c.CheckpointBranchInterval = 0 // replaced by the confidence rule
+	c.AdaptiveConfidenceBits = 12
+	c.AdaptiveConfidenceMax = 15
+	c.AdaptiveConfidenceThreshold = 8
+	return c
+}
+
+// OracleDefault returns the unbounded-window limit configuration: in
+// order retirement with no commit-structure bound at all, over the
+// pseudo-perfect substrate of Table 1 (4096-entry queues, LSQ and
+// register file). It is the upper-bound reference of Figure 1-style
+// limit studies.
+func OracleDefault() Config {
+	c := Default()
+	c.Commit = CommitOracle
+	c.ROBEntries = 0
+	c.CommitWidth = 0 // oracle retirement is unbounded
 	return c
 }
 
@@ -265,9 +321,6 @@ func (c Config) Validate() error {
 	}
 	if c.IssueWidth < 1 {
 		add("issue width %d < 1", c.IssueWidth)
-	}
-	if c.CommitWidth < 1 {
-		add("commit width %d < 1", c.CommitWidth)
 	}
 	if c.BranchPredictorBits < 1 || c.BranchPredictorBits > 30 {
 		add("branch predictor bits %d out of range [1,30]", c.BranchPredictorBits)
@@ -299,43 +352,12 @@ func (c Config) Validate() error {
 		add("instruction queues must have at least one entry (int %d, fp %d)",
 			c.IntQueueEntries, c.FPQueueEntries)
 	}
-	switch c.Commit {
-	case CommitROB:
-		if c.ROBEntries < 1 {
-			add("ROB mode requires ROBEntries >= 1, got %d", c.ROBEntries)
-		}
-	case CommitCheckpoint:
-		if c.Checkpoints < 2 {
-			// A window only commits once a younger checkpoint closes
-			// it, so a single-entry table can never retire anything.
-			add("checkpoint mode requires at least 2 checkpoints, got %d", c.Checkpoints)
-		}
-		if c.PseudoROBEntries < 1 {
-			add("checkpoint mode requires a pseudo-ROB, got %d entries", c.PseudoROBEntries)
-		}
-		if c.CheckpointBranchInterval < 1 {
-			add("checkpoint branch interval %d < 1", c.CheckpointBranchInterval)
-		}
-		if c.CheckpointMaxInterval < c.CheckpointBranchInterval {
-			add("checkpoint max interval %d < branch interval %d",
-				c.CheckpointMaxInterval, c.CheckpointBranchInterval)
-		}
-		if c.CheckpointMaxStores < 1 {
-			add("checkpoint max stores %d < 1", c.CheckpointMaxStores)
-		}
-		if c.SLIQEntries < 0 {
-			add("negative SLIQ entries %d", c.SLIQEntries)
-		}
-		if c.SLIQEntries > 0 {
-			if c.SLIQWakeDelay < 0 {
-				add("negative SLIQ wake delay %d", c.SLIQWakeDelay)
-			}
-			if c.SLIQWakeWidth < 1 {
-				add("SLIQ wake width %d < 1", c.SLIQWakeWidth)
-			}
-		}
-	default:
-		add("unknown commit mode %d", c.Commit)
+	// Per-policy validation: the registered commit policy checks its own
+	// parameter block and rejects the blocks it ignores (see policy.go).
+	if spec, ok := commitPolicySpecs[c.Commit]; ok {
+		spec.validate(c, add)
+	} else {
+		add("unknown commit policy %q (valid: %s)", string(c.Commit), commitModeList())
 	}
 	for name, fc := range map[string]FUConfig{
 		"IntAlu": c.IntAlu, "IntMul": c.IntMul, "IntDiv": c.IntDiv, "FPAlu": c.FPAlu,
@@ -347,9 +369,6 @@ func (c Config) Validate() error {
 	if c.IntMul.Count != c.IntDiv.Count {
 		add("IntMul and IntDiv share units; counts differ (%d vs %d)",
 			c.IntMul.Count, c.IntDiv.Count)
-	}
-	if c.VirtualRegisters && c.VirtualTags < 1 {
-		add("virtual registers enabled but VirtualTags %d < 1", c.VirtualTags)
 	}
 
 	if len(errs) == 0 {
@@ -372,6 +391,16 @@ func (c Config) Summary() string {
 			s += fmt.Sprintf(" vtags=%d phys=%d", c.VirtualTags, c.PhysRegs)
 		}
 		return s
+	case CommitAdaptive:
+		s := fmt.Sprintf("adaptive iq=%d sliq=%d ckpts=%d conf<%d %s",
+			c.IntQueueEntries, c.SLIQEntries, c.Checkpoints,
+			c.AdaptiveConfidenceThreshold, mem)
+		if c.VirtualRegisters {
+			s += fmt.Sprintf(" vtags=%d phys=%d", c.VirtualTags, c.PhysRegs)
+		}
+		return s
+	case CommitOracle:
+		return fmt.Sprintf("oracle window=unbounded %s", mem)
 	default:
 		return fmt.Sprintf("baseline rob=%d iq=%d %s", c.ROBEntries, c.IntQueueEntries, mem)
 	}
@@ -405,12 +434,20 @@ func (c Config) String() string {
 	switch c.Commit {
 	case CommitROB:
 		row("Reorder buffer", fmt.Sprintf("%d entries", c.ROBEntries))
-	case CommitCheckpoint:
-		row("Commit", "out-of-order (checkpointed)")
+	case CommitCheckpoint, CommitAdaptive:
+		if c.Commit == CommitAdaptive {
+			row("Commit", "out-of-order (adaptive confidence)")
+			row("Confidence estimator", fmt.Sprintf("%d entries, counters 0..%d, low < %d",
+				1<<c.AdaptiveConfidenceBits, c.AdaptiveConfidenceMax, c.AdaptiveConfidenceThreshold))
+		} else {
+			row("Commit", "out-of-order (checkpointed)")
+		}
 		row("Checkpoint table", fmt.Sprintf("%d entries", c.Checkpoints))
 		row("Pseudo-ROB", fmt.Sprintf("%d entries", c.PseudoROBEntries))
 		row("SLIQ", fmt.Sprintf("%d entries (wake delay %d, width %d)",
 			c.SLIQEntries, c.SLIQWakeDelay, c.SLIQWakeWidth))
+	case CommitOracle:
+		row("Commit", "in-order, unbounded window (oracle limit)")
 	}
 	fu := func(f FUConfig) string {
 		return fmt.Sprintf("%d (lat/rep %d/%d)", f.Count, f.Latency, f.Repeat)

@@ -44,6 +44,8 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 		Default(),
 		BaselineSized(128),
 		CheckpointDefault(64, 1024),
+		AdaptiveDefault(64, 1024),
+		OracleDefault(),
 	} {
 		data, err := cfg.CanonicalJSON()
 		if err != nil {
@@ -93,7 +95,7 @@ func TestParseJSONRejects(t *testing.T) {
 
 	for name, data := range map[string][]byte{
 		"unknown field": mutate(func(c map[string]any) { c["TurboBoost"] = true }),
-		"bad mode":      mutate(func(c map[string]any) { c["Commit"] = "oracle" }),
+		"bad mode":      mutate(func(c map[string]any) { c["Commit"] = "warp" }),
 		"numeric mode":  mutate(func(c map[string]any) { c["Commit"] = 1 }),
 		"invalid cfg":   mutate(func(c map[string]any) { c["FetchWidth"] = 0 }),
 		"not json":      []byte("fetch=4"),
@@ -111,7 +113,7 @@ func TestCanonicalJSONRejectsInvalid(t *testing.T) {
 		t.Error("zero config produced a canonical encoding")
 	}
 	bad := Default()
-	bad.Commit = CommitMode(42)
+	bad.Commit = CommitMode("warp")
 	if _, err := json.Marshal(bad); err == nil {
 		t.Error("unknown commit mode marshalled")
 	}

@@ -163,10 +163,179 @@ func TestSummary(t *testing.T) {
 }
 
 func TestCommitModeString(t *testing.T) {
-	if CommitROB.String() != "rob" || CommitCheckpoint.String() != "checkpoint" {
+	if CommitROB.String() != "rob" || CommitCheckpoint.String() != "checkpoint" ||
+		CommitAdaptive.String() != "adaptive" || CommitOracle.String() != "oracle" {
 		t.Error("commit mode names wrong")
 	}
-	if !strings.Contains(CommitMode(9).String(), "9") {
-		t.Error("unknown commit mode should render numerically")
+}
+
+func TestCommitPolicyRegistry(t *testing.T) {
+	infos := CommitPolicies()
+	if len(infos) != 4 {
+		t.Fatalf("registered %d policies, want 4", len(infos))
+	}
+	want := []CommitMode{CommitROB, CommitCheckpoint, CommitAdaptive, CommitOracle}
+	for i, info := range infos {
+		if info.Mode != want[i] {
+			t.Errorf("policy %d = %q, want %q", i, info.Mode, want[i])
+		}
+		if info.Summary == "" {
+			t.Errorf("policy %q has no summary", info.Mode)
+		}
+		if !KnownCommitMode(info.Mode) {
+			t.Errorf("KnownCommitMode(%q) = false", info.Mode)
+		}
+	}
+	if _, err := ParseCommitMode("adaptive"); err != nil {
+		t.Errorf("ParseCommitMode(adaptive): %v", err)
+	}
+	if _, err := ParseCommitMode("warp"); err == nil {
+		t.Error("ParseCommitMode accepted an unregistered policy")
+	} else if !strings.Contains(err.Error(), "oracle") {
+		t.Errorf("error should list valid policies: %v", err)
+	}
+}
+
+func TestAdaptiveDefault(t *testing.T) {
+	c := AdaptiveDefault(64, 1024)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if c.Commit != CommitAdaptive {
+		t.Error("commit mode should be adaptive")
+	}
+	if c.CheckpointBranchInterval != 0 {
+		t.Error("adaptive replaces the branch-interval rule; it must be 0")
+	}
+	if c.AdaptiveConfidenceBits != 12 || c.AdaptiveConfidenceMax != 15 || c.AdaptiveConfidenceThreshold != 8 {
+		t.Errorf("confidence defaults wrong: %d/%d/%d",
+			c.AdaptiveConfidenceBits, c.AdaptiveConfidenceMax, c.AdaptiveConfidenceThreshold)
+	}
+	if !strings.Contains(c.Summary(), "adaptive") {
+		t.Errorf("summary: %q", c.Summary())
+	}
+	if s := c.String(); !strings.Contains(s, "Confidence estimator") {
+		t.Errorf("Table-1 rendering missing the estimator:\n%s", s)
+	}
+}
+
+func TestOracleDefault(t *testing.T) {
+	c := OracleDefault()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if c.Commit != CommitOracle {
+		t.Error("commit mode should be oracle")
+	}
+	if c.ROBEntries != 0 || c.CommitWidth != 0 {
+		t.Error("oracle must zero the rob block")
+	}
+	if !strings.Contains(c.Summary(), "oracle") {
+		t.Errorf("summary: %q", c.Summary())
+	}
+	if s := c.String(); !strings.Contains(s, "unbounded window") {
+		t.Errorf("Table-1 rendering missing the oracle row:\n%s", s)
+	}
+}
+
+// TestValidateRejectsIgnoredBlocks pins the fingerprint-identity rule:
+// a parameter the selected policy never reads must be zero, so two
+// configurations describing the same simulation cannot hash to
+// different cache addresses.
+func TestValidateRejectsIgnoredBlocks(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func() Config
+	}{
+		{"rob with checkpoint table", func() Config {
+			c := Default()
+			c.Checkpoints = 8
+			return c
+		}},
+		{"rob with SLIQ wake width", func() Config {
+			c := Default()
+			c.SLIQWakeWidth = 4
+			return c
+		}},
+		{"rob with confidence block", func() Config {
+			c := Default()
+			c.AdaptiveConfidenceBits = 12
+			return c
+		}},
+		{"rob with virtual registers", func() Config {
+			c := Default()
+			c.VirtualRegisters = true
+			c.VirtualTags = 512
+			return c
+		}},
+		{"checkpoint with ROB entries", func() Config {
+			c := CheckpointDefault(64, 1024)
+			c.ROBEntries = 128
+			return c
+		}},
+		{"checkpoint with commit width", func() Config {
+			c := CheckpointDefault(64, 1024)
+			c.CommitWidth = 4
+			return c
+		}},
+		{"checkpoint with confidence block", func() Config {
+			c := CheckpointDefault(64, 1024)
+			c.AdaptiveConfidenceThreshold = 8
+			return c
+		}},
+		{"checkpoint without SLIQ but with wake params", func() Config {
+			c := CheckpointDefault(64, 0)
+			c.SLIQWakeWidth = 4
+			return c
+		}},
+		{"adaptive with branch interval", func() Config {
+			c := AdaptiveDefault(64, 1024)
+			c.CheckpointBranchInterval = 64
+			return c
+		}},
+		{"oracle with checkpoint table", func() Config {
+			c := OracleDefault()
+			c.Checkpoints = 8
+			c.CheckpointBranchInterval = 64
+			c.CheckpointMaxInterval = 512
+			c.CheckpointMaxStores = 64
+			c.PseudoROBEntries = 128
+			return c
+		}},
+		{"oracle with rob entries", func() Config {
+			c := OracleDefault()
+			c.ROBEntries = 4096
+			return c
+		}},
+		{"virtual tags without the extension", func() Config {
+			c := CheckpointDefault(64, 1024)
+			c.VirtualTags = 512
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.mutate().Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+}
+
+func TestValidateAdaptiveMode(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.AdaptiveConfidenceBits = 0 },
+		func(c *Config) { c.AdaptiveConfidenceBits = 31 },
+		func(c *Config) { c.AdaptiveConfidenceMax = 0 },
+		func(c *Config) { c.AdaptiveConfidenceMax = 256 },
+		func(c *Config) { c.AdaptiveConfidenceThreshold = 0 },
+		func(c *Config) { c.AdaptiveConfidenceThreshold = 16 }, // above the counter max
+		func(c *Config) { c.Checkpoints = 1 },
+		func(c *Config) { c.CheckpointMaxInterval = 0 },
+	}
+	for i, mutate := range bad {
+		c := AdaptiveDefault(64, 512)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
 	}
 }

@@ -6,31 +6,29 @@ import (
 	"fmt"
 )
 
-// MarshalJSON encodes the commit mode as its stable string form ("rob",
-// "checkpoint") rather than the Go enum ordinal, so the wire format and
-// every fingerprint derived from it survive enum reordering.
+// MarshalJSON encodes the commit mode as its registry name ("rob",
+// "checkpoint", "adaptive", "oracle"). Unregistered names are rejected
+// so an invalid policy can never acquire a canonical form (and thus a
+// cache fingerprint).
 func (m CommitMode) MarshalJSON() ([]byte, error) {
-	switch m {
-	case CommitROB, CommitCheckpoint:
-		return json.Marshal(m.String())
+	if !KnownCommitMode(m) {
+		return nil, fmt.Errorf("config: cannot encode unknown commit policy %q", string(m))
 	}
-	return nil, fmt.Errorf("config: cannot encode unknown commit mode %d", int(m))
+	return json.Marshal(string(m))
 }
 
-// UnmarshalJSON implements json.Unmarshaler for the string form.
+// UnmarshalJSON implements json.Unmarshaler for the string form,
+// validated against the policy registry.
 func (m *CommitMode) UnmarshalJSON(data []byte) error {
 	var s string
 	if err := json.Unmarshal(data, &s); err != nil {
-		return fmt.Errorf("config: commit mode must be a string: %w", err)
+		return fmt.Errorf("config: commit policy must be a string: %w", err)
 	}
-	switch s {
-	case "rob":
-		*m = CommitROB
-	case "checkpoint":
-		*m = CommitCheckpoint
-	default:
-		return fmt.Errorf("config: unknown commit mode %q (want \"rob\" or \"checkpoint\")", s)
+	mode, err := ParseCommitMode(s)
+	if err != nil {
+		return err
 	}
+	*m = mode
 	return nil
 }
 

@@ -1,0 +1,270 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the config half of the commit-policy registry: each
+// policy declares which parameter blocks of Config it reads and how to
+// validate them. The other half — the retirement engines themselves —
+// lives in internal/core (core.RegisterCommitPolicy); a core test
+// cross-checks that both registries agree.
+//
+// The contract mirrors trace.Recipe's "identical workloads must
+// fingerprint identically" rule from the simulation service: a
+// parameter the selected policy ignores must be zero, otherwise two
+// configurations that compute the same thing would hash to different
+// content addresses and the result cache would never dedupe them.
+
+// CommitPolicyInfo describes one registered commit policy for CLIs and
+// error messages.
+type CommitPolicyInfo struct {
+	// Mode is the registry key: the wire name of the policy.
+	Mode CommitMode
+	// Summary is a one-line description for -commit usage text.
+	Summary string
+}
+
+// commitPolicySpec couples the public info with the policy's
+// parameter-block validation.
+type commitPolicySpec struct {
+	info CommitPolicyInfo
+	// validate checks the policy's own parameter block and rejects the
+	// blocks it ignores, reporting problems through add.
+	validate func(c Config, add func(format string, args ...any))
+}
+
+// commitPolicySpecs is keyed by CommitMode; commitPolicyOrder preserves
+// registration order for stable listings.
+var (
+	commitPolicySpecs = map[CommitMode]commitPolicySpec{}
+	commitPolicyOrder []CommitMode
+)
+
+func registerCommitPolicy(info CommitPolicyInfo, validate func(Config, func(string, ...any))) {
+	if _, dup := commitPolicySpecs[info.Mode]; dup {
+		panic(fmt.Sprintf("config: commit policy %q registered twice", info.Mode))
+	}
+	commitPolicySpecs[info.Mode] = commitPolicySpec{info: info, validate: validate}
+	commitPolicyOrder = append(commitPolicyOrder, info.Mode)
+}
+
+// CommitPolicies returns the registered commit policies in registration
+// order.
+func CommitPolicies() []CommitPolicyInfo {
+	out := make([]CommitPolicyInfo, 0, len(commitPolicyOrder))
+	for _, m := range commitPolicyOrder {
+		out = append(out, commitPolicySpecs[m].info)
+	}
+	return out
+}
+
+// KnownCommitMode reports whether m names a registered commit policy.
+func KnownCommitMode(m CommitMode) bool {
+	_, ok := commitPolicySpecs[m]
+	return ok
+}
+
+// ParseCommitMode resolves a policy name from user input (flags, JSON).
+func ParseCommitMode(s string) (CommitMode, error) {
+	m := CommitMode(s)
+	if !KnownCommitMode(m) {
+		return "", fmt.Errorf("config: unknown commit policy %q (valid: %s)", s, commitModeList())
+	}
+	return m, nil
+}
+
+// commitModeList renders the registered policy names for error messages.
+func commitModeList() string {
+	names := make([]string, len(commitPolicyOrder))
+	for i, m := range commitPolicyOrder {
+		names[i] = string(m)
+	}
+	return strings.Join(names, ", ")
+}
+
+func init() {
+	registerCommitPolicy(CommitPolicyInfo{
+		Mode:    CommitROB,
+		Summary: "conventional in-order retirement from a reorder buffer",
+	}, validateROB)
+	registerCommitPolicy(CommitPolicyInfo{
+		Mode:    CommitCheckpoint,
+		Summary: "the paper's out-of-order checkpoint commit (interval heuristics)",
+	}, validateCheckpoint)
+	registerCommitPolicy(CommitPolicyInfo{
+		Mode:    CommitAdaptive,
+		Summary: "checkpoint commit with confidence-driven checkpoint placement",
+	}, validateAdaptive)
+	registerCommitPolicy(CommitPolicyInfo{
+		Mode:    CommitOracle,
+		Summary: "unbounded-window in-order retirement (limit-study baseline)",
+	}, validateOracle)
+}
+
+// ---- per-policy validation ----
+
+func validateROB(c Config, add func(string, ...any)) {
+	if c.ROBEntries < 1 {
+		add("rob policy requires ROBEntries >= 1, got %d", c.ROBEntries)
+	}
+	if c.CommitWidth < 1 {
+		add("rob policy requires CommitWidth >= 1, got %d", c.CommitWidth)
+	}
+	rejectCheckpointBlock(c, "rob", add)
+	rejectAdaptiveBlock(c, "rob", add)
+	rejectVirtualRegisters(c, "rob", add)
+}
+
+func validateCheckpoint(c Config, add func(string, ...any)) {
+	if c.CheckpointBranchInterval < 1 {
+		add("checkpoint branch interval %d < 1", c.CheckpointBranchInterval)
+	}
+	if c.CheckpointMaxInterval < c.CheckpointBranchInterval {
+		add("checkpoint max interval %d < branch interval %d",
+			c.CheckpointMaxInterval, c.CheckpointBranchInterval)
+	}
+	validateCheckpointCommon(c, "checkpoint", add)
+	rejectAdaptiveBlock(c, "checkpoint", add)
+	validateVirtualRegisters(c, add)
+}
+
+func validateAdaptive(c Config, add func(string, ...any)) {
+	// The confidence rule replaces the fixed branch-interval heuristic;
+	// a non-zero interval would be dead configuration.
+	if c.CheckpointBranchInterval != 0 {
+		add("adaptive policy replaces CheckpointBranchInterval with the confidence estimator; set it to 0, got %d",
+			c.CheckpointBranchInterval)
+	}
+	if c.CheckpointMaxInterval < 1 {
+		add("checkpoint max interval %d < 1", c.CheckpointMaxInterval)
+	}
+	validateCheckpointCommon(c, "adaptive", add)
+	if c.AdaptiveConfidenceBits < 1 || c.AdaptiveConfidenceBits > 30 {
+		add("adaptive confidence table bits %d out of range [1,30]", c.AdaptiveConfidenceBits)
+	}
+	if c.AdaptiveConfidenceMax < 1 || c.AdaptiveConfidenceMax > 255 {
+		add("adaptive confidence counter max %d out of range [1,255]", c.AdaptiveConfidenceMax)
+	}
+	if c.AdaptiveConfidenceThreshold < 1 || c.AdaptiveConfidenceThreshold > c.AdaptiveConfidenceMax {
+		add("adaptive confidence threshold %d out of range [1,%d]",
+			c.AdaptiveConfidenceThreshold, c.AdaptiveConfidenceMax)
+	}
+	validateVirtualRegisters(c, add)
+}
+
+func validateOracle(c Config, add func(string, ...any)) {
+	rejectROBBlock(c, "oracle", add)
+	rejectCheckpointBlock(c, "oracle", add)
+	rejectAdaptiveBlock(c, "oracle", add)
+	rejectVirtualRegisters(c, "oracle", add)
+}
+
+// validateCheckpointCommon covers the parameter rules shared by the
+// checkpoint family (checkpoint and adaptive): table, pseudo-ROB and
+// SLIQ sizing, plus rejection of the rob block.
+func validateCheckpointCommon(c Config, policy string, add func(string, ...any)) {
+	if c.Checkpoints < 2 {
+		// A window only commits once a younger checkpoint closes it, so
+		// a single-entry table can never retire anything.
+		add("%s policy requires at least 2 checkpoints, got %d", policy, c.Checkpoints)
+	}
+	if c.PseudoROBEntries < 1 {
+		add("%s policy requires a pseudo-ROB, got %d entries", policy, c.PseudoROBEntries)
+	}
+	if c.CheckpointMaxStores < 1 {
+		add("checkpoint max stores %d < 1", c.CheckpointMaxStores)
+	}
+	if c.SLIQEntries < 0 {
+		add("negative SLIQ entries %d", c.SLIQEntries)
+	}
+	if c.SLIQEntries > 0 {
+		if c.SLIQWakeDelay < 0 {
+			add("negative SLIQ wake delay %d", c.SLIQWakeDelay)
+		}
+		if c.SLIQWakeWidth < 1 {
+			add("SLIQ wake width %d < 1", c.SLIQWakeWidth)
+		}
+	} else {
+		if c.SLIQWakeDelay != 0 || c.SLIQWakeWidth != 0 {
+			add("SLIQ disabled (0 entries) ignores wake delay %d / width %d; set both to 0",
+				c.SLIQWakeDelay, c.SLIQWakeWidth)
+		}
+	}
+	rejectROBBlock(c, policy, add)
+}
+
+// rejectROBBlock rejects the rob-only parameters for policies without a
+// reorder buffer.
+func rejectROBBlock(c Config, policy string, add func(string, ...any)) {
+	if c.ROBEntries != 0 {
+		add("%s policy ignores ROBEntries; set it to 0, got %d", policy, c.ROBEntries)
+	}
+	if c.CommitWidth != 0 {
+		add("%s policy ignores CommitWidth (retirement is not N/cycle); set it to 0, got %d",
+			policy, c.CommitWidth)
+	}
+}
+
+// rejectCheckpointBlock rejects the checkpoint-family parameters for
+// policies without a checkpoint table.
+func rejectCheckpointBlock(c Config, policy string, add func(string, ...any)) {
+	type field struct {
+		name string
+		val  int
+	}
+	for _, f := range []field{
+		{"Checkpoints", c.Checkpoints},
+		{"CheckpointBranchInterval", c.CheckpointBranchInterval},
+		{"CheckpointMaxInterval", c.CheckpointMaxInterval},
+		{"CheckpointMaxStores", c.CheckpointMaxStores},
+		{"PseudoROBEntries", c.PseudoROBEntries},
+		{"SLIQEntries", c.SLIQEntries},
+		{"SLIQWakeDelay", c.SLIQWakeDelay},
+		{"SLIQWakeWidth", c.SLIQWakeWidth},
+	} {
+		if f.val != 0 {
+			add("%s policy ignores %s; set it to 0, got %d", policy, f.name, f.val)
+		}
+	}
+}
+
+// rejectAdaptiveBlock rejects the confidence-estimator parameters for
+// policies that never consult it.
+func rejectAdaptiveBlock(c Config, policy string, add func(string, ...any)) {
+	type field struct {
+		name string
+		val  int
+	}
+	for _, f := range []field{
+		{"AdaptiveConfidenceBits", c.AdaptiveConfidenceBits},
+		{"AdaptiveConfidenceMax", c.AdaptiveConfidenceMax},
+		{"AdaptiveConfidenceThreshold", c.AdaptiveConfidenceThreshold},
+	} {
+		if f.val != 0 {
+			add("%s policy ignores %s; set it to 0, got %d", policy, f.name, f.val)
+		}
+	}
+}
+
+// validateVirtualRegisters checks the Figure 14 extension block where it
+// is supported (the checkpoint family: tags bind to the deferred-free
+// rename discipline).
+func validateVirtualRegisters(c Config, add func(string, ...any)) {
+	if c.VirtualRegisters && c.VirtualTags < 1 {
+		add("virtual registers enabled but VirtualTags %d < 1", c.VirtualTags)
+	}
+	if !c.VirtualRegisters && c.VirtualTags != 0 {
+		add("VirtualTags %d set but virtual registers disabled; set it to 0", c.VirtualTags)
+	}
+}
+
+// rejectVirtualRegisters rejects the extension for policies whose
+// rename discipline cannot host it (rob and oracle free registers at
+// per-instruction commit, not at checkpoint commit).
+func rejectVirtualRegisters(c Config, policy string, add func(string, ...any)) {
+	if c.VirtualRegisters || c.VirtualTags != 0 {
+		add("%s policy does not support virtual registers (checkpoint-family rename only)", policy)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/branch"
-	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/fu"
 	"repro/internal/isa"
@@ -12,7 +11,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/queue"
 	"repro/internal/rename"
-	"repro/internal/rob"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vreg"
@@ -41,14 +39,16 @@ type CPU struct {
 	fpQ  *queue.IQ[*DynInst]
 	lq   *lsq.LSQ
 
-	// ROB mode.
-	reorder *rob.ROB[*DynInst]
+	// policy is the retirement engine selected by cfg.Commit; it owns
+	// the commit-side structures (ROB, checkpoint table, pseudo-ROB,
+	// oracle window) behind the CommitPolicy seam.
+	policy CommitPolicy
 
-	// Checkpoint mode.
-	ckpts  *checkpoint.Table
-	prob   *queue.Deque[*DynInst]
-	sliq   *queue.SLIQ[*DynInst]
-	master masterList // simulator-side in-flight list (not modelled HW)
+	// sliq is the slow lane of the issue-queue hierarchy: built by the
+	// checkpoint-family policies, nil elsewhere. It stays on the CPU
+	// because the shared wakeup paths (writeback, squash, drain) thread
+	// through it.
+	sliq *queue.SLIQ[*DynInst]
 
 	// pool recycles DynInst records (see the contract on DynInst).
 	pool instPool
@@ -76,13 +76,6 @@ type CPU struct {
 	producer  []*DynInst
 
 	completions completionHeap
-
-	// SLIQ dependence mask over logical registers (paper section 3).
-	// maskOwnerSeq generation-checks the owner: a freed-and-reallocated
-	// physical register must not satisfy a stale mask bit.
-	depMask      [isa.NumLogical]bool
-	maskOwner    [isa.NumLogical]rename.PhysReg
-	maskOwnerSeq [isa.NumLogical]uint64
 
 	// Exception injection, indexed by trace position (lazily allocated
 	// on the first InjectExceptionAt — the hot path then skips it with
@@ -141,45 +134,6 @@ type dispatchStalls struct {
 	FetchGate                        uint64 // cycles the front end was redirected/stalled
 }
 
-// masterList is the simulator's seq-ordered record of in-flight
-// instructions in checkpoint mode (the hardware has no such structure;
-// the simulator needs it to find squash victims and to retire windows).
-type masterList struct {
-	items []*DynInst
-	head  int
-}
-
-func (m *masterList) push(d *DynInst) { m.items = append(m.items, d) }
-func (m *masterList) len() int        { return len(m.items) - m.head }
-func (m *masterList) front() *DynInst {
-	if m.len() == 0 {
-		return nil
-	}
-	return m.items[m.head]
-}
-func (m *masterList) back() *DynInst {
-	if m.len() == 0 {
-		return nil
-	}
-	return m.items[len(m.items)-1]
-}
-func (m *masterList) popFront() *DynInst {
-	d := m.items[m.head]
-	m.items[m.head] = nil
-	m.head++
-	if m.head > 4096 && m.head*2 > len(m.items) {
-		m.items = append(m.items[:0], m.items[m.head:]...)
-		m.head = 0
-	}
-	return d
-}
-func (m *masterList) popBack() *DynInst {
-	d := m.items[len(m.items)-1]
-	m.items[len(m.items)-1] = nil
-	m.items = m.items[:len(m.items)-1]
-	return d
-}
-
 // New builds a CPU for the given configuration and workload.
 func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
 	if err := cfg.Validate(); err != nil {
@@ -222,23 +176,13 @@ func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
 		c.pred = branch.NewGshare(cfg.BranchPredictorBits)
 	}
 
-	switch cfg.Commit {
-	case config.CommitROB:
-		c.reorder = rob.New[*DynInst](cfg.ROBEntries)
-	case config.CommitCheckpoint:
-		c.ckpts = checkpoint.NewTable(cfg.Checkpoints, checkpoint.Policy{
-			BranchInterval: cfg.CheckpointBranchInterval,
-			MaxInterval:    cfg.CheckpointMaxInterval,
-			MaxStores:      cfg.CheckpointMaxStores,
-		})
-		c.prob = queue.NewDeque[*DynInst](cfg.PseudoROBEntries)
-		if cfg.SLIQEntries > 0 {
-			c.sliq = queue.NewSLIQ[*DynInst](cfg.SLIQEntries, cfg.SLIQWakeDelay, cfg.SLIQWakeWidth, physSpace)
-		}
+	build, ok := commitPolicyFactories[cfg.Commit]
+	if !ok {
+		// Validate already guards this; a policy registered in config
+		// but not in core is a wiring bug worth a clear error.
+		return nil, fmt.Errorf("core: no commit policy registered for %q", cfg.Commit)
 	}
-	for i := range c.maskOwner {
-		c.maskOwner[i] = rename.PhysNone
-	}
+	c.policy = build(c)
 	if cfg.VirtualRegisters {
 		c.vt = vreg.New(cfg.VirtualTags, cfg.PhysRegs, isa.NumLogical)
 		// prevProd links outlive commit in this mode; records must not
@@ -287,7 +231,8 @@ type RunOptions struct {
 // position: the instruction raises when it first completes, the
 // processor rolls back to its checkpoint and re-executes with a
 // checkpoint placed exactly before it (the paper's two-pass protocol).
-// Checkpoint mode only; must be called before Run.
+// Checkpoint-family policies only (a no-op under rob and oracle, which
+// model no replay mechanism); must be called before Run.
 func (c *CPU) InjectExceptionAt(pos int64) {
 	if c.exceptArm == nil {
 		c.exceptArm = make([]uint8, c.tr.Len())
@@ -337,10 +282,7 @@ func (c *CPU) Run(opt RunOptions) stats.Results {
 		watchdog = 2_000_000
 	}
 	if opt.CollectOccupancy {
-		bound := c.cfg.ROBEntries
-		if c.cfg.Commit == config.CommitCheckpoint {
-			bound = 4 * c.cfg.CheckpointMaxInterval * c.cfg.Checkpoints
-		}
+		bound := c.policy.OccupancyBound()
 		if bound < 1 {
 			bound = 1
 		}
@@ -349,7 +291,7 @@ func (c *CPU) Run(opt RunOptions) stats.Results {
 
 	for c.committed < target && c.now < maxCycles {
 		c.portsUsed = 0
-		c.commitStage()
+		c.policy.Commit()
 		c.writebackStage()
 		c.issueStage()
 		c.dispatchStage()
@@ -413,12 +355,7 @@ func (c *CPU) results() stats.Results {
 	if c.now > 0 {
 		r.MeanInflight = float64(c.sumInflight) / float64(c.now)
 	}
-	if c.ckpts != nil {
-		cs := c.ckpts.Stats()
-		r.CheckpointsTaken = cs.Taken
-		r.CheckpointsCommitted = cs.Committed
-		r.CheckpointStallCycles = c.ckptStallCycles
-	}
+	c.policy.AddStats(&r)
 	if c.sliq != nil {
 		ss := c.sliq.Stats()
 		r.SLIQMoved = ss.Inserted
@@ -432,19 +369,7 @@ func (c *CPU) debugState() string {
 	s := fmt.Sprintf("committed=%d inflight=%d fetchPos=%d intQ=%d/%d fpQ=%d/%d lsq=%d completions=%d",
 		c.committed, c.inflight, c.fetchPos,
 		c.intQ.Len(), c.intQ.Cap(), c.fpQ.Len(), c.fpQ.Cap(), c.lq.Len(), c.completions.Len())
-	if c.ckpts != nil {
-		s += fmt.Sprintf(" ckpts=%d/%d", c.ckpts.Len(), c.ckpts.Cap())
-		if o := c.ckpts.Oldest(); o != nil {
-			s += fmt.Sprintf(" oldest{id=%d pending=%d insts=%d}", o.ID, o.Pending, o.Insts)
-		}
-		s += fmt.Sprintf(" prob=%d/%d", c.prob.Len(), c.prob.Cap())
-		if c.sliq != nil {
-			s += fmt.Sprintf(" sliq=%d/%d", c.sliq.Len(), c.sliq.Cap())
-		}
-	}
-	if c.reorder != nil {
-		s += fmt.Sprintf(" rob=%d/%d", c.reorder.Len(), c.reorder.Cap())
-	}
+	s += c.policy.DebugState()
 	if c.divergedAt != nil {
 		s += fmt.Sprintf(" diverged@%d", c.divergedAt.Seq)
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/queue"
 	"repro/internal/rename"
@@ -25,28 +24,11 @@ func (c *CPU) dispatchStage() {
 	dispatched := 0
 	c.resourceStalled = false
 	defer func() {
-		if c.cfg.Commit != config.CommitCheckpoint || dispatched != 0 {
-			return
-		}
-		// Pressure-driven extraction: when nothing could dispatch
-		// because an issue queue is full, retire pseudo-ROB entries
-		// anyway so mask-dependent occupants move to the SLIQ and
-		// free queue space. Without this the two-level hierarchy
-		// throttles itself: moves happen at extraction, extraction
-		// normally happens at dispatch, dispatch needs queue space.
-		if c.intQ.Full() || c.fpQ.Full() {
-			for i := 0; i < c.cfg.FetchWidth && c.prob.Len() > 0; i++ {
-				c.extractPseudoROB()
-			}
-		}
-		// Deadlock avoidance: a stall on registers, tags or LSQ space
-		// can only clear when a window commits — and the open window
-		// cannot commit until a younger checkpoint closes it. Take an
-		// emergency checkpoint at the stalled instruction.
-		if c.resourceStalled && !c.ckpts.Full() {
-			if y := c.ckpts.Youngest(); y != nil && y.Insts > 0 {
-				c.takeCheckpoint(c.fetchPos)
-			}
+		// A cycle that admitted nothing hands the policy its
+		// deadlock-avoidance window (pressure extraction, emergency
+		// checkpoints — see checkpointPolicy.DispatchStalled).
+		if dispatched == 0 {
+			c.policy.DispatchStalled()
 		}
 	}()
 
@@ -89,33 +71,14 @@ func (c *CPU) dispatchStage() {
 // and, if all are available, renames and dispatches it. It returns
 // false when the front end must stall this cycle.
 func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
-	ckptMode := c.cfg.Commit == config.CommitCheckpoint
-
-	// Checkpoints are taken before the instruction; do it first so the
-	// window closes even if the instruction then stalls on another
-	// resource (otherwise an open window could never commit and the
-	// stalled resource would never recycle).
-	if ckptMode {
-		needCkpt := c.ckpts.ShouldTake(inst.Op) || c.exceptPhase(pos) == 2
-		if needCkpt {
-			if c.ckpts.Full() {
-				c.ckptStallCycles++
-				c.stalls.Ckpt++
-				return false
-			}
-			c.takeCheckpoint(pos)
-			if c.exceptPhase(pos) == 2 {
-				// Second pass of the exception protocol: the excepting
-				// instruction is now precisely checkpointed; deliver.
-				c.exceptArm[pos] = 0
-				c.exceptions++
-			}
-		}
-	} else {
-		if c.reorder.Full() {
-			c.stalls.ROB++
-			return false
-		}
+	// The commit policy goes first: checkpoint-family policies take any
+	// required checkpoint before the instruction, so the window closes
+	// even if the instruction then stalls on another resource
+	// (otherwise an open window could never commit and the stalled
+	// resource would never recycle); the ROB baseline gates on buffer
+	// space here.
+	if !c.policy.Admit(inst, pos) {
+		return false
 	}
 	if inst.Op.HasDest() {
 		if c.vt != nil {
@@ -157,12 +120,9 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 		c.resourceStalled = true
 		return false
 	}
-	if ckptMode && c.prob.Full() {
-		// Extract the oldest pseudo-ROB entry to make room; this is
-		// where the paper's delayed long-latency classification
-		// happens (section 3).
-		c.extractPseudoROB()
-	}
+	// Every shared resource is available: let the policy free its own
+	// space (pseudo-ROB extraction) before the record is built.
+	c.policy.MakeRoom()
 
 	// All resources available: build and dispatch.
 	d := c.pool.acquire()
@@ -185,11 +145,7 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	}
 	if inst.Op.HasDest() {
 		var ok bool
-		if ckptMode {
-			d.DestPhys, d.PrevPhys, ok = c.rt.Allocate(inst.Dest)
-		} else {
-			d.DestPhys, d.PrevPhys, ok = c.rt.AllocateROB(inst.Dest)
-		}
+		d.DestPhys, d.PrevPhys, ok = c.policy.AllocateDest(inst.Dest)
 		if !ok {
 			panic("core: rename failed after FreeCount check")
 		}
@@ -249,20 +205,6 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 		}
 	}
 
-	if ckptMode {
-		d.ckpt = c.ckpts.Youngest()
-		c.ckpts.Associate(d.ckpt, inst.Op)
-		if !c.prob.PushBack(d) {
-			panic("core: pseudo-ROB full after extraction")
-		}
-		d.inProb = true
-		c.master.push(d)
-	} else {
-		if !c.reorder.Push(d) {
-			panic("core: ROB full after Full() check")
-		}
-	}
-
 	// Branch prediction happens at fetch; history and counters are
 	// trained immediately (see DESIGN.md for the modelling argument).
 	// A branch whose misprediction already caused a checkpoint rollback
@@ -282,28 +224,16 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 		}
 	}
 
-	// Exception protocol, first pass: raise when it completes.
-	if c.exceptPhase(pos) == 1 && c.cfg.Commit == config.CommitCheckpoint {
-		d.ExceptAt = true
-	}
+	// Hand the finished record to the retirement structure (checkpoint
+	// association and pseudo-ROB/ROB/window entry, plus the exception
+	// protocol's first pass where the policy supports it). This runs
+	// after branch resolution so policies see d.Mispredicted — the
+	// adaptive policy trains its confidence estimator here.
+	c.policy.Dispatched(d)
 
 	c.dispatched++
 	c.inflight++
 	return true
-}
-
-// takeCheckpoint snapshots the machine before the instruction about to
-// dispatch (whose sequence number will be nextSeq and trace position
-// pos; pos may be the current fetch position for emergency checkpoints).
-func (c *CPU) takeCheckpoint(pos int64) {
-	snap := c.rt.TakeSnapshot()
-	if pos < 0 {
-		// Wrong-path instruction: record the correct-path resume point.
-		pos = c.fetchPos
-	}
-	if e := c.ckpts.Take(c.nextSeq, pos, snap, c.pred.HistorySnapshot()); e == nil {
-		panic("core: checkpoint table full after Full() check")
-	}
 }
 
 // nextWrongPathInst synthesises an instruction for the wrong path after

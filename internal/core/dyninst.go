@@ -1,7 +1,10 @@
-// Package core implements the simulated processors: the conventional
-// ROB-commit baseline and the paper's checkpointed out-of-order commit
-// processor with pseudo-ROB and Slow Lane Instruction Queuing. See
-// DESIGN.md for the modelling contract.
+// Package core implements the simulated processors. The pipeline
+// (fetch/dispatch/issue/writeback) is shared; retirement is a pluggable
+// CommitPolicy selected by config.Commit: the conventional ROB-commit
+// baseline, the paper's checkpointed out-of-order commit with
+// pseudo-ROB and Slow Lane Instruction Queuing, the adaptive-confidence
+// checkpointing variant, and the unbounded-window oracle limit. See
+// DESIGN.md for the modelling contract and policy.go for the seam.
 package core
 
 import (

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/stats"
+)
+
+// CommitPolicy is the retirement engine of a CPU: everything that used
+// to be a commit-mode switch in the pipeline is a method here. The CPU
+// owns the shared machinery (fetch, rename scoreboard, issue queues,
+// LSQ, caches, the DynInst pool); the policy owns the commit-side
+// structures (ROB, checkpoint table, pseudo-ROB, oracle window) and is
+// hooked at dispatch admission, completion, per-cycle retirement,
+// branch/exception recovery and stats extraction.
+//
+// Lifetime contract: policies operate on pooled DynInst records (see
+// the ownership contract on DynInst). A policy must release records it
+// retires (c.pool.release) and must never hold a *DynInst past the
+// instruction's release except alongside its Seq; the pseudo-ROB's
+// Retired handshake in the checkpoint family is the worked example.
+type CommitPolicy interface {
+	// Admit is called at the top of every dispatch attempt, before any
+	// shared resource check. It performs the policy's pre-instruction
+	// work (checkpoint taking, ROB-full gating) and returns false to
+	// stall the front end this cycle. It may run several times for the
+	// same instruction across stall cycles, so repeated calls must
+	// converge (a checkpoint taken on an earlier attempt must not force
+	// a second one).
+	Admit(inst isa.Inst, pos int64) bool
+	// MakeRoom runs after every shared structural check has passed,
+	// immediately before the record is built: the checkpoint family
+	// extracts the oldest pseudo-ROB entry here when the FIFO is full.
+	MakeRoom()
+	// AllocateDest renames the destination register under the policy's
+	// freeing discipline (deferred Future Free vs. free-at-commit).
+	AllocateDest(dest isa.Reg) (phys, prev rename.PhysReg, ok bool)
+	// UnwindDest reverses AllocateDest for one squashed instruction
+	// during a per-instruction recovery walk (reverse program order).
+	UnwindDest(d *DynInst)
+	// Dispatched records a successfully dispatched instruction into the
+	// retirement structure. It runs after branch resolution bookkeeping,
+	// so d.Mispredicted is already final.
+	Dispatched(d *DynInst)
+	// Completed is notified when d finishes execution (writeback).
+	Completed(d *DynInst)
+	// Squashed removes d from the policy's retirement accounting; the
+	// caller (squashInst) handles every shared structure.
+	Squashed(d *DynInst)
+	// Commit is the per-cycle retirement stage.
+	Commit()
+	// DispatchStalled runs at the end of a dispatch cycle that admitted
+	// nothing — the checkpoint family's pressure-extraction and
+	// emergency-checkpoint window (deadlock avoidance).
+	DispatchStalled()
+	// ResolveMispredict recovers from mispredicted branch b at its
+	// resolution. The CPU has already cleared divergedAt and applies the
+	// front-end redirect penalty afterwards.
+	ResolveMispredict(b *DynInst)
+	// RaiseException delivers a precise exception at d. Policies
+	// without a replay mechanism ignore it (matching the former
+	// checkpoint-mode-only behaviour).
+	RaiseException(d *DynInst)
+	// OccupancyBound sizes the occupancy histogram for this policy's
+	// reachable window.
+	OccupancyBound() int
+	// AddStats folds the policy's counters into the run results.
+	AddStats(r *stats.Results)
+	// DebugState renders the policy's structures for watchdog panics.
+	DebugState() string
+}
+
+// commitPolicyFactories is the core half of the commit-policy registry
+// (the config half validates parameter blocks — config.CommitPolicies).
+// Factories run at the end of CPU construction: the shared machinery is
+// built, the policy adds its own.
+var commitPolicyFactories = map[config.CommitMode]func(*CPU) CommitPolicy{}
+
+// RegisterCommitPolicy installs a policy factory under its config mode.
+// Built-in policies register from init; an external experiment can
+// register its own before building CPUs.
+func RegisterCommitPolicy(mode config.CommitMode, build func(*CPU) CommitPolicy) {
+	if _, dup := commitPolicyFactories[mode]; dup {
+		panic(fmt.Sprintf("core: commit policy %q registered twice", mode))
+	}
+	commitPolicyFactories[mode] = build
+}
+
+// RegisteredCommitPolicies returns the modes with a core factory (test
+// cross-check against the config registry).
+func RegisteredCommitPolicies() []config.CommitMode {
+	out := make([]config.CommitMode, 0, len(commitPolicyFactories))
+	for m := range commitPolicyFactories {
+		out = append(out, m)
+	}
+	return out
+}
+
+// masterList is a grow-only, seq-ordered list of in-flight instructions
+// with amortised O(1) front/back removal. The checkpoint family uses it
+// as the simulator-side record of the in-flight window (the hardware
+// has no such structure; the simulator needs it to find squash victims
+// and retire windows); the oracle policy uses it as the unbounded
+// window itself.
+type masterList struct {
+	items []*DynInst
+	head  int
+}
+
+func (m *masterList) push(d *DynInst) { m.items = append(m.items, d) }
+func (m *masterList) len() int        { return len(m.items) - m.head }
+func (m *masterList) front() *DynInst {
+	if m.len() == 0 {
+		return nil
+	}
+	return m.items[m.head]
+}
+func (m *masterList) back() *DynInst {
+	if m.len() == 0 {
+		return nil
+	}
+	return m.items[len(m.items)-1]
+}
+func (m *masterList) popFront() *DynInst {
+	d := m.items[m.head]
+	m.items[m.head] = nil
+	m.head++
+	if m.head > 4096 && m.head*2 > len(m.items) {
+		m.items = append(m.items[:0], m.items[m.head:]...)
+		m.head = 0
+	}
+	return d
+}
+func (m *masterList) popBack() *DynInst {
+	d := m.items[len(m.items)-1]
+	m.items[len(m.items)-1] = nil
+	m.items = m.items[:len(m.items)-1]
+	return d
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/queue"
+	"repro/internal/rename"
+	"repro/internal/stats"
+)
+
+// checkpointPolicy is the paper's out-of-order commit: no ROB; a small
+// checkpoint table commits whole instruction windows at once, a
+// pseudo-ROB FIFO delays the long-latency classification (section 3),
+// and the SLIQ slow lane (owned by the CPU, built here) keeps the small
+// issue queues useful. It is also the base of the adaptive policy,
+// which only replaces the checkpoint-taking rule.
+type checkpointPolicy struct {
+	c     *CPU
+	ckpts *checkpoint.Table
+	prob  *queue.Deque[*DynInst]
+	// master is the simulator-side in-flight list (not modelled HW).
+	master masterList
+
+	// SLIQ dependence mask over logical registers (paper section 3).
+	// maskOwnerSeq generation-checks the owner: a freed-and-reallocated
+	// physical register must not satisfy a stale mask bit.
+	depMask      [isa.NumLogical]bool
+	maskOwner    [isa.NumLogical]rename.PhysReg
+	maskOwnerSeq [isa.NumLogical]uint64
+
+	// takeRule, when non-nil, replaces the table's interval heuristics
+	// as the checkpoint-taking decision (the adaptive policy installs
+	// its confidence rule here). It must be side-effect-free: Admit can
+	// re-evaluate it for the same instruction across stall cycles.
+	takeRule func(inst isa.Inst) bool
+}
+
+func init() {
+	RegisterCommitPolicy(config.CommitCheckpoint, func(c *CPU) CommitPolicy {
+		return newCheckpointPolicy(c, checkpoint.Policy{
+			BranchInterval: c.cfg.CheckpointBranchInterval,
+			MaxInterval:    c.cfg.CheckpointMaxInterval,
+			MaxStores:      c.cfg.CheckpointMaxStores,
+		})
+	})
+}
+
+// newCheckpointPolicy builds the checkpoint-commit machinery, including
+// the CPU-owned SLIQ (it is threaded through the shared wakeup paths).
+func newCheckpointPolicy(c *CPU, pol checkpoint.Policy) *checkpointPolicy {
+	p := &checkpointPolicy{
+		c:     c,
+		ckpts: checkpoint.NewTable(c.cfg.Checkpoints, pol),
+		prob:  queue.NewDeque[*DynInst](c.cfg.PseudoROBEntries),
+	}
+	if c.cfg.SLIQEntries > 0 {
+		c.sliq = queue.NewSLIQ[*DynInst](c.cfg.SLIQEntries, c.cfg.SLIQWakeDelay,
+			c.cfg.SLIQWakeWidth, c.rt.NumPhys())
+	}
+	for i := range p.maskOwner {
+		p.maskOwner[i] = rename.PhysNone
+	}
+	return p
+}
+
+// shouldTake evaluates the checkpoint-taking rule for the instruction
+// about to dispatch.
+func (p *checkpointPolicy) shouldTake(inst isa.Inst) bool {
+	if p.takeRule != nil {
+		return p.takeRule(inst)
+	}
+	return p.ckpts.ShouldTake(inst.Op)
+}
+
+// Admit takes any required checkpoint before the instruction; doing it
+// first means the window closes even if the instruction then stalls on
+// another resource (otherwise an open window could never commit and the
+// stalled resource would never recycle). The exception protocol's
+// second pass (phase 2) also lands here: the excepting instruction is
+// precisely checkpointed, then the exception delivers.
+func (p *checkpointPolicy) Admit(inst isa.Inst, pos int64) bool {
+	c := p.c
+	need := p.shouldTake(inst) || c.exceptPhase(pos) == 2
+	if !need {
+		return true
+	}
+	if p.ckpts.Full() {
+		c.ckptStallCycles++
+		c.stalls.Ckpt++
+		return false
+	}
+	p.takeCheckpoint(pos)
+	if c.exceptPhase(pos) == 2 {
+		c.exceptArm[pos] = 0
+		c.exceptions++
+	}
+	return true
+}
+
+// takeCheckpoint snapshots the machine before the instruction about to
+// dispatch (whose sequence number will be nextSeq and trace position
+// pos; pos may be the current fetch position for emergency checkpoints).
+func (p *checkpointPolicy) takeCheckpoint(pos int64) {
+	c := p.c
+	snap := c.rt.TakeSnapshot()
+	if pos < 0 {
+		// Wrong-path instruction: record the correct-path resume point.
+		pos = c.fetchPos
+	}
+	if e := p.ckpts.Take(c.nextSeq, pos, snap, c.pred.HistorySnapshot()); e == nil {
+		panic("core: checkpoint table full after Full() check")
+	}
+}
+
+// MakeRoom extracts the oldest pseudo-ROB entry when the FIFO is full;
+// this is where the paper's delayed long-latency classification happens
+// (section 3).
+func (p *checkpointPolicy) MakeRoom() {
+	if p.prob.Full() {
+		p.extractPseudoROB()
+	}
+}
+
+// AllocateDest uses the deferred-release discipline: the previous
+// mapping's Future Free bit is set and released at window commit.
+func (p *checkpointPolicy) AllocateDest(dest isa.Reg) (rename.PhysReg, rename.PhysReg, bool) {
+	return p.c.rt.Allocate(dest)
+}
+
+// UnwindDest reverses one checkpointed allocation (pseudo-ROB branch
+// recovery; valid because no checkpoint was taken after the allocation).
+func (p *checkpointPolicy) UnwindDest(d *DynInst) {
+	p.c.rt.UnwindCheckpointed(d.Inst.Dest, d.DestPhys, d.PrevPhys)
+}
+
+// Dispatched associates the instruction with the youngest checkpoint
+// and enters it into the pseudo-ROB and the master list. The exception
+// protocol's first pass arms here: the instruction raises when it
+// completes.
+func (p *checkpointPolicy) Dispatched(d *DynInst) {
+	c := p.c
+	d.ckpt = p.ckpts.Youngest()
+	p.ckpts.Associate(d.ckpt, d.Inst.Op)
+	if !p.prob.PushBack(d) {
+		panic("core: pseudo-ROB full after extraction")
+	}
+	d.inProb = true
+	p.master.push(d)
+	if c.exceptPhase(d.Pos) == 1 {
+		d.ExceptAt = true
+	}
+}
+
+// Completed decrements the owning checkpoint's pending counter.
+func (p *checkpointPolicy) Completed(d *DynInst) {
+	if d.ckpt != nil {
+		p.ckpts.Finished(d.ckpt)
+	}
+}
+
+// Squashed removes the instruction from its checkpoint's accounting.
+func (p *checkpointPolicy) Squashed(d *DynInst) {
+	if d.ckpt == nil {
+		return
+	}
+	if d.Done {
+		p.ckpts.SquashedDone(d.ckpt, d.Inst.Op)
+	} else {
+		p.ckpts.Squashed(d.ckpt, d.Inst.Op)
+	}
+}
+
+// Commit retires every committable checkpoint: the oldest window whose
+// instructions have all finished commits as a unit — its deferred
+// register frees are applied and its stores drain to memory. This is
+// the paper's out-of-order commit: instructions "commit" (their
+// resources are released) without any per-instruction in-order walk.
+func (p *checkpointPolicy) Commit() {
+	c := p.c
+	for p.ckpts.CanCommit() {
+		_, futureFree, endSeq := p.ckpts.Commit()
+		c.rt.CommitFutureFree(futureFree)
+		c.lq.DrainStoresBefore(endSeq, c.hier.StoreCommit)
+		p.retireWindow(endSeq)
+		c.lastCommitCycle = c.now
+	}
+
+	// End-of-program drain: the final window has no younger checkpoint
+	// to close it; retire it once every instruction has finished.
+	if c.fetchExhausted() && p.ckpts.Len() == 1 &&
+		p.ckpts.Oldest().Pending == 0 && p.master.len() > 0 {
+		c.lq.DrainStoresBefore(c.nextSeq, c.hier.StoreCommit)
+		p.retireWindow(c.nextSeq)
+		c.lastCommitCycle = c.now
+	}
+}
+
+// retireWindow removes committed instructions (Seq < endSeq) from the
+// simulator's in-flight list. Records still resident in the pseudo-ROB
+// stay alive (Retired) until extraction classifies them for Figure 12;
+// everything else recycles now.
+func (p *checkpointPolicy) retireWindow(endSeq uint64) {
+	c := p.c
+	for p.master.len() > 0 && p.master.front().Seq < endSeq {
+		d := p.master.popFront()
+		switch {
+		case d.Squashed, d.WrongPath:
+			panic(fmt.Sprintf("core: dead instruction in committed window: %v", d))
+		case !d.Done:
+			panic(fmt.Sprintf("core: unfinished instruction in committed window: %v", d))
+		}
+		d.lsqe = nil
+		c.committed++
+		c.inflight--
+		if d.inProb {
+			d.Retired = true
+		} else {
+			c.pool.release(d)
+		}
+	}
+}
+
+// DispatchStalled is the deadlock-avoidance window of a cycle that
+// dispatched nothing.
+func (p *checkpointPolicy) DispatchStalled() {
+	c := p.c
+	// Pressure-driven extraction: when nothing could dispatch because an
+	// issue queue is full, retire pseudo-ROB entries anyway so
+	// mask-dependent occupants move to the SLIQ and free queue space.
+	// Without this the two-level hierarchy throttles itself: moves
+	// happen at extraction, extraction normally happens at dispatch,
+	// dispatch needs queue space.
+	if c.intQ.Full() || c.fpQ.Full() {
+		for i := 0; i < c.cfg.FetchWidth && p.prob.Len() > 0; i++ {
+			p.extractPseudoROB()
+		}
+	}
+	// Deadlock avoidance: a stall on registers, tags or LSQ space can
+	// only clear when a window commits — and the open window cannot
+	// commit until a younger checkpoint closes it. Take an emergency
+	// checkpoint at the stalled instruction.
+	if c.resourceStalled && !p.ckpts.Full() {
+		if y := p.ckpts.Youngest(); y != nil && y.Insts > 0 {
+			p.takeCheckpoint(c.fetchPos)
+		}
+	}
+}
+
+// ResolveMispredict recovers a mispredicted branch: if the branch is
+// still inside the pseudo-ROB and no younger checkpoint exists, recover
+// from the pseudo-ROB exactly like the baseline; otherwise roll back to
+// the branch's checkpoint, re-executing the (correct-path) instructions
+// between the checkpoint and the branch — the cost the paper's
+// take-a-checkpoint-at-branches heuristic minimises.
+func (p *checkpointPolicy) ResolveMispredict(b *DynInst) {
+	c := p.c
+	if b.inProb && p.ckpts.Youngest() != nil && p.ckpts.Youngest().StartSeq <= b.Seq {
+		p.pseudoROBRecovery(b)
+		return
+	}
+	// The rollback hardware knows this branch's direction; its replay
+	// will not mispredict (see tryDispatch).
+	if b.Pos >= 0 {
+		c.markBranchKnown(b.Pos)
+	}
+	p.rollbackToCheckpoint(b.ckpt)
+}
+
+// pseudoROBRecovery squashes every instruction younger than the branch.
+// All of them are wrong-path and, because the branch is still in the
+// pseudo-ROB, all of them are too — the FIFO tail walk finds exactly
+// the victims, and the CAM rename state unwinds per instruction.
+func (p *checkpointPolicy) pseudoROBRecovery(b *DynInst) {
+	c := p.c
+	for {
+		back, ok := p.prob.Back()
+		if !ok || back.Seq <= b.Seq {
+			break
+		}
+		d, _ := p.prob.PopBack()
+		d.inProb = false
+		m := p.master.popBack()
+		if m != d {
+			panic(fmt.Sprintf("core: pseudo-ROB/master desync: %v vs %v", d, m))
+		}
+		c.squashInst(d, true)
+	}
+	c.lq.SquashYounger(b.Seq + 1)
+	c.fetchPos = b.Pos + 1
+	c.probRecoveries++
+	// Squashed wrong-path instructions may have seeded the SLIQ
+	// dependence masks; drop them (conservative — the masks rebuild
+	// from subsequent extractions).
+	p.clearDepMasks()
+}
+
+// clearDepMasks resets the SLIQ dependence-tracking state.
+func (p *checkpointPolicy) clearDepMasks() {
+	for i := range p.depMask {
+		p.depMask[i] = false
+		p.maskOwner[i] = rename.PhysNone
+	}
+}
+
+// rollbackToCheckpoint restores the machine to the state captured by
+// target: every instruction of its window and younger is squashed, the
+// rename map snapshot is restored, and fetch resumes at the window
+// start. Squashed correct-path instructions count as replayed work.
+func (p *checkpointPolicy) rollbackToCheckpoint(target *checkpoint.Entry) {
+	c := p.c
+	startSeq := target.StartSeq
+
+	if c.sliq != nil {
+		c.sliq.SquashYounger(startSeq, func(d *DynInst) {
+			d.inSLIQ = false
+		})
+	}
+	for {
+		back, ok := p.prob.Back()
+		if !ok || back.Seq < startSeq {
+			break
+		}
+		d, _ := p.prob.PopBack()
+		d.inProb = false
+	}
+	for p.master.len() > 0 && p.master.back().Seq >= startSeq {
+		d := p.master.popBack()
+		c.squashInst(d, false)
+	}
+	c.lq.SquashYounger(startSeq)
+
+	pendingFree := p.ckpts.Rollback(target)
+	c.rt.Rollback(target.Snap, pendingFree)
+	c.pred.RestoreHistory(target.History)
+	c.fetchPos = target.FetchPos
+
+	// The dependence masks refer to pre-rollback physical registers.
+	p.clearDepMasks()
+	if c.divergedAt != nil && c.divergedAt.Seq >= startSeq {
+		c.divergedAt = nil
+	}
+	c.rollbacks++
+}
+
+// RaiseException implements the paper's two-pass precise-exception
+// protocol (section 2): roll back to the excepting instruction's
+// checkpoint, then re-execute "in a stricter sense" with a checkpoint
+// placed exactly before the excepting instruction, leaving the machine
+// precise for the operating system.
+func (p *checkpointPolicy) RaiseException(d *DynInst) {
+	c := p.c
+	if c.exceptArm == nil {
+		c.exceptArm = make([]uint8, c.tr.Len())
+	}
+	c.exceptArm[d.Pos] = 2
+	p.rollbackToCheckpoint(d.ckpt)
+	c.fetchResumeAt = c.now + int64(c.cfg.BranchMispredictPenalty)
+}
+
+// OccupancyBound sizes the histogram for the kilo-instruction windows
+// checkpoint commit sustains.
+func (p *checkpointPolicy) OccupancyBound() int {
+	return 4 * p.c.cfg.CheckpointMaxInterval * p.c.cfg.Checkpoints
+}
+
+// AddStats extracts the checkpoint-table counters.
+func (p *checkpointPolicy) AddStats(r *stats.Results) {
+	cs := p.ckpts.Stats()
+	r.CheckpointsTaken = cs.Taken
+	r.CheckpointsCommitted = cs.Committed
+	r.CheckpointStallCycles = p.c.ckptStallCycles
+}
+
+// DebugState renders the checkpoint table and pseudo-ROB occupancy.
+func (p *checkpointPolicy) DebugState() string {
+	s := fmt.Sprintf(" ckpts=%d/%d", p.ckpts.Len(), p.ckpts.Cap())
+	if o := p.ckpts.Oldest(); o != nil {
+		s += fmt.Sprintf(" oldest{id=%d pending=%d insts=%d}", o.ID, o.Pending, o.Insts)
+	}
+	s += fmt.Sprintf(" prob=%d/%d", p.prob.Len(), p.prob.Cap())
+	if p.c.sliq != nil {
+		s += fmt.Sprintf(" sliq=%d/%d", p.c.sliq.Len(), p.c.sliq.Cap())
+	}
+	return s
+}

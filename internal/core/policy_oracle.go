@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/stats"
+)
+
+// oraclePolicy is the unbounded-window limit baseline for Figure 1
+// style studies: in-order retirement with no commit structure at all —
+// the window list grows without bound and every finished head
+// instruction retires the cycle it reaches the front, with no width
+// limit. Throughput is then bounded only by the substrate the paper
+// holds fixed (register file, issue queues, LSQ, memory ports — though
+// instructions holding none of those, like issued branches, can occupy
+// the window without limit), so the gap between this policy and any
+// realisable one is exactly the cost of the commit mechanism.
+type oraclePolicy struct {
+	c *CPU
+	// window holds the in-flight instructions in program order; the
+	// masterList's amortised O(1) front/back removal makes in-order
+	// retire and tail squash cheap at any occupancy.
+	window masterList
+
+	maxBurst uint64 // largest single-cycle retirement
+}
+
+func init() {
+	RegisterCommitPolicy(config.CommitOracle, func(c *CPU) CommitPolicy {
+		return &oraclePolicy{c: c}
+	})
+}
+
+// Admit never stalls: the window is unbounded.
+func (p *oraclePolicy) Admit(isa.Inst, int64) bool { return true }
+
+// MakeRoom is a no-op.
+func (p *oraclePolicy) MakeRoom() {}
+
+// AllocateDest uses the conventional free-at-commit discipline, like
+// the ROB baseline.
+func (p *oraclePolicy) AllocateDest(dest isa.Reg) (rename.PhysReg, rename.PhysReg, bool) {
+	return p.c.rt.AllocateROB(dest)
+}
+
+// UnwindDest reverses one conventional allocation.
+func (p *oraclePolicy) UnwindDest(d *DynInst) {
+	p.c.rt.UnwindROB(d.Inst.Dest, d.DestPhys, d.PrevPhys)
+}
+
+// Dispatched appends the instruction to the window.
+func (p *oraclePolicy) Dispatched(d *DynInst) { p.window.push(d) }
+
+// Completed is a no-op: Commit polls Done at the head.
+func (p *oraclePolicy) Completed(*DynInst) {}
+
+// Squashed is a no-op: ResolveMispredict removes victims from the
+// window itself.
+func (p *oraclePolicy) Squashed(*DynInst) {}
+
+// Commit retires every finished instruction at the window head — the
+// in-order walk of the ROB baseline with the width limit removed.
+func (p *oraclePolicy) Commit() {
+	c := p.c
+	var burst uint64
+	for p.window.len() > 0 && p.window.front().Done {
+		d := p.window.popFront()
+		if d.WrongPath || d.Squashed {
+			panic(fmt.Sprintf("core: committing dead instruction %v", d))
+		}
+		if d.PrevPhys != rename.PhysNone {
+			c.rt.Free(d.PrevPhys)
+			c.producer[d.PrevPhys] = nil
+		}
+		if d.lsqe != nil {
+			c.lq.Retire(d.lsqe, c.hier.StoreCommit)
+			d.lsqe = nil
+		}
+		c.committed++
+		c.inflight--
+		c.lastCommitCycle = c.now
+		c.pool.release(d)
+		burst++
+	}
+	if burst > p.maxBurst {
+		p.maxBurst = burst
+	}
+}
+
+// DispatchStalled is a no-op: the oracle never creates a commit-side
+// deadlock (the head always retires once finished).
+func (p *oraclePolicy) DispatchStalled() {}
+
+// ResolveMispredict squashes everything younger than the branch from
+// the window tail (all wrong-path, since fetch diverged at the branch).
+func (p *oraclePolicy) ResolveMispredict(b *DynInst) {
+	c := p.c
+	for p.window.len() > 0 && p.window.back().Seq > b.Seq {
+		d := p.window.popBack()
+		c.squashInst(d, true)
+	}
+	c.lq.SquashYounger(b.Seq + 1)
+}
+
+// RaiseException is a no-op, like the ROB baseline.
+func (p *oraclePolicy) RaiseException(*DynInst) {}
+
+// OccupancyBound: destination-less instructions (branches) hold neither
+// a renameable register nor an LSQ slot once issued, so they can pile
+// up in the window behind a slow head without structural limit — the
+// only true bound on correct-path occupancy is the trace itself.
+// Wrong-path occupancy is bounded by PhysRegs (every synthetic
+// wrong-path op carries a destination).
+func (p *oraclePolicy) OccupancyBound() int {
+	return int(p.c.tr.Len()) + p.c.cfg.PhysRegs
+}
+
+// AddStats records the largest single-cycle retirement, the number a
+// real commit port would have to sustain to match the limit.
+func (p *oraclePolicy) AddStats(r *stats.Results) {
+	if r.Policy == nil {
+		r.Policy = make(map[string]uint64, 1)
+	}
+	r.Policy["oracle.max_retire_burst"] = p.maxBurst
+}
+
+// DebugState renders the window occupancy.
+func (p *oraclePolicy) DebugState() string {
+	return fmt.Sprintf(" window=%d", p.window.len())
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/rob"
+	"repro/internal/stats"
+)
+
+// robPolicy is the conventional baseline: a reorder buffer retires
+// finished instructions strictly in program order, bounded by the
+// commit width — the discipline the paper replaces.
+type robPolicy struct {
+	c       *CPU
+	reorder *rob.ROB[*DynInst]
+}
+
+func init() {
+	RegisterCommitPolicy(config.CommitROB, func(c *CPU) CommitPolicy {
+		return &robPolicy{c: c, reorder: rob.New[*DynInst](c.cfg.ROBEntries)}
+	})
+}
+
+// Admit stalls dispatch while the reorder buffer is full.
+func (p *robPolicy) Admit(isa.Inst, int64) bool {
+	if p.reorder.Full() {
+		p.c.stalls.ROB++
+		return false
+	}
+	return true
+}
+
+// MakeRoom is a no-op: ROB space was checked in Admit.
+func (p *robPolicy) MakeRoom() {}
+
+// AllocateDest uses the conventional discipline: the previous mapping
+// is freed when the redefining instruction commits.
+func (p *robPolicy) AllocateDest(dest isa.Reg) (rename.PhysReg, rename.PhysReg, bool) {
+	return p.c.rt.AllocateROB(dest)
+}
+
+// UnwindDest reverses one conventional allocation.
+func (p *robPolicy) UnwindDest(d *DynInst) {
+	p.c.rt.UnwindROB(d.Inst.Dest, d.DestPhys, d.PrevPhys)
+}
+
+// Dispatched appends the instruction at the reorder-buffer tail.
+func (p *robPolicy) Dispatched(d *DynInst) {
+	if !p.reorder.Push(d) {
+		panic("core: ROB full after Full() check")
+	}
+}
+
+// Completed is a no-op: the head walk in Commit polls Done.
+func (p *robPolicy) Completed(*DynInst) {}
+
+// Squashed is a no-op: the ROB has no per-instruction counters.
+func (p *robPolicy) Squashed(*DynInst) {}
+
+// Commit retires up to CommitWidth finished instructions from the
+// reorder-buffer head, freeing superseded physical registers and
+// draining stores.
+func (p *robPolicy) Commit() {
+	c := p.c
+	p.reorder.Commit(c.cfg.CommitWidth,
+		func(d *DynInst) bool { return d.Done },
+		func(d *DynInst) {
+			if d.WrongPath || d.Squashed {
+				panic(fmt.Sprintf("core: committing dead instruction %v", d))
+			}
+			if d.PrevPhys != rename.PhysNone {
+				c.rt.Free(d.PrevPhys)
+				c.producer[d.PrevPhys] = nil
+			}
+			if d.lsqe != nil {
+				c.lq.Retire(d.lsqe, c.hier.StoreCommit)
+				d.lsqe = nil
+			}
+			c.committed++
+			c.inflight--
+			c.lastCommitCycle = c.now
+			c.pool.release(d)
+		})
+}
+
+// DispatchStalled is a no-op: a full ROB clears itself as heads retire.
+func (p *robPolicy) DispatchStalled() {}
+
+// ResolveMispredict squashes everything younger than the branch from
+// the ROB tail (all of it wrong-path, since fetch diverged at the
+// branch).
+func (p *robPolicy) ResolveMispredict(b *DynInst) {
+	c := p.c
+	p.reorder.SquashTail(
+		func(d *DynInst) bool { return d.Seq <= b.Seq },
+		func(d *DynInst) { c.squashInst(d, true) },
+	)
+	c.lq.SquashYounger(b.Seq + 1)
+}
+
+// RaiseException is a no-op: the baseline models no exception replay
+// (exceptions are only armed under the checkpoint family).
+func (p *robPolicy) RaiseException(*DynInst) {}
+
+// OccupancyBound is the reorder-buffer capacity.
+func (p *robPolicy) OccupancyBound() int { return p.c.cfg.ROBEntries }
+
+// AddStats adds nothing: the baseline defines no policy counters.
+func (p *robPolicy) AddStats(*stats.Results) {}
+
+// DebugState renders the buffer occupancy.
+func (p *robPolicy) DebugState() string {
+	return fmt.Sprintf(" rob=%d/%d", p.reorder.Len(), p.reorder.Cap())
+}

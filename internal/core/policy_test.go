@@ -1,0 +1,340 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// policyDefaultConfig returns the canonical configuration of a
+// registered commit policy (checkpoint-family sizes kept small for test
+// speed).
+func policyDefaultConfig(t *testing.T, m config.CommitMode) config.Config {
+	t.Helper()
+	switch m {
+	case config.CommitROB:
+		return config.BaselineSized(128)
+	case config.CommitCheckpoint:
+		return config.CheckpointDefault(64, 512)
+	case config.CommitAdaptive:
+		return config.AdaptiveDefault(64, 512)
+	case config.CommitOracle:
+		return config.OracleDefault()
+	}
+	t.Fatalf("no default config for commit policy %q", m)
+	return config.Config{}
+}
+
+// TestCommitPolicyRegistriesAgree cross-checks the two halves of the
+// policy registry: every policy config validates must be constructible
+// by core, and every core factory must be validatable by config. A CPU
+// is built and briefly run for each to prove the factory wiring.
+func TestCommitPolicyRegistriesAgree(t *testing.T) {
+	coreModes := map[config.CommitMode]bool{}
+	for _, m := range RegisteredCommitPolicies() {
+		coreModes[m] = true
+	}
+	infos := config.CommitPolicies()
+	if len(infos) != len(coreModes) {
+		t.Errorf("config registers %d policies, core %d", len(infos), len(coreModes))
+	}
+	tr := trace.FPMix(trace.LenFor(5000), 42)
+	for _, info := range infos {
+		if !coreModes[info.Mode] {
+			t.Errorf("policy %q registered in config but not in core", info.Mode)
+			continue
+		}
+		cpu, err := New(policyDefaultConfig(t, info.Mode), tr)
+		if err != nil {
+			t.Errorf("%s: %v", info.Mode, err)
+			continue
+		}
+		if res := cpu.Run(RunOptions{MaxInsts: 5000}); res.Committed < 5000 {
+			t.Errorf("%s: committed %d < 5000 (%s)", info.Mode, res.Committed, cpu.debugState())
+		}
+	}
+}
+
+// TestPolicyDeterminism pins bit-equal reruns for the two new policies
+// (the established ones are covered by TestDeterminism and the golden).
+func TestPolicyDeterminism(t *testing.T) {
+	tr := rollbackHeavyTrace(90000)
+	for _, m := range []config.CommitMode{config.CommitAdaptive, config.CommitOracle} {
+		cfg := policyDefaultConfig(t, m)
+		a := mustRun(t, cfg, tr, 40000)
+		b := mustRun(t, cfg, tr, 40000)
+		if !a.Equal(b) {
+			t.Errorf("%s: reruns diverged:\n%+v\nvs\n%+v", m, a, b)
+		}
+	}
+}
+
+// TestOracleIsUpperBound: the unbounded window must dominate every
+// realisable baseline on a memory-bound workload, and must sustain a
+// window no fixed ROB of the compared sizes could hold.
+func TestOracleIsUpperBound(t *testing.T) {
+	tr := trace.StridedStream(120000, 8)
+	oracle := mustRun(t, config.OracleDefault(), tr, 60000)
+	small := mustRun(t, config.BaselineSized(128), tr, 60000)
+	big := mustRun(t, config.BaselineSized(4096), tr, 60000)
+	if oracle.IPC() < small.IPC() {
+		t.Errorf("oracle IPC %.3f below baseline-128 %.3f", oracle.IPC(), small.IPC())
+	}
+	if oracle.IPC() < big.IPC()*0.99 {
+		t.Errorf("oracle IPC %.3f below baseline-4096 %.3f", oracle.IPC(), big.IPC())
+	}
+	if oracle.MeanInflight <= small.MeanInflight {
+		t.Errorf("oracle window (%.0f) should dwarf a 128-entry ROB (%.0f)",
+			oracle.MeanInflight, small.MeanInflight)
+	}
+	if oracle.Policy["oracle.max_retire_burst"] == 0 {
+		t.Error("oracle retire-burst counter missing")
+	}
+}
+
+// TestOracleOccupancyNotClamped: the occupancy histogram must be sized
+// so the unbounded window never clips into the top bucket — issued
+// branches hold no register or LSQ slot, so only the trace length
+// bounds correct-path occupancy.
+func TestOracleOccupancyNotClamped(t *testing.T) {
+	tr := trace.StridedStream(90000, 8)
+	cpu, err := New(config.OracleDefault(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cpu.Run(RunOptions{MaxInsts: 50000, CollectOccupancy: true})
+	if res.Occ == nil {
+		t.Fatal("occupancy not collected")
+	}
+	if res.Occ.Max() != res.MaxInflight {
+		t.Fatalf("histogram clamped: occ max %d vs true max %d", res.Occ.Max(), res.MaxInflight)
+	}
+}
+
+// TestOracleRecoversMispredicts: tail squash on the unbounded window
+// must work exactly like the ROB walk.
+func TestOracleRecoversMispredicts(t *testing.T) {
+	tr := rollbackHeavyTrace(120000)
+	res := mustRun(t, config.OracleDefault(), tr, 60000)
+	if res.Branch.Mispredicts == 0 {
+		t.Fatal("the mix should mispredict sometimes")
+	}
+	if res.Fetched <= res.Committed {
+		t.Error("mispredicts should cost wrong-path fetches")
+	}
+	if res.Rollbacks != 0 || res.PseudoROBRecoveries != 0 {
+		t.Error("oracle recovery must not touch checkpoint counters")
+	}
+}
+
+// TestAdaptivePlacesCheckpointsAtBranches: on a mispredict-heavy mix
+// the estimator must find low-confidence branches and place checkpoints
+// immediately before them.
+func TestAdaptivePlacesCheckpointsAtBranches(t *testing.T) {
+	tr := rollbackHeavyTrace(120000)
+	res := mustRun(t, config.AdaptiveDefault(64, 1024), tr, 60000)
+	if res.Branch.Mispredicts == 0 {
+		t.Fatal("the mix should mispredict sometimes")
+	}
+	low := res.Policy["adaptive.low_confidence_branches"]
+	high := res.Policy["adaptive.high_confidence_branches"]
+	if low == 0 || high == 0 {
+		t.Fatalf("estimator should see both classes: low=%d high=%d", low, high)
+	}
+	if res.Policy["adaptive.branch_checkpoints"] == 0 {
+		t.Fatal("no checkpoint was ever placed at a branch")
+	}
+	if res.CheckpointsTaken == 0 || res.CheckpointsCommitted == 0 {
+		t.Fatal("checkpoint machinery unused")
+	}
+}
+
+// TestAdaptiveReducesReplayWaste is the mechanism's point: against pure
+// periodic checkpointing (the only rule left once the branch rule is
+// removed), confidence-placed checkpoints shorten the rollback replay
+// distance on a rollback-heavy workload.
+func TestAdaptiveReducesReplayWaste(t *testing.T) {
+	tr := rollbackHeavyTrace(150000)
+	adaptive := mustRun(t, config.AdaptiveDefault(64, 1024), tr, 80000)
+
+	periodic := config.CheckpointDefault(64, 1024)
+	periodic.CheckpointBranchInterval = 512 // disable the branch rule
+	periodic.CheckpointMaxInterval = 512
+	per := mustRun(t, periodic, tr, 80000)
+
+	if adaptive.Rollbacks == 0 || per.Rollbacks == 0 {
+		t.Fatalf("both configurations should roll back: adaptive=%d periodic=%d",
+			adaptive.Rollbacks, per.Rollbacks)
+	}
+	if adaptive.Replayed >= per.Replayed {
+		t.Errorf("confidence placement should cut replayed work: adaptive %d >= periodic %d",
+			adaptive.Replayed, per.Replayed)
+	}
+}
+
+// TestAdaptiveExceptionProtocol: the two-pass precise-exception replay
+// must work unchanged under the adaptive taking rule.
+func TestAdaptiveExceptionProtocol(t *testing.T) {
+	tr := trace.FPMix(60000, 6)
+	cpu, err := New(config.AdaptiveDefault(64, 1024), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := []int64{5000, 20000}
+	for _, p := range positions {
+		cpu.InjectExceptionAt(p)
+	}
+	res := cpu.Run(RunOptions{MaxInsts: 40000})
+	if got := cpu.Exceptions(); got != uint64(len(positions)) {
+		t.Fatalf("delivered %d exceptions, want %d", got, len(positions))
+	}
+	if res.Rollbacks < uint64(len(positions)) {
+		t.Fatalf("each exception needs a rollback, got %d", res.Rollbacks)
+	}
+	if res.Committed < 40000 {
+		t.Fatal("execution must complete after exceptions")
+	}
+}
+
+// checkpointFamilyConfigs builds one equivalent configuration per
+// checkpoint-family policy for the recovery corner-case tests.
+func checkpointFamilyConfigs(mutate func(*config.Config)) map[string]config.Config {
+	ck := config.CheckpointDefault(32, 512)
+	ad := config.AdaptiveDefault(32, 512)
+	out := map[string]config.Config{}
+	for name, cfg := range map[string]config.Config{"checkpoint": ck, "adaptive": ad} {
+		mutate(&cfg)
+		out[name] = cfg
+	}
+	return out
+}
+
+// TestExceptionReplayWithFullCheckpointTable is the first recovery
+// corner case of the policy seam: with a 2-entry table and tiny forced
+// windows, the table is persistently full, so the exception replay's
+// phase-2 checkpoint (which must land exactly before the excepting
+// instruction) has to ride out full-table stalls before it can deliver.
+// Both checkpoint-family policies must deliver precisely and remain
+// deterministic.
+func TestExceptionReplayWithFullCheckpointTable(t *testing.T) {
+	tr := trace.FPMix(40000, 11)
+	for name, cfg := range checkpointFamilyConfigs(func(c *config.Config) {
+		c.Checkpoints = 2
+		if c.Commit == config.CommitCheckpoint {
+			c.CheckpointBranchInterval = 16
+		}
+		c.CheckpointMaxInterval = 16
+		c.MemoryLatency = 100
+	}) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			run := func() stats.Results {
+				cpu, err := New(cfg, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cpu.InjectExceptionAt(3000)
+				res := cpu.Run(RunOptions{MaxInsts: 20000})
+				if cpu.Exceptions() != 1 {
+					t.Fatalf("delivered %d exceptions, want 1", cpu.Exceptions())
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Committed < 20000 {
+				t.Fatalf("committed %d < 20000", a.Committed)
+			}
+			if a.CheckpointStallCycles == 0 {
+				t.Fatal("the 2-entry table should stall fetch; the full-table path was never exercised")
+			}
+			if a.Rollbacks == 0 {
+				t.Fatal("exception delivery requires a rollback")
+			}
+			if !a.Equal(b) {
+				t.Fatalf("reruns diverged:\n%+v\nvs\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestBranchRecoveryAtPseudoROBBoundary is the second corner case: with
+// a checkpoint forced before every instruction, a resolving mispredicted
+// branch sits exactly on the recovery boundary — pseudo-ROB recovery is
+// only legal when no younger checkpoint exists (Youngest().StartSeq <=
+// b.Seq, the equality edge), and every other branch must take the
+// rollback path even while still pseudo-ROB resident. Both policies
+// must pick correctly, make progress, and stay deterministic.
+func TestBranchRecoveryAtPseudoROBBoundary(t *testing.T) {
+	tr := rollbackHeavyTrace(60000)
+	for name, cfg := range checkpointFamilyConfigs(func(c *config.Config) {
+		c.Checkpoints = 8
+		if c.Commit == config.CommitCheckpoint {
+			c.CheckpointBranchInterval = 1
+		}
+		c.CheckpointMaxInterval = 1 // checkpoint before every instruction
+		c.CheckpointMaxStores = 1
+		c.MemoryLatency = 100
+	}) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			a := mustRun(t, cfg, tr, 8000)
+			b := mustRun(t, cfg, tr, 8000)
+			if a.Branch.Mispredicts == 0 {
+				t.Fatal("the mix should mispredict sometimes")
+			}
+			if a.Rollbacks == 0 {
+				t.Fatal("per-instruction checkpoints force the rollback path at the boundary")
+			}
+			if !a.Equal(b) {
+				t.Fatalf("reruns diverged:\n%+v\nvs\n%+v", a, b)
+			}
+		})
+	}
+
+	// The opposite edge: branches that resolve while still pseudo-ROB
+	// resident with no younger checkpoint must use pseudo-ROB recovery
+	// (both policies; fast index-chain branches of the fp mix).
+	fast := trace.FPMix(120000, 42)
+	for name, cfg := range checkpointFamilyConfigs(func(c *config.Config) {
+		c.IntQueueEntries = 128
+		c.FPQueueEntries = 128
+		c.PseudoROBEntries = 128
+		c.SLIQEntries = 1024
+	}) {
+		cfg := cfg
+		t.Run(name+"/in-prob", func(t *testing.T) {
+			res := mustRun(t, cfg, fast, 80000)
+			if res.PseudoROBRecoveries == 0 {
+				t.Fatal("fast-resolving mispredicts should recover from the pseudo-ROB")
+			}
+		})
+	}
+}
+
+// TestPolicyCountersMerge: suite aggregation must sum the per-policy
+// counters like every other counter.
+func TestPolicyCountersMerge(t *testing.T) {
+	tr := rollbackHeavyTrace(60000)
+	cfg := config.AdaptiveDefault(64, 512)
+	a := mustRun(t, cfg, tr, 20000)
+	b := mustRun(t, cfg, tr, 20000)
+	if len(a.Policy) == 0 {
+		t.Fatal("adaptive run produced no policy counters")
+	}
+	want := map[string]uint64{}
+	for k, v := range a.Policy {
+		want[k] = v + b.Policy[k]
+	}
+	// A fresh accumulator: merging into a copy of `a` would alias (and
+	// mutate) a.Policy's map.
+	var sum stats.Results
+	sum.Merge(a)
+	sum.Merge(b)
+	for k, w := range want {
+		if sum.Policy[k] != w {
+			t.Errorf("%s: merged %d, want %d", k, sum.Policy[k], w)
+		}
+	}
+}

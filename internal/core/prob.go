@@ -13,48 +13,48 @@ import (
 // transitively depend on an L2-missing load are moved from the precious
 // issue queue into the SLIQ. Records whose window already committed are
 // recycled once classified (see retireWindow).
-func (c *CPU) extractPseudoROB() {
-	d, ok := c.prob.PopFront()
+func (p *checkpointPolicy) extractPseudoROB() {
+	d, ok := p.prob.PopFront()
 	if !ok {
 		return
 	}
 	d.inProb = false
-	c.classifyExtract(d)
+	p.classifyExtract(d)
 	if d.Retired {
-		c.pool.release(d)
+		p.c.pool.release(d)
 	}
 }
 
 // note records the classification on the instruction for debugging.
-func (c *CPU) note(d *DynInst, cl stats.RetireClass) {
-	c.retire[cl]++
+func (p *checkpointPolicy) note(d *DynInst, cl stats.RetireClass) {
+	p.c.retire[cl]++
 	d.retireClass = int8(cl)
 }
 
 // classifyExtract buckets the retired entry into Figure 12's classes and
 // maintains the logical-register dependence mask.
-func (c *CPU) classifyExtract(d *DynInst) {
+func (p *checkpointPolicy) classifyExtract(d *DynInst) {
 	op := d.Inst.Op
 	switch {
 	case op == isa.Store:
-		c.note(d, stats.RetireStore)
+		p.note(d, stats.RetireStore)
 		// Stores have no destination: the mask is unaffected.
 
 	case op == isa.Load:
 		switch {
 		case d.Done:
-			c.note(d, stats.RetireFinishedLoad)
-			c.maskRedefine(d, false, rename.PhysNone)
+			p.note(d, stats.RetireFinishedLoad)
+			p.maskRedefine(d, false, rename.PhysNone)
 		case d.Issued && d.MissedL2:
 			// The problem makers: seed the dependence mask with the
 			// load's destination.
-			c.note(d, stats.RetireLongLatLoad)
-			c.maskSeed(d)
+			p.note(d, stats.RetireLongLatLoad)
+			p.maskSeed(d)
 		case d.Issued:
 			// In flight but hit in L1/L2 — the paper counts these
 			// with the finished loads.
-			c.note(d, stats.RetireFinishedLoad)
-			c.maskRedefine(d, false, rename.PhysNone)
+			p.note(d, stats.RetireFinishedLoad)
+			p.maskRedefine(d, false, rename.PhysNone)
 		default:
 			// Not yet issued: per the paper's t0 example, a load that
 			// "has not yet finished its execution" at extraction is
@@ -62,27 +62,27 @@ func (c *CPU) classifyExtract(d *DynInst) {
 			// mask so consumers move to the SLIQ rather than clog the
 			// issue queue. The load itself moves too if its address
 			// hangs off another long-latency chain.
-			dep, root, rootSeq := c.maskDependence(d)
+			dep, root, rootSeq := p.maskDependence(d)
 			if dep {
 				_ = rootSeq
-				if c.moveToSLIQ(d, root) {
-					c.note(d, stats.RetireMoved)
+				if p.moveToSLIQ(d, root) {
+					p.note(d, stats.RetireMoved)
 				} else {
-					c.note(d, stats.RetireShortLat)
+					p.note(d, stats.RetireShortLat)
 				}
 			} else {
-				c.note(d, stats.RetireShortLat)
+				p.note(d, stats.RetireShortLat)
 			}
-			c.maskSeed(d)
+			p.maskSeed(d)
 		}
 
 	default:
 		switch {
 		case d.Done || d.Issued:
-			c.note(d, stats.RetireFinished)
-			c.maskRedefine(d, false, rename.PhysNone)
+			p.note(d, stats.RetireFinished)
+			p.maskRedefine(d, false, rename.PhysNone)
 		default:
-			c.classifyWaiting(d)
+			p.classifyWaiting(d)
 		}
 	}
 }
@@ -90,40 +90,40 @@ func (c *CPU) classifyExtract(d *DynInst) {
 // classifyWaiting handles a not-yet-issued instruction at extraction:
 // mask-dependent ones move to the SLIQ (freeing their issue-queue entry),
 // independent ones stay and are expected to issue shortly.
-func (c *CPU) classifyWaiting(d *DynInst) {
-	dep, root, rootSeq := c.maskDependence(d)
+func (p *checkpointPolicy) classifyWaiting(d *DynInst) {
+	dep, root, rootSeq := p.maskDependence(d)
 	if dep {
-		c.maskPropagate(d, root, rootSeq)
-		if c.moveToSLIQ(d, root) {
-			c.note(d, stats.RetireMoved)
+		p.maskPropagate(d, root, rootSeq)
+		if p.moveToSLIQ(d, root) {
+			p.note(d, stats.RetireMoved)
 			return
 		}
 		// SLIQ full or absent: the instruction keeps its issue-queue
 		// entry; account it as short-latency residue.
-		c.note(d, stats.RetireShortLat)
+		p.note(d, stats.RetireShortLat)
 		return
 	}
-	c.note(d, stats.RetireShortLat)
-	c.maskRedefine(d, false, rename.PhysNone)
+	p.note(d, stats.RetireShortLat)
+	p.maskRedefine(d, false, rename.PhysNone)
 }
 
 // maskDependence reports whether any source of d is covered by the
 // dependence mask, returning the physical register (and owning dynamic
 // instruction sequence) of the long-latency load at the root of the
 // chain.
-func (c *CPU) maskDependence(d *DynInst) (bool, rename.PhysReg, uint64) {
+func (p *checkpointPolicy) maskDependence(d *DynInst) (bool, rename.PhysReg, uint64) {
 	for _, s := range [2]isa.Reg{d.Inst.Src1, d.Inst.Src2} {
-		if s == isa.RegNone || !c.depMask[s] {
+		if s == isa.RegNone || !p.depMask[s] {
 			continue
 		}
-		root := c.maskOwner[s]
-		if !c.triggerLive(root, c.maskOwnerSeq[s]) {
+		root := p.maskOwner[s]
+		if !p.triggerLive(root, p.maskOwnerSeq[s]) {
 			// The root already produced its value (or was squashed);
 			// the mask bit is stale and will be cleared by the next
 			// redefinition.
 			continue
 		}
-		return true, root, c.maskOwnerSeq[s]
+		return true, root, p.maskOwnerSeq[s]
 	}
 	return false, rename.PhysNone, 0
 }
@@ -134,47 +134,49 @@ func (c *CPU) maskDependence(d *DynInst) (bool, rename.PhysReg, uint64) {
 // sequence check rejects registers freed and reallocated since the mask
 // bit was set (and, with recycled records, producers whose slot was
 // reused by a younger instruction).
-func (c *CPU) triggerLive(root rename.PhysReg, rootSeq uint64) bool {
+func (p *checkpointPolicy) triggerLive(root rename.PhysReg, rootSeq uint64) bool {
+	c := p.c
 	if root == rename.PhysNone || c.regReady[root] {
 		return false
 	}
-	p := c.producer[root]
-	return p != nil && !p.Squashed && p.Seq == rootSeq
+	pr := c.producer[root]
+	return pr != nil && !pr.Squashed && pr.Seq == rootSeq
 }
 
 // maskSeed marks a long-latency load's destination in the mask.
-func (c *CPU) maskSeed(d *DynInst) {
-	c.depMask[d.Inst.Dest] = true
-	c.maskOwner[d.Inst.Dest] = d.DestPhys
-	c.maskOwnerSeq[d.Inst.Dest] = d.Seq
+func (p *checkpointPolicy) maskSeed(d *DynInst) {
+	p.depMask[d.Inst.Dest] = true
+	p.maskOwner[d.Inst.Dest] = d.DestPhys
+	p.maskOwnerSeq[d.Inst.Dest] = d.Seq
 }
 
 // maskPropagate extends the mask to a dependent instruction's
 // destination, carrying the root's identity.
-func (c *CPU) maskPropagate(d *DynInst, root rename.PhysReg, rootSeq uint64) {
+func (p *checkpointPolicy) maskPropagate(d *DynInst, root rename.PhysReg, rootSeq uint64) {
 	if d.Inst.Dest == isa.RegNone {
 		return
 	}
-	c.depMask[d.Inst.Dest] = true
-	c.maskOwner[d.Inst.Dest] = root
-	c.maskOwnerSeq[d.Inst.Dest] = rootSeq
+	p.depMask[d.Inst.Dest] = true
+	p.maskOwner[d.Inst.Dest] = root
+	p.maskOwnerSeq[d.Inst.Dest] = rootSeq
 }
 
 // maskRedefine clears the mask for d's destination ("registers get
 // cleared when non-dependent instructions redefine those registers").
-func (c *CPU) maskRedefine(d *DynInst, dependent bool, root rename.PhysReg) {
+func (p *checkpointPolicy) maskRedefine(d *DynInst, dependent bool, root rename.PhysReg) {
 	if d.Inst.Dest == isa.RegNone {
 		return
 	}
-	c.depMask[d.Inst.Dest] = dependent
-	c.maskOwner[d.Inst.Dest] = root
-	c.maskOwnerSeq[d.Inst.Dest] = 0
+	p.depMask[d.Inst.Dest] = dependent
+	p.maskOwner[d.Inst.Dest] = root
+	p.maskOwnerSeq[d.Inst.Dest] = 0
 }
 
 // moveToSLIQ transfers a waiting instruction from its issue queue to the
 // slow lane. It returns false when no SLIQ is configured, it is full, or
 // the trigger register already produced its value.
-func (c *CPU) moveToSLIQ(d *DynInst, root rename.PhysReg) bool {
+func (p *checkpointPolicy) moveToSLIQ(d *DynInst, root rename.PhysReg) bool {
+	c := p.c
 	if c.sliq == nil || !d.iqe.Resident() {
 		return false
 	}

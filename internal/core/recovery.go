@@ -1,150 +1,26 @@
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/checkpoint"
-	"repro/internal/config"
 	"repro/internal/rename"
 )
 
-// resolveMispredict handles a mispredicted branch at resolution time.
-//
-//   - Baseline: squash everything younger than the branch from the ROB
-//     (all of it wrong-path, since fetch diverged at the branch) and
-//     redirect fetch after the front-end penalty.
-//   - Checkpoint mode: if the branch is still inside the pseudo-ROB and
-//     no younger checkpoint exists, recover from the pseudo-ROB exactly
-//     like the baseline; otherwise roll back to the branch's checkpoint,
-//     re-executing the (correct-path) instructions between the
-//     checkpoint and the branch — the cost the paper's take-a-checkpoint-
-//     at-branches heuristic minimises.
+// resolveMispredict handles a mispredicted branch at resolution time:
+// the policy-specific recovery (ROB/oracle tail squash, pseudo-ROB
+// recovery or checkpoint rollback) runs between clearing the wrong-path
+// fetch state and charging the front-end redirect penalty.
 func (c *CPU) resolveMispredict(b *DynInst) {
 	c.divergedAt = nil
-	penalty := int64(c.cfg.BranchMispredictPenalty)
-
-	if c.cfg.Commit == config.CommitROB {
-		c.reorder.SquashTail(
-			func(d *DynInst) bool { return d.Seq <= b.Seq },
-			func(d *DynInst) { c.squashInst(d, true) },
-		)
-		c.lq.SquashYounger(b.Seq + 1)
-		c.fetchResumeAt = c.now + penalty
-		return
-	}
-
-	if b.inProb && c.ckpts.Youngest() != nil && c.ckpts.Youngest().StartSeq <= b.Seq {
-		c.pseudoROBRecovery(b)
-		c.fetchResumeAt = c.now + penalty
-		return
-	}
-	// The rollback hardware knows this branch's direction; its replay
-	// will not mispredict (see tryDispatch).
-	if b.Pos >= 0 {
-		c.markBranchKnown(b.Pos)
-	}
-	c.rollbackToCheckpoint(b.ckpt)
-	c.fetchResumeAt = c.now + penalty
-}
-
-// pseudoROBRecovery squashes every instruction younger than the branch.
-// All of them are wrong-path and, because the branch is still in the
-// pseudo-ROB, all of them are too — the FIFO tail walk finds exactly the
-// victims, and the CAM rename state unwinds per instruction.
-func (c *CPU) pseudoROBRecovery(b *DynInst) {
-	for {
-		back, ok := c.prob.Back()
-		if !ok || back.Seq <= b.Seq {
-			break
-		}
-		d, _ := c.prob.PopBack()
-		d.inProb = false
-		m := c.master.popBack()
-		if m != d {
-			panic(fmt.Sprintf("core: pseudo-ROB/master desync: %v vs %v", d, m))
-		}
-		c.squashInst(d, true)
-	}
-	c.lq.SquashYounger(b.Seq + 1)
-	c.fetchPos = b.Pos + 1
-	c.probRecoveries++
-	// Squashed wrong-path instructions may have seeded the SLIQ
-	// dependence masks; drop them (conservative — the masks rebuild
-	// from subsequent extractions).
-	c.clearDepMasks()
-}
-
-// clearDepMasks resets the SLIQ dependence-tracking state.
-func (c *CPU) clearDepMasks() {
-	for i := range c.depMask {
-		c.depMask[i] = false
-		c.maskOwner[i] = rename.PhysNone
-	}
-}
-
-// rollbackToCheckpoint restores the machine to the state captured by
-// target: every instruction of its window and younger is squashed, the
-// rename map snapshot is restored, and fetch resumes at the window
-// start. Squashed correct-path instructions count as replayed work.
-func (c *CPU) rollbackToCheckpoint(target *checkpoint.Entry) {
-	startSeq := target.StartSeq
-
-	if c.sliq != nil {
-		c.sliq.SquashYounger(startSeq, func(d *DynInst) {
-			d.inSLIQ = false
-		})
-	}
-	for {
-		back, ok := c.prob.Back()
-		if !ok || back.Seq < startSeq {
-			break
-		}
-		d, _ := c.prob.PopBack()
-		d.inProb = false
-	}
-	for c.master.len() > 0 && c.master.back().Seq >= startSeq {
-		d := c.master.popBack()
-		c.squashInst(d, false)
-	}
-	c.lq.SquashYounger(startSeq)
-
-	pendingFree := c.ckpts.Rollback(target)
-	c.rt.Rollback(target.Snap, pendingFree)
-	c.pred.RestoreHistory(target.History)
-	c.fetchPos = target.FetchPos
-
-	// The dependence masks refer to pre-rollback physical registers.
-	c.clearDepMasks()
-	if c.divergedAt != nil && c.divergedAt.Seq >= startSeq {
-		c.divergedAt = nil
-	}
-	c.rollbacks++
-}
-
-// raiseException implements the paper's two-pass precise-exception
-// protocol (section 2): roll back to the excepting instruction's
-// checkpoint, then re-execute "in a stricter sense" with a checkpoint
-// placed exactly before the excepting instruction, leaving the machine
-// precise for the operating system.
-func (c *CPU) raiseException(d *DynInst) {
-	if c.cfg.Commit != config.CommitCheckpoint {
-		return
-	}
-	if c.exceptArm == nil {
-		c.exceptArm = make([]uint8, c.tr.Len())
-	}
-	c.exceptArm[d.Pos] = 2
-	c.rollbackToCheckpoint(d.ckpt)
+	c.policy.ResolveMispredict(b)
 	c.fetchResumeAt = c.now + int64(c.cfg.BranchMispredictPenalty)
 }
 
 // squashInst removes one instruction from the pipeline. unwindRename
-// selects per-instruction CAM unwinding (ROB and pseudo-ROB recoveries,
-// which walk in reverse program order); full rollbacks restore a
-// snapshot instead and pass false. The caller removes the instruction
-// from ROB/pseudo-ROB/master/LSQ; this handles everything else, and
-// finally releases the record to the free list (quarantined until the
-// next dispatch stage — see instPool).
+// selects per-instruction CAM unwinding (tail-squash recoveries, which
+// walk in reverse program order); full rollbacks restore a snapshot
+// instead and pass false. The caller removes the instruction from the
+// retirement structure (ROB/pseudo-ROB/master/window) and the LSQ; this
+// handles everything else, and finally releases the record to the free
+// list (quarantined until the next dispatch stage — see instPool).
 func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 	if d.Squashed {
 		return
@@ -169,13 +45,8 @@ func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 	}
 	d.lsqe = nil
 
-	if d.ckpt != nil {
-		if d.Done {
-			c.ckpts.SquashedDone(d.ckpt, d.Inst.Op)
-		} else {
-			c.ckpts.Squashed(d.ckpt, d.Inst.Op)
-		}
-	}
+	// Policy-side accounting (checkpoint pending/instruction counters).
+	c.policy.Squashed(d)
 
 	if c.vt != nil && d.DestPhys != rename.PhysNone {
 		if d.Done {
@@ -198,11 +69,7 @@ func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 			c.sliq.TriggerReady(d.DestPhys, c.now)
 		}
 		if unwindRename {
-			if c.cfg.Commit == config.CommitROB {
-				c.rt.UnwindROB(d.Inst.Dest, d.DestPhys, d.PrevPhys)
-			} else {
-				c.rt.UnwindCheckpointed(d.Inst.Dest, d.DestPhys, d.PrevPhys)
-			}
+			c.policy.UnwindDest(d)
 		}
 		c.regReady[d.DestPhys] = false
 		c.longTaint[d.DestPhys] = false

@@ -40,8 +40,10 @@ func TestStressRandomConfigs(t *testing.T) {
 			cfg.CheckpointBranchInterval = pick([]int{4, 16, 64})
 			cfg.CheckpointMaxInterval = cfg.CheckpointBranchInterval * pick([]int{2, 8})
 			cfg.CheckpointMaxStores = pick([]int{4, 16, 64})
-			cfg.SLIQWakeDelay = pick([]int{0, 1, 7, 12})
-			cfg.SLIQWakeWidth = pick([]int{1, 2, 4})
+			if cfg.SLIQEntries > 0 {
+				cfg.SLIQWakeDelay = pick([]int{0, 1, 7, 12})
+				cfg.SLIQWakeWidth = pick([]int{1, 2, 4})
+			}
 		}
 		cfg.MemoryLatency = pick([]int{10, 100, 500, 1000})
 		cfg.MemoryPorts = pick([]int{1, 2, 4})

@@ -91,9 +91,7 @@ func (c *CPU) finishCompletion(d *DynInst) {
 	if d.lsqe != nil {
 		c.lq.MarkExecuted(d.lsqe)
 	}
-	if d.ckpt != nil {
-		c.ckpts.Finished(d.ckpt)
-	}
+	c.policy.Completed(d)
 
 	if d.Inst.Op == isa.Branch && d.Mispredicted && c.divergedAt == d {
 		c.resolveMispredict(d)
@@ -103,7 +101,7 @@ func (c *CPU) finishCompletion(d *DynInst) {
 	// dispatch stage (see instPool).
 	if d.ExceptAt && !d.Squashed {
 		d.ExceptAt = false
-		c.raiseException(d)
+		c.policy.RaiseException(d)
 	}
 }
 

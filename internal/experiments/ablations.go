@@ -59,6 +59,41 @@ func (o Options) sweep(ctx context.Context, title string, variants []variant) (A
 	return res, nil
 }
 
+// AblationCommitPolicies compares every registered commit policy on the
+// figure-9 workload set: the conventional baseline at realisable (128)
+// and unrealisable (4096) sizes, the paper's checkpointed commit, the
+// adaptive-confidence variant, and the unbounded-window oracle limit.
+// The ordering the sweep should reproduce is
+// rob-128 < {checkpoint, adaptive} <= rob-4096 <= oracle.
+// An optional mode list restricts the sweep (cmd/experiments -commit).
+func AblationCommitPolicies(ctx context.Context, opt Options, modes ...config.CommitMode) (AblationResult, error) {
+	opt = opt.withDefaults()
+	all := []variant{
+		{"rob-128", config.BaselineSized(128)},
+		{"rob-4096", config.BaselineSized(4096)},
+		{"checkpoint-128/2048", config.CheckpointDefault(128, 2048)},
+		{"adaptive-128/2048", config.AdaptiveDefault(128, 2048)},
+		{"oracle-unbounded", config.OracleDefault()},
+	}
+	vs := all
+	if len(modes) > 0 {
+		want := map[config.CommitMode]bool{}
+		for _, m := range modes {
+			want[m] = true
+		}
+		vs = nil
+		for _, v := range all {
+			if want[v.cfg.Commit] {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			return AblationResult{}, fmt.Errorf("experiments: no commit-policy variant matches %v", modes)
+		}
+	}
+	return opt.sweep(ctx, "commit policies (figure-9 workload set)", vs)
+}
+
 // AblationCheckpointStrategy compares checkpoint-taking policies at a
 // fixed 8-entry table: the paper's branch-biased heuristic against
 // purely periodic strategies of several grains, against taking at every
@@ -157,10 +192,15 @@ func AblationPrefetch(ctx context.Context, opt Options) (AblationResult, error) 
 	})
 }
 
-// Ablations runs every sweep and renders them.
-func Ablations(ctx context.Context, opt Options) (string, error) {
+// Ablations runs every sweep and renders them. An optional commit-mode
+// list restricts the commit-policies sweep (the other sweeps are
+// unaffected).
+func Ablations(ctx context.Context, opt Options, commitModes ...config.CommitMode) (string, error) {
 	var b strings.Builder
 	for _, run := range []func(context.Context, Options) (AblationResult, error){
+		func(ctx context.Context, opt Options) (AblationResult, error) {
+			return AblationCommitPolicies(ctx, opt, commitModes...)
+		},
 		AblationCheckpointStrategy,
 		AblationWakeWidth,
 		AblationMemoryPorts,

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -348,5 +349,46 @@ func TestAblationPrefetch(t *testing.T) {
 	// introduction's claim).
 	if r.IPC["baseline-128 + prefetch 8"] >= r.IPC["COoO-128/2048 (no prefetch)"] {
 		t.Errorf("prefetch alone should not match the checkpointed window: %v", r.IPC)
+	}
+}
+
+func TestAblationCommitPolicies(t *testing.T) {
+	r, err := AblationCommitPolicies(ctx(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 5 {
+		t.Fatalf("variants = %d, want 5 (four policies + the 4096 baseline)", len(r.Labels))
+	}
+	for _, l := range r.Labels {
+		if r.IPC[l] <= 0 {
+			t.Errorf("%s: IPC %.3f", l, r.IPC[l])
+		}
+	}
+	// The ordering the sweep exists to show: small baseline at the
+	// bottom, the checkpointed policies well above it, the unbounded
+	// oracle on top of everything (within noise).
+	if r.IPC["checkpoint-128/2048"] <= r.IPC["rob-128"] {
+		t.Errorf("checkpoint commit should beat the small baseline: %v", r.IPC)
+	}
+	if r.IPC["adaptive-128/2048"] <= r.IPC["rob-128"] {
+		t.Errorf("adaptive commit should beat the small baseline: %v", r.IPC)
+	}
+	for _, l := range r.Labels {
+		if r.IPC[l] > r.IPC["oracle-unbounded"]*1.02 {
+			t.Errorf("%s (%.3f) above the oracle limit (%.3f)", l, r.IPC[l], r.IPC["oracle-unbounded"])
+		}
+	}
+
+	// The -commit filter restricts the sweep and rejects empty matches.
+	sub, err := AblationCommitPolicies(ctx(), quickOpts(), config.CommitOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Labels) != 1 || sub.Labels[0] != "oracle-unbounded" {
+		t.Fatalf("filtered labels: %v", sub.Labels)
+	}
+	if _, err := AblationCommitPolicies(ctx(), quickOpts(), config.CommitMode("warp")); err == nil {
+		t.Fatal("an unmatched filter must error, not run an empty sweep")
 	}
 }

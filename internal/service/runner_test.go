@@ -24,7 +24,12 @@ func TestSweepRunnerMatchesLocalSweep(t *testing.T) {
 	n := trace.LenFor(insts)
 	traces := []*trace.Trace{trace.Stream(n), trace.FPMix(n, 42)}
 	var specs []sim.RunSpec
-	for _, cfg := range []config.Config{config.BaselineSized(128), config.CheckpointDefault(64, 512)} {
+	for _, cfg := range []config.Config{
+		config.BaselineSized(128),
+		config.CheckpointDefault(64, 512),
+		config.AdaptiveDefault(64, 512),
+		config.OracleDefault(),
+	} {
 		for _, tr := range traces {
 			specs = append(specs, sim.RunSpec{Name: tr.Name(), Config: cfg, Trace: tr, Insts: insts})
 		}

@@ -13,7 +13,12 @@ import (
 // configuration computes (timing model fixes, new default behaviour, a
 // meaning-changing canonical-encoding change): old content-addressed
 // cache entries then miss instead of serving stale results.
-const FingerprintVersion = 1
+//
+// v2: the commit-policy engine. Config gained the string-keyed policy
+// registry and the adaptive parameter block, the canonical encoding
+// grew new fields, and Default() no longer carries checkpoint
+// parameters — results cached under v1 must never alias a v2 point.
+const FingerprintVersion = 2
 
 // Fingerprint returns the content address of one simulation point: a
 // hex SHA-256 over the canonical configuration encoding, the canonical

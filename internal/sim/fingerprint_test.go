@@ -89,3 +89,27 @@ func TestRunSpecFingerprint(t *testing.T) {
 		t.Error("nil trace fingerprinted")
 	}
 }
+
+// TestFingerprintDistinctPerCommitPolicy: the same workload under each
+// registered commit policy must content-address differently — the
+// commit-policies ablation relies on the service cache never aliasing
+// results across policies.
+func TestFingerprintDistinctPerCommitPolicy(t *testing.T) {
+	const recipe = "fpmix/n=360000/seed=42/stride=0"
+	seen := map[string]string{}
+	for _, cfg := range []config.Config{
+		config.BaselineSized(128),
+		config.CheckpointDefault(128, 2048),
+		config.AdaptiveDefault(128, 2048),
+		config.OracleDefault(),
+	} {
+		fp, err := Fingerprint(cfg, recipe, 300_000, false)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Commit, err)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", cfg.Commit, prev)
+		}
+		seen[fp] = string(cfg.Commit)
+	}
+}

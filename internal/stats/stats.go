@@ -297,8 +297,17 @@ type Results struct {
 	Branch branch.Stats
 	Mem    mem.HierarchyStats
 
-	// Retire is the pseudo-ROB retirement breakdown (checkpoint mode).
+	// Retire is the pseudo-ROB retirement breakdown (checkpoint family).
 	Retire Breakdown
+
+	// Policy carries commit-policy-specific counters, keyed
+	// "<policy>.<metric>" (e.g. "adaptive.low_confidence_branches").
+	// Policies that define no extra counters leave it nil. Merge
+	// aggregates per key: metrics whose name starts with "max_" (after
+	// the policy prefix) take the maximum, everything else sums. JSON
+	// encodes maps with sorted keys, so the canonical encoding (and
+	// Results.Equal) stays deterministic.
+	Policy map[string]uint64 `json:",omitempty"`
 
 	// MeanInflight and MaxInflight summarise window occupancy.
 	MeanInflight float64
@@ -354,6 +363,20 @@ func (r *Results) Merge(o Results) {
 	for c := range r.Retire {
 		r.Retire[c] += o.Retire[c]
 	}
+	if len(o.Policy) > 0 {
+		if r.Policy == nil {
+			r.Policy = make(map[string]uint64, len(o.Policy))
+		}
+		for k, v := range o.Policy {
+			if policyCounterIsMax(k) {
+				if v > r.Policy[k] {
+					r.Policy[k] = v
+				}
+			} else {
+				r.Policy[k] += v
+			}
+		}
+	}
 	if o.MaxInflight > r.MaxInflight {
 		r.MaxInflight = o.MaxInflight
 	}
@@ -364,6 +387,16 @@ func (r *Results) Merge(o Results) {
 			r.Occ = mergeOcc(r.Occ, o.Occ)
 		}
 	}
+}
+
+// policyCounterIsMax reports whether a Policy key names a maximum-style
+// metric ("<policy>.max_<metric>", e.g. "oracle.max_retire_burst"):
+// summing two maxima would fabricate a value no run ever observed.
+func policyCounterIsMax(key string) bool {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		key = key[i+1:]
+	}
+	return strings.HasPrefix(key, "max_")
 }
 
 // Equal reports whether two result sets are identical. Comparison goes

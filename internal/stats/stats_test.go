@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"bytes"
 	"encoding/json"
 	"math"
 	"reflect"
@@ -348,5 +349,46 @@ func TestResultsDerived(t *testing.T) {
 	r.Name = "test"
 	if s := r.String(); !strings.Contains(s, "IPC=2.500") {
 		t.Fatalf("rendering: %q", s)
+	}
+}
+
+func TestPolicyCountersJSONAndMerge(t *testing.T) {
+	a := Results{Cycles: 10, Policy: map[string]uint64{"adaptive.low_confidence_branches": 3}}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy["adaptive.low_confidence_branches"] != 3 {
+		t.Fatalf("policy counters lost in round trip: %+v", back.Policy)
+	}
+	// A nil map must be omitted entirely: results from policies without
+	// extra counters keep their old wire shape.
+	plain, err := json.Marshal(Results{Cycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte("Policy")) {
+		t.Fatalf("nil policy map must be omitted: %s", plain)
+	}
+
+	// Merge sums per key (materialising the receiver's map on demand),
+	// except max_-style metrics, which take the maximum: summing two
+	// peak values would fabricate a burst no run ever observed.
+	var c Results
+	c.Merge(a)
+	c.Merge(Results{Policy: map[string]uint64{
+		"adaptive.low_confidence_branches": 2,
+		"oracle.max_retire_burst":          40,
+	}})
+	c.Merge(Results{Policy: map[string]uint64{"oracle.max_retire_burst": 25}})
+	if c.Policy["adaptive.low_confidence_branches"] != 5 {
+		t.Fatalf("summed policy counter wrong: %+v", c.Policy)
+	}
+	if c.Policy["oracle.max_retire_burst"] != 40 {
+		t.Fatalf("max-style policy counter must merge by maximum: %+v", c.Policy)
 	}
 }
