@@ -6,7 +6,8 @@
 //
 //	experiments [-figure all|table1|1|7|9|10|11|12|13|14|commit-policies|ablations]
 //	            [-commit policy,...] [-insts N] [-seed S] [-parallel N]
-//	            [-json FILE] [-server URL] [-list] [-v]
+//	            [-json FILE] [-server URL] [-cpuprofile FILE]
+//	            [-memprofile FILE] [-list] [-v]
 //
 // -list prints every valid -figure name with a one-line description and
 // exits. -commit restricts the commit-policies ablation to a subset of
@@ -23,6 +24,10 @@
 // instead of the in-process pool: previously computed points return
 // from the daemon's content-addressed cache without simulation, so a
 // warm rerun of a figure costs trace generation plus network only.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// requested figures, so profile-guided optimisation passes can target
+// real sweeps instead of ad-hoc test rigs (see README "Performance").
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -83,6 +89,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool size")
 	server := flag.String("server", "", "run every point against an ooosimd daemon at URL")
 	jsonOut := flag.String("json", "", "write every run's raw results as JSON to FILE")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the requested figures to FILE")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocations since start) to FILE")
 	list := flag.Bool("list", false, "print every valid -figure name with a description and exit")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Parse()
@@ -113,6 +121,42 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// stopProfiles flushes the pprof outputs; every exit path (success,
+	// figure failure, -json failure) must call it — os.Exit skips defers.
+	stopProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProfile != "" {
+		inner := stopProfiles
+		stopProfiles = func() {
+			inner()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accurate allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			}
+		}
+	}
+	defer stopProfiles()
 
 	opt := experiments.Options{Insts: *insts, Seed: *seed, Workers: *parallel}.WithTraceCache()
 	if *server != "" {
@@ -157,10 +201,12 @@ func main() {
 
 	fail := func(name string, err error) {
 		// Flush whatever completed before the failure (or interrupt):
-		// partial sweep output is still hours of simulation.
+		// partial sweep output is still hours of simulation, and a
+		// partial profile still points at the hot paths.
 		if jerr := writeJSON(); jerr != nil {
 			fmt.Fprintf(os.Stderr, "experiments: -json: %v\n", jerr)
 		}
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 		os.Exit(1)
 	}
@@ -326,6 +372,7 @@ func main() {
 
 	if err := writeJSON(); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: -json: %v\n", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 }

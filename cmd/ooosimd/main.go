@@ -46,7 +46,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("ooosimd: %v", err)
 	}
-	sched := service.NewScheduler(service.SchedulerOptions{Workers: *workers, Cache: cache})
+	// Every finished batch logs its cache hit/miss split alongside the
+	// snapshot-sharing stats (group count, warm-donor reuse rate), so
+	// operators can see the snapshot-fork sharing actually engage.
+	sched := service.NewScheduler(service.SchedulerOptions{
+		Workers: *workers,
+		Cache:   cache,
+		Log:     log.Printf,
+	})
 	handler := service.NewHandler(sched)
 	if *verbose {
 		inner := handler

@@ -1,7 +1,7 @@
 // Package bitset provides a dense fixed-capacity bit set used for the
-// rename table's Valid/Future-Free/Free-List vectors and the checkpoint
-// snapshots built from them. The paper's cost argument for checkpoints
-// (two bits per physical register) is exactly the size of two of these.
+// rename table's Valid/Future-Free vectors and the checkpoint snapshots
+// built from them. The paper's cost argument for checkpoints (two bits
+// per physical register) is exactly the size of two of these.
 package bitset
 
 import "math/bits"
@@ -65,6 +65,17 @@ func (s *Set) Any() bool {
 		}
 	}
 	return false
+}
+
+// SetAll sets every bit in the capacity (rollback free-list rebuilds
+// start from the full set; a word fill beats n Set calls).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if tail := uint(s.n & 63); tail != 0 {
+		s.words[len(s.words)-1] = 1<<tail - 1
+	}
 }
 
 // Reset clears every bit.

@@ -213,3 +213,28 @@ func TestQuickFirstSet(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSetAll covers the word-fill fast path, including the partial tail
+// word and interaction with the derived queries.
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130, 4096} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Errorf("n=%d: SetAll count = %d", n, got)
+		}
+		if s.FirstClear() != -1 {
+			t.Errorf("n=%d: FirstClear after SetAll = %d", n, s.FirstClear())
+		}
+		if s.FirstSet() != 0 {
+			t.Errorf("n=%d: FirstSet after SetAll = %d", n, s.FirstSet())
+		}
+		s.Clear(n - 1)
+		if got := s.Count(); got != n-1 {
+			t.Errorf("n=%d: count after Clear = %d", n, got)
+		}
+		if got := s.FirstClear(); got != n-1 {
+			t.Errorf("n=%d: FirstClear = %d, want %d", n, got, n-1)
+		}
+	}
+}

@@ -73,6 +73,12 @@ type Table struct {
 	entries  []*Entry
 	nextID   uint64
 	stats    Stats
+
+	// OnDiscard, when non-nil, receives every entry Rollback discards
+	// (youngest first), after it has been unlinked: the owner recycles
+	// the entry's snapshot backing there. Committed entries are returned
+	// from Commit instead, so the caller releases those directly.
+	OnDiscard func(*Entry)
 }
 
 // NewTable builds a checkpoint table with the given capacity and policy.
@@ -249,7 +255,10 @@ func (t *Table) Rollback(target *Entry) (pendingFree []*bitset.Set) {
 	if idx < 0 {
 		panic(fmt.Sprintf("checkpoint: rollback target %d not live", target.ID))
 	}
-	for i := idx + 1; i < len(t.entries); i++ {
+	for i := len(t.entries) - 1; i > idx; i-- {
+		if t.OnDiscard != nil {
+			t.OnDiscard(t.entries[i])
+		}
 		t.entries[i] = nil
 	}
 	t.entries = t.entries[:idx+1]

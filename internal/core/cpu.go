@@ -50,8 +50,11 @@ type CPU struct {
 	// through it.
 	sliq *queue.SLIQ[*DynInst]
 
-	// pool recycles DynInst records (see the contract on DynInst).
-	pool instPool
+	// pool recycles DynInst records (see the contract on DynInst). It
+	// points into the caller's Arena when one was supplied (records then
+	// survive across the sweep points a worker runs), or at a private
+	// pool otherwise.
+	pool *instPool
 
 	// Virtual-register extension (Figure 14); nil when disabled.
 	vt           *vreg.Tracker
@@ -75,7 +78,7 @@ type CPU struct {
 	consumers [][]consumerRef
 	producer  []*DynInst
 
-	completions completionHeap
+	completions eventWheel
 
 	// Exception injection, indexed by trace position (lazily allocated
 	// on the first InjectExceptionAt — the hot path then skips it with
@@ -134,13 +137,170 @@ type dispatchStalls struct {
 	FetchGate                        uint64 // cycles the front end was redirected/stalled
 }
 
-// New builds a CPU for the given configuration and workload.
+// New builds a CPU for the given configuration and workload, warming
+// its memory hierarchy by replaying the trace's warm-up footprint.
 func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
+	return newCPU(cfg, tr, nil, nil)
+}
+
+// NewForked builds a CPU whose memory hierarchy starts from donor's
+// warmed cache contents instead of replaying the trace's warm-up
+// footprint: the fork half of the snapshot-fork sweep kernel. The donor
+// must have been produced by WarmDonor (or equivalent warm-up replay)
+// over the same trace and a configuration with the same mem.WarmKey;
+// forked and cold-started CPUs are then bit-identical (pinned by
+// TestForkedWarmMatchesCold). The donor itself is only read — one donor
+// serves any number of concurrent forks. arena, when non-nil, supplies
+// the CPU's record pool (see Arena); nil uses a private pool.
+func NewForked(cfg config.Config, tr *trace.Trace, donor *mem.Hierarchy, arena *Arena) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := donor.Fork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newCPU(cfg, tr, hier, arena)
+}
+
+// Arena owns a DynInst record pool that outlives a single CPU: a sweep
+// worker hands the same Arena to every point it runs, so the record
+// blocks grown for one point serve every later one instead of being
+// re-allocated per point (construction churn was a visible slice of the
+// sweep's profile). Records are zeroed on recycle, so nothing of a
+// finished CPU leaks into — or stays pinned by — the next. An Arena is
+// single-owner: never share one across concurrently running CPUs.
+type Arena struct {
+	pool    instPool
+	chassis map[chassisKey]*chassis
+}
+
+// NewArena returns an empty record arena.
+func NewArena() *Arena { return &Arena{} }
+
+// chassis is a CPU's recyclable allocation skeleton: the scoreboard
+// arrays and the completion wheel, whose per-point construction (and
+// collection) was a measurable slice of sweep time. Recycle parks a
+// finished CPU's skeleton in the Arena; newCPU adopts a parked one of
+// the same shape and resets it.
+type chassis struct {
+	regReady   []bool
+	longTaint  []bool
+	consumers  [][]consumerRef
+	producer   []*DynInst
+	wheel      eventWheel
+	issueRetry []*queue.IQEntry[*DynInst]
+}
+
+// chassisKey is the shape a chassis fits: the physical register space
+// and the event ring size.
+type chassisKey struct {
+	phys, wheelSlots int
+}
+
+// takeChassis removes and resets a parked chassis of the given shape,
+// or returns nil.
+func (a *Arena) takeChassis(phys, wheelSlots int) *chassis {
+	ch, ok := a.chassis[chassisKey{phys, wheelSlots}]
+	if !ok {
+		return nil
+	}
+	delete(a.chassis, chassisKey{phys, wheelSlots})
+	clear(ch.regReady)
+	clear(ch.longTaint)
+	clear(ch.producer)
+	for i := range ch.consumers {
+		// Keep the grown backing arrays — re-registering consumers is
+		// exactly what the next point will do. Stale refs beyond the
+		// truncation point only reference pool-owned records.
+		ch.consumers[i] = ch.consumers[i][:0]
+	}
+	ch.wheel.recycle()
+	ch.issueRetry = ch.issueRetry[:0]
+	return ch
+}
+
+// Recycle parks the CPU's allocation skeleton in the arena for the next
+// point of the same shape. The CPU must not be used afterwards; callers
+// that still need results must collect them first. No-op for nil arenas
+// and virtual-register CPUs (their skeletons are shaped differently and
+// their records are unpooled).
+func (c *CPU) Recycle(a *Arena) {
+	if a == nil || c.vt != nil {
+		return
+	}
+	if a.chassis == nil {
+		a.chassis = map[chassisKey]*chassis{}
+	}
+	key := chassisKey{len(c.regReady), len(c.completions.buckets)}
+	a.chassis[key] = &chassis{
+		regReady:   c.regReady,
+		longTaint:  c.longTaint,
+		consumers:  c.consumers,
+		producer:   c.producer,
+		wheel:      c.completions,
+		issueRetry: c.issueRetry,
+	}
+	c.regReady, c.longTaint, c.consumers, c.producer = nil, nil, nil, nil
+	c.completions = eventWheel{}
+	c.issueRetry = nil
+}
+
+// WarmDonor builds a donor hierarchy for key and replays tr's warm-up
+// footprint through it — exactly the warm state New gives a cold CPU of
+// any configuration whose mem.WarmKeyFor matches key. Sweep engines
+// call it once per (trace, warm shape) group and fork the result to
+// every member point, so a sweep warms each trace once per cache
+// geometry instead of once per point.
+func WarmDonor(key mem.WarmKey, tr *trace.Trace) (*mem.Hierarchy, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	h, err := key.Donor()
+	if err != nil {
+		return nil, err
+	}
+	warmHierarchy(h, tr)
+	return h, nil
+}
+
+// warmHierarchy replays the trace's cache warm-up footprint plus the
+// wrong-path fetch region through h. Cold construction and donor
+// warming share this exact sequence; determinism of the snapshot-fork
+// kernel depends on it.
+func warmHierarchy(h *mem.Hierarchy, tr *trace.Trace) {
+	// Warm the instruction path and the data caches: cold misses are an
+	// artefact of short runs (see mem.Hierarchy.PrimeFetch). The
+	// footprint — first-seen IL1 lines interleaved with the data stream
+	// — is precomputed once per trace and shared across every CPU built
+	// over it (trace.WarmFootprint).
+	for _, ev := range tr.WarmFootprint() {
+		if ev.Fetch {
+			h.PrimeFetch(ev.Addr)
+		} else {
+			h.WarmData(ev.Addr)
+		}
+	}
+	for pc := uint64(0xF0000000); pc < 0xF0000000+64*4; pc += 32 {
+		h.PrimeFetch(pc) // wrong-path region
+	}
+}
+
+// newCPU builds the pipeline around hier; nil hier builds and warms a
+// fresh hierarchy (the cold path). A non-nil hier is adopted as-is: the
+// CPU takes sole ownership and mutates it for the rest of its life, so
+// callers must hand each CPU its own Fork/Clone and never reuse it
+// (the same single-owner contract as the pooled DynInst records).
+func newCPU(cfg config.Config, tr *trace.Trace, hier *mem.Hierarchy, arena *Arena) (*CPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("core: empty trace")
+	}
+	if hier == nil {
+		hier = mem.NewHierarchy(cfg)
+		warmHierarchy(hier, tr)
 	}
 
 	physSpace := cfg.PhysRegs
@@ -153,19 +313,42 @@ func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
 		physSpace = 8192 + 2*cfg.VirtualTags
 	}
 
+	pool := &instPool{}
+	if arena != nil && !cfg.VirtualRegisters {
+		// Virtual-register mode disables pooling (see below); it must
+		// not flip the shared arena's mode, so it keeps a private pool.
+		pool = &arena.pool
+	}
 	c := &CPU{
-		cfg:       cfg,
-		tr:        tr,
-		hier:      mem.NewHierarchy(cfg),
-		fus:       fu.NewPool(cfg),
-		rt:        rename.New(physSpace),
-		intQ:      queue.NewIQ[*DynInst](cfg.IntQueueEntries),
-		fpQ:       queue.NewIQ[*DynInst](cfg.FPQueueEntries),
-		lq:        lsq.New(cfg.LSQEntries),
-		regReady:  make([]bool, physSpace),
-		longTaint: make([]bool, physSpace),
-		consumers: make([][]consumerRef, physSpace),
-		producer:  make([]*DynInst, physSpace),
+		cfg:  cfg,
+		tr:   tr,
+		pool: pool,
+		hier: hier,
+		fus:  fu.NewPool(cfg),
+		rt:   rename.New(physSpace),
+		intQ: queue.NewIQ[*DynInst](cfg.IntQueueEntries),
+		fpQ:  queue.NewIQ[*DynInst](cfg.FPQueueEntries),
+		lq:   lsq.New(cfg.LSQEntries),
+	}
+	// Size the event ring to the longest schedulable completion distance
+	// (a memory-missing load issued behind the slowest functional unit);
+	// anything longer still works via the far-heap spillover.
+	wheelSlots := eventWheelSlots(cfg.MemoryLatency + cfg.IL1.LatencyCycles +
+		cfg.DL1.LatencyCycles + cfg.L2.LatencyCycles + cfg.IntDiv.Latency + 64)
+	if arena != nil && !cfg.VirtualRegisters {
+		if ch := arena.takeChassis(physSpace, wheelSlots); ch != nil {
+			c.regReady, c.longTaint = ch.regReady, ch.longTaint
+			c.consumers, c.producer = ch.consumers, ch.producer
+			c.completions = ch.wheel
+			c.issueRetry = ch.issueRetry
+		}
+	}
+	if c.regReady == nil {
+		c.regReady = make([]bool, physSpace)
+		c.longTaint = make([]bool, physSpace)
+		c.consumers = make([][]consumerRef, physSpace)
+		c.producer = make([]*DynInst, physSpace)
+		c.completions = newEventWheel(wheelSlots)
 	}
 	for l := 0; l < isa.NumLogical; l++ {
 		c.regReady[c.rt.Lookup(isa.Reg(l))] = true
@@ -192,22 +375,6 @@ func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
 	c.lastLoadAddr = 1 << 20
 	if c.sliq != nil {
 		c.sliqAccept = c.acceptFromSLIQ
-	}
-
-	// Warm the instruction path and the data caches: cold misses are an
-	// artefact of short runs (see mem.Hierarchy.PrimeFetch). The
-	// footprint — first-seen IL1 lines interleaved with the data stream
-	// — is precomputed once per trace and shared across every CPU built
-	// over it (trace.WarmFootprint).
-	for _, ev := range tr.WarmFootprint() {
-		if ev.Fetch {
-			c.hier.PrimeFetch(ev.Addr)
-		} else {
-			c.hier.WarmData(ev.Addr)
-		}
-	}
-	for pc := uint64(0xF0000000); pc < 0xF0000000+64*4; pc += 32 {
-		c.hier.PrimeFetch(pc) // wrong-path region
 	}
 	return c, nil
 }

@@ -21,17 +21,20 @@ func (c *CPU) dispatchStage() {
 		return
 	}
 
-	dispatched := 0
 	c.resourceStalled = false
-	defer func() {
-		// A cycle that admitted nothing hands the policy its
-		// deadlock-avoidance window (pressure extraction, emergency
-		// checkpoints — see checkpointPolicy.DispatchStalled).
-		if dispatched == 0 {
-			c.policy.DispatchStalled()
-		}
-	}()
+	// A cycle that admitted nothing hands the policy its
+	// deadlock-avoidance window (pressure extraction, emergency
+	// checkpoints — see checkpointPolicy.DispatchStalled). An explicit
+	// call at each exit keeps the per-cycle loop defer-free.
+	if c.dispatchInsts() == 0 {
+		c.policy.DispatchStalled()
+	}
+}
 
+// dispatchInsts fetches and dispatches up to FetchWidth instructions,
+// returning how many were admitted.
+func (c *CPU) dispatchInsts() int {
+	dispatched := 0
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		var inst isa.Inst
 		var pos int64
@@ -41,7 +44,7 @@ func (c *CPU) dispatchStage() {
 			pos = -1
 		} else {
 			if c.fetchPos >= c.tr.Len() {
-				return
+				return dispatched
 			}
 			inst = c.tr.At(c.fetchPos)
 			pos = c.fetchPos
@@ -51,12 +54,12 @@ func (c *CPU) dispatchStage() {
 				ready := c.hier.FetchLatency(c.now, inst.PC)
 				if ready > c.now+int64(c.cfg.IL1.LatencyCycles) {
 					c.fetchResumeAt = ready
-					return
+					return dispatched
 				}
 			}
 		}
 		if !c.tryDispatch(inst, pos, wrongPath) {
-			return
+			return dispatched
 		}
 		dispatched++
 		if !wrongPath {
@@ -65,6 +68,7 @@ func (c *CPU) dispatchStage() {
 			c.fetchPos++
 		}
 	}
+	return dispatched
 }
 
 // tryDispatch checks every structural resource the instruction needs

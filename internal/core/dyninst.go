@@ -160,16 +160,20 @@ var debugPool = false
 // poisonSeq marks a record resident in the free list.
 const poisonSeq = ^uint64(0) - 0x5eed
 
-// acquire returns a zeroed record with iqe.Payload bound.
+// acquire returns a zeroed record with iqe.Payload bound. Free-list
+// records were zeroed when recycleDead folded them in; fresh-block
+// records are runtime-zeroed.
 func (p *instPool) acquire() *DynInst {
 	if n := len(p.free); n > 0 {
 		d := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
-		if debugPool && d.Seq != poisonSeq {
-			panic(fmt.Sprintf("core: pool corruption: free-list record has seq %d", d.Seq))
+		if debugPool {
+			if d.Seq != poisonSeq {
+				panic(fmt.Sprintf("core: pool corruption: free-list record has seq %d", d.Seq))
+			}
+			d.Seq = 0
 		}
-		*d = DynInst{}
 		d.init()
 		return d
 	}
@@ -186,7 +190,7 @@ func (p *instPool) acquire() *DynInst {
 func (d *DynInst) init() {
 	d.DestPhys = rename.PhysNone
 	d.PrevPhys = rename.PhysNone
-	d.heapIdx = -1
+	d.heapIdx = eventNone
 	d.iqe.Payload = d
 }
 
@@ -203,7 +207,7 @@ func (p *instPool) release(d *DynInst) {
 		if d.iqe.Resident() {
 			panic(fmt.Sprintf("core: releasing issue-queue-resident %v", d))
 		}
-		if d.heapIdx >= 0 {
+		if d.heapIdx != eventNone {
 			panic(fmt.Sprintf("core: releasing completion-scheduled %v", d))
 		}
 		if d.inSLIQ || d.inProb {
@@ -213,13 +217,18 @@ func (p *instPool) release(d *DynInst) {
 	p.dead = append(p.dead, d)
 }
 
-// recycleDead folds the quarantine into the free list.
+// recycleDead folds the quarantine into the free list, zeroing each
+// record as it goes: the quarantine window (same-cycle stale pointers
+// observing Squashed) has passed, and clean free-list records both drop
+// every cross-structure reference — an arena-shared pool must not pin a
+// finished CPU's structures — and make acquire a plain pop.
 func (p *instPool) recycleDead() {
 	if len(p.dead) == 0 {
 		return
 	}
 	for i, d := range p.dead {
 		p.dead[i] = nil
+		*d = DynInst{}
 		if debugPool {
 			d.Seq = poisonSeq
 		}
@@ -228,10 +237,171 @@ func (p *instPool) recycleDead() {
 	p.dead = p.dead[:0]
 }
 
+// eventNone marks a record with no scheduled completion. A scheduled
+// record's heapIdx encodes where it lives: >= 0 is its position in the
+// far heap, <= -2 encodes its calendar-wheel slot as -2-slot.
+const eventNone int32 = -1
+
+// eventWheel schedules completion events on a calendar ring indexed by
+// cycle, spilling events beyond the ring horizon to a min-heap. Pop
+// order is exactly the old completion heap's — (DoneCycle, Seq), a
+// total order — so swapping the heap for the wheel is invisible to
+// simulated state (TestFigure9Golden pins it); the win is O(1)
+// push/remove against O(log n) heap churn when kilo-instruction
+// windows keep hundreds of memory fills in flight at once.
+type eventWheel struct {
+	// buckets[t&mask] holds the (unsorted) events of cycle t for t in
+	// [base, base+len(buckets)); each slot is drained before the ring
+	// wraps back onto it, so slots are never shared between cycles.
+	buckets [][]*DynInst
+	mask    int64
+	// base is the earliest cycle a push may target: takeDue(now) sets
+	// it to now+1 before handing out the due batch, so mid-drain pushes
+	// (and the late-push guard) land in a future slot, never the one
+	// being drained.
+	base int64
+	n    int
+	far  completionHeap
+	due  []*DynInst
+}
+
+// newEventWheel sizes the ring to cover horizon cycles of schedule
+// distance (rounded up to a power of two); longer latencies still work
+// through the far heap, just slower.
+func eventWheelSlots(horizon int) int {
+	size := 64
+	for size < horizon {
+		size *= 2
+	}
+	return size
+}
+
+func newEventWheel(size int) eventWheel {
+	w := eventWheel{buckets: make([][]*DynInst, size), mask: int64(size - 1)}
+	// Carve every bucket's initial capacity out of one slab: buckets are
+	// drained to length 0 and reused each lap, so steady state allocates
+	// only when a single cycle completes more than bucketCap events (the
+	// bucket then keeps its grown capacity for the rest of the run).
+	const bucketCap = 8
+	slab := make([]*DynInst, size*bucketCap)
+	for i := range w.buckets {
+		w.buckets[i] = slab[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
+	}
+	return w
+}
+
+// Len returns the number of scheduled (not yet due) events.
+func (w *eventWheel) Len() int { return w.n }
+
+// recycle empties the wheel for reuse by another CPU (see Arena),
+// keeping every backing array. Record pointers retained beyond the
+// truncation points reference pool-owned memory, never garbage.
+func (w *eventWheel) recycle() {
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	w.far.entries = w.far.entries[:0]
+	w.due = w.due[:0]
+	w.base, w.n = 0, 0
+}
+
+// push schedules d at d.DoneCycle.
+func (w *eventWheel) push(d *DynInst) {
+	w.n++
+	t := d.DoneCycle
+	if t < w.base {
+		t = w.base // late push: fire at the next drain, as the heap did
+	}
+	if t < w.base+int64(len(w.buckets)) {
+		s := t & w.mask
+		d.heapIdx = -2 - int32(s)
+		w.buckets[s] = append(w.buckets[s], d)
+		return
+	}
+	w.far.push(d)
+}
+
+// remove unschedules a completion (squash); a no-op when d is not
+// scheduled — in particular for records already handed out by takeDue,
+// which the writeback drain skips via the Squashed flag instead.
+func (w *eventWheel) remove(d *DynInst) {
+	switch {
+	case d.heapIdx == eventNone:
+		return
+	case d.heapIdx >= 0:
+		w.far.remove(d)
+	default:
+		s := int64(-2 - d.heapIdx)
+		b := w.buckets[s]
+		for i, e := range b {
+			if e == d {
+				last := len(b) - 1
+				b[i] = b[last]
+				b[last] = nil
+				w.buckets[s] = b[:last]
+				d.heapIdx = eventNone
+				w.n--
+				return
+			}
+		}
+		panic(fmt.Sprintf("core: event wheel desync for %v", d))
+	}
+	w.n--
+}
+
+// takeDue unschedules and returns every event due at cycle now, in
+// (DoneCycle, Seq) order. The returned slice is reused by the next
+// call. The caller processes the batch with mutation in flight: events
+// it squashes mid-batch stay readable (records are quarantined until
+// the next dispatch stage) and are skipped via their Squashed flag, and
+// events it pushes land at now+1 or later.
+func (w *eventWheel) takeDue(now int64) []*DynInst {
+	w.base = now + 1
+	if w.n == 0 {
+		return nil
+	}
+	// Swap the due bucket's backing with the previous batch's: the due
+	// batch is handed out as-is and the old batch array becomes the
+	// slot's fresh empty bucket, so draining moves no elements. Records
+	// linger in the handed-out array until its next turn as a bucket,
+	// which is fine — they are pool-owned and never garbage collected.
+	s := now & w.mask
+	due := w.buckets[s]
+	w.buckets[s] = w.due[:0]
+	w.due = due
+	for _, d := range due {
+		d.heapIdx = eventNone
+	}
+	for {
+		d := w.far.peek()
+		if d == nil || d.DoneCycle > now {
+			break
+		}
+		w.far.pop()
+		due = append(due, d)
+		w.due = due
+	}
+	w.n -= len(due)
+	// Insertion sort: due batches are a handful of events (about the
+	// commit IPC), and bucket insertion order is arbitrary.
+	for i := 1; i < len(due); i++ {
+		d := due[i]
+		j := i - 1
+		for j >= 0 && (due[j].DoneCycle > d.DoneCycle ||
+			(due[j].DoneCycle == d.DoneCycle && due[j].Seq > d.Seq)) {
+			due[j+1] = due[j]
+			j--
+		}
+		due[j+1] = d
+	}
+	return due
+}
+
 // completionHeap orders in-flight completions by DoneCycle (ties by Seq
 // for determinism). It is a typed min-heap (no container/heap interface
 // dispatch) with positional removal so squash can purge scheduled
 // completions eagerly — a record in this heap is never a released one.
+// It backs the eventWheel's far spillover.
 type completionHeap struct {
 	entries []*DynInst
 }

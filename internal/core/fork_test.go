@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TestForkedWarmMatchesCold is the snapshot-fork kernel's determinism
+// contract at the core level: a CPU built from a forked warm donor must
+// be bit-identical to a cold-started one through the hardest control
+// flow we can throw at it — branch rollbacks, pseudo-ROB recoveries and
+// the two-pass exception protocol — for every commit-policy family.
+func TestForkedWarmMatchesCold(t *testing.T) {
+	tr := rollbackHeavyTrace(90000)
+	for _, tc := range []struct {
+		name       string
+		cfg        config.Config
+		exceptions bool // checkpoint family only: inject precise exceptions
+	}{
+		{"rob", config.BaselineSized(128), false},
+		{"checkpoint", config.CheckpointDefault(32, 1024), true},
+		{"adaptive", config.AdaptiveDefault(32, 1024), true},
+		{"oracle", config.OracleDefault(), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(forked bool) stats.Results {
+				var cpu *CPU
+				var err error
+				if forked {
+					donor, derr := WarmDonor(mem.WarmKeyFor(tc.cfg), tr)
+					if derr != nil {
+						t.Fatal(derr)
+					}
+					cpu, err = NewForked(tc.cfg, tr, donor, NewArena())
+				} else {
+					cpu, err = New(tc.cfg, tr)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.exceptions {
+					cpu.InjectExceptionAt(4000)
+					cpu.InjectExceptionAt(21000)
+				}
+				res := cpu.Run(RunOptions{MaxInsts: 50000})
+				if tc.exceptions && cpu.Exceptions() != 2 {
+					t.Fatalf("delivered %d exceptions, want 2", cpu.Exceptions())
+				}
+				return res
+			}
+			cold, fork := run(false), run(true)
+			if tc.name != "oracle" && cold.Rollbacks+cold.PseudoROBRecoveries+cold.Branch.Mispredicts == 0 {
+				t.Fatal("workload must exercise recovery for the comparison to mean anything")
+			}
+			if !cold.Equal(fork) {
+				t.Fatalf("forked-warm run diverged from cold-started run:\ncold: %+v\nfork: %+v", cold, fork)
+			}
+		})
+	}
+}
+
+// TestForkedCPUsShareDonorConcurrently: one donor serves many
+// concurrently constructed forks (the donor is only read). Run under
+// -race in CI.
+func TestForkedCPUsShareDonorConcurrently(t *testing.T) {
+	const insts = 20000
+	tr := trace.FPMix(trace.LenFor(insts), 42)
+	cfg := config.CheckpointDefault(64, 512)
+	donor, err := WarmDonor(mem.WarmKeyFor(cfg), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	results := make([]stats.Results, workers)
+	done := make(chan int, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			cpu, err := NewForked(cfg, tr, donor, NewArena())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = cpu.Run(RunOptions{MaxInsts: insts})
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	serial := mustRun(t, cfg, tr, insts)
+	for i, r := range results {
+		if !r.Equal(serial) {
+			t.Fatalf("concurrent fork %d diverged from the cold serial run:\n%+v\nvs\n%+v", i, r, serial)
+		}
+	}
+}
+
+// TestArenaReuseStaysDeterministic: running a sequence of points
+// through one arena (records and chassis recycled across points) gives
+// the same results as fresh CPUs.
+func TestArenaReuseStaysDeterministic(t *testing.T) {
+	tr := rollbackHeavyTrace(60000)
+	cfgs := []config.Config{
+		config.CheckpointDefault(32, 1024),
+		config.BaselineSized(128),
+		config.CheckpointDefault(64, 512),
+		config.BaselineSized(128), // repeat: adopts the recycled chassis
+		config.CheckpointDefault(32, 1024),
+	}
+	arena := NewArena()
+	for i, cfg := range cfgs {
+		donor, err := WarmDonor(mem.WarmKeyFor(cfg), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu, err := NewForked(cfg, tr, donor, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cpu.Run(RunOptions{MaxInsts: 40000})
+		cpu.Recycle(arena)
+		want := mustRun(t, cfg, tr, 40000)
+		if !got.Equal(want) {
+			t.Fatalf("point %d through the shared arena diverged:\n%+v\nvs\n%+v", i, got, want)
+		}
+	}
+}

@@ -56,6 +56,14 @@ func newCheckpointPolicy(c *CPU, pol checkpoint.Policy) *checkpointPolicy {
 		ckpts: checkpoint.NewTable(c.cfg.Checkpoints, pol),
 		prob:  queue.NewDeque[*DynInst](c.cfg.PseudoROBEntries),
 	}
+	// Rollback-discarded windows recycle their snapshot backing; the
+	// rollback itself only reads the surviving entries' snapshots (the
+	// pendingFree sets), so discarded ones are dead by the time the
+	// table unlinks them.
+	p.ckpts.OnDiscard = func(e *checkpoint.Entry) {
+		c.rt.ReleaseSnapshot(e.Snap)
+		e.Snap = rename.Snapshot{}
+	}
 	if c.cfg.SLIQEntries > 0 {
 		c.sliq = queue.NewSLIQ[*DynInst](c.cfg.SLIQEntries, c.cfg.SLIQWakeDelay,
 			c.cfg.SLIQWakeWidth, c.rt.NumPhys())
@@ -181,10 +189,14 @@ func (p *checkpointPolicy) Squashed(d *DynInst) {
 func (p *checkpointPolicy) Commit() {
 	c := p.c
 	for p.ckpts.CanCommit() {
-		_, futureFree, endSeq := p.ckpts.Commit()
+		e, futureFree, endSeq := p.ckpts.Commit()
 		c.rt.CommitFutureFree(futureFree)
 		c.lq.DrainStoresBefore(endSeq, c.hier.StoreCommit)
 		p.retireWindow(endSeq)
+		// The committed window's snapshot is dead (futureFree above
+		// belongs to the next checkpoint); recycle its backing sets.
+		c.rt.ReleaseSnapshot(e.Snap)
+		e.Snap = rename.Snapshot{}
 		c.lastCommitCycle = c.now
 	}
 

@@ -38,11 +38,9 @@ func (c *CPU) squashInst(d *DynInst, unwindRename bool) {
 	if d.iqe.Resident() {
 		c.iqFor(d.Inst.Op).Remove(&d.iqe)
 	}
-	// Unschedule any pending completion so the heap never holds a
-	// released record.
-	if d.heapIdx >= 0 {
-		c.completions.remove(d)
-	}
+	// Unschedule any pending completion so the event wheel never holds
+	// a released record.
+	c.completions.remove(d)
 	d.lsqe = nil
 
 	// Policy-side accounting (checkpoint pending/instruction counters).

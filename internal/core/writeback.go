@@ -13,15 +13,11 @@ func (c *CPU) writebackStage() {
 	if c.vt != nil {
 		c.drainDeferredBinds()
 	}
-	for {
-		d := c.completions.peek()
-		if d == nil || d.DoneCycle > c.now {
-			break
-		}
-		c.completions.pop()
+	for _, d := range c.completions.takeDue(c.now) {
 		if d.Squashed {
-			// Unreachable in steady state: squash purges scheduled
-			// completions eagerly. Kept as a guard for late pushes.
+			// An older event in this batch squashed it mid-drain; the
+			// record is quarantined (not recycled) until the next
+			// dispatch stage, so the flag is safely readable.
 			continue
 		}
 		c.completeInst(d)
@@ -58,9 +54,12 @@ func (c *CPU) finishCompletion(d *DynInst) {
 		c.regReady[d.DestPhys] = true
 		c.longTaint[d.DestPhys] = false
 		waiting := c.consumers[d.DestPhys]
-		for i, ref := range waiting {
+		for _, ref := range waiting {
+			// Stale refs beyond the truncation point are harmless: the
+			// records are pool-owned (never garbage collected), so the
+			// slots are not zeroed — that skips a write barrier per
+			// wakeup on the hottest writeback loop.
 			cons := ref.d
-			waiting[i] = consumerRef{}
 			if cons.Seq != ref.seq {
 				// The record was recycled: the registering instruction
 				// is gone (squashed and released).

@@ -68,7 +68,7 @@ type LSQ struct {
 	entries  []*Entry // seq-ordered
 	// stores maps an effective address to its youngest resident store;
 	// older stores to the same address chain behind it via olderSame.
-	stores map[uint64]*Entry
+	stores storeIndex
 	free   []*Entry
 	stats  Stats
 }
@@ -78,7 +78,7 @@ func New(capacity int) *LSQ {
 	if capacity < 1 {
 		panic(fmt.Sprintf("lsq: capacity %d < 1", capacity))
 	}
-	return &LSQ{capacity: capacity, stores: make(map[uint64]*Entry)}
+	return &LSQ{capacity: capacity}
 }
 
 // Cap returns the capacity.
@@ -124,8 +124,8 @@ func (q *LSQ) Insert(seq uint64, op isa.Op, addr uint64, payload any) *Entry {
 	if k == KindStore {
 		// Inserts arrive in seq order, so the new store is the
 		// youngest at its address: it heads the chain.
-		e.olderSame = q.stores[addr]
-		q.stores[addr] = e
+		e.olderSame = q.stores.get(addr)
+		q.stores.put(addr, e)
 	}
 	return e
 }
@@ -145,12 +145,12 @@ func (q *LSQ) recycle(e *Entry) {
 // dropStore unlinks a store from the forwarding index. Chains are short
 // (stores resident at one address), so the walk is cheap.
 func (q *LSQ) dropStore(e *Entry) {
-	head := q.stores[e.Addr]
+	head := q.stores.get(e.Addr)
 	if head == e {
 		if e.olderSame == nil {
-			delete(q.stores, e.Addr)
+			q.stores.del(e.Addr)
 		} else {
-			q.stores[e.Addr] = e.olderSame
+			q.stores.put(e.Addr, e.olderSame)
 		}
 		return
 	}
@@ -199,7 +199,7 @@ const (
 func (q *LSQ) LookupForward(loadSeq uint64, addr uint64) (ForwardResult, *Entry) {
 	// The chain is youngest-first: the first store older than the load
 	// is the youngest matching one.
-	e := q.stores[addr]
+	e := q.stores.get(addr)
 	for e != nil && e.Seq >= loadSeq {
 		e = e.olderSame
 	}
@@ -228,12 +228,15 @@ func (q *LSQ) AddWaiter(store *Entry, onReady func(storeSeq uint64)) {
 // write for each in program order (checkpoint-commit draining). Loads
 // older than endSeq are retired from the queue at the same time.
 func (q *LSQ) DrainStoresBefore(endSeq uint64, write func(addr uint64)) int {
+	// Entries are seq-ordered, so the drain is a strict prefix: retire
+	// it, then slide the survivors forward once instead of walking and
+	// re-appending the whole queue.
+	cut := 0
 	n := 0
-	kept := q.entries[:0]
-	for _, e := range q.entries {
+	for ; cut < len(q.entries); cut++ {
+		e := q.entries[cut]
 		if e.Seq >= endSeq {
-			kept = append(kept, e)
-			continue
+			break
 		}
 		if e.Kind == KindStore {
 			if !e.Executed {
@@ -246,11 +249,14 @@ func (q *LSQ) DrainStoresBefore(endSeq uint64, write func(addr uint64)) int {
 		}
 		q.recycle(e)
 	}
-	// Zero the tail so removed entries can be collected.
-	for i := len(kept); i < len(q.entries); i++ {
+	if cut == 0 {
+		return 0
+	}
+	m := copy(q.entries, q.entries[cut:])
+	for i := m; i < len(q.entries); i++ {
 		q.entries[i] = nil
 	}
-	q.entries = kept
+	q.entries = q.entries[:m]
 	return n
 }
 
@@ -314,18 +320,22 @@ func (q *LSQ) CheckInvariants() error {
 		return fmt.Errorf("lsq: %d entries exceed capacity %d", len(q.entries), q.capacity)
 	}
 	stores := 0
-	for addr, head := range q.stores {
+	var chainErr error
+	q.stores.forEach(func(addr uint64, head *Entry) {
 		prev := ^uint64(0)
 		for e := head; e != nil; e = e.olderSame {
-			if e.Addr != addr {
-				return fmt.Errorf("lsq: store seq %d indexed under %#x, has addr %#x", e.Seq, addr, e.Addr)
+			if e.Addr != addr && chainErr == nil {
+				chainErr = fmt.Errorf("lsq: store seq %d indexed under %#x, has addr %#x", e.Seq, addr, e.Addr)
 			}
-			if e.Seq >= prev {
-				return fmt.Errorf("lsq: store chain for %#x out of order", addr)
+			if e.Seq >= prev && chainErr == nil {
+				chainErr = fmt.Errorf("lsq: store chain for %#x out of order", addr)
 			}
 			prev = e.Seq
 			stores++
 		}
+	})
+	if chainErr != nil {
+		return chainErr
 	}
 	resident := 0
 	for _, e := range q.entries {

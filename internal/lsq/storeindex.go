@@ -1,0 +1,135 @@
+package lsq
+
+// storeIndex maps an effective address to its youngest resident store:
+// a bounded open-addressed hash table replacing the map[uint64]*Entry
+// that LookupForward probed on every issued load. Lookups are a linear
+// probe over flat arrays, inserts and deletes allocate nothing once the
+// table reaches its working size, and backward-shift deletion keeps
+// probe chains dense without tombstones.
+//
+// Keys are stored biased by +1 so a zero slot means empty; address
+// ^uint64(0) is therefore unrepresentable, which no generator emits.
+//
+// mem's mshr is this table's twin with an int64 value type; the two
+// stay hand-specialised because lookups sit on the simulator's hottest
+// paths and must inline. A fix to either table's probing or
+// backward-shift deletion belongs in both.
+type storeIndex struct {
+	keys  []uint64 // addr+1; 0 marks an empty slot
+	heads []*Entry
+	n     int
+	mask  uint64
+	shift uint // 64 - log2(len(keys)), for Fibonacci hashing
+}
+
+const storeIndexMinSlots = 64
+
+func (m *storeIndex) slot(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> m.shift
+}
+
+// get returns the youngest resident store at addr, or nil.
+func (m *storeIndex) get(addr uint64) *Entry {
+	if m.n == 0 {
+		return nil
+	}
+	key := addr + 1
+	for i := m.slot(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			return m.heads[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// put installs e as the chain head for addr (inserting or replacing).
+func (m *storeIndex) put(addr uint64, e *Entry) {
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow()
+	}
+	key := addr + 1
+	for i := m.slot(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case 0:
+			m.keys[i] = key
+			m.heads[i] = e
+			m.n++
+			return
+		case key:
+			m.heads[i] = e
+			return
+		}
+	}
+}
+
+// del removes addr's chain head (a no-op if absent) with backward-shift
+// deletion.
+func (m *storeIndex) del(addr uint64) {
+	if m.n == 0 {
+		return
+	}
+	key := addr + 1
+	i := m.slot(key)
+	for m.keys[i] != key {
+		if m.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.n--
+	for j := i; ; {
+		j = (j + 1) & m.mask
+		k := m.keys[j]
+		if k == 0 {
+			break
+		}
+		// k may slide back into slot i only if i still lies within its
+		// probe chain (between its home slot and j, cyclically).
+		if (j-m.slot(k))&m.mask >= (j-i)&m.mask {
+			m.keys[i] = k
+			m.heads[i] = m.heads[j]
+			i = j
+		}
+	}
+	m.keys[i] = 0
+	m.heads[i] = nil
+}
+
+// grow (re)builds the table at double capacity.
+func (m *storeIndex) grow() {
+	size := storeIndexMinSlots
+	if len(m.keys) > 0 {
+		size = 2 * len(m.keys)
+	}
+	oldKeys, oldHeads := m.keys, m.heads
+	m.keys = make([]uint64, size)
+	m.heads = make([]*Entry, size)
+	m.mask = uint64(size - 1)
+	m.shift = 64 - uint(log2(size))
+	m.n = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			m.put(k-1, oldHeads[i])
+		}
+	}
+}
+
+// forEach visits every chain head (iteration order is arbitrary;
+// CheckInvariants is the only caller).
+func (m *storeIndex) forEach(fn func(addr uint64, head *Entry)) {
+	for i, k := range m.keys {
+		if k != 0 {
+			fn(k-1, m.heads[i])
+		}
+	}
+}
+
+func log2(v int) uint {
+	n := uint(0)
+	for 1<<n < v {
+		n++
+	}
+	return n
+}

@@ -37,9 +37,15 @@ type Cache struct {
 	lineShift uint
 	setMask   uint64
 	latency   int
-	// ways holds, per set, the resident tags in LRU order: index 0 is
-	// the most recently used way.
-	ways  [][]uint64
+	assoc     int
+	// ways holds every set's resident tags in one flat backing array:
+	// set s occupies ways[s*assoc : s*assoc+live[s]] in LRU order
+	// (index 0 is the most recently used way). A flat array keeps the
+	// per-access lookup a single indexed load and makes Clone a pair of
+	// copy calls instead of a per-set allocation walk.
+	ways []uint64
+	// live[s] is the number of resident ways in set s.
+	live  []int32
 	stats CacheStats
 }
 
@@ -50,16 +56,14 @@ func NewCache(cc config.CacheConfig) *Cache {
 		panic(err)
 	}
 	sets := cc.Sets()
-	c := &Cache{
+	return &Cache{
 		lineShift: uint(log2(cc.LineBytes)),
 		setMask:   uint64(sets - 1),
 		latency:   cc.LatencyCycles,
-		ways:      make([][]uint64, sets),
+		assoc:     cc.Assoc,
+		ways:      make([]uint64, sets*cc.Assoc),
+		live:      make([]int32, sets),
 	}
-	for i := range c.ways {
-		c.ways[i] = make([]uint64, 0, cc.Assoc)
-	}
-	return c
 }
 
 func log2(v int) int {
@@ -84,18 +88,46 @@ func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.l
 // write-allocate) evicting the LRU way if needed.
 func (c *Cache) Access(addr uint64) bool {
 	c.stats.Accesses++
-	tag := addr >> c.lineShift
-	set := c.ways[tag&c.setMask]
+	if c.touch(addr >> c.lineShift) {
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// accessQuiet performs a full access (LRU promotion on hit, allocation
+// on miss) without counting statistics; warm-up replay uses it.
+func (c *Cache) accessQuiet(addr uint64) {
+	c.touch(addr >> c.lineShift)
+}
+
+// touch looks up tag, promoting it to MRU on hit; on a miss it
+// allocates the line (evicting LRU if needed) and reports false.
+func (c *Cache) touch(tag uint64) bool {
+	si := int(tag & c.setMask)
+	base := si * c.assoc
+	n := int(c.live[si])
+	set := c.ways[base : base+n]
 	for i, t := range set {
 		if t == tag {
-			// Move to front (most recently used).
-			copy(set[1:i+1], set[:i])
+			// Move to front (most recently used). Hand-rolled shift:
+			// sets are a handful of ways, below memmove's call cost.
+			for k := i; k > 0; k-- {
+				set[k] = set[k-1]
+			}
 			set[0] = tag
 			return true
 		}
 	}
-	c.stats.Misses++
-	c.insert(tag)
+	if n < c.assoc {
+		n++
+		c.live[si] = int32(n)
+		set = c.ways[base : base+n]
+	}
+	for k := n - 1; k > 0; k-- {
+		set[k] = set[k-1]
+	}
+	set[0] = tag
 	return false
 }
 
@@ -103,7 +135,9 @@ func (c *Cache) Access(addr uint64) bool {
 // statistics. Tests and invariant checks use it.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineShift
-	for _, t := range c.ways[tag&c.setMask] {
+	si := int(tag & c.setMask)
+	base := si * c.assoc
+	for _, t := range c.ways[base : base+int(c.live[si])] {
 		if t == tag {
 			return true
 		}
@@ -111,25 +145,55 @@ func (c *Cache) Probe(addr uint64) bool {
 	return false
 }
 
+// prime allocates addr's line as the MRU way if it is absent, without
+// touching LRU order when it is already resident and without counting
+// statistics; the instruction-path warm-up uses it.
+func (c *Cache) prime(addr uint64) {
+	if !c.Probe(addr) {
+		c.insert(addr >> c.lineShift)
+	}
+}
+
 // insert allocates tag as the MRU way of its set, evicting LRU if full.
 func (c *Cache) insert(tag uint64) {
-	idx := tag & c.setMask
-	set := c.ways[idx]
-	if len(set) < cap(set) {
-		set = append(set, 0)
+	si := int(tag & c.setMask)
+	base := si * c.assoc
+	n := int(c.live[si])
+	if n < c.assoc {
+		n++
+		c.live[si] = int32(n)
 	}
-	copy(set[1:], set[:len(set)-1])
+	set := c.ways[base : base+n]
+	for k := n - 1; k > 0; k-- {
+		set[k] = set[k-1]
+	}
 	set[0] = tag
-	c.ways[idx] = set
+}
+
+// Clone returns a deep copy sharing no mutable state with c.
+func (c *Cache) Clone() *Cache {
+	nc := *c
+	nc.ways = make([]uint64, len(c.ways))
+	copy(nc.ways, c.ways)
+	nc.live = make([]int32, len(c.live))
+	copy(nc.live, c.live)
+	return &nc
+}
+
+// adoptState copies donor's resident lines and LRU order into c,
+// leaving c's own latency and statistics untouched. Geometry must match
+// (Hierarchy.Fork checks it via WarmKey equality before calling).
+func (c *Cache) adoptState(donor *Cache) {
+	copy(c.ways, donor.ways)
+	copy(c.live, donor.live)
 }
 
 // Stats returns a copy of the access counters.
 func (c *Cache) Stats() CacheStats { return c.stats }
 
-// Reset empties the cache and zeroes its statistics.
+// Reset empties the cache and zeroes its statistics, reusing the
+// backing arrays.
 func (c *Cache) Reset() {
-	for i := range c.ways {
-		c.ways[i] = c.ways[i][:0]
-	}
+	clear(c.live)
 	c.stats = CacheStats{}
 }

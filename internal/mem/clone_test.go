@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+)
+
+// replayAccesses drives an identical access mix through a hierarchy.
+func replayAccesses(h *Hierarchy, seed int64, n int) {
+	r := rand.New(rand.NewSource(seed))
+	now := int64(0)
+	for i := 0; i < n; i++ {
+		now += int64(r.Intn(5))
+		addr := uint64(r.Intn(1 << 22))
+		switch r.Intn(4) {
+		case 0:
+			h.FetchLatency(now, addr)
+		case 1:
+			h.StoreCommit(addr)
+		default:
+			h.Load(now, addr)
+		}
+	}
+}
+
+// TestHierarchyCloneIndependent: a clone replays identically to its
+// original and mutations of one never leak into the other.
+func TestHierarchyCloneIndependent(t *testing.T) {
+	h := NewHierarchy(config.Default())
+	replayAccesses(h, 1, 4000)
+
+	clone := h.Clone()
+	if h.Stats() != clone.Stats() {
+		t.Fatalf("clone stats diverge: %+v vs %+v", h.Stats(), clone.Stats())
+	}
+
+	// Identical continuations must stay identical...
+	replayAccesses(h, 2, 4000)
+	replayAccesses(clone, 2, 4000)
+	if h.Stats() != clone.Stats() {
+		t.Fatalf("identical continuations diverged: %+v vs %+v", h.Stats(), clone.Stats())
+	}
+	// ...and divergent traffic on the clone must not touch the original.
+	before := h.Stats()
+	replayAccesses(clone, 3, 4000)
+	if h.Stats() != before {
+		t.Fatal("clone traffic mutated the original")
+	}
+}
+
+// TestForkAdoptsWarmState: a fork of a warmed donor answers exactly
+// like a hierarchy that replayed the warm-up itself, for every
+// warm-compatible configuration (different latencies and prefetch).
+func TestForkAdoptsWarmState(t *testing.T) {
+	warm := func(h *Hierarchy) {
+		for a := uint64(0); a < 1<<16; a += 8 {
+			h.WarmData(a)
+		}
+		for pc := uint64(0); pc < 1<<12; pc += 32 {
+			h.PrimeFetch(pc)
+		}
+	}
+
+	donorCfg := config.Default()
+	donor := NewHierarchy(donorCfg)
+	warm(donor)
+
+	member := config.Default()
+	member.MemoryLatency = 400
+	member.DL1.LatencyCycles = 3
+	member.PrefetchDegree = 2
+	forked, err := donor.Fork(member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := forked.Stats(); got != (HierarchyStats{}) {
+		t.Fatalf("fork must start with zero stats, got %+v", got)
+	}
+
+	cold := NewHierarchy(member)
+	warm(cold)
+	replayAccesses(forked, 7, 6000)
+	replayAccesses(cold, 7, 6000)
+	if forked.Stats() != cold.Stats() {
+		t.Fatalf("forked warm state diverges from cold warm-up:\n fork: %+v\n cold: %+v",
+			forked.Stats(), cold.Stats())
+	}
+}
+
+// TestForkRejectsGeometryMismatch: adopting cache contents across
+// geometries would be silently wrong, so Fork must refuse.
+func TestForkRejectsGeometryMismatch(t *testing.T) {
+	donor := NewHierarchy(config.Default())
+	bad := config.Default()
+	bad.DL1.SizeBytes *= 2
+	if _, err := donor.Fork(bad); err == nil {
+		t.Fatal("fork across DL1 geometries must fail")
+	}
+	badL2 := config.Default()
+	badL2.PerfectL2 = true
+	if _, err := donor.Fork(badL2); err == nil {
+		t.Fatal("fork across PerfectL2 settings must fail")
+	}
+}
+
+// TestWarmKeyIgnoresTiming: latency, memory timing and prefetch degree
+// never affect warm-up contents, so they must not split groups.
+func TestWarmKeyIgnoresTiming(t *testing.T) {
+	a := config.Default()
+	b := config.Default()
+	b.MemoryLatency = 100
+	b.PrefetchDegree = 4
+	b.IL1.LatencyCycles = 1
+	b.L2.LatencyCycles = 20
+	if WarmKeyFor(a) != WarmKeyFor(b) {
+		t.Fatal("timing-only differences must share a WarmKey")
+	}
+	c := config.Default()
+	c.L2.Assoc = 8
+	if WarmKeyFor(a) == WarmKeyFor(c) {
+		t.Fatal("geometry differences must split WarmKeys")
+	}
+}
+
+// TestWarmKeyDonorServesFork: the Donor built from a WarmKey alone is
+// warm-compatible with every configuration sharing that key.
+func TestWarmKeyDonorServesFork(t *testing.T) {
+	cfg := config.Default()
+	cfg.MemoryLatency = 777
+	donor, err := WarmKeyFor(cfg).Donor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor.WarmData(0x1234)
+	forked, err := donor.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := forked.Load(0, 0x1234)
+	if r.MissedL2 {
+		t.Fatal("fork lost the donor's warmed line")
+	}
+}
+
+// TestMSHRModel compares the open-addressed in-flight table against a
+// map reference under random put/get/del mixes (including the
+// backward-shift deletion paths).
+func TestMSHRModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var m mshr
+		ref := map[uint64]int64{}
+		for i, op := range ops {
+			line := uint64(op % 97) // force collisions
+			switch op % 3 {
+			case 0:
+				m.put(line, int64(i))
+				ref[line] = int64(i)
+			case 1:
+				m.del(line)
+				delete(ref, line)
+			default:
+				v, ok := m.get(line)
+				rv, rok := ref[line]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		if m.n != len(ref) {
+			return false
+		}
+		for line, rv := range ref {
+			if v, ok := m.get(line); !ok || v != rv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyResetReusesTables is the PR-5 satellite regression guard:
+// Reset must reuse every backing array — the old implementation
+// reallocated the in-flight map wholesale on every reset.
+func TestHierarchyResetReusesTables(t *testing.T) {
+	h := NewHierarchy(config.Default())
+	// Populate all tiers and the in-flight tracker.
+	replayAccesses(h, 11, 2000)
+	r := rand.New(rand.NewSource(11))
+	addrs := make([]uint64, 100)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 22))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i, a := range addrs {
+			h.Load(int64(i), a)
+		}
+		h.Reset()
+	})
+	if allocs > 0 {
+		t.Errorf("Reset (plus steady-state traffic) allocates %.1f times per cycle, want 0", allocs)
+	}
+	// And Reset still means cold.
+	if !h.Load(0, 0x42).MissedL2 {
+		t.Error("Reset must cold the caches")
+	}
+}

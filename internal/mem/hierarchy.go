@@ -1,6 +1,10 @@
 package mem
 
-import "repro/internal/config"
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
 
 // AccessResult describes the outcome of a data access.
 type AccessResult struct {
@@ -38,60 +42,134 @@ type Hierarchy struct {
 	perfectL2    bool
 	memLatency   int64
 	prefetch     int
+	warm         WarmKey
 
-	// inflight maps an L2 line address to the cycle its fill completes.
-	inflight map[uint64]int64
+	// inflight tracks in-flight L2 line fills (fill-completion cycle per
+	// line address, MSHR-style).
+	inflight mshr
 	stats    HierarchyStats
 }
 
 // NewHierarchy builds the memory system from the architectural config.
 func NewHierarchy(cfg config.Config) *Hierarchy {
-	return &Hierarchy{
+	h := &Hierarchy{
 		il1:        NewCache(cfg.IL1),
 		dl1:        NewCache(cfg.DL1),
 		l2:         NewCache(cfg.L2),
 		perfectL2:  cfg.PerfectL2,
 		memLatency: int64(cfg.MemoryLatency),
 		prefetch:   cfg.PrefetchDegree,
-		inflight:   make(map[uint64]int64),
+		warm:       WarmKeyFor(cfg),
 	}
+	h.inflight.init(mshrSizeFor(cfg.MemoryLatency))
+	return h
+}
+
+// WarmKey identifies the warm-relevant shape of a hierarchy: two
+// configurations with equal WarmKeys reach bit-identical cache contents
+// from the same warm-up replay, whatever their hit latencies, memory
+// latency or prefetch degree (none of which the warm-up paths touch).
+// It is comparable, so sweep engines use it directly as a grouping key.
+type WarmKey struct {
+	// IL1, DL1 and L2 are the cache geometries with LatencyCycles
+	// zeroed: latency shapes timing, never contents.
+	IL1, DL1, L2 config.CacheConfig
+	// PerfectL2 changes what the warm-up writes (a perfect L2 is never
+	// touched), so it splits groups.
+	PerfectL2 bool
+}
+
+// WarmKeyFor returns the warm-relevant shape of cfg.
+func WarmKeyFor(cfg config.Config) WarmKey {
+	k := WarmKey{IL1: cfg.IL1, DL1: cfg.DL1, L2: cfg.L2, PerfectL2: cfg.PerfectL2}
+	k.IL1.LatencyCycles = 0
+	k.DL1.LatencyCycles = 0
+	k.L2.LatencyCycles = 0
+	return k
+}
+
+// Donor builds a hierarchy with k's geometry and placeholder timing,
+// usable only for warm-up replay and Fork: sweep engines warm one donor
+// per (trace, WarmKey) group and fork it to every member, so the
+// donor's latencies are never observed. Geometry errors come back as
+// errors (not panics) because a sweep worker must survive a bad point.
+func (k WarmKey) Donor() (*Hierarchy, error) {
+	cfg := config.Config{IL1: k.IL1, DL1: k.DL1, L2: k.L2, PerfectL2: k.PerfectL2, MemoryLatency: 1}
+	cfg.IL1.LatencyCycles = 1
+	cfg.DL1.LatencyCycles = 1
+	cfg.L2.LatencyCycles = 1
+	for name, cc := range map[string]config.CacheConfig{"IL1": cfg.IL1, "DL1": cfg.DL1, "L2": cfg.L2} {
+		if err := cc.Validate(); err != nil {
+			return nil, fmt.Errorf("mem: warm donor %s: %w", name, err)
+		}
+	}
+	// WarmKeyFor zeroes latencies, so the donor's own key equals k.
+	return NewHierarchy(cfg), nil
+}
+
+// WarmKey returns the hierarchy's warm-relevant shape.
+func (h *Hierarchy) WarmKey() WarmKey { return h.warm }
+
+// Clone returns a deep copy sharing no mutable state with h: caches
+// (flat tag arrays), the in-flight line tracker, and statistics are all
+// copied. The clone and the original may then run on different
+// goroutines.
+func (h *Hierarchy) Clone() *Hierarchy {
+	nh := *h
+	nh.il1 = h.il1.Clone()
+	nh.dl1 = h.dl1.Clone()
+	nh.l2 = h.l2.Clone()
+	nh.inflight = h.inflight.clone()
+	return &nh
+}
+
+// Fork builds a fresh hierarchy for cfg that starts from h's current
+// cache contents: the fork half of the snapshot-fork sweep kernel. The
+// fork takes cfg's own latencies, prefetch degree and perfect-L2
+// setting, zero statistics and an empty in-flight tracker; only the
+// resident lines and their LRU order carry over (three flat copies).
+// It fails if cfg's warm-relevant shape differs from h's — adopting
+// cache state across geometries would be silently wrong.
+func (h *Hierarchy) Fork(cfg config.Config) (*Hierarchy, error) {
+	if k := WarmKeyFor(cfg); k != h.warm {
+		return nil, fmt.Errorf("mem: fork geometry mismatch: donor %+v vs member %+v", h.warm, k)
+	}
+	nh := NewHierarchy(cfg)
+	nh.il1.adoptState(h.il1)
+	nh.dl1.adoptState(h.dl1)
+	nh.l2.adoptState(h.l2)
+	return nh, nil
 }
 
 // Load models a data load issued at cycle now.
 func (h *Hierarchy) Load(now int64, addr uint64) AccessResult {
 	// An in-flight fill of this line absorbs the request (MSHR merge).
 	line := h.l2.LineAddr(addr)
-	if ready, ok := h.inflight[line]; ok {
+	if ready, ok := h.inflight.get(line); ok {
 		if ready > now {
 			h.stats.MergedMisses++
-			h.stats.DL1.Accesses++
-			h.stats.DL1.Misses++
 			return AccessResult{Done: ready, MissedL2: true}
 		}
-		delete(h.inflight, line)
+		h.inflight.del(line)
 	}
 
 	done := now + int64(h.dl1.Latency())
 	if h.dl1.Access(addr) {
-		h.stats.DL1 = h.dl1.Stats()
 		return AccessResult{Done: done}
 	}
-	h.stats.DL1 = h.dl1.Stats()
 
 	done += int64(h.l2.Latency())
 	if h.perfectL2 {
 		return AccessResult{Done: done}
 	}
 	if h.l2.Access(addr) {
-		h.stats.L2 = h.l2.Stats()
 		return AccessResult{Done: done}
 	}
-	h.stats.L2 = h.l2.Stats()
 
 	// Main memory. The line is resident (for replacement purposes) from
-	// now on, but consumers must wait for the fill via the MSHR map.
+	// now on, but consumers must wait for the fill via the MSHR table.
 	done += h.memLatency
-	h.inflight[line] = done
+	h.inflight.put(line, done)
 	h.stats.MemAccesses++
 	h.prefetchAfter(line, done)
 	return AccessResult{Done: done, MissedL2: true}
@@ -106,11 +184,11 @@ func (h *Hierarchy) prefetchAfter(line uint64, done int64) {
 		if h.l2.Probe(next) {
 			continue
 		}
-		if _, busy := h.inflight[next]; busy {
+		if _, busy := h.inflight.get(next); busy {
 			continue
 		}
 		h.l2.insert(next >> h.l2.lineShift)
-		h.inflight[next] = done + int64(i)
+		h.inflight.put(next, done+int64(i))
 		h.stats.Prefetches++
 	}
 }
@@ -120,26 +198,22 @@ func (h *Hierarchy) prefetchAfter(line uint64, done int64) {
 // IL1 go to L2 and, if needed, memory, reusing the same line tracker.
 func (h *Hierarchy) FetchLatency(now int64, pc uint64) int64 {
 	line := h.l2.LineAddr(pc)
-	if ready, ok := h.inflight[line]; ok {
+	if ready, ok := h.inflight.get(line); ok {
 		if ready > now {
 			return ready
 		}
-		delete(h.inflight, line)
+		h.inflight.del(line)
 	}
 	done := now + int64(h.il1.Latency())
 	if h.il1.Access(pc) {
-		h.stats.IL1 = h.il1.Stats()
 		return done
 	}
-	h.stats.IL1 = h.il1.Stats()
 	done += int64(h.l2.Latency())
 	if h.perfectL2 || h.l2.Access(pc) {
-		h.stats.L2 = h.l2.Stats()
 		return done
 	}
-	h.stats.L2 = h.l2.Stats()
 	done += h.memLatency
-	h.inflight[line] = done
+	h.inflight.put(line, done)
 	h.stats.MemAccesses++
 	return done
 }
@@ -150,13 +224,10 @@ func (h *Hierarchy) FetchLatency(now int64, pc uint64) int64 {
 func (h *Hierarchy) StoreCommit(addr uint64) {
 	h.stats.StoreWrites++
 	if h.dl1.Access(addr) {
-		h.stats.DL1 = h.dl1.Stats()
 		return
 	}
-	h.stats.DL1 = h.dl1.Stats()
 	if !h.perfectL2 {
 		h.l2.Access(addr)
-		h.stats.L2 = h.l2.Stats()
 	}
 }
 
@@ -165,15 +236,9 @@ func (h *Hierarchy) StoreCommit(addr uint64) {
 // the paper's 300M-instruction SimPoints amortise cold code misses to
 // nothing, which short simulations must emulate explicitly.
 func (h *Hierarchy) PrimeFetch(pc uint64) {
-	if !h.il1.Probe(pc) {
-		h.il1.Access(pc)
-		h.il1.stats.Accesses--
-		h.il1.stats.Misses--
-	}
-	if !h.perfectL2 && !h.l2.Probe(pc) {
-		h.l2.Access(pc)
-		h.l2.stats.Accesses--
-		h.l2.stats.Misses--
+	h.il1.prime(pc)
+	if !h.perfectL2 {
+		h.l2.prime(pc)
 	}
 }
 
@@ -183,13 +248,9 @@ func (h *Hierarchy) PrimeFetch(pc uint64) {
 // have: resident working sets stay, streaming footprints evict
 // themselves back to their steady state.
 func (h *Hierarchy) WarmData(addr uint64) {
-	preDL1 := h.dl1.stats
-	h.dl1.Access(addr)
-	h.dl1.stats = preDL1
+	h.dl1.accessQuiet(addr)
 	if !h.perfectL2 {
-		preL2 := h.l2.stats
-		h.l2.Access(addr)
-		h.l2.stats = preL2
+		h.l2.accessQuiet(addr)
 	}
 }
 
@@ -201,7 +262,7 @@ func (h *Hierarchy) WouldMissL2(now int64, addr uint64) bool {
 		return false
 	}
 	line := h.l2.LineAddr(addr)
-	if ready, ok := h.inflight[line]; ok && ready > now {
+	if ready, ok := h.inflight.get(line); ok && ready > now {
 		return true
 	}
 	return !h.dl1.Probe(addr) && !h.l2.Probe(addr)
@@ -216,11 +277,12 @@ func (h *Hierarchy) Stats() HierarchyStats {
 	return s
 }
 
-// Reset restores the hierarchy to cold-cache state.
+// Reset restores the hierarchy to cold-cache state, reusing every
+// backing array (no allocation).
 func (h *Hierarchy) Reset() {
 	h.il1.Reset()
 	h.dl1.Reset()
 	h.l2.Reset()
-	h.inflight = make(map[uint64]int64)
+	h.inflight.reset()
 	h.stats = HierarchyStats{}
 }

@@ -1,0 +1,163 @@
+package mem
+
+// mshr tracks in-flight main-memory line fills: a bounded
+// open-addressed hash table from line address to the absolute cycle the
+// fill completes. It replaces a map[uint64]int64 on the per-access hot
+// path: the common nothing-in-flight case is one length check, lookups
+// are a linear probe over a flat array, inserts and deletes allocate
+// nothing once the table reaches its working size, and reset/clone are
+// a clear/copy of the backing arrays instead of a map reallocation.
+//
+// Keys are stored biased by +1 so a zero slot means empty; line address
+// ^uint64(0) is therefore unrepresentable, which is unreachable in
+// practice (it requires a one-byte L2 line at the very top of the
+// address space).
+//
+// lsq.storeIndex is this table's twin with a pointer value type; the
+// two stay hand-specialised because get/put sit on the simulator's
+// hottest per-access paths and must inline. A fix to either table's
+// probing or backward-shift deletion belongs in both.
+type mshr struct {
+	keys  []uint64 // line+1; 0 marks an empty slot
+	vals  []int64
+	n     int
+	mask  uint64
+	shift uint // 64 - log2(len(keys)), for Fibonacci hashing
+}
+
+// mshrMinSlots is the initial table size; figure-scale runs rarely have
+// more than a few tens of lines in flight at once.
+const mshrMinSlots = 64
+
+// sizeFor returns the initial slot count for a hierarchy whose memory
+// latency is lat cycles: unconstrained memory-level parallelism keeps
+// roughly one line in flight per few cycles of latency on streaming
+// workloads, so pre-sizing to the working size avoids the rehash churn
+// of growing from mshrMinSlots on every simulation point.
+func mshrSizeFor(lat int) int {
+	size := mshrMinSlots
+	for size < lat {
+		size *= 2
+	}
+	return size
+}
+
+// init pre-sizes the table.
+func (m *mshr) init(slots int) {
+	m.keys = make([]uint64, slots)
+	m.vals = make([]int64, slots)
+	m.mask = uint64(slots - 1)
+	m.shift = 64 - uint(log2(slots))
+}
+
+func (m *mshr) slot(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> m.shift
+}
+
+// get returns the fill-completion cycle of line, if it is in flight.
+func (m *mshr) get(line uint64) (int64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	key := line + 1
+	for i := m.slot(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			return m.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// put records line as in flight until cycle val.
+func (m *mshr) put(line uint64, val int64) {
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow()
+	}
+	key := line + 1
+	for i := m.slot(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case 0:
+			m.keys[i] = key
+			m.vals[i] = val
+			m.n++
+			return
+		case key:
+			m.vals[i] = val
+			return
+		}
+	}
+}
+
+// del removes line from the table (a no-op if absent) using
+// backward-shift deletion, so probe chains stay dense without
+// tombstones.
+func (m *mshr) del(line uint64) {
+	if m.n == 0 {
+		return
+	}
+	key := line + 1
+	i := m.slot(key)
+	for m.keys[i] != key {
+		if m.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.n--
+	for j := i; ; {
+		j = (j + 1) & m.mask
+		k := m.keys[j]
+		if k == 0 {
+			break
+		}
+		// k may slide back into slot i only if i still lies within its
+		// probe chain (between its home slot and j, cyclically).
+		if (j-m.slot(k))&m.mask >= (j-i)&m.mask {
+			m.keys[i] = k
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.keys[i] = 0
+}
+
+// grow (re)builds the table at double capacity, reinserting the live
+// entries. It runs O(log) times over a hierarchy's lifetime; reset
+// keeps the grown arrays.
+func (m *mshr) grow() {
+	size := mshrMinSlots
+	if len(m.keys) > 0 {
+		size = 2 * len(m.keys)
+	}
+	oldKeys, oldVals := m.keys, m.vals
+	m.keys = make([]uint64, size)
+	m.vals = make([]int64, size)
+	m.mask = uint64(size - 1)
+	m.shift = 64 - uint(log2(size))
+	m.n = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			m.put(k-1, oldVals[i])
+		}
+	}
+}
+
+// reset empties the table, reusing the backing arrays.
+func (m *mshr) reset() {
+	if m.n != 0 {
+		clear(m.keys)
+		m.n = 0
+	}
+}
+
+// clone returns a deep copy.
+func (m *mshr) clone() mshr {
+	nm := *m
+	nm.keys = make([]uint64, len(m.keys))
+	copy(nm.keys, m.keys)
+	nm.vals = make([]int64, len(m.vals))
+	copy(nm.vals, m.vals)
+	return nm
+}

@@ -30,12 +30,22 @@ func (d *Deque[T]) Full() bool { return d.size == len(d.buf) }
 // Empty reports whether the deque has no elements.
 func (d *Deque[T]) Empty() bool { return d.size == 0 }
 
+// wrap reduces an index in [0, 2*cap) onto the ring; head+offset sums
+// never exceed that, so a conditional subtract replaces the integer
+// division a % would cost on the per-instruction paths.
+func (d *Deque[T]) wrap(i int) int {
+	if i >= len(d.buf) {
+		i -= len(d.buf)
+	}
+	return i
+}
+
 // PushBack appends v at the tail (youngest). It returns false when full.
 func (d *Deque[T]) PushBack(v T) bool {
 	if d.Full() {
 		return false
 	}
-	d.buf[(d.head+d.size)%len(d.buf)] = v
+	d.buf[d.wrap(d.head+d.size)] = v
 	d.size++
 	return true
 }
@@ -48,7 +58,7 @@ func (d *Deque[T]) PopFront() (T, bool) {
 	}
 	v := d.buf[d.head]
 	d.buf[d.head] = zero
-	d.head = (d.head + 1) % len(d.buf)
+	d.head = d.wrap(d.head + 1)
 	d.size--
 	return v, true
 }
@@ -59,7 +69,7 @@ func (d *Deque[T]) PopBack() (T, bool) {
 	if d.size == 0 {
 		return zero, false
 	}
-	i := (d.head + d.size - 1) % len(d.buf)
+	i := d.wrap(d.head + d.size - 1)
 	v := d.buf[i]
 	d.buf[i] = zero
 	d.size--
@@ -81,7 +91,7 @@ func (d *Deque[T]) Back() (T, bool) {
 	if d.size == 0 {
 		return zero, false
 	}
-	return d.buf[(d.head+d.size-1)%len(d.buf)], true
+	return d.buf[d.wrap(d.head+d.size-1)], true
 }
 
 // At returns the i'th element from the head (0 = oldest).
@@ -89,13 +99,13 @@ func (d *Deque[T]) At(i int) T {
 	if i < 0 || i >= d.size {
 		panic(fmt.Sprintf("queue: deque index %d out of range [0,%d)", i, d.size))
 	}
-	return d.buf[(d.head+i)%len(d.buf)]
+	return d.buf[d.wrap(d.head+i)]
 }
 
 // ForEach calls fn on each element from oldest to youngest.
 func (d *Deque[T]) ForEach(fn func(v T)) {
 	for i := 0; i < d.size; i++ {
-		fn(d.buf[(d.head+i)%len(d.buf)])
+		fn(d.buf[d.wrap(d.head+i)])
 	}
 }
 
@@ -103,7 +113,7 @@ func (d *Deque[T]) ForEach(fn func(v T)) {
 func (d *Deque[T]) Clear() {
 	var zero T
 	for i := 0; i < d.size; i++ {
-		d.buf[(d.head+i)%len(d.buf)] = zero
+		d.buf[d.wrap(d.head+i)] = zero
 	}
 	d.head, d.size = 0, 0
 }

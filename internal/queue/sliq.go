@@ -120,6 +120,11 @@ func (s *SLIQ[P]) recycle(e *sliqEntry[P]) {
 // TriggerReady starts the wake process for every entry waiting on reg:
 // they become eligible for re-insertion delay cycles after now.
 func (s *SLIQ[P]) TriggerReady(reg rename.PhysReg, now int64) {
+	if s.occupied == 0 {
+		// Every waiting list is empty; skip the per-register index
+		// probe (writeback calls this for every completed value).
+		return
+	}
 	entries := s.waiting[reg]
 	if len(entries) == 0 {
 		return

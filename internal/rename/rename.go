@@ -15,7 +15,15 @@
 // Snapshot/Rollback implement the checkpointing of figure 3: a snapshot
 // conceptually costs two bits per physical register (Valid + Future
 // Free); the free list and the logical map are derivable in hardware and
-// are stored here for simulation convenience.
+// are kept outside the snapshot (Rollback re-derives them).
+//
+// The free list is a LIFO stack, so allocation is a pop instead of a
+// lowest-free bitmap scan (the scan was a visible slice of the dispatch
+// profile at 4096 registers). Which free register an allocation picks
+// is architecturally irrelevant — renaming is a bijection and no timing
+// in the pipeline depends on the numeric index — and the stack order is
+// fully deterministic, so simulated results are unchanged (pinned by
+// the figure-9 golden).
 package rename
 
 import (
@@ -42,13 +50,22 @@ type Table struct {
 	// futureFree marks old mappings superseded since the last
 	// checkpoint; they are freed when that window's checkpoint commits.
 	futureFree *bitset.Set
-	// freeList marks allocatable physical registers.
-	freeList *bitset.Set
+	// freeStack holds the allocatable physical registers (allocate pops,
+	// free pushes); inFree mirrors membership for the double-free and
+	// invariant checks.
+	freeStack []PhysReg
+	inFree    []bool
+	// scratch is the rollback work set for re-deriving the free list.
+	scratch *bitset.Set
 	// rmap is the logical->physical inverse of the CAM's associative
 	// lookup.
 	rmap [isa.NumLogical]PhysReg
 
-	freeCount int
+	// snapPool recycles snapshot backing sets (see ReleaseSnapshot):
+	// checkpoint-heavy runs take one snapshot per window, and the bitset
+	// clones per take dominated the simulator's allocation profile
+	// before pooling.
+	snapPool []Snapshot
 }
 
 // Snapshot is the checkpoint record of the rename state at one point in
@@ -56,7 +73,6 @@ type Table struct {
 type Snapshot struct {
 	valid      *bitset.Set
 	futureFree *bitset.Set
-	freeList   *bitset.Set
 	rmap       [isa.NumLogical]PhysReg
 }
 
@@ -77,17 +93,19 @@ func New(nPhys int) *Table {
 		logical:    make([]isa.Reg, nPhys),
 		valid:      bitset.New(nPhys),
 		futureFree: bitset.New(nPhys),
-		freeList:   bitset.New(nPhys),
+		freeStack:  make([]PhysReg, 0, nPhys),
+		inFree:     make([]bool, nPhys),
+		scratch:    bitset.New(nPhys),
 	}
-	for p := 0; p < nPhys; p++ {
+	// Push high to low so the first pops hand out the lowest indices,
+	// matching the initial mappings below.
+	for p := nPhys - 1; p >= isa.NumLogical; p-- {
 		t.logical[p] = isa.RegNone
-		t.freeList.Set(p)
+		t.freeStack = append(t.freeStack, PhysReg(p))
+		t.inFree[p] = true
 	}
-	t.freeCount = nPhys
 	for l := 0; l < isa.NumLogical; l++ {
 		p := PhysReg(l)
-		t.freeList.Clear(int(p))
-		t.freeCount--
 		t.valid.Set(int(p))
 		t.logical[p] = isa.Reg(l)
 		t.rmap[l] = p
@@ -99,7 +117,7 @@ func New(nPhys int) *Table {
 func (t *Table) NumPhys() int { return t.n }
 
 // FreeCount returns the number of allocatable physical registers.
-func (t *Table) FreeCount() int { return t.freeCount }
+func (t *Table) FreeCount() int { return len(t.freeStack) }
 
 // Lookup returns the current physical mapping of logical register l.
 func (t *Table) Lookup(l isa.Reg) PhysReg {
@@ -109,22 +127,28 @@ func (t *Table) Lookup(l isa.Reg) PhysReg {
 	return t.rmap[l]
 }
 
-// allocate takes a register from the free list and installs the new
+// pushFree returns p to the free stack.
+func (t *Table) pushFree(p PhysReg) {
+	t.freeStack = append(t.freeStack, p)
+	t.inFree[p] = true
+}
+
+// allocate takes a register from the free stack and installs the new
 // mapping, returning the new and previous physical registers.
 func (t *Table) allocate(dest isa.Reg) (newP, prevP PhysReg, ok bool) {
 	if !dest.Valid() {
 		panic(fmt.Sprintf("rename: allocate for invalid register %v", dest))
 	}
-	idx := t.freeList.FirstSet()
-	if idx < 0 {
+	top := len(t.freeStack) - 1
+	if top < 0 {
 		return PhysNone, PhysNone, false
 	}
-	newP = PhysReg(idx)
+	newP = t.freeStack[top]
+	t.freeStack = t.freeStack[:top]
+	t.inFree[newP] = false
 	prevP = t.rmap[dest]
-	t.freeList.Clear(idx)
-	t.freeCount--
-	t.valid.Set(idx)
-	t.logical[idx] = dest
+	t.valid.Set(int(newP))
+	t.logical[newP] = dest
 	t.rmap[dest] = newP
 	if prevP != PhysNone {
 		t.valid.Clear(int(prevP))
@@ -159,8 +183,7 @@ func (t *Table) UnwindCheckpointed(dest isa.Reg, newP, prevP PhysReg) {
 	}
 	t.valid.Clear(int(newP))
 	t.logical[newP] = isa.RegNone
-	t.freeList.Set(int(newP))
-	t.freeCount++
+	t.pushFree(newP)
 	t.rmap[dest] = prevP
 	if prevP != PhysNone {
 		t.valid.Set(int(prevP))
@@ -181,7 +204,7 @@ func (t *Table) Free(p PhysReg) {
 		return
 	}
 	i := int(p)
-	if t.freeList.Get(i) {
+	if t.inFree[i] {
 		panic(fmt.Sprintf("rename: double free of p%d", p))
 	}
 	if t.valid.Get(i) {
@@ -189,8 +212,7 @@ func (t *Table) Free(p PhysReg) {
 	}
 	t.futureFree.Clear(i)
 	t.logical[i] = isa.RegNone
-	t.freeList.Set(i)
-	t.freeCount++
+	t.pushFree(p)
 }
 
 // UnwindROB reverses a single ROB-mode allocation during a squash walk:
@@ -204,27 +226,47 @@ func (t *Table) UnwindROB(dest isa.Reg, newP, prevP PhysReg) {
 	}
 	t.valid.Clear(int(newP))
 	t.logical[newP] = isa.RegNone
-	t.freeList.Set(int(newP))
-	t.freeCount++
+	t.pushFree(newP)
 	t.rmap[dest] = prevP
 	if prevP != PhysNone {
 		t.valid.Set(int(prevP))
 	}
 }
 
-// TakeSnapshot implements taking a checkpoint (figure 6): it captures the
-// Valid and Future Free bits (plus the derivable free list and logical
-// map for the simulator's benefit) and clears the live Future Free bits
-// so the next window starts accumulating afresh.
+// TakeSnapshot implements taking a checkpoint (figure 6): it captures
+// the Valid and Future Free bits (plus the logical map for the
+// simulator's benefit) and clears the live Future Free bits so the next
+// window starts accumulating afresh. The free list is not captured —
+// Rollback re-derives it, as the hardware would.
 func (t *Table) TakeSnapshot() Snapshot {
-	s := Snapshot{
-		valid:      t.valid.Clone(),
-		futureFree: t.futureFree.Clone(),
-		freeList:   t.freeList.Clone(),
-		rmap:       t.rmap,
+	var s Snapshot
+	if n := len(t.snapPool); n > 0 {
+		s = t.snapPool[n-1]
+		t.snapPool[n-1] = Snapshot{}
+		t.snapPool = t.snapPool[:n-1]
+		s.valid.CopyFrom(t.valid)
+		s.futureFree.CopyFrom(t.futureFree)
+	} else {
+		s = Snapshot{
+			valid:      t.valid.Clone(),
+			futureFree: t.futureFree.Clone(),
+		}
 	}
+	s.rmap = t.rmap
 	t.futureFree.Reset()
 	return s
+}
+
+// ReleaseSnapshot returns a snapshot's backing sets to the table's
+// internal pool for reuse by a future TakeSnapshot. The caller must
+// drop every reference into the snapshot (including its FutureFree set)
+// before releasing; the owning checkpoint's commit or rollback-discard
+// is the natural point. Releasing the zero Snapshot is a no-op.
+func (t *Table) ReleaseSnapshot(s Snapshot) {
+	if s.valid == nil {
+		return
+	}
+	t.snapPool = append(t.snapPool, s)
 }
 
 // CommitFutureFree releases every register in ff (a snapshot's captured
@@ -235,10 +277,9 @@ func (t *Table) CommitFutureFree(ff *bitset.Set) {
 		if t.valid.Get(i) {
 			panic(fmt.Sprintf("rename: future-free register p%d still valid", i))
 		}
-		if !t.freeList.Get(i) {
+		if !t.inFree[i] {
 			t.logical[i] = isa.RegNone
-			t.freeList.Set(i)
-			t.freeCount++
+			t.pushFree(PhysReg(i))
 		}
 	})
 }
@@ -255,17 +296,17 @@ func (t *Table) Rollback(s Snapshot, pendingFree []*bitset.Set) {
 	t.rmap = s.rmap
 	t.futureFree.Reset()
 
-	// freeList = ~(valid | union(pendingFree))
-	t.freeList.Reset()
-	for i := 0; i < t.n; i++ {
-		t.freeList.Set(i)
-	}
-	t.freeList.AndNotWith(t.valid)
+	// free = ~(valid | union(pendingFree)), rebuilt in ascending index
+	// order (deterministic; subsequent pops take the highest index
+	// first, which is as arbitrary — and as architecturally invisible —
+	// as any other order).
+	t.scratch.SetAll()
+	t.scratch.AndNotWith(t.valid)
 	for _, pf := range pendingFree {
-		t.freeList.AndNotWith(pf)
+		t.scratch.AndNotWith(pf)
 	}
-	t.freeCount = t.freeList.Count()
-
+	t.freeStack = t.freeStack[:0]
+	clear(t.inFree)
 	// Rebuild the logical fields of valid entries from the snapshot map
 	// (hardware keeps them in the CAM; the simulator re-derives them).
 	for l := 0; l < isa.NumLogical; l++ {
@@ -274,11 +315,11 @@ func (t *Table) Rollback(s Snapshot, pendingFree []*bitset.Set) {
 			t.logical[p] = isa.Reg(l)
 		}
 	}
-	for i := 0; i < t.n; i++ {
-		if t.freeList.Get(i) {
-			t.logical[i] = isa.RegNone
-		}
-	}
+	t.scratch.ForEach(func(i int) {
+		t.logical[i] = isa.RegNone
+		t.freeStack = append(t.freeStack, PhysReg(i))
+		t.inFree[i] = true
+	})
 }
 
 // Logical returns the logical register physical p currently renames, or
@@ -325,12 +366,24 @@ func (t *Table) CheckInvariants() error {
 	if got := t.valid.Count(); got != isa.NumLogical {
 		return fmt.Errorf("rename: %d valid bits, want %d", got, isa.NumLogical)
 	}
-	// Free, valid and future-free are disjoint; freeCount is accurate.
-	if got := t.freeList.Count(); got != t.freeCount {
-		return fmt.Errorf("rename: freeCount %d, bitset says %d", t.freeCount, got)
+	// The stack and the membership mirror agree.
+	count := 0
+	for _, free := range t.inFree {
+		if free {
+			count++
+		}
 	}
+	if count != len(t.freeStack) {
+		return fmt.Errorf("rename: freeStack has %d entries, membership says %d", len(t.freeStack), count)
+	}
+	for _, p := range t.freeStack {
+		if !t.inFree[p] {
+			return fmt.Errorf("rename: p%d stacked but not marked free", p)
+		}
+	}
+	// Free, valid and future-free are disjoint.
 	for i := 0; i < t.n; i++ {
-		free, valid, ff := t.freeList.Get(i), t.valid.Get(i), t.futureFree.Get(i)
+		free, valid, ff := t.inFree[i], t.valid.Get(i), t.futureFree.Get(i)
 		if free && (valid || ff) {
 			return fmt.Errorf("rename: p%d free but valid=%v futureFree=%v", i, valid, ff)
 		}

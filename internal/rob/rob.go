@@ -33,6 +33,15 @@ func New[T any](capacity int) *ROB[T] {
 // Cap returns the capacity.
 func (r *ROB[T]) Cap() int { return len(r.buf) }
 
+// wrap reduces an index in [0, 2*cap) onto the ring; a conditional
+// subtract replaces the integer division % would cost per instruction.
+func (r *ROB[T]) wrap(i int) int {
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
+
 // Len returns the number of in-flight entries.
 func (r *ROB[T]) Len() int { return r.size }
 
@@ -49,7 +58,7 @@ func (r *ROB[T]) Push(v T) bool {
 		r.stats.FullStalls++
 		return false
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.buf[r.wrap(r.head+r.size)] = v
 	r.size++
 	r.stats.Dispatched++
 	return true
@@ -76,7 +85,7 @@ func (r *ROB[T]) Commit(width int, done func(T) bool, retire func(T)) int {
 			break
 		}
 		r.buf[r.head] = zero
-		r.head = (r.head + 1) % len(r.buf)
+		r.head = r.wrap(r.head + 1)
 		r.size--
 		retire(v)
 		n++
@@ -93,7 +102,7 @@ func (r *ROB[T]) SquashTail(keep func(T) bool, squash func(T)) int {
 	var zero T
 	n := 0
 	for r.size > 0 {
-		i := (r.head + r.size - 1) % len(r.buf)
+		i := r.wrap(r.head + r.size - 1)
 		v := r.buf[i]
 		if keep(v) {
 			break
@@ -110,7 +119,7 @@ func (r *ROB[T]) SquashTail(keep func(T) bool, squash func(T)) int {
 // ForEach visits entries oldest to youngest.
 func (r *ROB[T]) ForEach(fn func(v T)) {
 	for i := 0; i < r.size; i++ {
-		fn(r.buf[(r.head+i)%len(r.buf)])
+		fn(r.buf[r.wrap(r.head+i)])
 	}
 }
 

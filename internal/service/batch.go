@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sync"
 )
 
@@ -50,6 +51,16 @@ type BatchStatus struct {
 	// CacheHits counts points that needed no simulation from this
 	// submission (cache hits plus deduplicated concurrent runs).
 	CacheHits int `json:"cache_hits"`
+	// SnapshotGroups counts the batch's distinct (trace recipe,
+	// warm-relevant cache shape) groups: each group warms one donor
+	// hierarchy that every member point forks (see the scheduler's
+	// snapshot-fork sharing).
+	SnapshotGroups int `json:"snapshot_groups"`
+	// WarmBuilds and WarmReuses count this batch's simulated points
+	// that warmed a fresh donor vs forked an already-warmed one
+	// (cache-hit points touch no donor and appear in neither).
+	WarmBuilds int `json:"warm_builds"`
+	WarmReuses int `json:"warm_reuses"`
 	// Errors lists failed points; empty means every completed point
 	// succeeded.
 	Errors []string `json:"errors,omitempty"`
@@ -65,14 +76,18 @@ type Batch struct {
 	jobs []Job
 	fps  []string
 
-	mu      sync.Mutex
-	state   string
-	done    int
-	hits    int
-	errs    []string
-	results []json.RawMessage
-	events  []Event
-	changed chan struct{} // closed-and-replaced on every event
+	mu         sync.Mutex
+	state      string
+	done       int
+	hits       int
+	groups     int
+	warmBuilds int
+	warmReuses int
+	logged     bool
+	errs       []string
+	results    []json.RawMessage
+	events     []Event
+	changed    chan struct{} // closed-and-replaced on every event
 }
 
 func newBatch(id string, jobs []Job, fps []string) *Batch {
@@ -130,15 +145,46 @@ func (b *Batch) Status() BatchStatus {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := BatchStatus{
-		ID:        b.id,
-		State:     b.state,
-		Total:     len(b.jobs),
-		Done:      b.done,
-		CacheHits: b.hits,
-		Errors:    append([]string(nil), b.errs...),
-		Results:   append([]json.RawMessage(nil), b.results...),
+		ID:             b.id,
+		State:          b.state,
+		Total:          len(b.jobs),
+		Done:           b.done,
+		CacheHits:      b.hits,
+		SnapshotGroups: b.groups,
+		WarmBuilds:     b.warmBuilds,
+		WarmReuses:     b.warmReuses,
+		Errors:         append([]string(nil), b.errs...),
+		Results:        append([]json.RawMessage(nil), b.results...),
 	}
 	return st
+}
+
+// warmShared records one simulated point's donor usage: forked reports
+// that a warm donor existed at all, reused that it was already warm.
+func (b *Batch) warmShared(forked, reused bool) {
+	if !forked {
+		return
+	}
+	b.mu.Lock()
+	if reused {
+		b.warmReuses++
+	} else {
+		b.warmBuilds++
+	}
+	b.mu.Unlock()
+}
+
+// takeDoneLine returns the batch's completion log line exactly once,
+// after the last point lands.
+func (b *Batch) takeDoneLine() (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateDone || b.logged {
+		return "", false
+	}
+	b.logged = true
+	return fmt.Sprintf("batch %s done: %d points, %d cache hits, %d errors; %d snapshot groups, warm donors built=%d reused=%d",
+		b.id, len(b.jobs), b.hits, len(b.errs), b.groups, b.warmBuilds, b.warmReuses), true
 }
 
 // WaitEvent blocks until event i exists and returns it. ok is false

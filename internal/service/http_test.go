@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -55,7 +56,7 @@ func TestEndToEndWarmBatch(t *testing.T) {
 	}
 	sched := NewScheduler(SchedulerOptions{Workers: 4, Cache: cache})
 	var runs atomic.Int64
-	sched.run = func(spec sim.RunSpec) (stats.Results, error) {
+	sched.run = func(spec sim.RunSpec, _ *mem.Hierarchy) (stats.Results, error) {
 		runs.Add(1)
 		return sim.Run(spec)
 	}

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
+	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -23,6 +26,10 @@ type SchedulerOptions struct {
 	// MaxBatches bounds how many finished batches stay pollable before
 	// the oldest are forgotten; <= 0 uses 256.
 	MaxBatches int
+	// Log, when non-nil, receives one line per completed batch with the
+	// batch's cache and snapshot-sharing statistics (cmd/ooosimd wires
+	// log.Printf here so operators can see the sharing engage).
+	Log func(format string, args ...any)
 }
 
 // Scheduler executes batches of Jobs. Submission splits each batch into
@@ -35,10 +42,13 @@ type Scheduler struct {
 	sem    chan struct{}
 	flight flightGroup
 	traces traceCache
+	warms  warmCache
+	log    func(format string, args ...any)
 
-	// run executes one materialised point; sim.Run in production, a
-	// counting wrapper in tests.
-	run func(sim.RunSpec) (stats.Results, error)
+	// run executes one materialised point; donor is the point's shared
+	// warm-state donor hierarchy (nil runs the cold path). Production
+	// wires sim.RunForked/sim.Run; tests substitute counting wrappers.
+	run func(sim.RunSpec, *mem.Hierarchy) (stats.Results, error)
 
 	mu         sync.Mutex
 	batches    map[string]*Batch
@@ -62,9 +72,15 @@ func NewScheduler(opt SchedulerOptions) *Scheduler {
 		maxBatches = 256
 	}
 	return &Scheduler{
-		cache:      cache,
-		sem:        make(chan struct{}, workers),
-		run:        sim.Run,
+		cache: cache,
+		sem:   make(chan struct{}, workers),
+		log:   opt.Log,
+		run: func(spec sim.RunSpec, donor *mem.Hierarchy) (stats.Results, error) {
+			if donor == nil {
+				return sim.Run(spec)
+			}
+			return sim.RunForked(spec, donor)
+		},
 		batches:    map[string]*Batch{},
 		maxBatches: maxBatches,
 	}
@@ -93,6 +109,7 @@ func (s *Scheduler) Submit(jobs []Job) (*Batch, error) {
 	s.mu.Lock()
 	s.nextID++
 	b := newBatch(fmt.Sprintf("b%d", s.nextID), append([]Job(nil), jobs...), fps)
+	b.groups = countSnapshotGroups(jobs)
 	s.batches[b.id] = b
 	s.order = append(s.order, b.id)
 	for len(s.order) > s.maxBatches {
@@ -107,14 +124,53 @@ func (s *Scheduler) Submit(jobs []Job) (*Batch, error) {
 	}
 	s.mu.Unlock()
 
+	// Split hits from misses, then launch the misses clustered by
+	// snapshot group — (trace recipe, warm-relevant cache shape) — so
+	// jobs that fork the same warm donor tend to run near each other
+	// (best-effort: the shared pool admits them in arrival order).
+	var misses []int
+	groupKeys := make([]string, len(b.jobs))
 	for i := range b.jobs {
 		if raw, ok := s.cache.Get(fps[i]); ok {
 			b.complete(i, raw, true, nil)
 		} else {
-			go s.runJob(b, i)
+			misses = append(misses, i)
+			groupKeys[i] = snapshotGroupKey(b.jobs[i])
 		}
 	}
+	sort.SliceStable(misses, func(x, y int) bool {
+		return groupKeys[misses[x]] < groupKeys[misses[y]]
+	})
+	for _, i := range misses {
+		go s.runJob(b, i)
+	}
+	s.logIfDone(b)
 	return b, nil
+}
+
+// snapshotGroupKey renders a job's snapshot-sharing identity: jobs with
+// equal keys fork the same warmed donor hierarchy.
+func snapshotGroupKey(j Job) string {
+	return fmt.Sprintf("%s\x00%+v", j.Trace.String(), mem.WarmKeyFor(j.Config))
+}
+
+// countSnapshotGroups counts the distinct snapshot groups in a batch.
+func countSnapshotGroups(jobs []Job) int {
+	seen := map[string]struct{}{}
+	for _, j := range jobs {
+		seen[snapshotGroupKey(j)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// logIfDone emits the per-batch completion line once.
+func (s *Scheduler) logIfDone(b *Batch) {
+	if s.log == nil {
+		return
+	}
+	if line, ok := b.takeDoneLine(); ok {
+		s.log("%s", line)
+	}
 }
 
 // Batch returns a previously submitted batch by ID.
@@ -147,13 +203,18 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 		if err != nil {
 			return nil, err
 		}
+		// Fork the job's snapshot group's warmed donor instead of
+		// replaying the warm-up per point; a donor failure degrades to
+		// the cold path (never fails the job).
+		donor, reused := s.warms.get(job, tr)
+		b.warmShared(donor != nil, reused)
 		res, err := s.run(sim.RunSpec{
 			Name:             job.label(),
 			Config:           job.Config,
 			Trace:            tr,
 			Insts:            job.Insts,
 			CollectOccupancy: job.CollectOccupancy,
-		})
+		}, donor)
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +230,52 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 		return raw, nil
 	})
 	b.complete(i, raw, err == nil && (shared || lateHit), err)
+	s.logIfDone(b)
+}
+
+// warmCache memoises warmed donor hierarchies by snapshot group so a
+// batch sweeping many configurations over few workloads replays each
+// workload's cache warm-up once per geometry (the service-side half of
+// the snapshot-fork kernel; sim.Sweep does the same for local runs).
+// Like traceCache, the memo is dropped wholesale past a bound.
+type warmCache struct {
+	mu sync.Mutex
+	m  map[string]*warmEntry
+}
+
+type warmEntry struct {
+	once  sync.Once
+	donor *mem.Hierarchy
+}
+
+// warmCacheLimit bounds the memo; donors are a few hundred KB each.
+const warmCacheLimit = 128
+
+// get returns the group's warmed donor (nil when warming failed) and
+// whether an already-warmed donor was reused.
+func (wc *warmCache) get(j Job, tr *trace.Trace) (donor *mem.Hierarchy, reused bool) {
+	key := snapshotGroupKey(j)
+	wc.mu.Lock()
+	if wc.m == nil {
+		wc.m = map[string]*warmEntry{}
+	}
+	e, ok := wc.m[key]
+	if !ok {
+		if len(wc.m) >= warmCacheLimit {
+			wc.m = map[string]*warmEntry{}
+		}
+		e = &warmEntry{}
+		wc.m[key] = e
+	}
+	wc.mu.Unlock()
+	built := false
+	e.once.Do(func() {
+		built = true
+		// A failed donor (e.g. unwarmable geometry) stays nil: the
+		// group's jobs run cold, preserving the pre-fork behaviour.
+		e.donor, _ = core.WarmDonor(mem.WarmKeyFor(j.Config), tr)
+	})
+	return e.donor, ok && !built
 }
 
 // traceCache memoises materialised traces by canonical recipe string so

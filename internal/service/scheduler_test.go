@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -31,12 +32,12 @@ func countingScheduler(t *testing.T, opt SchedulerOptions, delay time.Duration) 
 	s := NewScheduler(opt)
 	var runs atomic.Int64
 	inner := s.run
-	s.run = func(spec sim.RunSpec) (stats.Results, error) {
+	s.run = func(spec sim.RunSpec, donor *mem.Hierarchy) (stats.Results, error) {
 		runs.Add(1)
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		return inner(spec)
+		return inner(spec, donor)
 	}
 	return s, &runs
 }
@@ -156,7 +157,7 @@ func TestSchedulerRejectsInvalidBatch(t *testing.T) {
 // completes normally.
 func TestSchedulerPointFailure(t *testing.T) {
 	s := NewScheduler(SchedulerOptions{Workers: 2})
-	s.run = func(spec sim.RunSpec) (stats.Results, error) {
+	s.run = func(spec sim.RunSpec, _ *mem.Hierarchy) (stats.Results, error) {
 		if spec.Name == "boom" {
 			return stats.Results{}, context.DeadlineExceeded
 		}
@@ -185,7 +186,7 @@ func TestSchedulerPointFailure(t *testing.T) {
 // flight followers.
 func TestSchedulerSurvivesPanickingPoint(t *testing.T) {
 	s := NewScheduler(SchedulerOptions{Workers: 2})
-	s.run = func(spec sim.RunSpec) (stats.Results, error) {
+	s.run = func(sim.RunSpec, *mem.Hierarchy) (stats.Results, error) {
 		panic("allocator blew up")
 	}
 	// Two concurrent identical submissions: the leader panics inside

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TestSchedulerSharesWarmDonors: a batch of distinct configurations
+// over one workload and cache geometry warms a single donor; every
+// simulated point receives a fork of it, and the batch status reports
+// the sharing (one group, one build, the rest reuses).
+func TestSchedulerSharesWarmDonors(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Workers: 2})
+	var donors atomic.Int64
+	inner := s.run
+	s.run = func(spec sim.RunSpec, donor *mem.Hierarchy) (stats.Results, error) {
+		if donor != nil {
+			donors.Add(1)
+		}
+		return inner(spec, donor)
+	}
+	// Three distinct fingerprints (different windows), one snapshot
+	// group (same recipe + geometry).
+	jobs := []Job{testJob("a", 32), testJob("b", 64), testJob("c", 128)}
+	b, err := s.Submit(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Errors) != 0 {
+		t.Fatalf("errors: %v", st.Errors)
+	}
+	if donors.Load() != 3 {
+		t.Fatalf("%d of 3 points ran with a warm donor", donors.Load())
+	}
+	if st.SnapshotGroups != 1 {
+		t.Errorf("snapshot groups = %d, want 1", st.SnapshotGroups)
+	}
+	if st.WarmBuilds != 1 || st.WarmReuses != 2 {
+		t.Errorf("warm builds/reuses = %d/%d, want 1/2", st.WarmBuilds, st.WarmReuses)
+	}
+}
+
+// TestSchedulerForkedMatchesColdResults: results served through the
+// warm-donor path are bit-identical to plain sim.Run — the fingerprint
+// cache would otherwise serve subtly different results depending on
+// which submission populated it.
+func TestSchedulerForkedMatchesColdResults(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Workers: 2})
+	job := testJob("x", 64)
+	b, err := s.Submit([]Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := job.Trace.Materialise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sim.Run(sim.RunSpec{Name: job.label(), Config: job.Config, Trace: tr, Insts: job.Insts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got stats.Results
+	if err := json.Unmarshal(st.Results[0], &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(cold) {
+		t.Fatalf("service result diverged from cold run:\n%+v\nvs\n%+v", got, cold)
+	}
+}
+
+// TestBatchDoneLogLine: the per-batch completion line carries the cache
+// and snapshot-sharing stats, and fires exactly once.
+func TestBatchDoneLogLine(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	s := NewScheduler(SchedulerOptions{Workers: 2, Log: func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+	b, err := s.Submit([]Job{testJob("a", 32), testJob("b", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The done event publishes before the worker's logIfDone call; give
+	// the log a moment.
+	var got []string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		mu.Lock()
+		got = append([]string(nil), lines...)
+		mu.Unlock()
+		if len(got) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(got) != 1 {
+		t.Fatalf("logged %d lines, want 1: %v", len(got), got)
+	}
+	for _, want := range []string{"snapshot groups", "warm donors", "cache hits"} {
+		if !strings.Contains(got[0], want) {
+			t.Errorf("log line %q missing %q", got[0], want)
+		}
+	}
+}
+
+// TestSnapshotGroupKeySplits: geometry splits groups, timing does not.
+func TestSnapshotGroupKeySplits(t *testing.T) {
+	a := testJob("a", 32)
+	b := testJob("b", 128)
+	if snapshotGroupKey(a) != snapshotGroupKey(b) {
+		t.Error("window-size differences must share a snapshot group")
+	}
+	c := a
+	c.Config.L2.SizeBytes *= 2
+	if snapshotGroupKey(a) == snapshotGroupKey(c) {
+		t.Error("L2 geometry differences must split snapshot groups")
+	}
+	d := a
+	d.Trace = trace.Recipe{Kernel: trace.KernelStencil, N: 6000}
+	if snapshotGroupKey(a) == snapshotGroupKey(d) {
+		t.Error("different workloads must split snapshot groups")
+	}
+	if countSnapshotGroups([]Job{a, b, c, d}) != 3 {
+		t.Errorf("counted %d groups, want 3", countSnapshotGroups([]Job{a, b, c, d}))
+	}
+}

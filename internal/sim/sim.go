@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -64,20 +65,98 @@ func ProgressLine(spec RunSpec, res stats.Results) string {
 // simulator panics (e.g. the commit watchdog) come back as errors
 // labelled with the spec, never as process-killing panics — a worker
 // pool must survive one bad point.
-func Run(spec RunSpec) (res stats.Results, err error) {
+func Run(spec RunSpec) (stats.Results, error) {
+	return runSpec(spec, nil, nil)
+}
+
+// RunForked executes one spec against a fork of donor's warmed cache
+// state instead of replaying the warm-up footprint (see core.WarmDonor
+// and core.NewForked). The donor is only read; it may serve concurrent
+// RunForked calls. Error handling matches Run.
+func RunForked(spec RunSpec, donor *mem.Hierarchy) (stats.Results, error) {
+	return runSpec(spec, func() (*mem.Hierarchy, error) { return donor, nil }, nil)
+}
+
+// runSpec is the worker body shared by the cold and forked paths: a nil
+// getDonor runs cold (build and warm a private hierarchy), otherwise
+// the CPU forks the donor's warmed cache state. arena, when non-nil, is
+// the calling worker's record arena (single-owner).
+func runSpec(spec RunSpec, getDonor func() (*mem.Hierarchy, error), arena *core.Arena) (res stats.Results, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sim: %s (%s): panic: %v", spec.Name, spec.Config.Summary(), r)
 		}
 	}()
-	cpu, nerr := core.New(spec.Config, spec.Trace)
-	if nerr != nil {
-		return stats.Results{}, fmt.Errorf("sim: %s (%s): %w", spec.Name, spec.Config.Summary(), nerr)
+	var cpu *core.CPU
+	if getDonor == nil {
+		cpu, err = core.New(spec.Config, spec.Trace)
+	} else {
+		var donor *mem.Hierarchy
+		if donor, err = getDonor(); err == nil {
+			cpu, err = core.NewForked(spec.Config, spec.Trace, donor, arena)
+		}
 	}
-	return cpu.Run(core.RunOptions{
+	if err != nil {
+		return stats.Results{}, fmt.Errorf("sim: %s (%s): %w", spec.Name, spec.Config.Summary(), err)
+	}
+	res = cpu.Run(core.RunOptions{
 		MaxInsts:         spec.Insts,
 		CollectOccupancy: spec.CollectOccupancy,
-	}), nil
+	})
+	cpu.Recycle(arena)
+	return res, nil
+}
+
+// warmGroup shares one warmed donor hierarchy across every spec with
+// the same (trace, warm shape): the first member to need it warms the
+// donor once, every member forks it. The once makes donor warming safe
+// and single under concurrent workers.
+type warmGroup struct {
+	tr  *trace.Trace
+	key mem.WarmKey
+
+	once  sync.Once
+	donor *mem.Hierarchy
+	err   error
+}
+
+func (g *warmGroup) get() (*mem.Hierarchy, error) {
+	g.once.Do(func() { g.donor, g.err = core.WarmDonor(g.key, g.tr) })
+	return g.donor, g.err
+}
+
+// groupSpecs assigns every spec its warm group and returns a
+// group-clustered execution order: members of one group run adjacently
+// (groups in first-appearance order, members in spec order), so the
+// donor a worker forks is the one most recently touched. Results are
+// still reported by spec index, so the reordering is invisible in the
+// output.
+func groupSpecs(specs []RunSpec) (bySpec []*warmGroup, order []int) {
+	type groupKey struct {
+		tr  *trace.Trace
+		key mem.WarmKey
+	}
+	groups := make(map[groupKey]int)
+	bySpec = make([]*warmGroup, len(specs))
+	var members [][]int
+	var list []*warmGroup
+	for i, s := range specs {
+		k := groupKey{s.Trace, mem.WarmKeyFor(s.Config)}
+		gi, ok := groups[k]
+		if !ok {
+			gi = len(list)
+			groups[k] = gi
+			list = append(list, &warmGroup{tr: k.tr, key: k.key})
+			members = append(members, nil)
+		}
+		bySpec[i] = list[gi]
+		members[gi] = append(members[gi], i)
+	}
+	order = make([]int, 0, len(specs))
+	for _, m := range members {
+		order = append(order, m...)
+	}
+	return bySpec, order
 }
 
 // Sweep executes every spec over a bounded worker pool and returns the
@@ -86,6 +165,13 @@ func Run(spec RunSpec) (res stats.Results, err error) {
 // any worker count. The first failing spec cancels the remaining work
 // and its error is returned; ctx cancellation stops the sweep early
 // with ctx's error.
+//
+// Specs are grouped by (trace, warm-relevant cache shape) under the
+// snapshot-fork kernel: each group warms one donor hierarchy via the
+// trace's warm-up footprint and every member forks the donor's cache
+// state, so a figure-9-style sweep replays each workload's warm-up once
+// per cache geometry instead of once per point. Execution order is
+// group-clustered for donor locality; results stay in spec order.
 func Sweep(ctx context.Context, specs []RunSpec, opt Options) ([]stats.Results, error) {
 	if len(specs) == 0 {
 		return nil, ctx.Err()
@@ -117,16 +203,21 @@ func Sweep(ctx context.Context, specs []RunSpec, opt Options) ([]stats.Results, 
 		cancel()
 	}
 
+	bySpec, order := groupSpecs(specs)
+
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a record arena: DynInst blocks grown for
+			// one point are reused by every later point it runs.
+			arena := core.NewArena()
 			for i := range idx {
 				if ctx.Err() != nil {
 					continue // drain remaining indices after cancellation
 				}
-				res, err := Run(specs[i])
+				res, err := runSpec(specs[i], bySpec[i].get, arena)
 				if err != nil {
 					fail(err)
 					continue
@@ -148,7 +239,7 @@ func Sweep(ctx context.Context, specs []RunSpec, opt Options) ([]stats.Results, 
 	}
 
 feed:
-	for i := range specs {
+	for _, i := range order {
 		select {
 		case idx <- i:
 		case <-ctx.Done():
