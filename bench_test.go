@@ -13,12 +13,14 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -94,6 +96,67 @@ func BenchmarkFigure9(b *testing.B) { benchFigure9(b, 1) }
 // pool at GOMAXPROCS; the ratio to BenchmarkFigure9 is the engine's
 // wall-clock speedup on this host.
 func BenchmarkFigure9Parallel(b *testing.B) { benchFigure9(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkFigure9HighLatency measures the event-driven clock skip in
+// the regime it targets: the ROB-blocked baseline family over the
+// figure-9 window axis (32/64/128), with the memory latency raised to
+// 500 and 1000 cycles. A blocked ROB head leaves the whole pipeline
+// quiescent for the better part of each miss, so the simulated clock
+// spends most of its ticks doing nothing — exactly the cycles the skip
+// elides (the COoO configurations keep committing through misses and
+// are covered by BenchmarkFigure9). The sweep runs the two suite
+// kernels whose reduced-budget (benchInsts) footprints actually reach
+// main memory; the in-cache kernels never observe MemoryLatency and
+// would only dilute the measurement. The noskip variants force
+// cycle-by-cycle simulation of the same (bit-identical) points, so the
+// noskip/skip ns-per-op ratio at each latency is the engine's speedup.
+// CI gates on >=2x at latency 1000 and on the ratio growing from 500
+// to 1000: stall stretches lengthen with latency while the event count
+// stays fixed, so the speedup must rise.
+func BenchmarkFigure9HighLatency(b *testing.B) {
+	memBound := map[string]bool{"strided": true, "fpmix": true}
+	var traces []*trace.Trace
+	for _, bm := range experiments.SuiteBenchmarks(42) {
+		if memBound[bm.Name] {
+			traces = append(traces, bm.Gen(benchInsts+benchInsts/5+4096))
+		}
+	}
+	for _, latency := range []int{500, 1000} {
+		for _, mode := range []struct {
+			name        string
+			disableSkip bool
+		}{{"skip", false}, {"noskip", true}} {
+			var specs []sim.RunSpec
+			for _, tr := range traces {
+				for _, rob := range []int{32, 64, 128} {
+					cfg := config.BaselineSized(rob)
+					cfg.MemoryLatency = latency
+					specs = append(specs, sim.RunSpec{
+						Name:        fmt.Sprintf("rob%d", rob),
+						Config:      cfg,
+						Trace:       tr,
+						Insts:       benchInsts,
+						DisableSkip: mode.disableSkip,
+					})
+				}
+			}
+			b.Run(fmt.Sprintf("lat%d/%s", latency, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Sweep(context.Background(), specs, sim.Options{Workers: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var cycles, skipped uint64
+					for _, r := range res {
+						cycles += uint64(r.Cycles)
+						skipped += r.SkippedCycles
+					}
+					b.ReportMetric(100*float64(skipped)/float64(cycles), "skipped-%")
+				}
+			})
+		}
+	}
+}
 
 // BenchmarkAblationCommitPolicies regenerates the commit-policy
 // comparison (rob 128/4096, checkpoint, adaptive, oracle over the

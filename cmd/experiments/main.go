@@ -6,7 +6,7 @@
 //
 //	experiments [-figure all|table1|1|7|9|10|11|12|13|14|commit-policies|ablations]
 //	            [-commit policy,...] [-insts N] [-seed S] [-parallel N]
-//	            [-json FILE] [-server URL] [-cpuprofile FILE]
+//	            [-json FILE] [-server URL] [-no-skip] [-cpuprofile FILE]
 //	            [-memprofile FILE] [-list] [-v]
 //
 // -list prints every valid -figure name with a one-line description and
@@ -24,6 +24,12 @@
 // instead of the in-process pool: previously computed points return
 // from the daemon's content-addressed cache without simulation, so a
 // warm rerun of a figure costs trace generation plus network only.
+//
+// -no-skip disables the simulator's event-driven clock skip, forcing
+// cycle-by-cycle execution. Results are bit-identical either way (the
+// skip is a pure simulator-speed optimisation); the flag exists for A/B
+// debugging and timing comparisons against the event-driven engine. It
+// is local-only: points routed to -server always run with skipping on.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // requested figures, so profile-guided optimisation passes can target
@@ -89,6 +95,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool size")
 	server := flag.String("server", "", "run every point against an ooosimd daemon at URL")
 	jsonOut := flag.String("json", "", "write every run's raw results as JSON to FILE")
+	noSkip := flag.Bool("no-skip", false, "disable the event-driven clock skip (bit-identical results, slower)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the requested figures to FILE")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocations since start) to FILE")
 	list := flag.Bool("list", false, "print every valid -figure name with a description and exit")
@@ -158,7 +165,7 @@ func main() {
 	}
 	defer stopProfiles()
 
-	opt := experiments.Options{Insts: *insts, Seed: *seed, Workers: *parallel}.WithTraceCache()
+	opt := experiments.Options{Insts: *insts, Seed: *seed, Workers: *parallel, DisableSkip: *noSkip}.WithTraceCache()
 	if *server != "" {
 		opt.Runner = (&service.Client{BaseURL: *server}).SweepRunner()
 	}

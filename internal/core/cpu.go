@@ -111,6 +111,11 @@ type CPU struct {
 	retire            stats.Breakdown
 	occ               *stats.Occupancy
 	stalls            dispatchStalls
+	// policyActivity counts commit-policy state changes that move no
+	// other CPU counter (today: checkpoint takes). The clock skip's
+	// quiescence probe watches it so two outwardly identical stall
+	// cycles with different policy state can never be conflated.
+	policyActivity uint64
 
 	portsUsed int // data-cache ports consumed this cycle
 	// resourceStalled marks a dispatch rejection on a resource that
@@ -128,6 +133,36 @@ type CPU struct {
 	sliqAccept func(seq uint64, d *DynInst) bool
 
 	lastCommitCycle int64
+
+	// Event-driven clock skip (see maybeSkip): the arm-probe state plus
+	// the counters reported in stats.Results. The skip is a pure
+	// simulator-speed optimisation — every simulated statistic is
+	// bit-identical with it disabled (pinned by the skip equivalence
+	// tests and TestFigure9Golden).
+	skipPrevSig   uint64
+	skipArmed     bool
+	skipSnap      skipSnap
+	skippedCycles uint64
+	skipEvents    uint64
+	longestSkip   uint64
+}
+
+// skipSnap is the end-of-cycle snapshot behind the clock skip's
+// arm-probe protocol: taken when a cycle ends with the activity
+// signature unchanged, diffed at the next cycle's end — the diff is
+// then exactly that one cycle's footprint.
+type skipSnap struct {
+	fetched, dispatched, issued, committed        uint64
+	replayed, rollbacks, probRecoveries           uint64
+	exceptions, policyActivity, nextSeq           uint64
+	wpCounter, renameStallCycles, ckptStallCycles uint64
+	inflight, liveFPLong, liveFPShort             int
+	lastCommitCycle, fetchResumeAt, fetchPos      int64
+	wheelLen                                      int
+	retire                                        stats.Breakdown
+	stalls                                        dispatchStalls
+	sliq                                          queue.SLIQStats
+	mem                                           mem.HierarchyStats
 }
 
 // dispatchStalls breaks down why dispatch groups ended early (counted
@@ -392,6 +427,12 @@ type RunOptions struct {
 	// WatchdogCycles panics if no instruction commits for this many
 	// cycles (0 means 2M); it exists to catch simulator deadlocks.
 	WatchdogCycles int64
+	// DisableSkip forces cycle-by-cycle execution, switching off the
+	// event-driven clock skip. Results are bit-identical either way —
+	// the knob exists for A/B debugging when a future change is
+	// suspected of breaking skip equivalence, and therefore never
+	// enters result fingerprints.
+	DisableSkip bool
 }
 
 // InjectExceptionAt arms a precise exception at the given trace
@@ -455,6 +496,7 @@ func (c *CPU) Run(opt RunOptions) stats.Results {
 		}
 		c.occ = stats.NewOccupancy(bound)
 	}
+	skipEnabled := !opt.DisableSkip && c.vt == nil
 
 	for c.committed < target && c.now < maxCycles {
 		c.portsUsed = 0
@@ -481,8 +523,228 @@ func (c *CPU) Run(opt RunOptions) stats.Results {
 		if c.fetchExhausted() && c.inflight == 0 && c.completions.Len() == 0 {
 			break
 		}
+
+		// Event-driven clock skip, evaluated after every loop-exit
+		// condition so a jump can never mask one. Virtual-register mode
+		// stays cycle-by-cycle (its deferred-bind machinery is outside
+		// the quiescence probe's footprint).
+		if skipEnabled {
+			sig := c.progressSig()
+			if c.skipArmed {
+				c.maybeSkip(maxCycles, watchdog)
+			}
+			if sig == c.skipPrevSig {
+				// Two consecutive cycle ends with the same signature:
+				// snapshot, making the next cycle a quiescence probe.
+				// (A jump lands here too — its signature is unchanged by
+				// construction, so the event cycle is probed and
+				// naturally disqualifies itself.)
+				c.snapSkip()
+				c.skipArmed = true
+			} else {
+				c.skipArmed = false
+				c.skipPrevSig = sig
+			}
+		}
 	}
 	return c.results()
+}
+
+// progressSig summarises the cycle's visible progress in one cheap sum:
+// every component moves when (and only when) the pipeline does
+// something a quiescent cycle cannot. Equality across two cycle ends is
+// only an arming heuristic — a coincidental collision merely takes a
+// snapshot that the probe diff then rejects — so the sum needs no
+// collision resistance, just sensitivity to real progress.
+func (c *CPU) progressSig() uint64 {
+	return c.fetched + c.dispatched + c.issued + c.committed +
+		c.replayed + c.rollbacks + c.probRecoveries + c.exceptions +
+		c.policyActivity + c.nextSeq + uint64(c.lastCommitCycle) +
+		uint64(c.completions.Len()) + uint64(c.fetchPos)
+}
+
+// snapSkip records the end-of-cycle state the next cycle is diffed
+// against (see skipSnap).
+func (c *CPU) snapSkip() {
+	s := &c.skipSnap
+	s.fetched, s.dispatched, s.issued, s.committed = c.fetched, c.dispatched, c.issued, c.committed
+	s.replayed, s.rollbacks, s.probRecoveries = c.replayed, c.rollbacks, c.probRecoveries
+	s.exceptions, s.policyActivity, s.nextSeq = c.exceptions, c.policyActivity, c.nextSeq
+	s.wpCounter, s.renameStallCycles, s.ckptStallCycles = c.wpCounter, c.renameStallCycles, c.ckptStallCycles
+	s.inflight, s.liveFPLong, s.liveFPShort = c.inflight, c.liveFPLong, c.liveFPShort
+	s.lastCommitCycle, s.fetchResumeAt, s.fetchPos = c.lastCommitCycle, c.fetchResumeAt, c.fetchPos
+	s.wheelLen = c.completions.Len()
+	s.retire = c.retire
+	s.stalls = c.stalls
+	if c.sliq != nil {
+		s.sliq = c.sliq.Stats()
+	}
+	s.mem = c.hier.Stats()
+}
+
+// maybeSkip runs at the end of an armed cycle — the probe. The diff
+// against the snapshot is the probe's exact footprint; if it shows a
+// quiescent machine (no fetch, dispatch, issue, completion, retirement
+// or recovery — only stall bookkeeping and at most one IL1 fetch
+// re-probe), and every way the machine could wake is bounded by a known
+// future event, the clock jumps to the earliest such event. The elided
+// cycles would each have repeated the probe bit for bit, so replaying
+// the probe's footprint once per elided cycle keeps every statistic —
+// and the watchdog and MaxCycles semantics — identical to the
+// cycle-by-cycle run.
+func (c *CPU) maybeSkip(maxCycles, watchdog int64) {
+	s := &c.skipSnap
+
+	// Quiescence: the probe moved nothing that distinguishes it from
+	// the cycles about to be elided.
+	if c.fetched != s.fetched || c.dispatched != s.dispatched ||
+		c.issued != s.issued || c.committed != s.committed ||
+		c.replayed != s.replayed || c.rollbacks != s.rollbacks ||
+		c.probRecoveries != s.probRecoveries || c.exceptions != s.exceptions ||
+		c.policyActivity != s.policyActivity || c.nextSeq != s.nextSeq ||
+		c.inflight != s.inflight || c.liveFPLong != s.liveFPLong ||
+		c.liveFPShort != s.liveFPShort || c.lastCommitCycle != s.lastCommitCycle ||
+		c.fetchResumeAt != s.fetchResumeAt || c.fetchPos != s.fetchPos ||
+		c.completions.Len() != s.wheelLen || c.retire != s.retire {
+		return
+	}
+	if c.sliq != nil && c.sliq.Stats() != s.sliq {
+		return
+	}
+	// Memory counters: a stalled-but-ungated front end re-probes its
+	// resident IL1 line once per cycle; that is the only hierarchy
+	// counter a quiescent cycle may move, and by at most one.
+	m := c.hier.Stats()
+	fetchProbes := m.IL1.Accesses - s.mem.IL1.Accesses
+	if fetchProbes > 1 {
+		return
+	}
+	mm := s.mem
+	mm.IL1.Accesses += fetchProbes
+	if m != mm {
+		return
+	}
+
+	// Wake bounds. A ready issue-queue entry can issue as soon as a
+	// functional unit frees — a resource outside the event wheel — so
+	// its presence vetoes the skip outright.
+	if c.intQ.PeekReady() != nil || c.fpQ.PeekReady() != nil {
+		return
+	}
+	bound := maxCycles
+	if c.committed > 0 || c.inflight > 0 {
+		// The watchdog must fire on exactly the cycle it would have:
+		// cap the jump so the panic cycle executes (and panics)
+		// normally.
+		if wd := c.lastCommitCycle + watchdog; wd < bound {
+			bound = wd
+		}
+	}
+	if ev := c.policy.NextRetireEvent(c.now); ev >= 0 {
+		if ev <= c.now {
+			return
+		}
+		if ev < bound {
+			bound = ev
+		}
+	}
+	if c.sliq != nil {
+		if w := c.sliq.NextWake(); w >= 0 {
+			if w < c.now {
+				// An eligible head survived this cycle's drain: it is
+				// blocked on queue space or a functional unit, neither
+				// of which is event-bounded.
+				return
+			}
+			if w < bound {
+				bound = w
+			}
+		}
+	}
+	switch {
+	case c.now-1 < c.fetchResumeAt:
+		// Front end was gated during the probe cycle (the gate lifts
+		// for the cycle numbered fetchResumeAt, which may be a plain
+		// L2-hit latency with no in-flight fill to observe): it resumes
+		// at a known cycle, and if that is the very next cycle nothing
+		// can be elided.
+		if c.fetchResumeAt <= c.now {
+			return
+		}
+		if c.fetchResumeAt < bound {
+			bound = c.fetchResumeAt
+		}
+	case c.divergedAt == nil:
+		// Correct path: the same instruction re-attempts every cycle,
+		// so the probe's rejection repeats verbatim — but a pending
+		// fill for its line lands at a known cycle and un-stalls the
+		// fetch, so it bounds the jump. The probe ran at cycle now-1:
+		// ask from there so a fill landing exactly next cycle counts.
+		if c.fetchPos < c.tr.Len() {
+			if fill := c.hier.FetchFillReady(c.now-1, c.tr.At(c.fetchPos).PC); fill >= 0 && fill < bound {
+				bound = fill
+			}
+		}
+	default:
+		// Wrong path: the synthetic stream varies its op cycle to
+		// cycle, so the probe's rejection only repeats when it is
+		// op-independent — a checkpoint-table stall (Admit rejects
+		// every op alike), an empty rename free list (every synthetic
+		// op carries a destination), or both issue queues full.
+		if c.stalls.Ckpt == s.stalls.Ckpt && c.rt.FreeCount() > 0 &&
+			!(c.intQ.Full() && c.fpQ.Full()) {
+			return
+		}
+	}
+	if bound <= c.now {
+		return
+	}
+
+	target := c.completions.nextDue(bound)
+	k := target - c.now
+	if k < 1 {
+		return
+	}
+	uk := uint64(k)
+
+	// Replicate the probe's footprint once per elided cycle (deltas are
+	// read into locals before the counters move).
+	dWp := c.wpCounter - s.wpCounter
+	dRename := c.renameStallCycles - s.renameStallCycles
+	dCkpt := c.ckptStallCycles - s.ckptStallCycles
+	d := dispatchStalls{
+		ROB:       c.stalls.ROB - s.stalls.ROB,
+		IQ:        c.stalls.IQ - s.stalls.IQ,
+		LSQ:       c.stalls.LSQ - s.stalls.LSQ,
+		Rename:    c.stalls.Rename - s.stalls.Rename,
+		Ckpt:      c.stalls.Ckpt - s.stalls.Ckpt,
+		VTag:      c.stalls.VTag - s.stalls.VTag,
+		FetchGate: c.stalls.FetchGate - s.stalls.FetchGate,
+	}
+	c.wpCounter += uk * dWp
+	c.renameStallCycles += uk * dRename
+	c.ckptStallCycles += uk * dCkpt
+	c.stalls.ROB += uk * d.ROB
+	c.stalls.IQ += uk * d.IQ
+	c.stalls.LSQ += uk * d.LSQ
+	c.stalls.Rename += uk * d.Rename
+	c.stalls.Ckpt += uk * d.Ckpt
+	c.stalls.VTag += uk * d.VTag
+	c.stalls.FetchGate += uk * d.FetchGate
+	if fetchProbes > 0 {
+		c.hier.ReplayFetchHits(uk * fetchProbes)
+	}
+	c.sumInflight += uk * uint64(c.inflight)
+	if c.occ != nil {
+		c.occ.SampleN(uk, c.inflight, c.liveFPLong, c.liveFPShort)
+	}
+
+	c.now = target
+	c.skippedCycles += uk
+	c.skipEvents++
+	if uk > c.longestSkip {
+		c.longestSkip = uk
+	}
 }
 
 // fetchExhausted reports that no further correct-path instruction can be
@@ -518,6 +780,9 @@ func (c *CPU) results() stats.Results {
 		Retire:              c.retire,
 		MaxInflight:         c.maxInflight,
 		Occ:                 c.occ,
+		SkippedCycles:       c.skippedCycles,
+		SkipEvents:          c.skipEvents,
+		LongestSkip:         c.longestSkip,
 	}
 	if c.now > 0 {
 		r.MeanInflight = float64(c.sumInflight) / float64(c.now)

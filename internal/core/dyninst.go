@@ -349,6 +349,35 @@ func (w *eventWheel) remove(d *DynInst) {
 	w.n--
 }
 
+// nextDue returns the cycle of the earliest scheduled event strictly
+// below limit, or limit when none is due before it — the exact target
+// for an event-driven clock jump. It is read-only: no event moves, so a
+// subsequent takeDue at (or before) the returned cycle drains exactly
+// what a cycle-by-cycle walk would have. Cost is one far-heap peek plus
+// a ring scan bounded by the returned distance, so the work amortises
+// to O(1) per skipped cycle.
+func (w *eventWheel) nextDue(limit int64) int64 {
+	if w.n == 0 {
+		return limit
+	}
+	// The far heap is checked first: far entries never migrate into the
+	// ring, so an entry just past base can be sitting in the heap even
+	// though its cycle is within the ring horizon.
+	if d := w.far.peek(); d != nil && d.DoneCycle < limit {
+		limit = d.DoneCycle
+	}
+	hi := w.base + int64(len(w.buckets))
+	if hi > limit {
+		hi = limit
+	}
+	for t := w.base; t < hi; t++ {
+		if len(w.buckets[t&w.mask]) > 0 {
+			return t
+		}
+	}
+	return limit
+}
+
 // takeDue unschedules and returns every event due at cycle now, in
 // (DoneCycle, Seq) order. The returned slice is reused by the next
 // call. The caller processes the batch with mutation in flight: events

@@ -64,6 +64,16 @@ type CommitPolicy interface {
 	// without a replay mechanism ignore it (matching the former
 	// checkpoint-mode-only behaviour).
 	RaiseException(d *DynInst)
+	// NextRetireEvent reports the earliest cycle >= now at which Commit
+	// could retire (or otherwise make progress) given the policy's
+	// current state, or -1 when no retirement is schedulable before some
+	// new completion event arrives. The event-driven clock skip consults
+	// it on quiescent cycles: a stalled checkpoint table or full
+	// pseudo-ROB is quiescent only if no retirement can free it. A
+	// policy may be conservative (returning now disables the skip, which
+	// is always correct) but must never place the event later than it
+	// could really fire.
+	NextRetireEvent(now int64) int64
 	// OccupancyBound sizes the occupancy histogram for this policy's
 	// reachable window.
 	OccupancyBound() int

@@ -113,6 +113,10 @@ func (p *checkpointPolicy) Admit(inst isa.Inst, pos int64) bool {
 // pos; pos may be the current fetch position for emergency checkpoints).
 func (p *checkpointPolicy) takeCheckpoint(pos int64) {
 	c := p.c
+	// Taking a checkpoint moves no CPU-visible counter, yet it changes
+	// what the next cycle can do; the clock skip's quiescence probe
+	// watches this to tell two outwardly identical stall cycles apart.
+	c.policyActivity++
 	snap := c.rt.TakeSnapshot()
 	if pos < 0 {
 		// Wrong-path instruction: record the correct-path resume point.
@@ -259,6 +263,24 @@ func (p *checkpointPolicy) DispatchStalled() {
 			p.takeCheckpoint(c.fetchPos)
 		}
 	}
+}
+
+// NextRetireEvent reports "now" while a window could commit this cycle
+// — a committable checkpoint, or the end-of-program drain of the final
+// open window — and -1 otherwise. Both conditions can only become true
+// through a completion (Pending hitting zero) or a checkpoint take,
+// events the clock skip already observes, so -1 is safe. The adaptive
+// policy inherits this (it only replaces the checkpoint-taking rule).
+func (p *checkpointPolicy) NextRetireEvent(now int64) int64 {
+	c := p.c
+	if p.ckpts.CanCommit() {
+		return now
+	}
+	if c.fetchExhausted() && p.ckpts.Len() == 1 &&
+		p.ckpts.Oldest().Pending == 0 && p.master.len() > 0 {
+		return now
+	}
+	return -1
 }
 
 // ResolveMispredict recovers a mispredicted branch: if the branch is

@@ -94,6 +94,16 @@ func (p *oraclePolicy) Commit() {
 // deadlock (the head always retires once finished).
 func (p *oraclePolicy) DispatchStalled() {}
 
+// NextRetireEvent reports "now" while the window head is finished
+// (Commit would retire it this cycle) and -1 otherwise — identical to
+// the ROB baseline with the width limit removed.
+func (p *oraclePolicy) NextRetireEvent(now int64) int64 {
+	if d := p.window.front(); d != nil && d.Done {
+		return now
+	}
+	return -1
+}
+
 // ResolveMispredict squashes everything younger than the branch from
 // the window tail (all wrong-path, since fetch diverged at the branch).
 func (p *oraclePolicy) ResolveMispredict(b *DynInst) {

@@ -89,6 +89,17 @@ func (p *robPolicy) Commit() {
 // DispatchStalled is a no-op: a full ROB clears itself as heads retire.
 func (p *robPolicy) DispatchStalled() {}
 
+// NextRetireEvent reports "now" while the reorder-buffer head is
+// finished (Commit would retire it this cycle) and -1 otherwise: an
+// unfinished head can only become retirable through a completion event,
+// which the clock skip already bounds by the event wheel.
+func (p *robPolicy) NextRetireEvent(now int64) int64 {
+	if d, ok := p.reorder.Head(); ok && d.Done {
+		return now
+	}
+	return -1
+}
+
 // ResolveMispredict squashes everything younger than the branch from
 // the ROB tail (all of it wrong-path, since fetch diverged at the
 // branch).

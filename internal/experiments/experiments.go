@@ -48,6 +48,9 @@ type Options struct {
 	// service client's remote runner here, so the same figure code runs
 	// against a warm remote cache. Nil means sim.Sweep.
 	Runner func(ctx context.Context, specs []sim.RunSpec, opt sim.Options) ([]stats.Results, error)
+	// DisableSkip forces cycle-by-cycle simulation on every point
+	// (cmd/experiments -no-skip); results are bit-identical either way.
+	DisableSkip bool
 
 	// cache, when set by WithTraceCache, shares generated suite traces
 	// across figures.
@@ -202,6 +205,7 @@ func (o Options) runPoints(ctx context.Context, points []point, suite []suiteTra
 				Trace:            st.tr,
 				Insts:            o.Insts,
 				CollectOccupancy: p.collectOcc,
+				DisableSkip:      o.DisableSkip,
 			})
 		}
 	}

@@ -218,6 +218,28 @@ func (h *Hierarchy) FetchLatency(now int64, pc uint64) int64 {
 	return done
 }
 
+// FetchFillReady reports the cycle an in-flight miss covering pc's line
+// will land, or -1 when no fill later than now is pending — a pure
+// preview of the FetchLatency fast path. The event-driven clock skip
+// uses it to bound a jump: while the fill is in flight FetchLatency
+// keeps answering "ready", but the cycle it lands the front end can
+// make progress, so the skip must stop there.
+func (h *Hierarchy) FetchFillReady(now int64, pc uint64) int64 {
+	if ready, ok := h.inflight.get(h.l2.LineAddr(pc)); ok && ready > now {
+		return ready
+	}
+	return -1
+}
+
+// ReplayFetchHits replays n statistics-only IL1 fetch hits. A quiescent
+// front end re-probing the same resident line every stall cycle counts
+// one IL1 hit per cycle without changing any replacement state; the
+// clock skip elides the probes and replays their counter deltas here so
+// the statistics stay bit-identical to the cycle-by-cycle run.
+func (h *Hierarchy) ReplayFetchHits(n uint64) {
+	h.il1.stats.Accesses += n
+}
+
 // StoreCommit drains a committed store into the hierarchy, updating
 // replacement state. Commit is never blocked by stores (ideal write
 // buffer), so no completion time is returned.

@@ -403,3 +403,34 @@ func TestSLIQRecycling(t *testing.T) {
 		t.Fatalf("stats: %+v", s.Stats())
 	}
 }
+
+func TestSLIQNextWake(t *testing.T) {
+	s := NewSLIQ[int](8, 4, 4, sliqRegs)
+	if got := s.NextWake(); got != -1 {
+		t.Fatalf("empty SLIQ: NextWake = %d, want -1", got)
+	}
+	s.Insert(1, 3, 10)
+	s.Insert(2, 3, 20)
+	// Waiting entries are invisible: they wake only via TriggerReady.
+	if got := s.NextWake(); got != -1 {
+		t.Fatalf("waiting-only SLIQ: NextWake = %d, want -1", got)
+	}
+	s.TriggerReady(3, 100)
+	// Both entries become eligible at 100 + delay.
+	if got := s.NextWake(); got != 104 {
+		t.Fatalf("NextWake = %d, want 104", got)
+	}
+	// Draining the head exposes the next entry's eligibility.
+	if n := s.Drain(104, func(seq uint64, _ int) bool { return seq == 1 }); n != 1 {
+		t.Fatal("head did not drain")
+	}
+	if got := s.NextWake(); got != 104 {
+		t.Fatalf("after partial drain: NextWake = %d, want 104", got)
+	}
+	// A squashed head must report "no skip" (0), never a future cycle
+	// that would let a clock jump sail past the dead entry's collection.
+	s.SquashYounger(2, func(int) {})
+	if got := s.NextWake(); got != 0 {
+		t.Fatalf("squashed head: NextWake = %d, want 0", got)
+	}
+}

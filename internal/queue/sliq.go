@@ -178,6 +178,24 @@ func (s *SLIQ[P]) Drain(now int64, accept func(seq uint64, payload P) bool) int 
 	return drained
 }
 
+// NextWake returns the earliest cycle at which Drain could offer an
+// entry to the pipeline, or -1 when no entry is woken (waiting entries
+// become wakeable only through TriggerReady, an event the caller can
+// see coming). The walk is strictly in order, so the head alone
+// determines the answer; a squashed head is reported as "now" (0) —
+// callers treating the result as a quiescence bound must then not skip,
+// which is always safe. The event-driven clock skip uses this to bound
+// its jump.
+func (s *SLIQ[P]) NextWake() int64 {
+	if len(s.wakeable) == 0 {
+		return -1
+	}
+	if e := s.wakeable[0]; !e.squashed {
+		return e.eligibleAt
+	}
+	return 0
+}
+
 // SquashYounger removes every entry with sequence number >= seq,
 // calling onSquash for each removed payload. Entries already woken stay
 // in the wake heap (marked dead) and are collected by Drain.

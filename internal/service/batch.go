@@ -84,10 +84,15 @@ type Batch struct {
 	warmBuilds int
 	warmReuses int
 	logged     bool
-	errs       []string
-	results    []json.RawMessage
-	events     []Event
-	changed    chan struct{} // closed-and-replaced on every event
+	// cycles and skipped aggregate the simulated-cycle and elided-cycle
+	// totals across the batch's successful points (parsed from each
+	// result), for the completion log line's skip-rate report.
+	cycles  uint64
+	skipped uint64
+	errs    []string
+	results []json.RawMessage
+	events  []Event
+	changed chan struct{} // closed-and-replaced on every event
 }
 
 func newBatch(id string, jobs []Job, fps []string) *Batch {
@@ -131,6 +136,17 @@ func (b *Batch) complete(i int, raw json.RawMessage, cached bool, err error) {
 		b.results[i] = raw
 		if cached {
 			b.hits++
+		}
+		// Pull the cycle totals for the done-line's skip-rate report; a
+		// result that does not parse (or predates the counters) adds
+		// nothing, which is the right degradation for a log line.
+		var c struct {
+			Cycles        uint64
+			SkippedCycles uint64
+		}
+		if json.Unmarshal(raw, &c) == nil {
+			b.cycles += c.Cycles
+			b.skipped += c.SkippedCycles
 		}
 	}
 	b.events = append(b.events, ev)
@@ -183,8 +199,13 @@ func (b *Batch) takeDoneLine() (string, bool) {
 		return "", false
 	}
 	b.logged = true
-	return fmt.Sprintf("batch %s done: %d points, %d cache hits, %d errors; %d snapshot groups, warm donors built=%d reused=%d",
-		b.id, len(b.jobs), b.hits, len(b.errs), b.groups, b.warmBuilds, b.warmReuses), true
+	line := fmt.Sprintf("batch %s done: %d points, %d cache hits, %d errors; %d snapshot groups, warm donors built=%d reused=%d",
+		b.id, len(b.jobs), b.hits, len(b.errs), b.groups, b.warmBuilds, b.warmReuses)
+	if b.cycles > 0 {
+		line += fmt.Sprintf("; clock-skip elided %d/%d cycles (%.1f%%)",
+			b.skipped, b.cycles, 100*float64(b.skipped)/float64(b.cycles))
+	}
+	return line, true
 }
 
 // WaitEvent blocks until event i exists and returns it. ok is false

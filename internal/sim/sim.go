@@ -38,6 +38,11 @@ type RunSpec struct {
 	// CollectOccupancy enables the full occupancy distribution
 	// (Figure 7).
 	CollectOccupancy bool
+	// DisableSkip forces cycle-by-cycle simulation (see
+	// core.RunOptions.DisableSkip). Results are bit-identical either
+	// way, so the knob never enters result fingerprints or the remote
+	// job encoding — it is a local A/B debugging aid only.
+	DisableSkip bool
 }
 
 // Options tunes a Sweep.
@@ -102,6 +107,7 @@ func runSpec(spec RunSpec, getDonor func() (*mem.Hierarchy, error), arena *core.
 	res = cpu.Run(core.RunOptions{
 		MaxInsts:         spec.Insts,
 		CollectOccupancy: spec.CollectOccupancy,
+		DisableSkip:      spec.DisableSkip,
 	})
 	cpu.Recycle(arena)
 	return res, nil

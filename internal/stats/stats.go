@@ -128,6 +128,30 @@ func (o *Occupancy) Sample(inflight, liveLong, liveShort int) {
 	}
 }
 
+// SampleN records n cycles that all observed the same occupancy, as if
+// Sample had been called n times: the event-driven clock skip replays
+// the quiescent cycle's constant sample for every cycle it elides, so
+// the histogram is bit-identical to the cycle-by-cycle run.
+func (o *Occupancy) SampleN(n uint64, inflight, liveLong, liveShort int) {
+	if n == 0 {
+		return
+	}
+	if inflight < 0 {
+		inflight = 0
+	}
+	if inflight >= len(o.count) {
+		inflight = len(o.count) - 1
+	}
+	o.count[inflight] += n
+	o.sumLong[inflight] += n * uint64(liveLong)
+	o.sumShort[inflight] += n * uint64(liveShort)
+	o.samples += n
+	o.sumInfl += n * uint64(inflight)
+	if inflight > o.max {
+		o.max = inflight
+	}
+}
+
 // Samples returns the number of recorded cycles.
 func (o *Occupancy) Samples() uint64 { return o.samples }
 
@@ -293,6 +317,19 @@ type Results struct {
 	SLIQMoved uint64
 	SLIQWoken uint64
 
+	// SkippedCycles, SkipEvents and LongestSkip measure the event-driven
+	// clock skip (a simulator-speed diagnostic, not a model quantity:
+	// every other counter is bit-identical with skipping disabled).
+	// SkippedCycles counts cycles elided by clock jumps — they are
+	// included in Cycles — SkipEvents counts the jumps, and LongestSkip
+	// is the largest single jump. All three are omitted from the JSON
+	// encoding when zero, so runs that never skip (and cached results
+	// recorded before the counters existed) keep their encodings
+	// byte-identical.
+	SkippedCycles uint64 `json:",omitempty"`
+	SkipEvents    uint64 `json:",omitempty"`
+	LongestSkip   uint64 `json:",omitempty"`
+
 	// Branch and Mem expose substrate counters.
 	Branch branch.Stats
 	Mem    mem.HierarchyStats
@@ -345,6 +382,11 @@ func (r *Results) Merge(o Results) {
 	r.CheckpointStallCycles += o.CheckpointStallCycles
 	r.SLIQMoved += o.SLIQMoved
 	r.SLIQWoken += o.SLIQWoken
+	r.SkippedCycles += o.SkippedCycles
+	r.SkipEvents += o.SkipEvents
+	if o.LongestSkip > r.LongestSkip {
+		r.LongestSkip = o.LongestSkip
+	}
 
 	r.Branch.Predictions += o.Branch.Predictions
 	r.Branch.Mispredicts += o.Branch.Mispredicts
@@ -416,6 +458,15 @@ func (r Results) IPC() float64 {
 		return 0
 	}
 	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// SkipRate returns the fraction of simulated cycles elided by the
+// event-driven clock skip (0 when skipping never engaged).
+func (r Results) SkipRate() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SkippedCycles) / float64(r.Cycles)
 }
 
 // ReplayRate returns replayed (thrown-away) instructions per committed

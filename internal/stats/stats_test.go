@@ -266,6 +266,7 @@ func TestResultsMergeExhaustive(t *testing.T) {
 	special := map[string]float64{
 		"MaxInflight":  1,
 		"MeanInflight": 1,
+		"LongestSkip":  1, // max across shards, not a sum
 	}
 
 	setOnes := func(r *Results) {
@@ -390,5 +391,81 @@ func TestPolicyCountersJSONAndMerge(t *testing.T) {
 	}
 	if c.Policy["oracle.max_retire_burst"] != 40 {
 		t.Fatalf("max-style policy counter must merge by maximum: %+v", c.Policy)
+	}
+}
+
+// TestOccupancySampleN pins the clock skip's weighted sampling: n
+// identical samples recorded at once must leave the histogram
+// bit-identical to n Sample calls, including clamping and max tracking.
+func TestOccupancySampleN(t *testing.T) {
+	a, b := NewOccupancy(8), NewOccupancy(8)
+	record := func(o *Occupancy, n uint64, inflight, long, short int) {
+		for i := uint64(0); i < n; i++ {
+			o.Sample(inflight, long, short)
+		}
+	}
+	for _, s := range []struct {
+		n                     uint64
+		inflight, long, short int
+	}{
+		{3, 2, 1, 0},
+		{0, 5, 0, 0},  // n=0 must record nothing
+		{4, 12, 2, 3}, // clamps to the top bucket
+		{1, -1, 0, 0}, // clamps below
+		{2, 2, 0, 4},
+	} {
+		record(a, s.n, s.inflight, s.long, s.short)
+		b.SampleN(s.n, s.inflight, s.long, s.short)
+	}
+	if a.Samples() != b.Samples() {
+		t.Fatalf("samples: %d vs %d", a.Samples(), b.Samples())
+	}
+	if am, bm := a.Mean(), b.Mean(); am != bm {
+		t.Fatalf("mean: %v vs %v", am, bm)
+	}
+	for _, p := range []float64{0.25, 0.5, 0.75, 0.95, 1} {
+		if ap, bp := a.Percentile(p), b.Percentile(p); ap != bp {
+			t.Fatalf("p%v: %d vs %d", p, ap, bp)
+		}
+	}
+}
+
+// TestSkipCountersOmittedWhenZero guards the cache-compatibility
+// contract: a run that never skipped must serialise byte-identically to
+// results recorded before the skip counters existed, so the daemon's
+// content-addressed cache keeps validating old entries.
+func TestSkipCountersOmittedWhenZero(t *testing.T) {
+	var r Results
+	r.Name = "x"
+	r.Cycles = 10
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"SkippedCycles", "SkipEvents", "LongestSkip"} {
+		if bytes.Contains(raw, []byte(field)) {
+			t.Fatalf("zero %s must be omitted from JSON: %s", field, raw)
+		}
+	}
+	r.SkippedCycles, r.SkipEvents, r.LongestSkip = 7, 2, 5
+	raw, err = json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"SkippedCycles", "SkipEvents", "LongestSkip"} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Fatalf("non-zero %s missing from JSON: %s", field, raw)
+		}
+	}
+}
+
+// TestSkipRate covers the derived metric.
+func TestSkipRate(t *testing.T) {
+	if got := (Results{}).SkipRate(); got != 0 {
+		t.Fatalf("empty SkipRate = %v, want 0", got)
+	}
+	r := Results{Cycles: 200, SkippedCycles: 150}
+	if got := r.SkipRate(); got != 0.75 {
+		t.Fatalf("SkipRate = %v, want 0.75", got)
 	}
 }
