@@ -7,17 +7,32 @@
 // Usage:
 //
 //	ooosimd [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
-//	        [-workers N] [-v]
+//	        [-workers N] [-max-queue N] [-drain-timeout D]
+//	        [-peers URL,URL,...] [-advertise URL] [-v]
 //
 // API (see internal/service):
 //
-//	POST /v1/batches             submit {"jobs":[...]}
+//	POST /v1/batches             submit {"jobs":[...]} (429/503 under
+//	                             admission control or drain)
 //	GET  /v1/batches/{id}        poll status and results
 //	GET  /v1/batches/{id}/events NDJSON progress stream
 //	GET  /healthz                liveness
+//	GET  /readyz                 readiness (503 while draining or full)
+//	POST /drainz                 start graceful drain
+//	GET  /metrics                Prometheus text metrics
+//	GET  /v1/donors/{key}        warm-donor snapshot (fleet mode)
 //
-// Point cmd/experiments -server at the daemon to regenerate figures
-// against the warm cache.
+// Fleet mode: start several daemons with the same -peers list (every
+// worker's URL, identical order everywhere) and each node's own URL in
+// -advertise, then front them with cmd/ooosimfleet. Workers ship warmed
+// donor snapshots to each other so each snapshot group is warmed once
+// fleet-wide.
+//
+// SIGINT or SIGTERM triggers a graceful drain: stop admitting, finish
+// the queue (up to -drain-timeout), then exit.
+//
+// Point cmd/experiments -server at the daemon (or the fleet
+// coordinator) to regenerate figures against the warm cache.
 package main
 
 import (
@@ -29,6 +44,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/service"
@@ -39,6 +56,10 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "disk tier of the result cache (empty: memory only)")
 	cacheEntries := flag.Int("cache-entries", service.DefaultCacheEntries, "memory tier capacity, in results")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size (shared across batches)")
+	maxQueue := flag.Int("max-queue", 0, "admission bound on queued misses; 0 admits everything")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a signal-triggered drain waits for the queue")
+	peers := flag.String("peers", "", "comma-separated fleet worker URLs (same list on every node); empty disables donor shipping")
+	advertise := flag.String("advertise", "", "this node's own URL in -peers (enables adopting donors from peers)")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
@@ -46,13 +67,25 @@ func main() {
 	if err != nil {
 		log.Fatalf("ooosimd: %v", err)
 	}
+	var donors *service.DonorExchange
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		donors = service.NewDonorExchange(*advertise, list)
+	}
 	// Every finished batch logs its cache hit/miss split alongside the
 	// snapshot-sharing stats (group count, warm-donor reuse rate), so
 	// operators can see the snapshot-fork sharing actually engage.
 	sched := service.NewScheduler(service.SchedulerOptions{
-		Workers: *workers,
-		Cache:   cache,
-		Log:     log.Printf,
+		Workers:  *workers,
+		Cache:    cache,
+		MaxQueue: *maxQueue,
+		Donors:   donors,
+		Log:      log.Printf,
 	})
 	handler := service.NewHandler(sched)
 	if *verbose {
@@ -78,14 +111,23 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is what orchestrators send; SIGINT is what operators send.
+	// Either starts a graceful drain: readiness flips false (the fleet
+	// coordinator stops routing here), the queue runs dry, then the
+	// listener closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		// In-flight simulations are not interruptible; give handlers a
-		// moment to flush, then exit.
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("ooosimd: signal received, draining (timeout %s)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		if err := sched.Drain(dctx); err != nil {
+			log.Printf("ooosimd: drain incomplete: %v", err)
+		}
+		// In-flight streams flush during Shutdown's grace window.
+		sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
 		srv.Shutdown(sctx)
 	}()
 
@@ -97,4 +139,5 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("ooosimd: %v", err)
 	}
+	log.Printf("ooosimd: drained, exiting")
 }

@@ -1,0 +1,106 @@
+// Command ooosimfleet is the fleet coordinator: it fronts N ooosimd
+// workers with the same batch API one worker exposes, sharding each
+// batch's points across the workers by result fingerprint.
+//
+// Usage:
+//
+//	ooosimfleet -worker URL [-worker URL ...]
+//	            [-addr HOST:PORT] [-max-queue N]
+//	            [-ping-interval D] [-drain-timeout D] [-v]
+//
+// Clients cannot tell the coordinator from a single daemon — the sweep
+// runner, cmd/experiments -server, and cmd/ooosimload all work
+// unchanged against it. Inside, identical points always route to the
+// same worker (cross-node singleflight plus clean cache partitioning),
+// concurrent batches sharing a point submit it downstream once, and a
+// worker that dies mid-batch has its unfinished points re-routed to the
+// survivors — results are byte-identical either way, because the
+// simulator is deterministic.
+//
+// SIGINT or SIGTERM triggers a graceful drain, exactly like a worker.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// workerList collects repeated -worker flags.
+type workerList []string
+
+func (w *workerList) String() string { return fmt.Sprint(*w) }
+func (w *workerList) Set(v string) error {
+	*w = append(*w, v)
+	return nil
+}
+
+func main() {
+	var workers workerList
+	flag.Var(&workers, "worker", "worker base URL (repeat per worker)")
+	addr := flag.String("addr", "127.0.0.1:8320", "listen address")
+	maxQueue := flag.Int("max-queue", 0, "admission bound on queued points; 0 admits everything")
+	pingInterval := flag.Duration("ping-interval", time.Second, "worker readiness probe interval")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a signal-triggered drain waits for the queue")
+	verbose := flag.Bool("v", false, "log every request")
+	flag.Parse()
+
+	coord, err := fleet.New(fleet.Options{
+		Workers:      workers,
+		MaxQueue:     *maxQueue,
+		PingInterval: *pingInterval,
+		Log:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("ooosimfleet: %v", err)
+	}
+	defer coord.Close()
+
+	handler := fleet.NewHandler(coord)
+	if *verbose {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			inner.ServeHTTP(w, r)
+			log.Printf("%s %s (%.1fms)", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1000)
+		})
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Same rationale as ooosimd: bound header reads and idle
+		// connections, leave the streaming endpoints unbounded.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("ooosimfleet: signal received, draining (timeout %s)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := coord.Drain(dctx); err != nil {
+			log.Printf("ooosimfleet: drain incomplete: %v", err)
+		}
+		sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		srv.Shutdown(sctx)
+	}()
+
+	log.Printf("ooosimfleet: listening on %s, fronting %d worker(s)", *addr, len(workers))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ooosimfleet: %v", err)
+	}
+	log.Printf("ooosimfleet: drained, exiting")
+}

@@ -1,0 +1,254 @@
+// Command ooosimload is the fleet load generator: it drives batch
+// traffic at a daemon or coordinator and reports throughput, tail
+// latency and backpressure behaviour.
+//
+// Usage:
+//
+//	ooosimload [-url URL | -inprocess N] [-duration D] [-concurrency N]
+//	           [-batch-size N] [-distinct N] [-insts N] [-seed N]
+//
+// With -url it targets a running ooosimd or ooosimfleet. With
+// -inprocess N it boots a self-contained fleet first — N workers with
+// donor shipping wired plus a coordinator, all on loopback — which is
+// the one-command way to measure fleet behaviour (and what the CI
+// fleet-e2e job uses).
+//
+// Each of -concurrency clients loops for -duration: draw -batch-size
+// points from a space of -distinct distinct simulation points (the
+// ratio of the two sets the cache-hit rate), submit, stream to
+// completion, record the submit-to-done latency. A 429 (admission
+// control) is counted, honoured by sleeping the server's Retry-After,
+// and retried — backpressure is a result here, not an error.
+//
+// The report: batches, points, point errors, 429s, points/s, and
+// latency p50/p90/p99.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+func main() {
+	url := flag.String("url", "", "target daemon or coordinator base URL")
+	inprocess := flag.Int("inprocess", 0, "boot an in-process fleet with this many workers (alternative to -url)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	concurrency := flag.Int("concurrency", 4, "concurrent client loops")
+	batchSize := flag.Int("batch-size", 8, "points per batch")
+	distinct := flag.Int("distinct", 64, "distinct points to draw batches from")
+	insts := flag.Uint64("insts", 1500, "instructions per point")
+	seed := flag.Int64("seed", 1, "workload draw seed")
+	maxQueue := flag.Int("max-queue", 256, "admission bound for the in-process fleet's coordinator")
+	flag.Parse()
+
+	if (*url == "") == (*inprocess == 0) {
+		log.Fatalf("ooosimload: exactly one of -url or -inprocess is required")
+	}
+	target := *url
+	if *inprocess > 0 {
+		var stop func()
+		var err error
+		target, stop, err = bootFleet(*inprocess, *maxQueue)
+		if err != nil {
+			log.Fatalf("ooosimload: %v", err)
+		}
+		defer stop()
+		log.Printf("ooosimload: booted %d-worker in-process fleet at %s", *inprocess, target)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	client := &service.Client{BaseURL: target}
+	if err := client.AwaitReady(ctx); err != nil {
+		log.Fatalf("ooosimload: target never became ready: %v", err)
+	}
+
+	points := makePoints(*distinct, *insts)
+	deadline := time.Now().Add(*duration)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		batches   atomic.Uint64
+		npoints   atomic.Uint64
+		rejected  atomic.Uint64
+		failures  atomic.Uint64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				jobs := make([]service.Job, *batchSize)
+				for i := range jobs {
+					jobs[i] = points[rng.Intn(len(points))]
+				}
+				start := time.Now()
+				_, err := client.Run(ctx, jobs, nil)
+				if err != nil {
+					var se *service.StatusError
+					if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+						// Admission control working as designed: back off
+						// for the advertised interval and try again.
+						rejected.Add(1)
+						select {
+						case <-time.After(time.Second):
+						case <-ctx.Done():
+						}
+						continue
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					failures.Add(1)
+					log.Printf("ooosimload: batch failed: %v", err)
+					continue
+				}
+				batches.Add(1)
+				npoints.Add(uint64(len(jobs)))
+				mu.Lock()
+				latencies = append(latencies, time.Since(start))
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	elapsed := *duration
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("target:      %s\n", target)
+	fmt.Printf("duration:    %s  concurrency: %d  batch-size: %d  distinct: %d\n",
+		elapsed, *concurrency, *batchSize, *distinct)
+	fmt.Printf("batches:     %d (%d failed, %d rejected with 429)\n",
+		batches.Load(), failures.Load(), rejected.Load())
+	fmt.Printf("points:      %d (%.1f points/s)\n",
+		npoints.Load(), float64(npoints.Load())/elapsed.Seconds())
+	if len(latencies) > 0 {
+		fmt.Printf("latency:     p50=%s p90=%s p99=%s max=%s\n",
+			percentile(latencies, 50), percentile(latencies, 90),
+			percentile(latencies, 99), latencies[len(latencies)-1])
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// percentile reads the p'th percentile from sorted latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// makePoints enumerates n distinct simulation points spanning the four
+// commit policies, the benchmark kernels and a range of queue sizes —
+// a miniature of the paper's sweep space.
+func makePoints(n int, insts uint64) []service.Job {
+	tlen := trace.LenFor(insts)
+	recipes := []trace.Recipe{
+		{Kernel: trace.KernelStream, N: tlen},
+		{Kernel: trace.KernelStrided, N: tlen, Stride: 8},
+		{Kernel: trace.KernelStencil, N: tlen},
+		{Kernel: trace.KernelReduction, N: tlen},
+		{Kernel: trace.KernelBlocked, N: tlen},
+		{Kernel: trace.KernelFPMix, N: tlen, Seed: 42},
+	}
+	var cfgs []config.Config
+	for _, sliq := range []int{512, 1024, 2048} {
+		for _, iq := range []int{32, 48, 64, 96, 128} {
+			cfgs = append(cfgs, config.CheckpointDefault(iq, sliq))
+			cfgs = append(cfgs, config.AdaptiveDefault(iq, sliq))
+		}
+	}
+	cfgs = append(cfgs, config.OracleDefault(), config.BaselineSized(128), config.BaselineSized(4096))
+
+	var out []service.Job
+	for i := 0; len(out) < n; i++ {
+		cfg := cfgs[i%len(cfgs)]
+		r := recipes[(i/len(cfgs))%len(recipes)]
+		// Wrap-around past cfgs x recipes would repeat points; vary the
+		// instruction budget instead to stay distinct.
+		job := service.Job{
+			Name:   fmt.Sprintf("load-%d", i),
+			Config: cfg,
+			Trace:  r,
+			Insts:  insts + uint64(i/(len(cfgs)*len(recipes))),
+		}
+		out = append(out, job)
+	}
+	return out
+}
+
+// bootFleet starts workers+coordinator on loopback listeners and
+// returns the coordinator URL and a shutdown func.
+func bootFleet(workers, maxQueue int) (string, func(), error) {
+	urls := make([]string, workers)
+	lns := make([]net.Listener, workers)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	var stops []func()
+	stop := func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	slots := runtime.GOMAXPROCS(0)/workers + 1
+	for i := range lns {
+		sched := service.NewScheduler(service.SchedulerOptions{
+			Workers: slots,
+			Donors:  service.NewDonorExchange(urls[i], urls),
+		})
+		srv := &http.Server{Handler: service.NewHandler(sched)}
+		go srv.Serve(lns[i])
+		stops = append(stops, func() { srv.Close() })
+	}
+
+	coord, err := fleet.New(fleet.Options{
+		Workers:      urls,
+		MaxQueue:     maxQueue,
+		PingInterval: 500 * time.Millisecond,
+	})
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	stops = append(stops, coord.Close)
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	fsrv := &http.Server{Handler: fleet.NewHandler(coord)}
+	go fsrv.Serve(fln)
+	stops = append(stops, func() { fsrv.Close() })
+	return "http://" + fln.Addr().String(), stop, nil
+}

@@ -1,0 +1,488 @@
+// Package fleet shards simulation batches across a set of ooosimd
+// workers behind the single-node batch API.
+//
+// The coordinator fronts N workers with exactly the HTTP surface one
+// worker exposes (service.BatchAPI), so clients — the CLI, the sweep
+// runner, the load generator — cannot tell a fleet from a node. Inside,
+// each point routes to the worker owning its fingerprint's shard
+// (sim.ShardFor over the currently-ready node list), which makes the
+// fleet's caches partition cleanly: identical points always land on
+// the same node, so no result is computed or stored twice.
+//
+// Three mechanisms keep that guarantee under churn:
+//
+//   - Coordinator singleflight: concurrent batches sharing a
+//     fingerprint elect one leader submission per point; followers
+//     adopt the leader's bytes and report cached, so not even the
+//     routing layer sends a duplicate downstream.
+//   - Health routing: a pinger tracks each worker's /readyz, and a
+//     worker that fails a submission or severs an event stream is
+//     marked down immediately. Unfinished points re-bucket over the
+//     survivors in a fresh routing pass; the simulation is
+//     deterministic, so a re-routed point's bytes match what the dead
+//     node would have produced.
+//   - Admission and drain mirror the worker semantics: a bounded
+//     point queue rejects with service.ErrOverloaded (HTTP 429), and
+//     drain stops admission while in-flight batches run dry.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers lists the worker base URLs (e.g. "http://127.0.0.1:8321").
+	// At least one is required.
+	Workers []string
+	// MaxQueue bounds admitted-but-unfinished points across all batches;
+	// <= 0 admits everything.
+	MaxQueue int
+	// PingInterval spaces the health pinger's /readyz probes; <= 0 uses
+	// one second.
+	PingInterval time.Duration
+	// MaxBatches bounds how many finished batches stay pollable; <= 0
+	// uses 256.
+	MaxBatches int
+	// HTTPClient overrides the default worker transport (tests,
+	// timeouts).
+	HTTPClient *http.Client
+	// Log, when non-nil, receives routing events: node mark-downs,
+	// re-route passes, batch completion lines.
+	Log func(format string, args ...any)
+}
+
+// node is one worker and its health state.
+type node struct {
+	url    string
+	client *service.Client
+	up     atomic.Bool
+}
+
+// Coordinator shards batches over a worker fleet. It implements
+// service.BatchAPI; serve it with service.NewAPIHandler (or
+// fleet.NewHandler for the full production surface).
+type Coordinator struct {
+	nodes    []*node
+	maxQueue int
+	log      func(format string, args ...any)
+
+	metrics  metrics
+	draining atomic.Bool
+
+	// flight deduplicates in-flight points across batches by
+	// fingerprint: one leader submission per point fleet-wide.
+	flightMu sync.Mutex
+	flight   map[string]*flightEntry
+
+	mu         sync.Mutex
+	batches    map[string]*service.Batch
+	order      []string
+	nextID     int
+	maxBatches int
+
+	pingStop chan struct{}
+	pingDone chan struct{}
+}
+
+type flightEntry struct {
+	done   chan struct{}
+	raw    json.RawMessage
+	cached bool
+	err    error
+}
+
+// New builds a coordinator and starts its health pinger. Call Close to
+// stop the pinger.
+func New(opt Options) (*Coordinator, error) {
+	if len(opt.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured")
+	}
+	maxBatches := opt.MaxBatches
+	if maxBatches <= 0 {
+		maxBatches = 256
+	}
+	interval := opt.PingInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	c := &Coordinator{
+		maxQueue:   opt.MaxQueue,
+		log:        opt.Log,
+		flight:     map[string]*flightEntry{},
+		batches:    map[string]*service.Batch{},
+		maxBatches: maxBatches,
+		pingStop:   make(chan struct{}),
+		pingDone:   make(chan struct{}),
+	}
+	for _, u := range opt.Workers {
+		n := &node{url: u, client: &service.Client{BaseURL: u, HTTPClient: opt.HTTPClient}}
+		// Optimistic start: nodes are assumed ready until a probe or a
+		// dispatch failure says otherwise, so the first batch never waits
+		// for a ping cycle.
+		n.up.Store(true)
+		c.nodes = append(c.nodes, n)
+	}
+	go c.pingLoop(interval)
+	return c, nil
+}
+
+// Close stops the health pinger. In-flight batches keep running.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.pingStop:
+	default:
+		close(c.pingStop)
+	}
+	<-c.pingDone
+}
+
+// pingLoop probes every worker's readiness on a fixed cadence. A probe
+// result overrides dispatch-time mark-downs in both directions: a
+// recovered (restarted or drained-and-returned) worker rejoins the
+// routing set without operator action.
+func (c *Coordinator) pingLoop(interval time.Duration) {
+	defer close(c.pingDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.pingStop:
+			return
+		case <-ticker.C:
+			c.pingOnce()
+		}
+	}
+}
+
+// pingOnce probes every node once (also a test seam).
+func (c *Coordinator) pingOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, n := range c.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			ready := n.client.Ready(ctx) == nil
+			if n.up.Swap(ready) != ready && c.log != nil {
+				state := "down"
+				if ready {
+					state = "up"
+				}
+				c.log("fleet: node %s is %s", n.url, state)
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// readyNodes returns the nodes currently accepting work.
+func (c *Coordinator) readyNodes() []*node {
+	var out []*node
+	for _, n := range c.nodes {
+		if n.up.Load() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StartDrain stops admitting new batches. Idempotent.
+func (c *Coordinator) StartDrain() { c.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (c *Coordinator) Draining() bool { return c.draining.Load() }
+
+// Drain starts draining and blocks until every admitted point finished
+// (or ctx expires).
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.StartDrain()
+	for c.metrics.QueueDepth.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Ready reports why the coordinator should not receive new work:
+// draining, queue over the bound, or no live workers.
+func (c *Coordinator) Ready() error {
+	if c.draining.Load() {
+		return service.ErrDraining
+	}
+	if q := c.metrics.QueueDepth.Load(); c.maxQueue > 0 && q >= int64(c.maxQueue) {
+		return fmt.Errorf("%w: %d queued >= bound %d", service.ErrOverloaded, q, c.maxQueue)
+	}
+	if len(c.readyNodes()) == 0 {
+		return errors.New("fleet: no workers ready")
+	}
+	return nil
+}
+
+// Submit validates and fingerprints the batch, admits it against the
+// queue bound, and dispatches it across the fleet asynchronously.
+func (c *Coordinator) Submit(jobs []service.Job) (*service.Batch, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fleet: empty batch")
+	}
+	if c.draining.Load() {
+		c.metrics.BatchesRejected.Add(1)
+		return nil, service.ErrDraining
+	}
+	fps := make([]string, len(jobs))
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: job %d: %w", i, err)
+		}
+		fp, err := j.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: job %d: %w", i, err)
+		}
+		fps[i] = fp
+	}
+	if c.maxQueue > 0 {
+		if q := c.metrics.QueueDepth.Load(); q+int64(len(jobs)) > int64(c.maxQueue) {
+			c.metrics.BatchesRejected.Add(1)
+			return nil, fmt.Errorf("%w: %d queued + %d new points > bound %d",
+				service.ErrOverloaded, q, len(jobs), c.maxQueue)
+		}
+	}
+	c.metrics.BatchesSubmitted.Add(1)
+	c.metrics.Points.Add(uint64(len(jobs)))
+	c.metrics.QueueDepth.Add(int64(len(jobs)))
+
+	c.mu.Lock()
+	c.nextID++
+	b := service.NewBatch(fmt.Sprintf("f%d", c.nextID), append([]service.Job(nil), jobs...), fps)
+	c.batches[b.ID()] = b
+	c.order = append(c.order, b.ID())
+	for len(c.order) > c.maxBatches {
+		victim := c.batches[c.order[0]]
+		if victim != nil && victim.Status().State == service.StateRunning {
+			break
+		}
+		delete(c.batches, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.mu.Unlock()
+
+	go c.dispatch(b)
+	return b, nil
+}
+
+// Batch returns a previously submitted batch by ID.
+func (c *Coordinator) Batch(id string) (*service.Batch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.batches[id]
+	return b, ok
+}
+
+// pointResult is one point's outcome arriving at the dispatch loop.
+type pointResult struct {
+	i      int
+	raw    json.RawMessage
+	cached bool
+	err    error
+}
+
+// dispatch routes a batch's points across the fleet until every point
+// completes, re-routing around node failures. It is the only completer
+// of b, so the exactly-once Complete contract holds by construction:
+// results from every source (worker streams, flight followers, terminal
+// errors) funnel through one loop that drops duplicates.
+func (c *Coordinator) dispatch(b *service.Batch) {
+	jobs, fps := b.Jobs(), b.Fingerprints()
+	results := make(chan pointResult, len(jobs))
+
+	// Split points into flight leaders (we submit them) and followers
+	// (an earlier batch is already computing the same fingerprint; adopt
+	// its bytes when it lands). Duplicate fingerprints within this batch
+	// follow their first occurrence the same way.
+	var lead []int
+	leaders := map[string]bool{}
+	for i, fp := range fps {
+		c.flightMu.Lock()
+		e, inFlight := c.flight[fp]
+		if !inFlight {
+			e = &flightEntry{done: make(chan struct{})}
+			c.flight[fp] = e
+		}
+		c.flightMu.Unlock()
+		if !inFlight && !leaders[fp] {
+			leaders[fp] = true
+			lead = append(lead, i)
+			continue
+		}
+		c.metrics.PointsDeduped.Add(1)
+		go func(i int, e *flightEntry) {
+			<-e.done
+			// A shared result is cached by definition: this submission
+			// ran nothing for it.
+			results <- pointResult{i: i, raw: e.raw, cached: e.err == nil, err: e.err}
+		}(i, e)
+	}
+
+	go c.route(b, lead, results)
+
+	done := make([]bool, len(jobs))
+	for range jobs {
+		r := <-results
+		if done[r.i] {
+			continue
+		}
+		done[r.i] = true
+		if leaders[fps[r.i]] {
+			c.resolveFlight(fps[r.i], r)
+			leaders[fps[r.i]] = false // resolve once per fingerprint
+		}
+		if r.err != nil {
+			c.metrics.PointErrors.Add(1)
+		}
+		b.Complete(r.i, r.raw, r.cached, r.err)
+		c.metrics.QueueDepth.Add(-1)
+	}
+	if c.log != nil {
+		if line, ok := b.TakeDoneLine(); ok {
+			c.log("%s", line)
+		}
+	}
+}
+
+// resolveFlight publishes a leader point's outcome to its followers.
+func (c *Coordinator) resolveFlight(fp string, r pointResult) {
+	c.flightMu.Lock()
+	e := c.flight[fp]
+	delete(c.flight, fp)
+	c.flightMu.Unlock()
+	if e == nil {
+		return
+	}
+	e.raw, e.cached, e.err = r.raw, r.cached, r.err
+	close(e.done)
+}
+
+// route drives the leader points to completion: shard over the ready
+// nodes, run the per-node sub-batches, re-bucket whatever a failed node
+// left unfinished. Every pass excludes the nodes that just failed, so
+// the pass count is bounded by the fleet size; when no nodes remain the
+// leftovers complete with a routing error.
+func (c *Coordinator) route(b *service.Batch, lead []int, results chan<- pointResult) {
+	jobs, fps := b.Jobs(), b.Fingerprints()
+	pending := lead
+	for pass := 0; len(pending) > 0 && pass <= len(c.nodes)+1; pass++ {
+		ready := c.readyNodes()
+		if len(ready) == 0 {
+			break
+		}
+		if pass > 0 {
+			c.metrics.Reroutes.Add(uint64(len(pending)))
+			if c.log != nil {
+				c.log("fleet: re-routing %d point(s) over %d node(s) (pass %d)", len(pending), len(ready), pass)
+			}
+		}
+		// Shard by fingerprint over the ready nodes: identical points
+		// land on identical nodes, so per-node caches stay partitioned.
+		buckets := make([][]int, len(ready))
+		for _, i := range pending {
+			s := sim.ShardFor(fps[i], len(ready))
+			buckets[s] = append(buckets[s], i)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var unfinished []int
+		for s, idxs := range buckets {
+			if len(idxs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(n *node, idxs []int) {
+				defer wg.Done()
+				left := c.runOn(n, jobs, idxs, results)
+				if len(left) > 0 {
+					mu.Lock()
+					unfinished = append(unfinished, left...)
+					mu.Unlock()
+				}
+			}(ready[s], idxs)
+		}
+		wg.Wait()
+		pending = unfinished
+	}
+	for _, i := range pending {
+		results <- pointResult{i: i, err: errors.New("fleet: no workers available to run this point")}
+	}
+}
+
+// runOn submits idxs' jobs to one worker and streams completions into
+// results. On worker failure it marks the node down and returns the
+// points that did not complete, for the caller to re-route. Per-point
+// simulation errors are final (the simulator is deterministic; another
+// node would fail identically) and do not count as unfinished.
+func (c *Coordinator) runOn(n *node, jobs []service.Job, idxs []int, results chan<- pointResult) (unfinished []int) {
+	sub := make([]service.Job, len(idxs))
+	for k, i := range idxs {
+		sub[k] = jobs[i]
+	}
+	got := make([]bool, len(idxs))
+	defer func() {
+		for k, ok := range got {
+			if !ok {
+				unfinished = append(unfinished, idxs[k])
+			}
+		}
+	}()
+
+	// A batch is open-ended work; the only timeout that makes sense is
+	// per-connection (the client's transport), not end-to-end.
+	ctx := context.Background()
+	st, err := n.client.Submit(ctx, sub)
+	if err != nil {
+		c.markDown(n, err)
+		return
+	}
+	err = n.client.Stream(ctx, st.ID, func(ev service.Event) error {
+		switch ev.Type {
+		case "result":
+			if ev.Index >= 0 && ev.Index < len(idxs) {
+				got[ev.Index] = true
+				results <- pointResult{i: idxs[ev.Index], raw: ev.Results, cached: ev.Cached}
+			}
+		case "error":
+			if ev.Index >= 0 && ev.Index < len(idxs) {
+				got[ev.Index] = true
+				results <- pointResult{i: idxs[ev.Index], err: errors.New(ev.Error)}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		c.markDown(n, err)
+	}
+	return
+}
+
+// markDown records a dispatch-time worker failure; the pinger re-admits
+// the node when it answers /readyz again.
+func (c *Coordinator) markDown(n *node, err error) {
+	if n.up.Swap(false) {
+		c.metrics.NodeFailures.Add(1)
+		if c.log != nil {
+			c.log("fleet: node %s marked down: %v", n.url, err)
+		}
+	}
+}

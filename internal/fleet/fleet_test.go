@@ -1,0 +1,388 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// policyBatch builds a small figure-9-shaped batch covering all four
+// commit policies (rob baseline, checkpoint, adaptive, oracle) over
+// several workloads — the byte-identity surface the fleet must
+// preserve.
+func policyBatch(insts uint64) []service.Job {
+	n := trace.LenFor(insts)
+	recipes := []trace.Recipe{
+		{Kernel: trace.KernelStream, N: n},
+		{Kernel: trace.KernelStrided, N: n, Stride: 8},
+		{Kernel: trace.KernelFPMix, N: n, Seed: 42},
+	}
+	cfgs := []config.Config{
+		config.BaselineSized(128),
+		config.CheckpointDefault(32, 512),
+		config.CheckpointDefault(64, 512),
+		config.AdaptiveDefault(64, 512),
+		config.OracleDefault(),
+	}
+	var jobs []service.Job
+	for _, cfg := range cfgs {
+		for _, r := range recipes {
+			jobs = append(jobs, service.Job{Name: r.Kernel + "/" + string(cfg.Commit), Config: cfg, Trace: r, Insts: insts})
+		}
+	}
+	return jobs
+}
+
+// singleNodeBytes runs jobs on one plain scheduler and returns the raw
+// result bytes per point — the reference every fleet topology must
+// reproduce exactly.
+func singleNodeBytes(t *testing.T, jobs []service.Job) []json.RawMessage {
+	t.Helper()
+	s := service.NewScheduler(service.SchedulerOptions{})
+	b, err := s.Submit(jobs)
+	if err != nil {
+		t.Fatalf("single-node submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := b.Wait(ctx)
+	if err != nil {
+		t.Fatalf("single-node wait: %v", err)
+	}
+	if len(st.Errors) > 0 {
+		t.Fatalf("single-node errors: %v", st.Errors)
+	}
+	return st.Results
+}
+
+// bootWorkers starts n in-process workers wired as a fleet (shared
+// canonical peer list, donor exchanges) on real listeners, returning
+// their URLs, schedulers and a per-worker shutdown func.
+func bootWorkers(t *testing.T, n int) (urls []string, scheds []*service.Scheduler, kill []func()) {
+	t.Helper()
+	handlers := make([]http.Handler, n)
+	lns := make([]net.Listener, n)
+	servers := make([]*http.Server, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		s := service.NewScheduler(service.SchedulerOptions{
+			Workers: 1, // serialise per node: widens the mid-batch kill window
+			Donors:  service.NewDonorExchange(urls[i], urls),
+		})
+		scheds = append(scheds, s)
+		handlers[i] = service.NewHandler(s)
+		srv := &http.Server{Handler: handlers[i]}
+		servers[i] = srv
+		go srv.Serve(lns[i])
+		kill = append(kill, func() { srv.Close() }) // severs active connections
+	}
+	t.Cleanup(func() {
+		for _, k := range kill {
+			k()
+		}
+	})
+	return urls, scheds, kill
+}
+
+// TestFleetByteIdenticalToSingleNode is the PR's acceptance test: a
+// three-worker fleet behind a coordinator answers a full four-policy
+// batch with bytes identical to one plain scheduler, while warm donors
+// ship between workers (fewer builds than nodes x groups, at least one
+// adoption).
+func TestFleetByteIdenticalToSingleNode(t *testing.T) {
+	jobs := policyBatch(1500)
+	want := singleNodeBytes(t, jobs)
+
+	urls, scheds, _ := bootWorkers(t, 3)
+	coord, err := New(Options{Workers: urls, PingInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	front := httptest.NewServer(NewHandler(coord))
+	defer front.Close()
+
+	// Through the front door: the coordinator's HTTP surface is the
+	// worker API, so the plain service client drives it unchanged.
+	client := &service.Client{BaseURL: front.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	got := make([]json.RawMessage, len(jobs))
+	st, err := client.Submit(ctx, jobs)
+	if err != nil {
+		t.Fatalf("fleet submit: %v", err)
+	}
+	err = client.Stream(ctx, st.ID, func(ev service.Event) error {
+		if ev.Type == "error" {
+			return fmt.Errorf("point %d (%s): %s", ev.Index, ev.Name, ev.Error)
+		}
+		if ev.Type == "result" {
+			got[ev.Index] = append(json.RawMessage(nil), ev.Results...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("fleet stream: %v", err)
+	}
+	for i := range want {
+		if string(want[i]) != string(got[i]) {
+			t.Errorf("point %d (%s): fleet bytes differ from single node", i, jobs[i].Name)
+		}
+	}
+
+	// Donor shipping engaged: the fleet warmed each snapshot group once
+	// (one home build each), not once per node, and at least one worker
+	// adopted a peer's donor instead of re-warming.
+	groups := service.NewBatch("probe", jobs, make([]string, len(jobs))).Status().SnapshotGroups
+	var adopted, built uint64
+	for i, s := range scheds {
+		a, b, sh, f := s.Donors().Stats()
+		t.Logf("worker %d: adopted=%d built=%d shipped=%d fetchFails=%d", i, a, b, sh, f)
+		adopted += a
+		built += b
+		if f != 0 {
+			t.Errorf("worker %d had %d donor fetch failures", i, f)
+		}
+	}
+	if adopted == 0 {
+		t.Errorf("no worker adopted a donor from a peer")
+	}
+	if built >= uint64(len(scheds)*groups) {
+		t.Errorf("fleet built %d donors for %d groups on %d nodes — shipping saved nothing", built, groups, len(scheds))
+	}
+}
+
+// TestFleetReroutesAroundDeadNode kills a worker mid-batch and asserts
+// the coordinator routes its unfinished points to the survivor with the
+// final batch still byte-identical to a single node, across all four
+// commit policies.
+func TestFleetReroutesAroundDeadNode(t *testing.T) {
+	jobs := policyBatch(30000) // ~10-30ms per point: a wide kill window
+	want := singleNodeBytes(t, jobs)
+
+	urls, _, kill := bootWorkers(t, 2)
+	coord, err := New(Options{Workers: urls, PingInterval: time.Hour, Log: t.Logf})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+
+	b, err := coord.Submit(jobs)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Let the batch get rolling, then kill one worker while both still
+	// hold pending points (each worker is single-threaded and owns ~half
+	// the batch, so at one completion the victim has work outstanding).
+	deadline := time.Now().Add(30 * time.Second)
+	for b.Status().Done < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never started completing")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	kill[1]()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := b.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if len(st.Errors) > 0 {
+		t.Fatalf("batch errors after node kill: %v", st.Errors)
+	}
+	for i := range want {
+		if string(want[i]) != string(st.Results[i]) {
+			t.Errorf("point %d (%s): bytes differ after re-route", i, jobs[i].Name)
+		}
+	}
+	if coord.metrics.NodeFailures.Load() == 0 {
+		t.Errorf("coordinator never marked the killed node down")
+	}
+	if coord.metrics.Reroutes.Load() == 0 {
+		t.Errorf("coordinator never re-routed a point")
+	}
+}
+
+// fakeWorker implements service.BatchAPI with externally released
+// completions, for deterministic coordinator-logic tests without real
+// simulations. Results are synthesised from the job name.
+type fakeWorker struct {
+	mu      sync.Mutex
+	batches map[string]*service.Batch
+	nextID  int
+	points  atomic.Int64 // points ever submitted to this worker
+	release chan struct{}
+}
+
+func newFakeWorker() *fakeWorker {
+	return &fakeWorker{batches: map[string]*service.Batch{}, release: make(chan struct{})}
+}
+
+func (f *fakeWorker) Submit(jobs []service.Job) (*service.Batch, error) {
+	fps := make([]string, len(jobs))
+	for i, j := range jobs {
+		fp, err := j.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		fps[i] = fp
+	}
+	f.mu.Lock()
+	f.nextID++
+	b := service.NewBatch(fmt.Sprintf("fake%d", f.nextID), jobs, fps)
+	f.batches[b.ID()] = b
+	f.mu.Unlock()
+	f.points.Add(int64(len(jobs)))
+	go func() {
+		<-f.release
+		for i, j := range jobs {
+			b.Complete(i, json.RawMessage(fmt.Sprintf(`{"name":%q}`, j.Name)), false, nil)
+		}
+	}()
+	return b, nil
+}
+
+func (f *fakeWorker) Batch(id string) (*service.Batch, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.batches[id]
+	return b, ok
+}
+
+// TestFleetSingleflightAcrossBatches: two concurrent batches sharing a
+// fingerprint submit it downstream once; the follower adopts the
+// leader's bytes and reports cached.
+func TestFleetSingleflightAcrossBatches(t *testing.T) {
+	fake := newFakeWorker()
+	srv := httptest.NewServer(service.NewAPIHandler(fake, service.HandlerOptions{}))
+	defer srv.Close()
+
+	coord, err := New(Options{Workers: []string{srv.URL}, PingInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+
+	job := service.Job{
+		Name:   "shared",
+		Config: config.CheckpointDefault(64, 512),
+		Trace:  trace.Recipe{Kernel: trace.KernelStream, N: 6000},
+		Insts:  1500,
+	}
+	b1, err := coord.Submit([]service.Job{job})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	// The leader's point must be downstream before the follower joins.
+	waitFor(t, func() bool { return fake.points.Load() == 1 })
+	b2, err := coord.Submit([]service.Job{job})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+
+	close(fake.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st1, err := b1.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait 1: %v", err)
+	}
+	st2, err := b2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait 2: %v", err)
+	}
+
+	if got := fake.points.Load(); got != 1 {
+		t.Errorf("worker saw %d points, want 1 (cross-batch singleflight)", got)
+	}
+	if string(st1.Results[0]) != string(st2.Results[0]) {
+		t.Errorf("follower bytes differ from leader")
+	}
+	if st2.CacheHits != 1 {
+		t.Errorf("follower batch reported %d cache hits, want 1", st2.CacheHits)
+	}
+	if coord.metrics.PointsDeduped.Load() != 1 {
+		t.Errorf("PointsDeduped = %d, want 1", coord.metrics.PointsDeduped.Load())
+	}
+}
+
+// TestFleetAdmissionAndDrain mirrors the worker plumbing tests at the
+// coordinator: queue bound rejects with ErrOverloaded, drain rejects
+// with ErrDraining and runs the queue dry.
+func TestFleetAdmissionAndDrain(t *testing.T) {
+	fake := newFakeWorker()
+	srv := httptest.NewServer(service.NewAPIHandler(fake, service.HandlerOptions{}))
+	defer srv.Close()
+
+	coord, err := New(Options{Workers: []string{srv.URL}, MaxQueue: 1, PingInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+
+	job := service.Job{
+		Name:   "q",
+		Config: config.CheckpointDefault(64, 512),
+		Trace:  trace.Recipe{Kernel: trace.KernelStream, N: 6000},
+		Insts:  1500,
+	}
+	b, err := coord.Submit([]service.Job{job})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := coord.Ready(); !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("Ready at bound = %v, want ErrOverloaded", err)
+	}
+	job2 := job
+	job2.Insts = 3000
+	if _, err := coord.Submit([]service.Job{job2}); !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("submit over bound = %v, want ErrOverloaded", err)
+	}
+
+	coord.StartDrain()
+	if _, err := coord.Submit([]service.Job{job2}); !errors.Is(err, service.ErrDraining) {
+		t.Fatalf("submit while draining = %v, want ErrDraining", err)
+	}
+	close(fake.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := b.Status(); st.State != service.StateDone {
+		t.Fatalf("batch state after drain = %s, want done", st.State)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,19 @@
+package fleet
+
+import (
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// NewHandler returns the coordinator's full HTTP surface: the batch API
+// (identical to a single worker's, by construction — both are
+// service.NewAPIHandler over a service.BatchAPI) plus coordinator
+// metrics, readiness and drain.
+func NewHandler(c *Coordinator) http.Handler {
+	return service.NewAPIHandler(c, service.HandlerOptions{
+		Metrics:    c.WriteMetrics,
+		Ready:      c.Ready,
+		StartDrain: c.StartDrain,
+	})
+}

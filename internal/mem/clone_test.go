@@ -1,7 +1,9 @@
 package mem
 
 import (
+	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -142,6 +144,88 @@ func TestWarmKeyDonorServesFork(t *testing.T) {
 	r := forked.Load(0, 0x1234)
 	if r.MissedL2 {
 		t.Fatal("fork lost the donor's warmed line")
+	}
+}
+
+// TestSnapshotRoundTripForksIdentically: serialise → deserialise →
+// Fork must match an in-process Fork bit-for-bit. This is the
+// warm-donor shipping contract: a node that adopts a peer's snapshot
+// must simulate exactly like one that forked the peer's donor
+// directly.
+func TestSnapshotRoundTripForksIdentically(t *testing.T) {
+	cfg := config.Default()
+	donor, err := WarmKeyFor(cfg).Donor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm through the quiet paths (what core.WarmDonor uses) plus
+	// enough traffic to exercise eviction and LRU ordering in all tiers.
+	for a := uint64(0); a < 1<<18; a += 24 {
+		donor.WarmData(a)
+	}
+	for pc := uint64(0); pc < 1<<13; pc += 16 {
+		donor.PrimeFetch(pc)
+	}
+
+	var buf bytes.Buffer
+	if err := donor.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	member := cfg
+	member.MemoryLatency = 600
+	member.PrefetchDegree = 1
+	fromDonor, err := donor.Fork(member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSnapshot, err := restored.Fork(member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-for-bit: the forked hierarchies must be indistinguishable at
+	// the struct level (flat arrays, live counts, timing, zero stats)...
+	if !reflect.DeepEqual(fromDonor, fromSnapshot) {
+		t.Fatal("fork of restored snapshot differs structurally from in-process fork")
+	}
+	// ...and behaviourally under identical continuation traffic.
+	replayAccesses(fromDonor, 13, 8000)
+	replayAccesses(fromSnapshot, 13, 8000)
+	if fromDonor.Stats() != fromSnapshot.Stats() {
+		t.Fatalf("forks diverged after identical traffic:\n donor:    %+v\n snapshot: %+v",
+			fromDonor.Stats(), fromSnapshot.Stats())
+	}
+}
+
+// TestSnapshotRejectsCorruption: torn and hostile snapshots must fail
+// loudly, never produce a donor with inconsistent invariants.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	donor, err := WarmKeyFor(config.Default()).Donor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor.WarmData(0x1000)
+	var buf bytes.Buffer
+	if err := donor.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every structural boundary.
+	for _, n := range []int{0, 4, 8, 11, len(good) / 2, len(good) - 1} {
+		if _, err := ReadSnapshot(bytes.NewReader(good[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt magic accepted")
 	}
 }
 

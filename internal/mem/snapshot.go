@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot wire format. The snapshot is the warm-donor shipping
+// contract of the fleet subsystem: it captures exactly the state Fork
+// adopts from a donor — the WarmKey (geometry) plus every cache's
+// resident lines and LRU order — and nothing more. Timing, statistics
+// and the in-flight MSHR table are deliberately absent: Fork discards
+// all three, so a hierarchy rebuilt from a snapshot forks bit-for-bit
+// like the original donor (pinned by TestSnapshotRoundTripForksIdentically).
+//
+// Layout (little endian):
+//
+//	magic   [8]byte  "ooosnap1"
+//	keyLen  uint32   length of the WarmKey JSON
+//	key     []byte   json.Marshal(WarmKey)
+//	3x (IL1, DL1, L2):
+//	  nWays uint32   len(ways)
+//	  ways  []uint64 flat tag array
+//	  nLive uint32   len(live)
+//	  live  []int32  per-set resident-way counts
+//
+// The format carries its own geometry (the WarmKey), so ReadSnapshot
+// validates everything it needs: array lengths must match the geometry
+// and live counts must stay within associativity. A torn or hostile
+// snapshot fails loudly instead of producing a corrupt donor.
+var snapshotMagic = [8]byte{'o', 'o', 'o', 's', 'n', 'a', 'p', '1'}
+
+// WriteSnapshot serialises the hierarchy's warm state to w: the
+// donor-shipping half of the fleet's snapshot exchange. Only the
+// warm-relevant state travels (see the format comment); use it on
+// quiescent donors (core.WarmDonor output), where that state is the
+// whole story.
+func (h *Hierarchy) WriteSnapshot(w io.Writer) error {
+	keyJSON, err := json.Marshal(h.warm)
+	if err != nil {
+		return fmt.Errorf("mem: snapshot: marshal warm key: %w", err)
+	}
+	// Assemble in memory first so a mid-write network failure never
+	// leaves a half-serialised donor observable as a short read with a
+	// valid prefix.
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint32(len(keyJSON)))
+	buf.Write(keyJSON)
+	for _, c := range []*Cache{h.il1, h.dl1, h.l2} {
+		binary.Write(&buf, binary.LittleEndian, uint32(len(c.ways)))
+		binary.Write(&buf, binary.LittleEndian, c.ways)
+		binary.Write(&buf, binary.LittleEndian, uint32(len(c.live)))
+		binary.Write(&buf, binary.LittleEndian, c.live)
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// ReadSnapshot rebuilds a donor hierarchy from a snapshot produced by
+// WriteSnapshot. The result has the snapshot's WarmKey and cache
+// contents, placeholder timing (like WarmKey.Donor), zero statistics
+// and an empty in-flight tracker — exactly a freshly warmed donor, so
+// Fork(cfg) of the restored hierarchy is bit-identical to Fork(cfg) of
+// the original.
+func ReadSnapshot(r io.Reader) (*Hierarchy, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("mem: snapshot: read magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("mem: snapshot: bad magic %q", magic[:])
+	}
+	var keyLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &keyLen); err != nil {
+		return nil, fmt.Errorf("mem: snapshot: read key length: %w", err)
+	}
+	// The WarmKey JSON is a few hundred bytes; anything larger is not a
+	// snapshot we wrote.
+	if keyLen > 1<<16 {
+		return nil, fmt.Errorf("mem: snapshot: warm key length %d implausible", keyLen)
+	}
+	keyJSON := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, keyJSON); err != nil {
+		return nil, fmt.Errorf("mem: snapshot: read warm key: %w", err)
+	}
+	var key WarmKey
+	if err := json.Unmarshal(keyJSON, &key); err != nil {
+		return nil, fmt.Errorf("mem: snapshot: decode warm key: %w", err)
+	}
+	// Donor() validates the geometry, so array bounds below are checked
+	// against a vetted shape, never attacker-chosen sizes.
+	h, err := key.Donor()
+	if err != nil {
+		return nil, fmt.Errorf("mem: snapshot: %w", err)
+	}
+	for _, lvl := range []struct {
+		name string
+		c    *Cache
+	}{{"IL1", h.il1}, {"DL1", h.dl1}, {"L2", h.l2}} {
+		if err := lvl.c.readSnapshotState(r); err != nil {
+			return nil, fmt.Errorf("mem: snapshot: %s: %w", lvl.name, err)
+		}
+	}
+	return h, nil
+}
+
+// readSnapshotState fills c's ways/live arrays from r, enforcing that
+// the serialised lengths match c's geometry and that live counts stay
+// within associativity.
+func (c *Cache) readSnapshotState(r io.Reader) error {
+	var nWays uint32
+	if err := binary.Read(r, binary.LittleEndian, &nWays); err != nil {
+		return fmt.Errorf("read ways length: %w", err)
+	}
+	if int(nWays) != len(c.ways) {
+		return fmt.Errorf("ways length %d does not match geometry (want %d)", nWays, len(c.ways))
+	}
+	if err := binary.Read(r, binary.LittleEndian, c.ways); err != nil {
+		return fmt.Errorf("read ways: %w", err)
+	}
+	var nLive uint32
+	if err := binary.Read(r, binary.LittleEndian, &nLive); err != nil {
+		return fmt.Errorf("read live length: %w", err)
+	}
+	if int(nLive) != len(c.live) {
+		return fmt.Errorf("live length %d does not match geometry (want %d)", nLive, len(c.live))
+	}
+	if err := binary.Read(r, binary.LittleEndian, c.live); err != nil {
+		return fmt.Errorf("read live: %w", err)
+	}
+	for si, n := range c.live {
+		if n < 0 || int(n) > c.assoc {
+			return fmt.Errorf("set %d live count %d outside [0,%d]", si, n, c.assoc)
+		}
+	}
+	return nil
+}

@@ -95,11 +95,16 @@ type Batch struct {
 	changed chan struct{} // closed-and-replaced on every event
 }
 
-func newBatch(id string, jobs []Job, fps []string) *Batch {
+// NewBatch builds a batch tracker for the given jobs and their
+// fingerprints. The scheduler uses it for local batches; a fleet
+// coordinator uses the same tracker so its HTTP surface (status,
+// events, done line) is indistinguishable from a single node's.
+func NewBatch(id string, jobs []Job, fps []string) *Batch {
 	return &Batch{
 		id:      id,
 		jobs:    jobs,
 		fps:     fps,
+		groups:  countSnapshotGroups(jobs),
 		state:   StateRunning,
 		results: make([]json.RawMessage, len(jobs)),
 		changed: make(chan struct{}),
@@ -109,9 +114,18 @@ func newBatch(id string, jobs []Job, fps []string) *Batch {
 // ID returns the batch identifier.
 func (b *Batch) ID() string { return b.id }
 
-// complete records one finished point and publishes its event (plus the
-// final "done" event when it is the last).
-func (b *Batch) complete(i int, raw json.RawMessage, cached bool, err error) {
+// Jobs returns the batch's job list (shared; do not mutate).
+func (b *Batch) Jobs() []Job { return b.jobs }
+
+// Fingerprints returns the per-job content addresses (shared; do not
+// mutate).
+func (b *Batch) Fingerprints() []string { return b.fps }
+
+// Complete records one finished point and publishes its event (plus the
+// final "done" event when it is the last). Exactly one Complete per
+// point: callers completing from multiple sources (a fleet coordinator
+// re-routing work off a dead node) must deduplicate before calling.
+func (b *Batch) Complete(i int, raw json.RawMessage, cached bool, err error) {
 	b.mu.Lock()
 	defer func() {
 		close(b.changed)
@@ -190,9 +204,9 @@ func (b *Batch) warmShared(forked, reused bool) {
 	b.mu.Unlock()
 }
 
-// takeDoneLine returns the batch's completion log line exactly once,
+// TakeDoneLine returns the batch's completion log line exactly once,
 // after the last point lands.
-func (b *Batch) takeDoneLine() (string, bool) {
+func (b *Batch) TakeDoneLine() (string, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state != StateDone || b.logged {

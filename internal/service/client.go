@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -33,14 +35,67 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
 }
 
+// StatusError is a non-2xx server response, with the HTTP status code
+// preserved so callers can react to backpressure (429) or drain (503)
+// distinctly from hard failures.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("service: server: %s (HTTP %d)", e.Msg, e.Code)
+	}
+	return fmt.Sprintf("service: server returned HTTP %d", e.Code)
+}
+
 // decodeError surfaces the server's JSON error body.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var ae apiError
-	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
-		return fmt.Errorf("service: server: %s (%s)", ae.Error, resp.Status)
+	json.Unmarshal(body, &ae)
+	return &StatusError{Code: resp.StatusCode, Msg: ae.Error}
+}
+
+// Ready probes the daemon's readiness endpoint: nil means the node
+// admits new batches; ErrNotReady (wrapping the server's reason) means
+// it is alive but draining or over its admission bound. Transport
+// errors return as-is — the node is not merely unready, it is gone.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/readyz"), nil)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("service: server returned %s", resp.Status)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("%w: %s", ErrNotReady, strings.TrimSpace(string(body)))
+}
+
+// ErrNotReady reports a live node refusing new work (draining or over
+// its admission bound); callers route elsewhere or back off.
+var ErrNotReady = errors.New("service: node not ready")
+
+// AwaitReady polls readiness until the node admits work or ctx expires.
+// Transport errors keep polling (the node may still be booting).
+func (c *Client) AwaitReady(ctx context.Context) error {
+	for {
+		if err := c.Ready(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service: node %s never became ready: %w", c.BaseURL, ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }
 
 // Submit posts a batch and returns its submission-time status (cache
@@ -186,6 +241,12 @@ func (c *Client) Run(ctx context.Context, jobs []Job, onEvent func(Event, *stats
 // cache hits marked in the progress line.
 func (c *Client) SweepRunner() func(ctx context.Context, specs []sim.RunSpec, opt sim.Options) ([]stats.Results, error) {
 	return func(ctx context.Context, specs []sim.RunSpec, opt sim.Options) ([]stats.Results, error) {
+		// Route on readiness: a draining or backlogged daemon answers
+		// /readyz with 503/429 semantics, and a sweep is interactive work
+		// that should wait for admission rather than bounce off it.
+		if err := c.AwaitReady(ctx); err != nil {
+			return nil, err
+		}
 		jobs := make([]Job, len(specs))
 		for i, spec := range specs {
 			j, err := JobFromSpec(spec)

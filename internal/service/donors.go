@@ -1,0 +1,276 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DonorExchange is the warm-donor shipping fabric of a worker fleet.
+//
+// Every snapshot group — a (trace recipe, warm-relevant cache shape)
+// pair — has one *home node*, chosen by sharding the group's donor key
+// over the fleet's canonical peer list. The home node warms the group's
+// donor exactly once; every other node adopts it over HTTP
+// (GET /v1/donors/{key}) instead of replaying the warm-up itself, so a
+// fleet of N nodes sweeping G groups performs G donor warm-ups, not
+// N*G. The endpoint builds on demand: a request carrying the group's
+// spec (recipe + warm key) makes the home node warm the donor even
+// before any of its own points need it, which is what makes the
+// one-build guarantee deterministic rather than a race.
+//
+// Failure degrades, never blocks: a dead or misbehaving home node means
+// the requester warms locally (exactly the pre-fleet behaviour), and a
+// node with no peer list behaves like a single-node daemon.
+//
+// Donors ship as mem.Hierarchy snapshots (see mem.WriteSnapshot); the
+// adopted donor forks bit-identically to a locally warmed one, so
+// results are byte-identical whichever path produced the donor.
+type DonorExchange struct {
+	self   string   // this node's entry in peers ("" disables homing)
+	peers  []string // all fleet workers, same canonical order on every node
+	client *http.Client
+
+	// materialise regenerates a trace from its recipe for on-demand
+	// builds; the owning scheduler wires its trace memo here.
+	materialise func(trace.Recipe) (*trace.Trace, error)
+
+	mu  sync.Mutex
+	reg map[string]*donorEntry
+
+	adopted    atomic.Uint64 // donors fetched from a peer
+	built      atomic.Uint64 // donors warmed on this node
+	shipped    atomic.Uint64 // donors served to peers
+	fetchFails atomic.Uint64 // peer fetches that fell back to local warm-up
+}
+
+// donorRegistryLimit bounds the registry; donors are a few hundred KB
+// each. Past the bound the whole memo drops (same policy as warmCache).
+const donorRegistryLimit = 128
+
+type donorEntry struct {
+	once  sync.Once
+	ready atomic.Bool
+	donor *mem.Hierarchy
+	err   error
+
+	blobOnce sync.Once
+	blob     []byte
+	blobErr  error
+}
+
+// NewDonorExchange builds the exchange for a node. peers is the full
+// fleet worker list — every node must pass the same URLs in the same
+// order, or home selection diverges and the one-build guarantee decays
+// to best-effort adoption. self is this node's own entry in peers; an
+// empty or unlisted self disables homing (the node warms everything
+// locally and only serves).
+func NewDonorExchange(self string, peers []string) *DonorExchange {
+	return &DonorExchange{
+		self:  self,
+		peers: append([]string(nil), peers...),
+		// Donor fetches block a warm-up, not a request handler; the
+		// timeout must cover an on-demand build (trace materialisation +
+		// warm replay, well under a second at figure scale) plus shipping
+		// a few hundred KB.
+		client: &http.Client{Timeout: 30 * time.Second},
+		reg:    map[string]*donorEntry{},
+	}
+}
+
+// DonorSpec is the wire description of a snapshot group: everything a
+// peer needs to build the donor on demand.
+type DonorSpec struct {
+	Trace trace.Recipe `json:"trace"`
+	Warm  mem.WarmKey  `json:"warm"`
+}
+
+// DonorKey returns the group's content address: a hex SHA-256 over the
+// canonical recipe string and the warm key. Peers address donors by it,
+// and home selection shards it over the peer list.
+func DonorKey(r trace.Recipe, key mem.WarmKey) string {
+	keyJSON, err := json.Marshal(key)
+	if err != nil {
+		// WarmKey is a plain struct of plain structs; Marshal cannot fail.
+		panic(fmt.Sprintf("service: marshal warm key: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "ooosim-donor-v1\x00%s\x00", r.String())
+	h.Write(keyJSON)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// home returns the node responsible for warming key, or "" when homing
+// is disabled.
+func (dx *DonorExchange) home(key string) string {
+	if len(dx.peers) == 0 {
+		return ""
+	}
+	return dx.peers[sim.ShardFor(key, len(dx.peers))]
+}
+
+// entry returns (creating if needed) the registry slot for key.
+func (dx *DonorExchange) entry(key string) *donorEntry {
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	e, ok := dx.reg[key]
+	if !ok {
+		if len(dx.reg) >= donorRegistryLimit {
+			dx.reg = map[string]*donorEntry{}
+		}
+		e = &donorEntry{}
+		dx.reg[key] = e
+	}
+	return e
+}
+
+// Acquire returns the group's donor, adopting it from the group's home
+// node when that is a peer and warming locally otherwise (or when the
+// peer fails). A nil donor with nil error never happens; on error the
+// caller degrades to the cold path.
+func (dx *DonorExchange) Acquire(r trace.Recipe, key mem.WarmKey, tr *trace.Trace) (*mem.Hierarchy, error) {
+	e := dx.entry(DonorKey(r, key))
+	e.once.Do(func() {
+		defer e.ready.Store(true)
+		if home := dx.home(DonorKey(r, key)); home != "" && home != dx.self {
+			if donor, err := dx.fetch(home, DonorSpec{Trace: r, Warm: key}); err == nil {
+				dx.adopted.Add(1)
+				e.donor = donor
+				return
+			}
+			dx.fetchFails.Add(1)
+		}
+		e.donor, e.err = core.WarmDonor(key, tr)
+		if e.err == nil {
+			dx.built.Add(1)
+		}
+	})
+	return e.donor, e.err
+}
+
+// fetch retrieves (building on demand) the donor for spec from peer.
+func (dx *DonorExchange) fetch(peer string, spec DonorSpec) (*mem.Hierarchy, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/v1/donors/%s?spec=%s",
+		peer, DonorKey(spec.Trace, spec.Warm), base64.RawURLEncoding.EncodeToString(specJSON))
+	resp, err := dx.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("service: donor fetch: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	donor, err := mem.ReadSnapshot(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if donor.WarmKey() != spec.Warm {
+		return nil, fmt.Errorf("service: donor fetch: peer returned warm key %+v, want %+v",
+			donor.WarmKey(), spec.Warm)
+	}
+	return donor, nil
+}
+
+// ServeHTTP answers GET /v1/donors/{key}: the serialised donor for the
+// group, built on demand when the request carries the group's spec.
+// Without a spec only already-warmed donors are served (404 otherwise).
+func (dx *DonorExchange) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var spec *DonorSpec
+	if raw := r.URL.Query().Get("spec"); raw != "" {
+		specJSON, err := base64.RawURLEncoding.DecodeString(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec encoding: " + err.Error()})
+			return
+		}
+		var s DonorSpec
+		if err := json.Unmarshal(specJSON, &s); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec: " + err.Error()})
+			return
+		}
+		if err := s.Trace.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		if DonorKey(s.Trace, s.Warm) != key {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "spec does not hash to the requested donor key"})
+			return
+		}
+		spec = &s
+	}
+
+	e := dx.entry(key)
+	if spec != nil {
+		e.once.Do(func() {
+			defer e.ready.Store(true)
+			if dx.materialise == nil {
+				e.err = fmt.Errorf("service: donor exchange has no trace source")
+				return
+			}
+			var tr *trace.Trace
+			if tr, e.err = dx.materialise(spec.Trace); e.err != nil {
+				return
+			}
+			e.donor, e.err = core.WarmDonor(spec.Warm, tr)
+			if e.err == nil {
+				dx.built.Add(1)
+			}
+		})
+	}
+	if !e.ready.Load() || e.donor == nil {
+		// Not built here (and no spec to build from), or the build
+		// failed: the requester warms locally.
+		code := http.StatusNotFound
+		msg := "donor not warmed on this node"
+		if e.ready.Load() && e.err != nil {
+			code, msg = http.StatusInternalServerError, e.err.Error()
+		}
+		writeJSON(w, code, apiError{Error: msg})
+		return
+	}
+	e.blobOnce.Do(func() {
+		var buf bytes.Buffer
+		e.blobErr = e.donor.WriteSnapshot(&buf)
+		e.blob = buf.Bytes()
+	})
+	if e.blobErr != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: e.blobErr.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(e.blob)))
+	if _, err := w.Write(e.blob); err == nil {
+		dx.shipped.Add(1)
+	}
+}
+
+// writeMetrics renders the exchange counters (part of the scheduler's
+// /metrics surface).
+func (dx *DonorExchange) writeMetrics(w io.Writer) {
+	counter(w, "ooosim_donors_adopted_total", "Warm donors adopted from a peer instead of warming locally.", dx.adopted.Load())
+	counter(w, "ooosim_donors_shipped_total", "Warm donors served to peers.", dx.shipped.Load())
+	counter(w, "ooosim_donor_fetch_failures_total", "Peer donor fetches that fell back to a local warm-up.", dx.fetchFails.Load())
+}
+
+// Stats reports the exchange counters (tests and operator tooling).
+func (dx *DonorExchange) Stats() (adopted, built, shipped, fetchFails uint64) {
+	return dx.adopted.Load(), dx.built.Load(), dx.shipped.Load(), dx.fetchFails.Load()
+}

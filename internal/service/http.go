@@ -2,7 +2,9 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 )
 
@@ -15,22 +17,87 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// NewHandler returns the daemon's HTTP API over the scheduler:
+// BatchAPI is the submit/poll surface shared by a worker scheduler and
+// a fleet coordinator: anything implementing it serves the same HTTP
+// API, so clients cannot tell a coordinator from a single node.
+type BatchAPI interface {
+	Submit(jobs []Job) (*Batch, error)
+	Batch(id string) (*Batch, bool)
+}
+
+// HandlerOptions adds the production endpoints around the batch API.
+type HandlerOptions struct {
+	// Metrics, when non-nil, serves GET /metrics in Prometheus text
+	// exposition format.
+	Metrics func(w io.Writer)
+	// Ready, when non-nil, backs GET /readyz: nil return is 200, an
+	// error is 503 with the reason in the body. /healthz stays pure
+	// liveness either way.
+	Ready func() error
+	// StartDrain, when non-nil, backs POST /drainz: stop admitting,
+	// finish in-flight, flip readiness. The process-level shutdown
+	// (waiting out the queue, closing the listener) stays with the
+	// daemon's signal handler; the endpoint only initiates.
+	StartDrain func()
+	// Donors, when non-nil, serves GET /v1/donors/{key} (warm-donor
+	// snapshot shipping between fleet workers).
+	Donors http.Handler
+}
+
+// NewAPIHandler returns the HTTP API over any BatchAPI:
 //
 //	POST /v1/batches             submit a batch ({"jobs":[...]}),
-//	                             202 + BatchStatus (hits already done)
+//	                             202 + BatchStatus (hits already done);
+//	                             429 + Retry-After over the admission
+//	                             bound, 503 + Retry-After while draining
 //	GET  /v1/batches/{id}        poll a batch, 200 + BatchStatus
 //	GET  /v1/batches/{id}/events NDJSON progress stream: full history
 //	                             replayed, then live events, closed
 //	                             after the final "done" event
-//	GET  /healthz                liveness probe
-func NewHandler(s *Scheduler) http.Handler {
+//	GET  /healthz                liveness probe (always 200 while serving)
+//	GET  /readyz                 readiness probe (see HandlerOptions.Ready)
+//	POST /drainz                 start graceful drain (see StartDrain)
+//	GET  /metrics                Prometheus text metrics (see Metrics)
+//	GET  /v1/donors/{key}        warm-donor snapshot (workers only)
+func NewAPIHandler(s BatchAPI, opt HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if opt.Ready != nil {
+			if err := opt.Ready(); err != nil {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, err.Error())
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+
+	if opt.StartDrain != nil {
+		mux.HandleFunc("POST /drainz", func(w http.ResponseWriter, r *http.Request) {
+			opt.StartDrain()
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "draining")
+		})
+	}
+
+	if opt.Metrics != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			opt.Metrics(w)
+		})
+	}
+
+	if opt.Donors != nil {
+		mux.Handle("GET /v1/donors/{key}", opt.Donors)
+	}
 
 	mux.HandleFunc("POST /v1/batches", func(w http.ResponseWriter, r *http.Request) {
 		var req submitRequest
@@ -42,7 +109,18 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 		b, err := s.Submit(req.Jobs)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				// Backpressure, not failure: the client should retry
+				// after the queue recedes.
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+			case errors.Is(err, ErrDraining):
+				w.Header().Set("Retry-After", "5")
+				writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+			default:
+				writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			}
 			return
 		}
 		writeJSON(w, http.StatusAccepted, b.Status())
@@ -80,6 +158,21 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 
 	return mux
+}
+
+// NewHandler returns the worker daemon's full HTTP surface over a
+// scheduler: the batch API plus metrics, readiness, drain and (when the
+// scheduler has a donor exchange) the donor-shipping endpoint.
+func NewHandler(s *Scheduler) http.Handler {
+	opt := HandlerOptions{
+		Metrics:    s.WriteMetrics,
+		Ready:      s.Ready,
+		StartDrain: s.StartDrain,
+	}
+	if dx := s.Donors(); dx != nil {
+		opt.Donors = dx
+	}
+	return NewAPIHandler(s, opt)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

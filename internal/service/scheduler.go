@@ -1,11 +1,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -26,11 +30,28 @@ type SchedulerOptions struct {
 	// MaxBatches bounds how many finished batches stay pollable before
 	// the oldest are forgotten; <= 0 uses 256.
 	MaxBatches int
+	// MaxQueue is the admission bound: a batch whose misses would push
+	// the number of queued-but-unfinished misses past it is rejected
+	// with ErrOverloaded (HTTP 429 + Retry-After), and readiness flips
+	// false while the queue is over the bound. <= 0 admits everything.
+	MaxQueue int
+	// Donors, when non-nil, is the fleet's warm-donor shipping fabric:
+	// snapshot-group donors are adopted from their home peer instead of
+	// warmed locally, and this node serves its own donors to peers. The
+	// scheduler wires its trace memo into the exchange.
+	Donors *DonorExchange
 	// Log, when non-nil, receives one line per completed batch with the
 	// batch's cache and snapshot-sharing statistics (cmd/ooosimd wires
 	// log.Printf here so operators can see the sharing engage).
 	Log func(format string, args ...any)
 }
+
+// ErrDraining rejects submissions while the scheduler is draining.
+var ErrDraining = errors.New("service: draining, not admitting new batches")
+
+// ErrOverloaded rejects submissions that would push the miss queue past
+// the admission bound. The HTTP layer maps it to 429 with Retry-After.
+var ErrOverloaded = errors.New("service: queue full")
 
 // Scheduler executes batches of Jobs. Submission splits each batch into
 // cache hits (answered immediately, no simulation) and misses; misses
@@ -38,12 +59,16 @@ type SchedulerOptions struct {
 // fingerprint so concurrent identical submissions — within one batch or
 // across batches — simulate once and share the result.
 type Scheduler struct {
-	cache  *Cache
-	sem    chan struct{}
-	flight flightGroup
-	traces traceCache
-	warms  warmCache
-	log    func(format string, args ...any)
+	cache    *Cache
+	sem      chan struct{}
+	flight   flightGroup
+	traces   traceCache
+	warms    warmCache
+	donors   *DonorExchange
+	log      func(format string, args ...any)
+	maxQueue int
+	metrics  Metrics
+	draining atomic.Bool
 
 	// run executes one materialised point; donor is the point's shared
 	// warm-state donor hierarchy (nil runs the cold path). Production
@@ -71,10 +96,12 @@ func NewScheduler(opt SchedulerOptions) *Scheduler {
 	if maxBatches <= 0 {
 		maxBatches = 256
 	}
-	return &Scheduler{
-		cache: cache,
-		sem:   make(chan struct{}, workers),
-		log:   opt.Log,
+	s := &Scheduler{
+		cache:    cache,
+		sem:      make(chan struct{}, workers),
+		donors:   opt.Donors,
+		log:      opt.Log,
+		maxQueue: opt.MaxQueue,
 		run: func(spec sim.RunSpec, donor *mem.Hierarchy) (stats.Results, error) {
 			if donor == nil {
 				return sim.Run(spec)
@@ -84,15 +111,69 @@ func NewScheduler(opt SchedulerOptions) *Scheduler {
 		batches:    map[string]*Batch{},
 		maxBatches: maxBatches,
 	}
+	if s.donors != nil {
+		// On-demand donor builds (a peer asking before any local point
+		// touched the group) regenerate the trace through the same memo
+		// the simulation path uses.
+		s.donors.materialise = s.traces.get
+	}
+	return s
 }
+
+// StartDrain flips the scheduler into drain mode: new submissions are
+// rejected with ErrDraining, readiness goes false, and in-flight work
+// runs to completion. Idempotent.
+func (s *Scheduler) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Scheduler) Draining() bool { return s.draining.Load() }
+
+// Drain starts draining and blocks until every admitted miss has
+// finished (or ctx expires). The poll interval is coarse; drain is a
+// shutdown path, not a hot one.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.StartDrain()
+	for s.metrics.QueueDepth.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Ready reports why the node should not receive new work (draining, or
+// queue over the admission bound); nil means ready. The /readyz
+// endpoint and fleet coordinators route on it.
+func (s *Scheduler) Ready() error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if q := s.metrics.QueueDepth.Load(); s.maxQueue > 0 && q >= int64(s.maxQueue) {
+		return fmt.Errorf("%w: %d queued >= bound %d", ErrOverloaded, q, s.maxQueue)
+	}
+	return nil
+}
+
+// Donors returns the scheduler's donor exchange (nil outside a fleet).
+func (s *Scheduler) Donors() *DonorExchange { return s.donors }
 
 // Submit validates and fingerprints every job, registers the batch, and
 // returns it with cache hits already completed; misses execute
 // asynchronously on the shared pool. An invalid job rejects the whole
-// batch (nothing runs).
+// batch (nothing runs). Admission control also rejects atomically: a
+// draining scheduler admits nothing (ErrDraining), and a batch whose
+// misses would push the queue past MaxQueue is refused (ErrOverloaded)
+// before anything is registered — cache hits alone never trip the
+// bound, since they cost no simulation.
 func (s *Scheduler) Submit(jobs []Job) (*Batch, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("service: empty batch")
+	}
+	if s.draining.Load() {
+		s.metrics.BatchesRejected.Add(1)
+		return nil, ErrDraining
 	}
 	fps := make([]string, len(jobs))
 	for i, j := range jobs {
@@ -106,10 +187,30 @@ func (s *Scheduler) Submit(jobs []Job) (*Batch, error) {
 		fps[i] = fp
 	}
 
+	// Split hits from misses before admission: only misses queue work.
+	hit := make([]json.RawMessage, len(jobs))
+	nMisses := 0
+	for i := range jobs {
+		if raw, ok := s.cache.Get(fps[i]); ok {
+			hit[i] = raw
+		} else {
+			nMisses++
+		}
+	}
+	if s.maxQueue > 0 && nMisses > 0 {
+		if q := s.metrics.QueueDepth.Load(); q+int64(nMisses) > int64(s.maxQueue) {
+			s.metrics.BatchesRejected.Add(1)
+			return nil, fmt.Errorf("%w: %d queued + %d new misses > bound %d",
+				ErrOverloaded, q, nMisses, s.maxQueue)
+		}
+	}
+	s.metrics.BatchesSubmitted.Add(1)
+	s.metrics.Points.Add(uint64(len(jobs)))
+	s.metrics.QueueDepth.Add(int64(nMisses))
+
 	s.mu.Lock()
 	s.nextID++
-	b := newBatch(fmt.Sprintf("b%d", s.nextID), append([]Job(nil), jobs...), fps)
-	b.groups = countSnapshotGroups(jobs)
+	b := NewBatch(fmt.Sprintf("b%d", s.nextID), append([]Job(nil), jobs...), fps)
 	s.batches[b.id] = b
 	s.order = append(s.order, b.id)
 	for len(s.order) > s.maxBatches {
@@ -124,15 +225,16 @@ func (s *Scheduler) Submit(jobs []Job) (*Batch, error) {
 	}
 	s.mu.Unlock()
 
-	// Split hits from misses, then launch the misses clustered by
-	// snapshot group — (trace recipe, warm-relevant cache shape) — so
-	// jobs that fork the same warm donor tend to run near each other
-	// (best-effort: the shared pool admits them in arrival order).
+	// Complete the hits, then launch the misses clustered by snapshot
+	// group — (trace recipe, warm-relevant cache shape) — so jobs that
+	// fork the same warm donor tend to run near each other (best-effort:
+	// the shared pool admits them in arrival order).
 	var misses []int
 	groupKeys := make([]string, len(b.jobs))
 	for i := range b.jobs {
-		if raw, ok := s.cache.Get(fps[i]); ok {
-			b.complete(i, raw, true, nil)
+		if hit[i] != nil {
+			s.metrics.CachedPoints.Add(1)
+			b.Complete(i, hit[i], true, nil)
 		} else {
 			misses = append(misses, i)
 			groupKeys[i] = snapshotGroupKey(b.jobs[i])
@@ -168,7 +270,7 @@ func (s *Scheduler) logIfDone(b *Batch) {
 	if s.log == nil {
 		return
 	}
-	if line, ok := b.takeDoneLine(); ok {
+	if line, ok := b.TakeDoneLine(); ok {
 		s.log("%s", line)
 	}
 }
@@ -188,6 +290,7 @@ func (s *Scheduler) Batch(id string) (*Batch, bool) {
 // the flight deduplicated us against another submission's run — still
 // reports as cached.
 func (s *Scheduler) runJob(b *Batch, i int) {
+	defer s.metrics.QueueDepth.Add(-1)
 	job, fp := b.jobs[i], b.fps[i]
 	lateHit := false
 	raw, shared, err := s.flight.Do(fp, func() (json.RawMessage, error) {
@@ -198,7 +301,8 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 			return raw, nil
 		}
 		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
+		s.metrics.InFlight.Add(1)
+		defer func() { s.metrics.InFlight.Add(-1); <-s.sem }()
 		tr, err := s.traces.get(job.Trace)
 		if err != nil {
 			return nil, err
@@ -206,8 +310,12 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 		// Fork the job's snapshot group's warmed donor instead of
 		// replaying the warm-up per point; a donor failure degrades to
 		// the cold path (never fails the job).
-		donor, reused := s.warms.get(job, tr)
+		donor, reused := s.warms.get(s, job, tr)
 		b.warmShared(donor != nil, reused)
+		if donor != nil && reused {
+			s.metrics.WarmReuses.Add(1)
+		}
+		s.metrics.Simulations.Add(1)
 		res, err := s.run(sim.RunSpec{
 			Name:             job.label(),
 			Config:           job.Config,
@@ -218,6 +326,8 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.Cycles.Add(uint64(res.Cycles))
+		s.metrics.SkippedCycles.Add(uint64(res.SkippedCycles))
 		raw, err := json.Marshal(res)
 		if err != nil {
 			return nil, err
@@ -229,7 +339,14 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 		}
 		return raw, nil
 	})
-	b.complete(i, raw, err == nil && (shared || lateHit), err)
+	cached := err == nil && (shared || lateHit)
+	if cached {
+		s.metrics.CachedPoints.Add(1)
+	}
+	if err != nil {
+		s.metrics.PointErrors.Add(1)
+	}
+	b.Complete(i, raw, cached, err)
 	s.logIfDone(b)
 }
 
@@ -252,8 +369,10 @@ type warmEntry struct {
 const warmCacheLimit = 128
 
 // get returns the group's warmed donor (nil when warming failed) and
-// whether an already-warmed donor was reused.
-func (wc *warmCache) get(j Job, tr *trace.Trace) (donor *mem.Hierarchy, reused bool) {
+// whether an already-available donor was reused. With a donor exchange
+// attached the donor may be adopted from the group's home peer instead
+// of warmed here; without one the warm-up replays locally.
+func (wc *warmCache) get(s *Scheduler, j Job, tr *trace.Trace) (donor *mem.Hierarchy, reused bool) {
 	key := snapshotGroupKey(j)
 	wc.mu.Lock()
 	if wc.m == nil {
@@ -273,7 +392,15 @@ func (wc *warmCache) get(j Job, tr *trace.Trace) (donor *mem.Hierarchy, reused b
 		built = true
 		// A failed donor (e.g. unwarmable geometry) stays nil: the
 		// group's jobs run cold, preserving the pre-fork behaviour.
-		e.donor, _ = core.WarmDonor(mem.WarmKeyFor(j.Config), tr)
+		warm := mem.WarmKeyFor(j.Config)
+		if s.donors != nil {
+			e.donor, _ = s.donors.Acquire(j.Trace, warm, tr)
+		} else {
+			e.donor, _ = core.WarmDonor(warm, tr)
+			if e.donor != nil {
+				s.metrics.WarmBuilds.Add(1)
+			}
+		}
 	})
 	return e.donor, ok && !built
 }

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
+	"strconv"
 
 	"repro/internal/config"
 )
@@ -40,6 +42,31 @@ func Fingerprint(cfg config.Config, traceRecipe string, insts uint64, collectOcc
 	h.Write(cj)
 	fmt.Fprintf(h, "\x00%s\x00%d\x00%t", traceRecipe, insts, collectOccupancy)
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ShardFor maps a fingerprint (or any hex content address) to one of n
+// shards by its leading 64-bit prefix. Sharding on the fingerprint —
+// the same key the content-addressed result cache uses — means every
+// node of a fleet owns a stable, disjoint slice of the point space:
+// identical points always land on the same node (cross-node
+// singleflight comes for free) and each node's cache warms exactly its
+// own shard. Non-hex input (never produced by Fingerprint) degrades to
+// an FNV hash rather than an error: a shard function must be total.
+func ShardFor(fp string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	prefix := fp
+	if len(prefix) > 16 {
+		prefix = prefix[:16]
+	}
+	v, err := strconv.ParseUint(prefix, 16, 64)
+	if err != nil {
+		h := fnv.New64a()
+		h.Write([]byte(fp))
+		v = h.Sum64()
+	}
+	return int(v % uint64(n))
 }
 
 // Fingerprint returns the spec's content address. It fails for specs

@@ -90,6 +90,52 @@ func TestRunSpecFingerprint(t *testing.T) {
 	}
 }
 
+// TestShardFor: stable, in-range, total (even for non-hex input), and
+// reasonably balanced over real fingerprints.
+func TestShardFor(t *testing.T) {
+	fp, err := Fingerprint(config.Default(), "stream/n=2000/seed=0/stride=0", 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 2, 3, 7, 16} {
+		s := ShardFor(fp, n)
+		if s != ShardFor(fp, n) {
+			t.Fatalf("ShardFor not stable at n=%d", n)
+		}
+		bound := n
+		if bound < 1 {
+			bound = 1
+		}
+		if s < 0 || s >= bound {
+			t.Fatalf("ShardFor(%q, %d) = %d out of range", fp, n, s)
+		}
+	}
+	if ShardFor("not hex at all", 4) < 0 {
+		t.Fatal("non-hex input must still shard")
+	}
+
+	// Balance: the figure-9 grid's fingerprints must not collapse onto
+	// one shard (prefix sharding over sha256 is uniform; this guards
+	// against a parsing bug that zeroes the prefix).
+	counts := make([]int, 3)
+	for _, lat := range []int{100, 200, 500, 1000} {
+		for _, iq := range []int{32, 64, 128} {
+			cfg := config.CheckpointDefault(iq, 1024)
+			cfg.MemoryLatency = lat
+			fp, err := Fingerprint(cfg, "fpmix/n=48000/seed=42/stride=0", 40000, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[ShardFor(fp, 3)]++
+		}
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received no points from a 12-point grid: %v", s, counts)
+		}
+	}
+}
+
 // TestFingerprintDistinctPerCommitPolicy: the same workload under each
 // registered commit policy must content-address differently — the
 // commit-policies ablation relies on the service cache never aliasing
