@@ -97,6 +97,36 @@ func BenchmarkFigure9(b *testing.B) { benchFigure9(b, 1) }
 // wall-clock speedup on this host.
 func BenchmarkFigure9Parallel(b *testing.B) { benchFigure9(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkFigure9Programs regenerates the figure-9 grid over the
+// real-program (RV32) suite: each iteration re-executes every program
+// into a dynamic trace and sweeps the full grid, so the measurement
+// covers the program frontend (decode + architectural execution +
+// trace mapping) as well as the sweep engine. The warm-up call outside
+// the timer populates the trace cache; iterations then isolate the
+// simulation cost, matching benchFigure9's methodology.
+func BenchmarkFigure9Programs(b *testing.B) {
+	opt := benchOpts().WithTraceCache()
+	if _, err := experiments.Figure9Programs(context.Background(), opt); err != nil {
+		b.Fatal(err)
+	}
+	// Record fires serially per run; summing committed instructions lets
+	// CI divide allocs/op by committed/op to enforce the <= 1.0
+	// allocations-per-committed-instruction budget on the program path
+	// (program traces can end before the Insts budget, so the count
+	// cannot be derived from points x Insts).
+	var committed uint64
+	opt.Record = func(rec experiments.RunRecord) { committed += rec.Results.Committed }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9Programs(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.IPC[2048][128], "IPC-cooo128/2048")
+	}
+	b.ReportMetric(float64(committed)/float64(b.N), "committed/op")
+}
+
 // BenchmarkFigure9HighLatency measures the event-driven clock skip in
 // the regime it targets: the ROB-blocked baseline family over the
 // figure-9 window axis (32/64/128), with the memory latency raised to

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-figure all|table1|1|7|9|10|11|12|13|14|commit-policies|ablations]
+//	experiments [-figure all|table1|1|7|9|10|11|12|13|14|figure9-programs|commit-policies|commit-policies-programs|ablations]
 //	            [-commit policy,...] [-insts N] [-seed S] [-parallel N]
 //	            [-json FILE] [-server URL] [-no-skip] [-cpuprofile FILE]
 //	            [-memprofile FILE] [-list] [-v]
@@ -66,7 +66,9 @@ var sections = []struct{ name, desc string }{
 	{"12", "Figure 12: pseudo-ROB retirement breakdown"},
 	{"13", "Figure 13: checkpoint-count sensitivity"},
 	{"14", "Figure 14: virtual registers combined with checkpointed commit"},
+	{"figure9-programs", "figure-9 grid over the real-program (RV32) suite"},
 	{"commit-policies", "ablation: rob vs checkpoint vs adaptive vs oracle on the figure-9 workloads"},
+	{"commit-policies-programs", "ablation: commit policies over the real-program suite"},
 	{"ablations", "every ablation sweep (includes commit-policies)"},
 }
 
@@ -104,7 +106,7 @@ func main() {
 
 	if *list {
 		for _, s := range sections {
-			fmt.Printf("%-16s %s\n", s.name, s.desc)
+			fmt.Printf("%-26s %s\n", s.name, s.desc)
 		}
 		return
 	}
@@ -355,11 +357,28 @@ func main() {
 		fmt.Println(r)
 		return nil
 	})
+	section("figure9-programs", func() error {
+		r, err := experiments.Figure9Programs(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		fmt.Println(r.Figure11String())
+		return nil
+	})
 	// Standalone only when the ablation run below will not already
 	// cover the sweep — "-figure commit-policies,ablations" must not
 	// simulate it twice (or record it twice in -json).
 	runSection("commit-policies", want["commit-policies"] && !all && !want["ablations"], func() error {
 		r, err := experiments.AblationCommitPolicies(ctx, opt, commitModes...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	section("commit-policies-programs", func() error {
+		r, err := experiments.AblationCommitPoliciesPrograms(ctx, opt)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 //
 //	ooosim -commit checkpoint -iq 64 -sliq 1024 -workload fpmix -mem 1000
 //	ooosim -commit rob -rob 128 -workload stream -mem 500 -insts 200000
+//	ooosim -commit checkpoint -program isort -insts 100000
 //
 // -dump-config prints the flag-built configuration as canonical JSON
 // (the ooosimd batch-API wire form) and exits; -config FILE loads a
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/isa/programs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -34,8 +36,10 @@ func main() {
 	mem := flag.Int("mem", 1000, "memory latency in cycles")
 	perfectL2 := flag.Bool("perfect-l2", false, "make every L2 access hit")
 	workload := flag.String("workload", "fpmix", "stream|strided|stencil|reduction|blocked|pointerchase|fpmix")
+	program := flag.String("program", "", "run a real RV32 program instead of a synthetic workload: "+strings.Join(programs.Names(), "|"))
+	input := flag.Int("input", 0, "program input size (-program only; 0 sizes it from -insts)")
 	insts := flag.Uint64("insts", 300000, "committed instructions to simulate")
-	seed := flag.Uint64("seed", 42, "workload seed (fpmix)")
+	seed := flag.Uint64("seed", 42, "workload seed (fpmix and programs)")
 	vregs := flag.Int("vtags", 0, "enable virtual registers with this many tags (0 = off)")
 	phys := flag.Int("phys", 4096, "physical registers")
 	configFile := flag.String("config", "", "load the complete configuration from a canonical-JSON file (config flags are then ignored)")
@@ -123,15 +127,45 @@ func main() {
 		return
 	}
 
-	// The workload flag is a trace recipe: the same declarative
+	// The workload flags build a trace recipe: the same declarative
 	// identity a service batch ships, so the kernel dispatch (and its
 	// validation) lives in one place.
-	recipe := trace.Recipe{Kernel: *workload, N: trace.LenFor(*insts)}
-	switch *workload {
-	case trace.KernelStrided:
-		recipe.Stride = 8
-	case trace.KernelFPMix:
-		recipe.Seed = *seed
+	var recipe trace.Recipe
+	if *program != "" {
+		// -program replaces -workload; saying both is a contradiction,
+		// not a precedence question.
+		workloadSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				workloadSet = true
+			}
+		})
+		if workloadSet {
+			fmt.Fprintln(os.Stderr, "-program and -workload are mutually exclusive")
+			os.Exit(2)
+		}
+		spec, ok := programs.Lookup(*program)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown program %q; available: %s\n", *program, strings.Join(programs.Names(), ", "))
+			os.Exit(2)
+		}
+		in := *input
+		if in == 0 {
+			in = spec.InputFor(*insts)
+		}
+		recipe = trace.Recipe{Kernel: trace.KernelProgram, Program: *program, Input: in, Seed: *seed}
+	} else {
+		if *input != 0 {
+			fmt.Fprintln(os.Stderr, "-input applies only with -program")
+			os.Exit(2)
+		}
+		recipe = trace.Recipe{Kernel: *workload, N: trace.LenFor(*insts)}
+		switch *workload {
+		case trace.KernelStrided:
+			recipe.Stride = 8
+		case trace.KernelFPMix:
+			recipe.Seed = *seed
+		}
 	}
 	tr, err := recipe.Materialise()
 	if err != nil {
@@ -140,7 +174,7 @@ func main() {
 	}
 
 	res, err := sim.Run(sim.RunSpec{
-		Name:   *workload,
+		Name:   recipe.WorkloadName(),
 		Config: cfg,
 		Trace:  tr,
 		Insts:  *insts,
@@ -169,6 +203,12 @@ func printResults(cfg config.Config, r stats.Results) {
 	row("Replayed (rollback waste)", "%d (%.2f per committed)", r.Replayed, r.ReplayRate())
 	row("Avg in-flight", "%.0f (max %d)", r.MeanInflight, r.MaxInflight)
 	row("Branch mispredict rate", "%.2f%%", 100*r.Branch.MispredictRate())
+	if r.BTB != nil {
+		row("BTB hit rate", "%.1f%% (%d lookups, %d bad targets)", 100*r.BTB.HitRate(), r.BTB.Lookups, r.BTB.BadTargets)
+	}
+	if r.LSQ != nil {
+		row("LSQ forwards", "%d (of %d loads; %d forward stalls)", r.LSQ.Forwards, r.LSQ.Loads, r.LSQ.ForwardStalls)
+	}
 	row("DL1 miss rate", "%.1f%%", 100*r.Mem.DL1.MissRate())
 	row("L2 miss rate", "%.1f%%", 100*r.Mem.L2.MissRate())
 	row("Memory line fetches", "%d (+%d merged)", r.Mem.MemAccesses, r.Mem.MergedMisses)

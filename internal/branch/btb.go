@@ -1,0 +1,168 @@
+package branch
+
+import "fmt"
+
+// BTB is a set-associative branch-target buffer keyed by fetch PC. It
+// serves two roles for program-backed workloads:
+//
+//   - Target prediction: a direction predictor alone cannot redirect
+//     fetch; a taken prediction needs a target, and a BTB miss or a
+//     stale target is a misfetch even when the direction was right.
+//
+//   - Resolution tracking: after a rollback, the entry of the branch
+//     that caused it records which dynamic instance (trace position)
+//     was resolved, so the replayed branch predicts correctly instead
+//     of ping-ponging — this replaces the positional knownBranch
+//     shortcut synthetic traces use (their branches have no targets,
+//     only positions). Displacement of a resolved entry — by same-PC
+//     re-resolution or set eviction — is reported to the caller, which
+//     preserves the displaced position in its positional fallback:
+//     resolution knowledge is monotone, which is what guarantees
+//     forward progress against mispredict livelock.
+//
+// The BTB is deterministic: lookup order, LRU updates, and eviction
+// choices are pure functions of the access sequence.
+type BTB struct {
+	sets    int
+	ways    int
+	entries []btbEntry
+	clock   uint64
+	stats   BTBStats
+}
+
+type btbEntry struct {
+	valid       bool
+	pc          uint64
+	target      uint64
+	resolvedPos int64
+	lru         uint64
+}
+
+// BTBStats counts target-buffer performance.
+type BTBStats struct {
+	// Lookups and Hits count fetch-time target queries.
+	Lookups uint64
+	Hits    uint64
+	// BadTargets counts taken branches whose hit supplied a stale
+	// target: a misfetch despite a correct direction prediction. The
+	// core classifies these (the BTB cannot know the true target).
+	BadTargets uint64
+}
+
+// HitRate returns Hits/Lookups, or 0 if unused.
+func (s BTBStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// NewBTB builds a BTB with the given geometry; sets must be a power of
+// two.
+func NewBTB(sets, ways int) *BTB {
+	if sets < 1 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("branch: btb sets %d not a power of two", sets))
+	}
+	if ways < 1 {
+		panic(fmt.Sprintf("branch: btb ways %d < 1", ways))
+	}
+	b := &BTB{sets: sets, ways: ways, entries: make([]btbEntry, sets*ways)}
+	for i := range b.entries {
+		b.entries[i].resolvedPos = -1
+	}
+	return b
+}
+
+func (b *BTB) setBase(pc uint64) int {
+	// Drop the low two bits: instructions are 4-byte aligned.
+	return int((pc>>2)&uint64(b.sets-1)) * b.ways
+}
+
+func (b *BTB) find(pc uint64) *btbEntry {
+	base := b.setBase(pc)
+	for i := 0; i < b.ways; i++ {
+		e := &b.entries[base+i]
+		if e.valid && e.pc == pc {
+			return e
+		}
+	}
+	return nil
+}
+
+// Lookup queries the predicted target for the branch at pc, refreshing
+// its recency on a hit.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	b.stats.Lookups++
+	if e := b.find(pc); e != nil {
+		b.stats.Hits++
+		b.clock++
+		e.lru = b.clock
+		return e.target, true
+	}
+	return 0, false
+}
+
+// CountBadTarget records one taken branch whose BTB hit supplied the
+// wrong target.
+func (b *BTB) CountBadTarget() { b.stats.BadTargets++ }
+
+// install inserts or updates the entry for pc. pos >= 0 additionally
+// marks the entry resolved at that trace position. The returned
+// position, when reported, is resolution knowledge this call displaced
+// — a different position re-resolved at the same pc, or an evicted
+// resolved entry — which the caller must preserve elsewhere.
+func (b *BTB) install(pc, target uint64, pos int64) (displaced int64, hasDisplaced bool) {
+	b.clock++
+	if e := b.find(pc); e != nil {
+		e.target = target
+		e.lru = b.clock
+		if pos >= 0 {
+			if e.resolvedPos >= 0 && e.resolvedPos != pos {
+				displaced, hasDisplaced = e.resolvedPos, true
+			}
+			e.resolvedPos = pos
+		}
+		return displaced, hasDisplaced
+	}
+	base := b.setBase(pc)
+	var victim *btbEntry
+	for i := 0; i < b.ways; i++ {
+		e := &b.entries[base+i]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if victim == nil || e.lru < victim.lru {
+			victim = e
+		}
+	}
+	if victim.valid && victim.resolvedPos >= 0 {
+		displaced, hasDisplaced = victim.resolvedPos, true
+	}
+	*victim = btbEntry{valid: true, pc: pc, target: target, resolvedPos: pos, lru: b.clock}
+	return displaced, hasDisplaced
+}
+
+// Install records the resolved target of a taken branch at pc.
+func (b *BTB) Install(pc, target uint64) (displaced int64, hasDisplaced bool) {
+	return b.install(pc, target, -1)
+}
+
+// MarkResolved records that the dynamic branch instance at trace
+// position pos (fetch PC pc, actual target target) has been resolved by
+// a rollback, so its replay must not mispredict again.
+func (b *BTB) MarkResolved(pc uint64, pos int64, target uint64) (displaced int64, hasDisplaced bool) {
+	return b.install(pc, target, pos)
+}
+
+// ResolvedAt returns the trace position the entry at pc was resolved
+// for, or -1.
+func (b *BTB) ResolvedAt(pc uint64) int64 {
+	if e := b.find(pc); e != nil {
+		return e.resolvedPos
+	}
+	return -1
+}
+
+// Stats returns the accumulated counters.
+func (b *BTB) Stats() BTBStats { return b.stats }

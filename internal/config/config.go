@@ -39,6 +39,20 @@ const (
 // String implements fmt.Stringer.
 func (m CommitMode) String() string { return string(m) }
 
+// Branch-target-buffer geometry, used for program workloads (real-PC
+// traces; synthetic kernels carry no branch targets and never build a
+// BTB). Deliberately package constants rather than Config fields: the
+// canonical configuration encoding (CanonicalJSON) feeds every cache
+// fingerprint, so adding a struct field would re-key every cached
+// result — these are fixed microarchitectural parameters, like the
+// cache line size embedded in the hierarchy.
+const (
+	// BTBSets is the number of BTB sets (power of two).
+	BTBSets = 128
+	// BTBWays is the BTB associativity (512 entries total).
+	BTBWays = 4
+)
+
 // CacheConfig describes one cache level.
 type CacheConfig struct {
 	// SizeBytes is the total capacity.

@@ -63,6 +63,17 @@ type CPU struct {
 	// architectural initial value idempotent across rollback replays.
 	archReleased [isa.NumLogical]bool
 
+	// Program-backed workloads: code is the trace's static image (nil
+	// for synthetic kernels) and btb the branch-target buffer keyed by
+	// real fetch PCs (nil under perfect prediction, which needs no
+	// target prediction). wpStart/wpBase locate the wrong-path fetch
+	// stream inside the image: the static index fetch diverged to, and
+	// the wpCounter value at divergence (see nextWrongPathInst).
+	code    trace.StaticCode
+	btb     *branch.BTB
+	wpStart int
+	wpBase  uint64
+
 	// Time and fetch state.
 	now           int64
 	fetchPos      int64
@@ -393,6 +404,10 @@ func newCPU(cfg config.Config, tr *trace.Trace, hier *mem.Hierarchy, arena *Aren
 	} else {
 		c.pred = branch.NewGshare(cfg.BranchPredictorBits)
 	}
+	c.code = tr.Code()
+	if c.code != nil && !cfg.PerfectBranchPrediction {
+		c.btb = branch.NewBTB(config.BTBSets, config.BTBWays)
+	}
 
 	build, ok := commitPolicyFactories[cfg.Commit]
 	if !ok {
@@ -457,18 +472,51 @@ func (c *CPU) exceptPhase(pos int64) uint8 {
 	return c.exceptArm[pos]
 }
 
-// branchKnown reports whether the branch at pos replays with a known
-// resolution after a checkpoint rollback.
-func (c *CPU) branchKnown(pos int64) bool {
+// branchResolved reports whether the branch at trace position pos
+// (fetch PC pc) replays with a known resolution after a checkpoint
+// rollback. Program-backed traces carry the resolution in the BTB entry
+// of the branch's fetch PC, with the positional table as the fallback
+// for resolutions the BTB has since displaced; synthetic traces (whose
+// branches have no real PCs) use the positional table alone.
+func (c *CPU) branchResolved(pos int64, pc uint64) bool {
+	if pos < 0 {
+		return false
+	}
+	if c.btb != nil && c.btb.ResolvedAt(pc) == pos {
+		return true
+	}
 	return c.knownBranch != nil && c.knownBranch[pos]
 }
 
-// markBranchKnown records a rollback-resolved branch position.
-func (c *CPU) markBranchKnown(pos int64) {
+// knownAt records a rollback-resolved branch position in the positional
+// table.
+func (c *CPU) knownAt(pos int64) {
+	if pos < 0 {
+		return
+	}
 	if c.knownBranch == nil {
 		c.knownBranch = make([]bool, c.tr.Len())
 	}
 	c.knownBranch[pos] = true
+}
+
+// markBranchKnown records that b's resolution is carried by the
+// recovery hardware, so its replay will not mispredict. Program traces
+// record it in b's BTB entry; any resolution knowledge the install
+// displaces (a same-PC re-resolution or a set eviction) drops to the
+// positional table, keeping resolution knowledge monotone — the
+// forward-progress guarantee against mispredict livelock.
+func (c *CPU) markBranchKnown(b *DynInst) {
+	if b.Pos < 0 {
+		return
+	}
+	if c.btb != nil {
+		if displaced, ok := c.btb.MarkResolved(b.Inst.PC, b.Pos, b.Inst.Target); ok {
+			c.knownAt(displaced)
+		}
+		return
+	}
+	c.knownAt(b.Pos)
 }
 
 // Exceptions returns the number of precisely delivered exceptions.
@@ -686,9 +734,24 @@ func (c *CPU) maybeSkip(maxCycles, watchdog int64) {
 			}
 		}
 	default:
-		// Wrong path: the synthetic stream varies its op cycle to
-		// cycle, so the probe's rejection only repeats when it is
-		// op-independent — a checkpoint-table stall (Admit rejects
+		// Wrong path: the stream varies its op cycle to cycle, so the
+		// probe's rejection only repeats when it is op-independent.
+		if c.code != nil {
+			// Program image: branches and stores map to Nops, so the
+			// op classes are IntAlu/IntMul/IntDiv/Load/Nop — all bound
+			// for the integer queue. A checkpoint-table stall rejects
+			// every op alike, and a full integer queue blocks every op
+			// — but only while rename can still hand out a register,
+			// because Nops skip the rename check and would otherwise
+			// stall on a different counter than destination-carrying
+			// ops.
+			if c.stalls.Ckpt == s.stalls.Ckpt &&
+				!(c.intQ.Full() && c.rt.FreeCount() > 0) {
+				return
+			}
+			break
+		}
+		// Synthetic stream: a checkpoint-table stall (Admit rejects
 		// every op alike), an empty rename free list (every synthetic
 		// op carries a destination), or both issue queues full.
 		if c.stalls.Ckpt == s.stalls.Ckpt && c.rt.FreeCount() > 0 &&
@@ -792,6 +855,17 @@ func (c *CPU) results() stats.Results {
 		ss := c.sliq.Stats()
 		r.SLIQMoved = ss.Inserted
 		r.SLIQWoken = ss.Woken
+	}
+	// Program-backed workloads surface the LSQ and BTB counters their
+	// real addresses make meaningful; synthetic results omit both so
+	// their encodings (and every cached result) stay byte-identical.
+	if c.code != nil {
+		ls := c.lq.Stats()
+		r.LSQ = &ls
+		if c.btb != nil {
+			bs := c.btb.Stats()
+			r.BTB = &bs
+		}
 	}
 	return r
 }

@@ -218,13 +218,47 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	// inside one window (a livelock the stress suite exposed).
 	if inst.Op == isa.Branch && !wrongPath {
 		mispredict := false
-		if !c.cfg.PerfectBranchPrediction && !c.branchKnown(pos) {
-			mispredict = c.pred.Predict(inst.PC) != inst.Taken
+		redirect := inst.PC + 4
+		if !c.cfg.PerfectBranchPrediction && !c.branchResolved(pos, inst.PC) {
+			if c.btb != nil {
+				// Program-backed trace: the direction predictor alone
+				// cannot redirect fetch — a taken prediction is only
+				// effective when the BTB supplies a target, and a hit
+				// with a stale target is a misfetch even when the
+				// direction was right.
+				dirPred := c.pred.Predict(inst.PC)
+				target, hit := c.btb.Lookup(inst.PC)
+				predTaken := dirPred && hit
+				switch {
+				case predTaken != inst.Taken:
+					mispredict = true
+					if predTaken {
+						redirect = target
+					}
+				case inst.Taken && target != inst.Target:
+					c.btb.CountBadTarget()
+					mispredict = true
+					redirect = target
+				}
+			} else {
+				mispredict = c.pred.Predict(inst.PC) != inst.Taken
+			}
 		}
 		c.pred.Update(inst.PC, inst.Taken)
+		if c.btb != nil && inst.Taken {
+			// Train the BTB with the resolved target; any resolution
+			// knowledge an eviction displaces falls back to the
+			// positional table (see markBranchKnown).
+			if displaced, ok := c.btb.Install(inst.PC, inst.Target); ok {
+				c.knownAt(displaced)
+			}
+		}
 		if mispredict {
 			d.Mispredicted = true
 			c.divergedAt = d
+			if c.code != nil {
+				c.setWrongPathStart(redirect)
+			}
 		}
 	}
 
@@ -240,13 +274,43 @@ func (c *CPU) tryDispatch(inst isa.Inst, pos int64, wrongPath bool) bool {
 	return true
 }
 
-// nextWrongPathInst synthesises an instruction for the wrong path after
-// a mispredicted branch: a deterministic mix of ALU, FP and load
-// operations that consumes rename, queue, functional-unit and memory
-// bandwidth until the branch resolves (see DESIGN.md §3).
+// setWrongPathStart records where a mispredicted fetch diverged to in
+// the program image: the static index of the (wrong) redirect target
+// and the wpCounter value at divergence. nextWrongPathInst is then a
+// pure function of wpCounter, which keeps the clock skip's footprint
+// replication exact. A redirect outside the text (a stale BTB target,
+// or falling through past the last instruction) wraps to the image
+// start — wrong-path fetch only needs a deterministic stream, not a
+// meaningful one.
+func (c *CPU) setWrongPathStart(pc uint64) {
+	idx, ok := c.code.IndexOf(pc)
+	if !ok {
+		idx = 0
+	}
+	c.wpStart = idx
+	c.wpBase = c.wpCounter
+}
+
+// nextWrongPathInst fetches an instruction for the wrong path after a
+// mispredicted branch. Program-backed traces fetch the real static
+// instructions at the mispredicted target (side-effecting classes are
+// neutralised to Nops in the image; wrong-path loads get a synthetic
+// address near recent traffic, as the core cannot know what a wrong
+// path would really compute). Synthetic traces synthesise a
+// deterministic mix of ALU, FP and load operations. Either way the
+// stream consumes rename, queue, functional-unit and memory bandwidth
+// until the branch resolves (see DESIGN.md §3).
 func (c *CPU) nextWrongPathInst() isa.Inst {
 	k := c.wpCounter
 	c.wpCounter++
+	if c.code != nil {
+		idx := (c.wpStart + int((k-c.wpBase)%uint64(c.code.Len()))) % c.code.Len()
+		in := c.code.At(idx)
+		if in.Op == isa.Load {
+			in.Addr = c.lastLoadAddr + 64*(1+k%32)
+		}
+		return in
+	}
 	// Wrong-path instructions live in their own PC region.
 	pc := uint64(0xF0000000) + (k%64)*4
 	switch k % 8 {

@@ -297,9 +297,7 @@ func (p *checkpointPolicy) ResolveMispredict(b *DynInst) {
 	}
 	// The rollback hardware knows this branch's direction; its replay
 	// will not mispredict (see tryDispatch).
-	if b.Pos >= 0 {
-		c.markBranchKnown(b.Pos)
-	}
+	c.markBranchKnown(b)
 	p.rollbackToCheckpoint(b.ckpt)
 }
 

@@ -36,13 +36,19 @@ type variant = struct {
 	cfg   config.Config
 }
 
-// sweep runs a set of labelled configurations over the suite in one
-// engine submission.
+// sweep runs a set of labelled configurations over the synthetic suite
+// in one engine submission.
 func (o Options) sweep(ctx context.Context, title string, variants []variant) (AblationResult, error) {
 	suite, err := o.suite()
 	if err != nil {
 		return AblationResult{}, err
 	}
+	return o.sweepSuite(ctx, title, variants, suite)
+}
+
+// sweepSuite is sweep over an already-built suite (the program
+// ablations pass the program suite).
+func (o Options) sweepSuite(ctx context.Context, title string, variants []variant, suite []suiteTrace) (AblationResult, error) {
 	points := make([]point, len(variants))
 	for i, v := range variants {
 		points[i] = point{cfg: v.cfg}

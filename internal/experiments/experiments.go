@@ -127,6 +127,9 @@ type suiteCache struct {
 
 type suiteKey struct {
 	insts, seed uint64
+	// program distinguishes the real-program suite from the synthetic
+	// one (both are cached under the same Options).
+	program bool
 }
 
 // WithTraceCache returns Options that generate each suite trace set
@@ -143,24 +146,35 @@ func (o Options) WithTraceCache() Options {
 // the server regenerates (and memoises) the workloads itself — so a
 // warm remote rerun skips local generation entirely.
 func (o Options) suite() ([]suiteTrace, error) {
+	return o.someSuite(false, buildSuite)
+}
+
+// programSuite returns the real-program benchmark traces (see
+// programs.go), with the same caching and remote recipe-only behaviour
+// as the synthetic suite.
+func (o Options) programSuite() ([]suiteTrace, error) {
+	return o.someSuite(true, buildProgramSuite)
+}
+
+func (o Options) someSuite(program bool, build func(insts, seed uint64, recipeOnly bool) ([]suiteTrace, error)) ([]suiteTrace, error) {
 	if o.Runner != nil {
-		return buildSuite(o.Insts, o.Seed, true)
+		return build(o.Insts, o.Seed, true)
 	}
 	if o.cache != nil {
 		o.cache.mu.Lock()
 		defer o.cache.mu.Unlock()
-		key := suiteKey{o.Insts, o.Seed}
+		key := suiteKey{o.Insts, o.Seed, program}
 		if ts, ok := o.cache.traces[key]; ok {
 			return ts, nil
 		}
-		ts, err := buildSuite(o.Insts, o.Seed, false)
+		ts, err := build(o.Insts, o.Seed, false)
 		if err != nil {
 			return nil, err
 		}
 		o.cache.traces[key] = ts
 		return ts, nil
 	}
-	return buildSuite(o.Insts, o.Seed, false)
+	return build(o.Insts, o.Seed, false)
 }
 
 func buildSuite(insts, seed uint64, recipeOnly bool) ([]suiteTrace, error) {

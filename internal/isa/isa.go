@@ -148,6 +148,11 @@ type Inst struct {
 	PC uint64
 	// Taken is the architecturally correct branch outcome (branches only).
 	Taken bool
+	// Target is the branch's taken-path target address (branches only).
+	// Program-backed workloads set it so the branch-target buffer has a
+	// real address to predict; synthetic generators leave it zero, which
+	// keeps them on the positional prediction model.
+	Target uint64
 }
 
 // String renders a short human-readable form, e.g.

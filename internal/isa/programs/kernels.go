@@ -1,0 +1,437 @@
+package programs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa/rv32"
+)
+
+// The five shipped kernels. Each picks a distinct microarchitectural
+// stress: isort is branchy with tight store-to-load shift chains, chase
+// is a serial pointer dependence, hashjoin mixes multiplies with
+// data-dependent probe loops, dhry is a call-heavy integer mix
+// (JAL/JALR return-target pressure on the BTB), and memcpy is a
+// streaming copy. All parameter passing is bare-metal style: pointers
+// and counts arrive in registers via Program.Init, data layouts are
+// seeded segments.
+
+func init() {
+	register(Spec{
+		Name:     "isort",
+		Desc:     "insertion sort over a seeded int array (branchy, store-to-load heavy)",
+		MaxInput: 2000,
+		InputFor: func(budget uint64) int {
+			// Dynamic length is dominated by the ~1.5*n^2 shift work of
+			// a random permutation.
+			return clampInput(int(math.Sqrt(float64(budget)/1.5)), 2000)
+		},
+		Build: buildISort,
+	})
+	register(Spec{
+		Name:     "chase",
+		Desc:     "pointer chase over a seeded cyclic linked list with an accumulator spill",
+		MaxInput: 1_000_000,
+		InputFor: func(budget uint64) int {
+			return clampInput(int(budget/7), 1_000_000) // 7 instructions per step
+		},
+		Build: buildChase,
+	})
+	register(Spec{
+		Name:     "hashjoin",
+		Desc:     "open-addressing hash build + probe with multiplicative hashing",
+		MaxInput: 100_000,
+		InputFor: func(budget uint64) int {
+			return clampInput(int(budget/32), 100_000) // ~32 instructions per key
+		},
+		Build: buildHashJoin,
+	})
+	register(Spec{
+		Name:     "dhry",
+		Desc:     "dhrystone-style integer mix: indirect calls, byte copies, arithmetic",
+		MaxInput: 60_000,
+		InputFor: func(budget uint64) int {
+			return clampInput(int(budget/120), 60_000) // ~120 instructions per iteration
+		},
+		Build: buildDhry,
+	})
+	register(Spec{
+		Name:     "memcpy",
+		Desc:     "word-wise memory copy with a byte tail (streaming loads and stores)",
+		MaxInput: 1_000_000,
+		InputFor: func(budget uint64) int {
+			return clampInput(int(budget*4/7), 1_000_000) // ~7 instructions per 4 bytes
+		},
+		Build: buildMemcpy,
+	})
+}
+
+func checkInput(name string, input, max int) error {
+	if input < 1 || input > max {
+		return fmt.Errorf("programs: %s input %d out of range [1, %d]", name, input, max)
+	}
+	return nil
+}
+
+// buildISort sorts input seeded words in place at DataBase.
+func buildISort(input int, seed uint64) (*rv32.Program, error) {
+	if err := checkInput("isort", input, 2000); err != nil {
+		return nil, err
+	}
+	rng := splitmix64(seed)
+	arr := make([]uint32, input)
+	for i := range arr {
+		arr[i] = uint32(rng.next())
+	}
+	a := rv32.NewAsm()
+	a.Li(rv32.T0, 1) // i = 1
+	a.Label("outer")
+	a.Bge(rv32.T0, rv32.A1, "done")
+	a.Slli(rv32.T1, rv32.T0, 2)
+	a.Add(rv32.T1, rv32.A0, rv32.T1) // &a[i]
+	a.Lw(rv32.T2, 0, rv32.T1)        // key = a[i]
+	a.Mv(rv32.T3, rv32.T1)           // insertion cursor: &a[j+1]
+	a.Label("inner")
+	a.Beq(rv32.T3, rv32.A0, "place") // j < 0
+	a.Lw(rv32.T4, -4, rv32.T3)       // a[j]
+	a.Bge(rv32.T2, rv32.T4, "place") // key >= a[j]: stop shifting
+	a.Sw(rv32.T4, 0, rv32.T3)        // a[j+1] = a[j]
+	a.Addi(rv32.T3, rv32.T3, -4)
+	a.J("inner")
+	a.Label("place")
+	a.Sw(rv32.T2, 0, rv32.T3) // a[j+1] = key
+	a.Addi(rv32.T0, rv32.T0, 1)
+	a.J("outer")
+	a.Label("done")
+	a.Ebreak()
+	text, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &rv32.Program{
+		Name: "isort",
+		Text: text,
+		Data: []rv32.Segment{words32(rv32.DataBase, arr)},
+		Init: map[int]uint32{
+			rv32.A0: rv32.DataBase,
+			rv32.A1: uint32(input),
+			rv32.SP: rv32.StackTop,
+		},
+	}, nil
+}
+
+// buildChase walks input steps of a seeded cyclic linked list (8-byte
+// nodes: next pointer, payload), spilling and reloading the running sum
+// each step — the register-spill idiom that makes the LSQ forward.
+func buildChase(input int, seed uint64) (*rv32.Program, error) {
+	if err := checkInput("chase", input, 1_000_000); err != nil {
+		return nil, err
+	}
+	nodes := clampInput(input/4, 8192)
+	if nodes < 16 && input >= 16 {
+		nodes = 16
+	}
+	rng := splitmix64(seed)
+	// A full Fisher-Yates shuffle of the visit order yields one cycle
+	// covering every node.
+	order := make([]int, nodes)
+	for i := range order {
+		order[i] = i
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	const nodeBase = uint32(0x100000)
+	mem := make([]uint32, 2*nodes)
+	for k, n := range order {
+		next := order[(k+1)%nodes]
+		mem[2*n] = nodeBase + uint32(8*next)
+		mem[2*n+1] = uint32(rng.next() & 0xFFFF)
+	}
+	a := rv32.NewAsm()
+	a.Li(rv32.A2, 0) // running sum
+	a.Label("loop")
+	a.Sw(rv32.A2, 0, rv32.SP) // spill the accumulator
+	a.Lw(rv32.T0, 4, rv32.A0) // payload
+	a.Lw(rv32.A0, 0, rv32.A0) // next (the serial dependence)
+	a.Lw(rv32.A2, 0, rv32.SP) // reload: forwards from the spill
+	a.Add(rv32.A2, rv32.A2, rv32.T0)
+	a.Addi(rv32.A1, rv32.A1, -1)
+	a.Bne(rv32.A1, rv32.X0, "loop")
+	a.Sw(rv32.A2, 0, rv32.SP)
+	a.Ebreak()
+	text, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &rv32.Program{
+		Name: "chase",
+		Text: text,
+		Data: []rv32.Segment{words32(nodeBase, mem)},
+		Init: map[int]uint32{
+			rv32.A0: nodeBase + uint32(8*order[0]),
+			rv32.A1: uint32(input),
+			rv32.SP: rv32.StackTop,
+		},
+	}, nil
+}
+
+// buildHashJoin inserts input seeded keys into an open-addressing table
+// (load factor <= 0.5), then probes it with input keys — half present,
+// half random — counting matches.
+func buildHashJoin(input int, seed uint64) (*rv32.Program, error) {
+	if err := checkInput("hashjoin", input, 100_000); err != nil {
+		return nil, err
+	}
+	slots := 16
+	for slots < 2*input {
+		slots *= 2
+	}
+	shift := int32(32)
+	for s := slots; s > 1; s /= 2 {
+		shift--
+	}
+	rng := splitmix64(seed)
+	keys := make([]uint32, input)
+	for i := range keys {
+		keys[i] = uint32(rng.next()) | 1 // nonzero: zero marks an empty slot
+	}
+	probes := make([]uint32, input)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = keys[int(rng.next()%uint64(input))]
+		} else {
+			probes[i] = uint32(rng.next()) | 1
+		}
+	}
+	const (
+		keyBase   = uint32(0x100000)
+		probeBase = uint32(0x200000)
+		tableBase = uint32(0x300000)
+	)
+	a := rv32.NewAsm()
+	a.Mv(rv32.T0, rv32.X0) // i
+	a.Label("build")
+	a.Bge(rv32.T0, rv32.A1, "psetup")
+	a.Slli(rv32.T1, rv32.T0, 2)
+	a.Add(rv32.T1, rv32.A0, rv32.T1)
+	a.Lw(rv32.T2, 0, rv32.T1) // key
+	a.Mul(rv32.T3, rv32.T2, rv32.T6)
+	a.Srli(rv32.T3, rv32.T3, shift)
+	a.And(rv32.T3, rv32.T3, rv32.A3)
+	a.Label("slot")
+	a.Slli(rv32.T4, rv32.T3, 2)
+	a.Add(rv32.T4, rv32.A2, rv32.T4)
+	a.Lw(rv32.T5, 0, rv32.T4)
+	a.Beq(rv32.T5, rv32.X0, "insert")
+	a.Addi(rv32.T3, rv32.T3, 1)
+	a.And(rv32.T3, rv32.T3, rv32.A3)
+	a.J("slot")
+	a.Label("insert")
+	a.Sw(rv32.T2, 0, rv32.T4)
+	a.Addi(rv32.T0, rv32.T0, 1)
+	a.J("build")
+	a.Label("psetup")
+	a.Mv(rv32.T0, rv32.X0)
+	a.Mv(rv32.S1, rv32.X0) // match count
+	a.Label("probe")
+	a.Bge(rv32.T0, rv32.A1, "done")
+	a.Slli(rv32.T1, rv32.T0, 2)
+	a.Add(rv32.T1, rv32.A4, rv32.T1)
+	a.Lw(rv32.T2, 0, rv32.T1)
+	a.Mul(rv32.T3, rv32.T2, rv32.T6)
+	a.Srli(rv32.T3, rv32.T3, shift)
+	a.And(rv32.T3, rv32.T3, rv32.A3)
+	a.Label("pslot")
+	a.Slli(rv32.T4, rv32.T3, 2)
+	a.Add(rv32.T4, rv32.A2, rv32.T4)
+	a.Lw(rv32.T5, 0, rv32.T4)
+	a.Beq(rv32.T5, rv32.X0, "miss")
+	a.Beq(rv32.T5, rv32.T2, "hit")
+	a.Addi(rv32.T3, rv32.T3, 1)
+	a.And(rv32.T3, rv32.T3, rv32.A3)
+	a.J("pslot")
+	a.Label("hit")
+	a.Addi(rv32.S1, rv32.S1, 1)
+	a.Label("miss")
+	a.Addi(rv32.T0, rv32.T0, 1)
+	a.J("probe")
+	a.Label("done")
+	a.Sw(rv32.S1, 0, rv32.SP)
+	a.Ebreak()
+	text, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &rv32.Program{
+		Name: "hashjoin",
+		Text: text,
+		Data: []rv32.Segment{
+			words32(keyBase, keys),
+			words32(probeBase, probes),
+		},
+		Init: map[int]uint32{
+			rv32.A0: keyBase,
+			rv32.A1: uint32(input),
+			rv32.A2: tableBase,
+			rv32.A3: uint32(slots - 1),
+			rv32.A4: probeBase,
+			rv32.T6: 2654435761, // Knuth's multiplicative hash constant
+			rv32.SP: rv32.StackTop,
+		},
+	}, nil
+}
+
+// buildDhry runs input iterations of a dhrystone-style mix: an indirect
+// call through a two-entry function-pointer table (JALR with an
+// alternating target), a 16-byte byte-wise copy called from two
+// alternating sites (return-address pressure), and checksum arithmetic.
+func buildDhry(input int, seed uint64) (*rv32.Program, error) {
+	if err := checkInput("dhry", input, 60_000); err != nil {
+		return nil, err
+	}
+	a := rv32.NewAsm()
+	a.Mv(rv32.S0, rv32.X0) // i
+	a.Li(rv32.S1, 0)       // checksum
+	a.Label("main")
+	a.Bge(rv32.S0, rv32.A0, "done")
+	a.Andi(rv32.T0, rv32.S0, 1)
+	a.Slli(rv32.T0, rv32.T0, 2)
+	a.Add(rv32.T0, rv32.A1, rv32.T0)
+	a.Lw(rv32.T1, 0, rv32.T0) // function pointer: g1 or g2
+	a.Jalr(rv32.RA, rv32.T1, 0)
+	a.Add(rv32.S1, rv32.S1, rv32.A4)
+	a.Andi(rv32.T0, rv32.S0, 1)
+	a.Bne(rv32.T0, rv32.X0, "site2")
+	a.Jal(rv32.RA, "copy16")
+	a.J("after")
+	a.Label("site2")
+	a.Jal(rv32.RA, "copy16")
+	a.Label("after")
+	a.Addi(rv32.S0, rv32.S0, 1)
+	a.J("main")
+	a.Label("done")
+	a.Sw(rv32.S1, 0, rv32.SP)
+	a.Ebreak()
+	a.Label("g1") // a4 = 3*i + 7
+	a.Slli(rv32.A4, rv32.S0, 1)
+	a.Add(rv32.A4, rv32.A4, rv32.S0)
+	a.Addi(rv32.A4, rv32.A4, 7)
+	a.Ret()
+	a.Label("g2") // a4 = ((i ^ sum) >> 3) + 1
+	a.Xor(rv32.A4, rv32.S0, rv32.S1)
+	a.Srli(rv32.A4, rv32.A4, 3)
+	a.Addi(rv32.A4, rv32.A4, 1)
+	a.Ret()
+	a.Label("copy16") // buf2[0:16] = buf1[0:16], byte-wise
+	a.Mv(rv32.T2, rv32.A2)
+	a.Mv(rv32.T3, rv32.A3)
+	a.Li(rv32.T4, 16)
+	a.Label("cl")
+	a.Lbu(rv32.T5, 0, rv32.T2)
+	a.Sb(rv32.T5, 0, rv32.T3)
+	a.Addi(rv32.T2, rv32.T2, 1)
+	a.Addi(rv32.T3, rv32.T3, 1)
+	a.Addi(rv32.T4, rv32.T4, -1)
+	a.Bne(rv32.T4, rv32.X0, "cl")
+	a.Ret()
+	text, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	g1, err := a.AddrOf("g1", rv32.TextBase)
+	if err != nil {
+		return nil, err
+	}
+	g2, err := a.AddrOf("g2", rv32.TextBase)
+	if err != nil {
+		return nil, err
+	}
+	rng := splitmix64(seed)
+	buf1 := make([]byte, 16)
+	for i := range buf1 {
+		buf1[i] = byte(rng.next())
+	}
+	const (
+		tableBase = rv32.DataBase
+		buf1Base  = rv32.DataBase + 0x100
+		buf2Base  = rv32.DataBase + 0x200
+	)
+	return &rv32.Program{
+		Name: "dhry",
+		Text: text,
+		Data: []rv32.Segment{
+			words32(tableBase, []uint32{g1, g2}),
+			{Addr: buf1Base, Data: buf1},
+		},
+		Init: map[int]uint32{
+			rv32.A0: uint32(input),
+			rv32.A1: tableBase,
+			rv32.A2: buf1Base,
+			rv32.A3: buf2Base,
+			rv32.SP: rv32.StackTop,
+		},
+	}, nil
+}
+
+// buildMemcpy copies input seeded bytes with a word loop and a byte
+// tail.
+func buildMemcpy(input int, seed uint64) (*rv32.Program, error) {
+	if err := checkInput("memcpy", input, 1_000_000); err != nil {
+		return nil, err
+	}
+	rng := splitmix64(seed)
+	src := make([]byte, input)
+	for i := 0; i+8 <= input; i += 8 {
+		v := rng.next()
+		for k := 0; k < 8; k++ {
+			src[i+k] = byte(v >> (8 * k))
+		}
+	}
+	for i := input &^ 7; i < input; i++ {
+		src[i] = byte(rng.next())
+	}
+	const (
+		srcBase = uint32(0x100000)
+		dstBase = uint32(0x200000)
+	)
+	a := rv32.NewAsm()
+	a.Srli(rv32.T0, rv32.A2, 2) // word count
+	a.Andi(rv32.T1, rv32.A2, 3) // tail bytes
+	a.Mv(rv32.T2, rv32.A1)      // src cursor
+	a.Mv(rv32.T3, rv32.A0)      // dst cursor
+	a.Label("wl")
+	a.Beq(rv32.T0, rv32.X0, "tail")
+	a.Lw(rv32.T4, 0, rv32.T2)
+	a.Sw(rv32.T4, 0, rv32.T3)
+	a.Addi(rv32.T2, rv32.T2, 4)
+	a.Addi(rv32.T3, rv32.T3, 4)
+	a.Addi(rv32.T0, rv32.T0, -1)
+	a.J("wl")
+	a.Label("tail")
+	a.Beq(rv32.T1, rv32.X0, "fin")
+	a.Lbu(rv32.T4, 0, rv32.T2)
+	a.Sb(rv32.T4, 0, rv32.T3)
+	a.Addi(rv32.T2, rv32.T2, 1)
+	a.Addi(rv32.T3, rv32.T3, 1)
+	a.Addi(rv32.T1, rv32.T1, -1)
+	a.J("tail")
+	a.Label("fin")
+	a.Ebreak()
+	text, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &rv32.Program{
+		Name: "memcpy",
+		Text: text,
+		Data: []rv32.Segment{{Addr: srcBase, Data: src}},
+		Init: map[int]uint32{
+			rv32.A0: dstBase,
+			rv32.A1: srcBase,
+			rv32.A2: uint32(input),
+			rv32.SP: rv32.StackTop,
+		},
+	}, nil
+}

@@ -1,0 +1,97 @@
+// Package programs ships the classic benchmark kernels available as
+// real RV32 program workloads, and the registry the trace layer
+// validates program recipes against. Each program is assembled Go-side
+// (see internal/isa/rv32), parameterised by an input size and a data
+// seed, and functionally executed into the pipeline's instruction
+// stream at materialisation time.
+//
+// Programs must terminate (EBREAK) for every valid (input, seed) pair:
+// the dynamic instruction count is a property of the program, so the
+// trace layer derives trace length from execution instead of taking a
+// budget guess from the caller. InputFor inverts that relationship
+// approximately — it suggests the input size whose dynamic length lands
+// near a committed-instruction budget, which the experiment suites use
+// to keep program sweeps comparable to synthetic ones.
+package programs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa/rv32"
+)
+
+// Spec describes one registered program.
+type Spec struct {
+	Name string
+	// Desc is a one-line description for CLI listings.
+	Desc string
+	// MaxInput bounds the input size so the dynamic stream stays under
+	// the trace layer's materialisation cap.
+	MaxInput int
+	// InputFor suggests an input size whose dynamic instruction count
+	// is near budget (approximate, clamped to [1, MaxInput]).
+	InputFor func(budget uint64) int
+	// Build assembles the program for one (input, seed) pair.
+	Build func(input int, seed uint64) (*rv32.Program, error)
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("programs: duplicate program %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the spec for name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered program name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// clampInput applies a spec's bounds to an InputFor suggestion.
+func clampInput(v, max int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// splitmix64 is the same tiny PRNG the synthetic generators use; data
+// layouts are pure functions of the recipe seed.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// words32 renders ws as a little-endian byte segment.
+func words32(addr uint32, ws []uint32) rv32.Segment {
+	b := make([]byte, 4*len(ws))
+	for i, w := range ws {
+		b[4*i] = byte(w)
+		b[4*i+1] = byte(w >> 8)
+		b[4*i+2] = byte(w >> 16)
+		b[4*i+3] = byte(w >> 24)
+	}
+	return rv32.Segment{Addr: addr, Data: b}
+}

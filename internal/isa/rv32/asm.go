@@ -1,0 +1,309 @@
+package rv32
+
+import "fmt"
+
+// ABI register names for assembler calls (x0..x31).
+const (
+	X0 = iota
+	RA
+	SP
+	GP
+	TP
+	T0
+	T1
+	T2
+	S0
+	S1
+	A0
+	A1
+	A2
+	A3
+	A4
+	A5
+	A6
+	A7
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	S8
+	S9
+	S10
+	S11
+	T3
+	T4
+	T5
+	T6
+)
+
+// Asm assembles a text segment instruction by instruction. Branch and
+// jump targets are symbolic labels resolved by Assemble; errors
+// (unknown labels, out-of-range immediates, bad registers) are
+// accumulated and reported once, so program builders stay unconditional
+// straight-line Go code.
+type Asm struct {
+	code   []asmEntry
+	labels map[string]int
+	errs   []error
+}
+
+type asmEntry struct {
+	d     Decoded
+	label string // non-empty: resolve Imm as a byte offset to this label
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: map[string]int{}}
+}
+
+func (a *Asm) emit(d Decoded) { a.code = append(a.code, asmEntry{d: d}) }
+
+func (a *Asm) emitLabel(d Decoded, label string) {
+	a.code = append(a.code, asmEntry{d: d, label: label})
+}
+
+func (a *Asm) reg(r int) uint8 {
+	if r < 0 || r > 31 {
+		a.errs = append(a.errs, fmt.Errorf("rv32: asm: register x%d out of range", r))
+		return 0
+	}
+	return uint8(r)
+}
+
+// Label binds name to the address of the next emitted instruction.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("rv32: asm: duplicate label %q", name))
+		return
+	}
+	a.labels[name] = len(a.code)
+}
+
+// Assemble resolves labels and encodes the program text. Branch and
+// jump offsets are relative, so the text can be laid out at any base.
+func (a *Asm) Assemble() ([]uint32, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	words := make([]uint32, len(a.code))
+	for i, e := range a.code {
+		d := e.d
+		if e.label != "" {
+			at, ok := a.labels[e.label]
+			if !ok {
+				return nil, fmt.Errorf("rv32: asm: undefined label %q", e.label)
+			}
+			d.Imm = int32(at-i) * 4
+		}
+		w, err := d.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("rv32: asm: instruction %d (%v): %w", i, d, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// AddrOf returns the address label resolves to when the text is laid
+// out at base; program builders use it to seed function-pointer tables.
+func (a *Asm) AddrOf(label string, base uint32) (uint32, error) {
+	at, ok := a.labels[label]
+	if !ok {
+		return 0, fmt.Errorf("rv32: asm: undefined label %q", label)
+	}
+	return base + uint32(at)*4, nil
+}
+
+// --- U/J-type ---
+
+// Lui loads the upper 20 bits: rd = v with the low 12 bits cleared.
+func (a *Asm) Lui(rd int, v int32) {
+	a.emit(Decoded{Op: LUI, Rd: a.reg(rd), Imm: v &^ 0xFFF})
+}
+
+// Jal jumps to label, writing the return address to rd (X0 discards).
+func (a *Asm) Jal(rd int, label string) {
+	a.emitLabel(Decoded{Op: JAL, Rd: a.reg(rd)}, label)
+}
+
+// J is the unconditional-jump pseudo-instruction (jal x0).
+func (a *Asm) J(label string) { a.Jal(X0, label) }
+
+// Jalr jumps to rs1+imm, writing the return address to rd.
+func (a *Asm) Jalr(rd, rs1 int, imm int32) {
+	a.emit(Decoded{Op: JALR, Rd: a.reg(rd), Rs1: a.reg(rs1), Imm: imm})
+}
+
+// Ret returns to the address in ra (jalr x0, ra, 0).
+func (a *Asm) Ret() { a.Jalr(X0, RA, 0) }
+
+// --- branches ---
+
+func (a *Asm) branch(op Op, rs1, rs2 int, label string) {
+	a.emitLabel(Decoded{Op: op, Rs1: a.reg(rs1), Rs2: a.reg(rs2)}, label)
+}
+
+// Beq branches to label when rs1 == rs2.
+func (a *Asm) Beq(rs1, rs2 int, label string) { a.branch(BEQ, rs1, rs2, label) }
+
+// Bne branches to label when rs1 != rs2.
+func (a *Asm) Bne(rs1, rs2 int, label string) { a.branch(BNE, rs1, rs2, label) }
+
+// Blt branches to label when rs1 < rs2 (signed).
+func (a *Asm) Blt(rs1, rs2 int, label string) { a.branch(BLT, rs1, rs2, label) }
+
+// Bge branches to label when rs1 >= rs2 (signed).
+func (a *Asm) Bge(rs1, rs2 int, label string) { a.branch(BGE, rs1, rs2, label) }
+
+// Bltu branches to label when rs1 < rs2 (unsigned).
+func (a *Asm) Bltu(rs1, rs2 int, label string) { a.branch(BLTU, rs1, rs2, label) }
+
+// Bgeu branches to label when rs1 >= rs2 (unsigned).
+func (a *Asm) Bgeu(rs1, rs2 int, label string) { a.branch(BGEU, rs1, rs2, label) }
+
+// --- loads and stores ---
+
+func (a *Asm) load(op Op, rd int, off int32, rs1 int) {
+	a.emit(Decoded{Op: op, Rd: a.reg(rd), Rs1: a.reg(rs1), Imm: off})
+}
+
+// Lw loads a word: rd = mem32[rs1+off].
+func (a *Asm) Lw(rd int, off int32, rs1 int) { a.load(LW, rd, off, rs1) }
+
+// Lh loads a sign-extended halfword.
+func (a *Asm) Lh(rd int, off int32, rs1 int) { a.load(LH, rd, off, rs1) }
+
+// Lhu loads a zero-extended halfword.
+func (a *Asm) Lhu(rd int, off int32, rs1 int) { a.load(LHU, rd, off, rs1) }
+
+// Lb loads a sign-extended byte.
+func (a *Asm) Lb(rd int, off int32, rs1 int) { a.load(LB, rd, off, rs1) }
+
+// Lbu loads a zero-extended byte.
+func (a *Asm) Lbu(rd int, off int32, rs1 int) { a.load(LBU, rd, off, rs1) }
+
+func (a *Asm) store(op Op, rs2 int, off int32, rs1 int) {
+	a.emit(Decoded{Op: op, Rs1: a.reg(rs1), Rs2: a.reg(rs2), Imm: off})
+}
+
+// Sw stores a word: mem32[rs1+off] = rs2.
+func (a *Asm) Sw(rs2 int, off int32, rs1 int) { a.store(SW, rs2, off, rs1) }
+
+// Sh stores a halfword.
+func (a *Asm) Sh(rs2 int, off int32, rs1 int) { a.store(SH, rs2, off, rs1) }
+
+// Sb stores a byte.
+func (a *Asm) Sb(rs2 int, off int32, rs1 int) { a.store(SB, rs2, off, rs1) }
+
+// --- immediate ALU ---
+
+func (a *Asm) aluImm(op Op, rd, rs1 int, imm int32) {
+	a.emit(Decoded{Op: op, Rd: a.reg(rd), Rs1: a.reg(rs1), Imm: imm})
+}
+
+// Addi computes rd = rs1 + imm.
+func (a *Asm) Addi(rd, rs1 int, imm int32) { a.aluImm(ADDI, rd, rs1, imm) }
+
+// Slti computes rd = (rs1 < imm), signed.
+func (a *Asm) Slti(rd, rs1 int, imm int32) { a.aluImm(SLTI, rd, rs1, imm) }
+
+// Sltiu computes rd = (rs1 < imm), unsigned.
+func (a *Asm) Sltiu(rd, rs1 int, imm int32) { a.aluImm(SLTIU, rd, rs1, imm) }
+
+// Xori computes rd = rs1 ^ imm.
+func (a *Asm) Xori(rd, rs1 int, imm int32) { a.aluImm(XORI, rd, rs1, imm) }
+
+// Ori computes rd = rs1 | imm.
+func (a *Asm) Ori(rd, rs1 int, imm int32) { a.aluImm(ORI, rd, rs1, imm) }
+
+// Andi computes rd = rs1 & imm.
+func (a *Asm) Andi(rd, rs1 int, imm int32) { a.aluImm(ANDI, rd, rs1, imm) }
+
+// Slli computes rd = rs1 << sh.
+func (a *Asm) Slli(rd, rs1 int, sh int32) { a.aluImm(SLLI, rd, rs1, sh) }
+
+// Srli computes rd = rs1 >> sh (logical).
+func (a *Asm) Srli(rd, rs1 int, sh int32) { a.aluImm(SRLI, rd, rs1, sh) }
+
+// Srai computes rd = rs1 >> sh (arithmetic).
+func (a *Asm) Srai(rd, rs1 int, sh int32) { a.aluImm(SRAI, rd, rs1, sh) }
+
+// Mv copies rs to rd (addi rd, rs, 0).
+func (a *Asm) Mv(rd, rs int) { a.Addi(rd, rs, 0) }
+
+// Nop emits the canonical no-op (addi x0, x0, 0).
+func (a *Asm) Nop() { a.Addi(X0, X0, 0) }
+
+// Li loads a 32-bit constant, emitting addi, lui, or lui+addi.
+func (a *Asm) Li(rd int, v int32) {
+	if v >= -2048 && v <= 2047 {
+		a.Addi(rd, X0, v)
+		return
+	}
+	lo := v << 20 >> 20 // sign-extended low 12 bits
+	hi := v - lo        // low 12 bits zero by construction
+	a.Lui(rd, hi)
+	if lo != 0 {
+		a.Addi(rd, rd, lo)
+	}
+}
+
+// --- register ALU ---
+
+func (a *Asm) aluReg(op Op, rd, rs1, rs2 int) {
+	a.emit(Decoded{Op: op, Rd: a.reg(rd), Rs1: a.reg(rs1), Rs2: a.reg(rs2)})
+}
+
+// Add computes rd = rs1 + rs2.
+func (a *Asm) Add(rd, rs1, rs2 int) { a.aluReg(ADD, rd, rs1, rs2) }
+
+// Sub computes rd = rs1 - rs2.
+func (a *Asm) Sub(rd, rs1, rs2 int) { a.aluReg(SUB, rd, rs1, rs2) }
+
+// Sll computes rd = rs1 << rs2.
+func (a *Asm) Sll(rd, rs1, rs2 int) { a.aluReg(SLL, rd, rs1, rs2) }
+
+// Slt computes rd = (rs1 < rs2), signed.
+func (a *Asm) Slt(rd, rs1, rs2 int) { a.aluReg(SLT, rd, rs1, rs2) }
+
+// Sltu computes rd = (rs1 < rs2), unsigned.
+func (a *Asm) Sltu(rd, rs1, rs2 int) { a.aluReg(SLTU, rd, rs1, rs2) }
+
+// Xor computes rd = rs1 ^ rs2.
+func (a *Asm) Xor(rd, rs1, rs2 int) { a.aluReg(XOR, rd, rs1, rs2) }
+
+// Srl computes rd = rs1 >> rs2 (logical).
+func (a *Asm) Srl(rd, rs1, rs2 int) { a.aluReg(SRL, rd, rs1, rs2) }
+
+// Sra computes rd = rs1 >> rs2 (arithmetic).
+func (a *Asm) Sra(rd, rs1, rs2 int) { a.aluReg(SRA, rd, rs1, rs2) }
+
+// Or computes rd = rs1 | rs2.
+func (a *Asm) Or(rd, rs1, rs2 int) { a.aluReg(OR, rd, rs1, rs2) }
+
+// And computes rd = rs1 & rs2.
+func (a *Asm) And(rd, rs1, rs2 int) { a.aluReg(AND, rd, rs1, rs2) }
+
+// Mul computes rd = low32(rs1 * rs2).
+func (a *Asm) Mul(rd, rs1, rs2 int) { a.aluReg(MUL, rd, rs1, rs2) }
+
+// Mulhu computes rd = high32(rs1 * rs2), unsigned.
+func (a *Asm) Mulhu(rd, rs1, rs2 int) { a.aluReg(MULHU, rd, rs1, rs2) }
+
+// Div computes rd = rs1 / rs2, signed.
+func (a *Asm) Div(rd, rs1, rs2 int) { a.aluReg(DIV, rd, rs1, rs2) }
+
+// Divu computes rd = rs1 / rs2, unsigned.
+func (a *Asm) Divu(rd, rs1, rs2 int) { a.aluReg(DIVU, rd, rs1, rs2) }
+
+// Rem computes rd = rs1 % rs2, signed.
+func (a *Asm) Rem(rd, rs1, rs2 int) { a.aluReg(REM, rd, rs1, rs2) }
+
+// Remu computes rd = rs1 % rs2, unsigned.
+func (a *Asm) Remu(rd, rs1, rs2 int) { a.aluReg(REMU, rd, rs1, rs2) }
+
+// Ebreak halts the program.
+func (a *Asm) Ebreak() { a.emit(Decoded{Op: EBREAK, Imm: 1}) }

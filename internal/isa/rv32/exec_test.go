@@ -1,0 +1,174 @@
+package rv32_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa/rv32"
+)
+
+// asmProgram assembles a program built by fill.
+func asmProgram(t *testing.T, name string, init map[int]uint32, data []rv32.Segment, fill func(a *rv32.Asm)) *rv32.Program {
+	t.Helper()
+	a := rv32.NewAsm()
+	fill(a)
+	text, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rv32.Program{Name: name, Text: text, Data: data, Init: init}
+}
+
+// TestExecuteArithmetic runs a straight-line program exercising the ALU,
+// M-extension and RISC-V division edge semantics, then checks the
+// architectural register results.
+func TestExecuteArithmetic(t *testing.T) {
+	p := asmProgram(t, "arith", nil, nil, func(a *rv32.Asm) {
+		a.Li(rv32.T0, 7)
+		a.Li(rv32.T1, -3)
+		a.Mul(rv32.T2, rv32.T0, rv32.T1)  // t2 = -21
+		a.Div(rv32.T3, rv32.T0, rv32.T1)  // t3 = -2 (truncated)
+		a.Rem(rv32.T4, rv32.T0, rv32.T1)  // t4 = 1
+		a.Div(rv32.T5, rv32.T0, rv32.X0)  // div by zero -> -1
+		a.Rem(rv32.T6, rv32.T0, rv32.X0)  // rem by zero -> rs1
+		a.Li(rv32.S2, 0x12345000-0x800)   // lui+addi path of Li
+		a.Srai(rv32.S3, rv32.T1, 1)       // -3>>1 = -2 arithmetic
+		a.Sltu(rv32.S4, rv32.X0, rv32.T0) // unsigned 0<7 = 1
+		a.Ebreak()
+	})
+	m, err := rv32.Execute(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		reg  int
+		want uint32
+	}{
+		{rv32.T2, uint32(0xFFFFFFEB)}, // -21
+		{rv32.T3, uint32(0xFFFFFFFE)}, // -2
+		{rv32.T4, 1},
+		{rv32.T5, ^uint32(0)},
+		{rv32.T6, 7},
+		{rv32.S2, 0x12345000 - 0x800},
+		{rv32.S3, uint32(0xFFFFFFFE)},
+		{rv32.S4, 1},
+	} {
+		if got := m.Reg(tc.reg); got != tc.want {
+			t.Errorf("x%d = %#x, want %#x", tc.reg, got, tc.want)
+		}
+	}
+}
+
+// TestExecuteControlAndMemory exercises labels, a loop, a call/return
+// pair and byte/word memory traffic: sum the bytes 1..5 via a subroutine
+// and store the result.
+func TestExecuteControlAndMemory(t *testing.T) {
+	data := []rv32.Segment{{Addr: rv32.DataBase, Data: []byte{1, 2, 3, 4, 5}}}
+	p := asmProgram(t, "sum", map[int]uint32{rv32.SP: rv32.StackTop}, data, func(a *rv32.Asm) {
+		a.Li(rv32.A0, int32(rv32.DataBase))
+		a.Li(rv32.A1, 5)
+		a.Jal(rv32.RA, "sum")
+		a.Li(rv32.T0, int32(rv32.DataBase+0x100))
+		a.Sw(rv32.A0, 0, rv32.T0)
+		a.Ebreak()
+
+		a.Label("sum") // a0 = sum of a1 bytes at a0
+		a.Li(rv32.T1, 0)
+		a.Label("loop")
+		a.Beq(rv32.A1, rv32.X0, "done")
+		a.Lbu(rv32.T2, 0, rv32.A0)
+		a.Add(rv32.T1, rv32.T1, rv32.T2)
+		a.Addi(rv32.A0, rv32.A0, 1)
+		a.Addi(rv32.A1, rv32.A1, -1)
+		a.J("loop")
+		a.Label("done")
+		a.Mv(rv32.A0, rv32.T1)
+		a.Ret()
+	})
+	m, err := rv32.Execute(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadWord(rv32.DataBase + 0x100); got != 15 {
+		t.Fatalf("stored sum = %d, want 15", got)
+	}
+}
+
+// TestExecuteFaults pins the executor's guard rails: null/low pointers,
+// misalignment, ecall, runaway programs and stepping past halt all
+// error without panicking.
+func TestExecuteFaults(t *testing.T) {
+	build := func(fill func(a *rv32.Asm)) *rv32.Program {
+		return asmProgram(t, "fault", nil, nil, fill)
+	}
+	for _, tc := range []struct {
+		name string
+		p    *rv32.Program
+		want string
+	}{
+		{"null-load", build(func(a *rv32.Asm) { a.Lw(rv32.T0, 0, rv32.X0); a.Ebreak() }), "below"},
+		{"misaligned", build(func(a *rv32.Asm) {
+			a.Li(rv32.T0, int32(rv32.DataBase+2))
+			a.Lw(rv32.T1, 0, rv32.T0)
+			a.Ebreak()
+		}), "misaligned"},
+		{"ecall", &rv32.Program{Name: "fault", Text: []uint32{0x00000073}}, "ecall"},
+		{"runaway", build(func(a *rv32.Asm) { a.Label("x"); a.J("x") }), "did not halt"},
+		{"pc-off-text", build(func(a *rv32.Asm) { a.Nop() }), "outside text"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := rv32.Execute(tc.p, 100)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Execute error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	if _, err := rv32.NewMachine(&rv32.Program{Name: "empty"}); err == nil {
+		t.Error("NewMachine accepted an empty text")
+	}
+	if _, err := rv32.NewMachine(&rv32.Program{Name: "x0", Text: []uint32{0x00100073}, Init: map[int]uint32{0: 1}}); err == nil {
+		t.Error("NewMachine accepted an x0 initialiser")
+	}
+
+	// Step after halt is an explicit error.
+	m, err := rv32.Execute(&rv32.Program{Name: "halt", Text: []uint32{0x00100073}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err == nil {
+		t.Error("Step on a halted machine succeeded")
+	}
+}
+
+// TestAsmErrors pins the assembler's accumulate-and-report contract.
+func TestAsmErrors(t *testing.T) {
+	a := rv32.NewAsm()
+	a.Addi(rv32.T0, 99, 0) // bad register
+	if _, err := a.Assemble(); err == nil {
+		t.Error("Assemble accepted a bad register")
+	}
+
+	a = rv32.NewAsm()
+	a.J("nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("Assemble accepted an undefined label")
+	}
+
+	a = rv32.NewAsm()
+	a.Label("dup")
+	a.Nop()
+	a.Label("dup")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("Assemble accepted a duplicate label")
+	}
+
+	a = rv32.NewAsm()
+	a.Label("here")
+	if _, err := a.AddrOf("missing", rv32.TextBase); err == nil {
+		t.Error("AddrOf resolved a missing label")
+	}
+	if got, err := a.AddrOf("here", rv32.TextBase); err != nil || got != rv32.TextBase {
+		t.Errorf("AddrOf(here) = %#x, %v; want %#x", got, err, rv32.TextBase)
+	}
+}

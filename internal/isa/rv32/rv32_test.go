@@ -1,0 +1,173 @@
+package rv32_test
+
+import (
+	"testing"
+
+	"repro/internal/isa/rv32"
+)
+
+// goldenEncodings pins one hand-checkable encode/decode pair per
+// supported opcode. The words are the standard RV32I/M encodings (e.g.
+// addi x5, x5, -1 is the well-known 0xFFF28293), so a codec bug cannot
+// hide behind a self-consistent round trip.
+var goldenEncodings = []struct {
+	d    rv32.Decoded
+	word uint32
+}{
+	{rv32.Decoded{Op: rv32.LUI, Rd: 5, Imm: 0x12345000}, 0x123452B7},
+	{rv32.Decoded{Op: rv32.AUIPC, Rd: 6, Imm: -4096}, 0xFFFFF317},
+	{rv32.Decoded{Op: rv32.JAL, Rd: 1, Imm: -2048}, 0x801FF0EF},
+	{rv32.Decoded{Op: rv32.JALR, Rd: 1, Rs1: 5, Imm: 16}, 0x010280E7},
+	{rv32.Decoded{Op: rv32.BEQ, Rs1: 1, Rs2: 2, Imm: -8}, 0xFE208CE3},
+	{rv32.Decoded{Op: rv32.BNE, Rs1: 3, Rs2: 4, Imm: 12}, 0x00419663},
+	{rv32.Decoded{Op: rv32.BLT, Rs1: 5, Rs2: 6, Imm: -4096}, 0x8062C063},
+	{rv32.Decoded{Op: rv32.BGE, Rs1: 7, Rs2: 8, Imm: 4094}, 0x7E83DFE3},
+	{rv32.Decoded{Op: rv32.BLTU, Rs1: 9, Rs2: 10, Imm: 2}, 0x00A4E163},
+	{rv32.Decoded{Op: rv32.BGEU, Rs1: 11, Rs2: 12, Imm: -2}, 0xFEC5FFE3},
+	{rv32.Decoded{Op: rv32.LB, Rd: 1, Rs1: 2, Imm: -1}, 0xFFF10083},
+	{rv32.Decoded{Op: rv32.LH, Rd: 3, Rs1: 4, Imm: 2}, 0x00221183},
+	{rv32.Decoded{Op: rv32.LW, Rd: 5, Rs1: 6, Imm: -2048}, 0x80032283},
+	{rv32.Decoded{Op: rv32.LBU, Rd: 7, Rs1: 8, Imm: 2047}, 0x7FF44383},
+	{rv32.Decoded{Op: rv32.LHU, Rd: 9, Rs1: 10, Imm: 0}, 0x00055483},
+	{rv32.Decoded{Op: rv32.SB, Rs1: 1, Rs2: 2, Imm: -1}, 0xFE208FA3},
+	{rv32.Decoded{Op: rv32.SH, Rs1: 3, Rs2: 4, Imm: 100}, 0x06419223},
+	{rv32.Decoded{Op: rv32.SW, Rs1: 5, Rs2: 6, Imm: -4}, 0xFE62AE23},
+	{rv32.Decoded{Op: rv32.ADDI, Rd: 5, Rs1: 5, Imm: -1}, 0xFFF28293},
+	{rv32.Decoded{Op: rv32.SLTI, Rd: 1, Rs1: 2, Imm: 3}, 0x00312093},
+	{rv32.Decoded{Op: rv32.SLTIU, Rd: 4, Rs1: 5, Imm: 6}, 0x0062B213},
+	{rv32.Decoded{Op: rv32.XORI, Rd: 7, Rs1: 8, Imm: -256}, 0xF0044393},
+	{rv32.Decoded{Op: rv32.ORI, Rd: 9, Rs1: 10, Imm: 255}, 0x0FF56493},
+	{rv32.Decoded{Op: rv32.ANDI, Rd: 11, Rs1: 12, Imm: 15}, 0x00F67593},
+	{rv32.Decoded{Op: rv32.SLLI, Rd: 13, Rs1: 14, Imm: 1}, 0x00171693},
+	{rv32.Decoded{Op: rv32.SRLI, Rd: 15, Rs1: 16, Imm: 31}, 0x01F85793},
+	{rv32.Decoded{Op: rv32.SRAI, Rd: 17, Rs1: 18, Imm: 4}, 0x40495893},
+	{rv32.Decoded{Op: rv32.ADD, Rd: 1, Rs1: 2, Rs2: 3}, 0x003100B3},
+	{rv32.Decoded{Op: rv32.SUB, Rd: 4, Rs1: 5, Rs2: 6}, 0x40628233},
+	{rv32.Decoded{Op: rv32.SLL, Rd: 7, Rs1: 8, Rs2: 9}, 0x009413B3},
+	{rv32.Decoded{Op: rv32.SLT, Rd: 10, Rs1: 11, Rs2: 12}, 0x00C5A533},
+	{rv32.Decoded{Op: rv32.SLTU, Rd: 13, Rs1: 14, Rs2: 15}, 0x00F736B3},
+	{rv32.Decoded{Op: rv32.XOR, Rd: 16, Rs1: 17, Rs2: 18}, 0x0128C833},
+	{rv32.Decoded{Op: rv32.SRL, Rd: 19, Rs1: 20, Rs2: 21}, 0x015A59B3},
+	{rv32.Decoded{Op: rv32.SRA, Rd: 22, Rs1: 23, Rs2: 24}, 0x418BDB33},
+	{rv32.Decoded{Op: rv32.OR, Rd: 25, Rs1: 26, Rs2: 27}, 0x01BD6CB3},
+	{rv32.Decoded{Op: rv32.AND, Rd: 28, Rs1: 29, Rs2: 30}, 0x01EEFE33},
+	{rv32.Decoded{Op: rv32.MUL, Rd: 1, Rs1: 2, Rs2: 3}, 0x023100B3},
+	{rv32.Decoded{Op: rv32.MULH, Rd: 4, Rs1: 5, Rs2: 6}, 0x02629233},
+	{rv32.Decoded{Op: rv32.MULHSU, Rd: 7, Rs1: 8, Rs2: 9}, 0x029423B3},
+	{rv32.Decoded{Op: rv32.MULHU, Rd: 10, Rs1: 11, Rs2: 12}, 0x02C5B533},
+	{rv32.Decoded{Op: rv32.DIV, Rd: 13, Rs1: 14, Rs2: 15}, 0x02F746B3},
+	{rv32.Decoded{Op: rv32.DIVU, Rd: 16, Rs1: 17, Rs2: 18}, 0x0328D833},
+	{rv32.Decoded{Op: rv32.REM, Rd: 19, Rs1: 20, Rs2: 21}, 0x035A69B3},
+	{rv32.Decoded{Op: rv32.REMU, Rd: 22, Rs1: 23, Rs2: 24}, 0x038BFB33},
+	{rv32.Decoded{Op: rv32.ECALL}, 0x00000073},
+	{rv32.Decoded{Op: rv32.EBREAK, Imm: 1}, 0x00100073},
+}
+
+// TestGoldenEncodeDecodeRoundTrip checks, per opcode: Encode produces
+// the golden word, Decode recovers the exact Decoded, and — via the
+// coverage check over Ops() — no instruction can be added to the subset
+// without extending the golden table.
+func TestGoldenEncodeDecodeRoundTrip(t *testing.T) {
+	covered := map[rv32.Op]bool{}
+	for _, tc := range goldenEncodings {
+		covered[tc.d.Op] = true
+		w, err := tc.d.Encode()
+		if err != nil {
+			t.Errorf("%v: encode: %v", tc.d, err)
+			continue
+		}
+		if w != tc.word {
+			t.Errorf("%v: encoded %#08x, golden %#08x", tc.d, w, tc.word)
+		}
+		got, err := rv32.Decode(tc.word)
+		if err != nil {
+			t.Errorf("%v: decode %#08x: %v", tc.d, tc.word, err)
+			continue
+		}
+		if got != tc.d {
+			t.Errorf("decode %#08x: got %+v, want %+v", tc.word, got, tc.d)
+		}
+	}
+	for _, op := range rv32.Ops() {
+		if !covered[op] {
+			t.Errorf("op %v has no golden encoding; extend the table", op)
+		}
+	}
+}
+
+// TestDecodeRejectsMalformed pins descriptive errors (not panics, not
+// silent misdecodes) on representative malformed words.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	for _, w := range []uint32{
+		0x00000000,          // all zeros: unknown opcode 0
+		0xFFFFFFFF,          // all ones
+		0x0000000F,          // FENCE: deliberately unsupported
+		0x00001073,          // CSRRW: deliberately unsupported
+		0x00002063,          // branch funct3 2
+		0x00003003,          // load funct3 3
+		0x00003023,          // store funct3 3
+		0x02001013,          // slli with funct7 != 0
+		0x10005013,          // shift funct7 0x10
+		0x04000033,          // op funct7 0x04
+		0x40001033,          // funct7 0x20 with funct3 1 (no such op)
+		0x00001067,          // jalr funct3 1
+		0x00200073,          // system: URET-like, unsupported
+		0b1010101_00000_000, // truncated garbage in the low bits
+	} {
+		if d, err := rv32.Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) accepted as %+v; want error", w, d)
+		}
+	}
+}
+
+// TestEncodeRejectsOutOfRange pins Encode's operand validation.
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	for _, d := range []rv32.Decoded{
+		{Op: rv32.ADDI, Rd: 32, Rs1: 1, Imm: 0},        // register out of range
+		{Op: rv32.ADDI, Rd: 1, Rs1: 1, Imm: 2048},      // I-type imm too big
+		{Op: rv32.SW, Rs1: 1, Rs2: 2, Imm: -2049},      // S-type imm too small
+		{Op: rv32.BEQ, Rs1: 1, Rs2: 2, Imm: 3},         // odd branch offset
+		{Op: rv32.BEQ, Rs1: 1, Rs2: 2, Imm: 4096},      // branch offset too big
+		{Op: rv32.JAL, Rd: 1, Imm: 1 << 20},            // jump offset too big
+		{Op: rv32.LUI, Rd: 1, Imm: 0x1001},             // nonzero low bits
+		{Op: rv32.SLLI, Rd: 1, Rs1: 1, Imm: 32},        // shift amount too big
+		{Op: rv32.SRAI, Rd: 1, Rs1: 1, Imm: -1},        // negative shift
+		{Op: 0 /* opInvalid */, Rd: 1, Rs1: 1, Rs2: 1}, // unknown op
+		{Op: 200 /* out of range */, Rd: 1, Rs1: 1},    // unknown op
+	} {
+		if w, err := d.Encode(); err == nil {
+			t.Errorf("Encode(%+v) produced %#08x; want error", d, w)
+		}
+	}
+}
+
+// FuzzDecode pins totality (no panic on any word) and round-trip
+// consistency: whatever Decode accepts must re-encode to a word that
+// decodes to the same instruction. (Re-encoding may legitimately pick a
+// different word — e.g. the shift-amount bits of a malformed-but-
+// accepted encoding — so the invariant is decode∘encode∘decode = decode,
+// not encode∘decode = id.)
+func FuzzDecode(f *testing.F) {
+	for _, tc := range goldenEncodings {
+		f.Add(tc.word)
+	}
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		d, err := rv32.Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := d.Encode()
+		if err != nil {
+			t.Fatalf("Decode(%#08x) = %+v does not re-encode: %v", w, d, err)
+		}
+		d2, err := rv32.Decode(w2)
+		if err != nil {
+			t.Fatalf("re-encoded %#08x -> %#08x fails to decode: %v", w, w2, err)
+		}
+		if d2 != d {
+			t.Fatalf("round trip drifted: %#08x -> %+v -> %#08x -> %+v", w, d, w2, d2)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package rv32
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// This file is the bridge between the architectural tier and the timing
+// tier: BuildTrace functionally executes a Program and maps every
+// retired RV32 instruction onto the pipeline's operation classes with
+// real PCs, branch outcomes and targets, and effective addresses.
+//
+// The mapping:
+//
+//   - ALU, LUI, AUIPC and the shift/compare group -> IntAlu
+//   - MUL/MULH/MULHSU/MULHU -> IntMul; DIV/DIVU/REM/REMU -> IntDiv
+//   - loads -> Load, stores -> Store (Src1 base, Src2 data), with the
+//     executed effective address
+//   - conditional branches -> Branch with the architectural outcome and
+//     the would-be-taken target
+//   - JAL/JALR -> Branch (always taken, with the real target; JALR's
+//     target dependence on rs1 is kept as Src1), preceded by an IntAlu
+//     writing the link register when rd != x0 — one RV32 jump-and-link
+//     becomes two pipeline micro-ops at the same PC
+//   - writes to x0 are architectural no-ops and map to Nop; x0 as a
+//     source maps to integer register 0, which no mapped instruction
+//     ever writes, so it behaves as the always-ready zero register
+//
+// Loads targeting x0 have no destination to rename and are rejected:
+// programs must not use them (none of the shipped ones do).
+
+// reg maps an RV32 register number onto the pipeline's integer class.
+func reg(n uint8) isa.Reg { return isa.IntReg(int(n)) }
+
+// aluClass maps a computational RV32 op onto its functional-unit class.
+func aluClass(op Op) isa.Op {
+	switch op {
+	case MUL, MULH, MULHSU, MULHU:
+		return isa.IntMul
+	case DIV, DIVU, REM, REMU:
+		return isa.IntDiv
+	default:
+		return isa.IntAlu
+	}
+}
+
+// appendMapped appends the pipeline instruction(s) for one retired RV32
+// instruction.
+func appendMapped(out []isa.Inst, r Retired) ([]isa.Inst, error) {
+	pc := uint64(r.PC)
+	d := r.D
+	nop := isa.Inst{Op: isa.Nop, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, PC: pc}
+	switch d.Op {
+	case LUI, AUIPC:
+		if d.Rd == 0 {
+			return append(out, nop), nil
+		}
+		return append(out, isa.Inst{
+			Op: isa.IntAlu, Dest: reg(d.Rd), Src1: isa.RegNone, Src2: isa.RegNone, PC: pc,
+		}), nil
+	case ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI:
+		if d.Rd == 0 {
+			return append(out, nop), nil
+		}
+		return append(out, isa.Inst{
+			Op: isa.IntAlu, Dest: reg(d.Rd), Src1: reg(d.Rs1), Src2: isa.RegNone, PC: pc,
+		}), nil
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
+		if d.Rd == 0 {
+			return append(out, nop), nil
+		}
+		return append(out, isa.Inst{
+			Op: aluClass(d.Op), Dest: reg(d.Rd), Src1: reg(d.Rs1), Src2: reg(d.Rs2), PC: pc,
+		}), nil
+	case LB, LH, LW, LBU, LHU:
+		if d.Rd == 0 {
+			return nil, fmt.Errorf("rv32: pc=%#x: load into x0 cannot be mapped", r.PC)
+		}
+		return append(out, isa.Inst{
+			Op: isa.Load, Dest: reg(d.Rd), Src1: reg(d.Rs1), Src2: isa.RegNone,
+			Addr: uint64(r.Addr), PC: pc,
+		}), nil
+	case SB, SH, SW:
+		return append(out, isa.Inst{
+			Op: isa.Store, Dest: isa.RegNone, Src1: reg(d.Rs1), Src2: reg(d.Rs2),
+			Addr: uint64(r.Addr), PC: pc,
+		}), nil
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return append(out, isa.Inst{
+			Op: isa.Branch, Dest: isa.RegNone, Src1: reg(d.Rs1), Src2: reg(d.Rs2),
+			PC: pc, Taken: r.Taken, Target: uint64(r.Target),
+		}), nil
+	case JAL, JALR:
+		if d.Rd != 0 {
+			out = append(out, isa.Inst{
+				Op: isa.IntAlu, Dest: reg(d.Rd), Src1: isa.RegNone, Src2: isa.RegNone, PC: pc,
+			})
+		}
+		src := isa.RegNone
+		if d.Op == JALR {
+			src = reg(d.Rs1)
+		}
+		return append(out, isa.Inst{
+			Op: isa.Branch, Dest: isa.RegNone, Src1: src, Src2: isa.RegNone,
+			PC: pc, Taken: true, Target: uint64(r.Target),
+		}), nil
+	case EBREAK:
+		return out, nil // the halt itself does not enter the pipeline
+	default:
+		return nil, fmt.Errorf("rv32: pc=%#x: unmappable op %v", r.PC, d.Op)
+	}
+}
+
+// BuildTrace functionally executes p to completion and returns its
+// dynamic pipeline-instruction stream together with the static code
+// Image used by the wrong-path fetch model. The program must halt
+// within maxInsts mapped instructions — the dynamic length is a
+// property of the program, not a caller-supplied budget.
+func BuildTrace(p *Program, maxInsts int) ([]isa.Inst, *Image, error) {
+	m, err := NewMachine(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]isa.Inst, 0, 4096)
+	for !m.halted {
+		if len(out) >= maxInsts {
+			return nil, nil, fmt.Errorf("rv32: %q exceeds %d dynamic instructions without halting", p.Name, maxInsts)
+		}
+		r, err := m.Step()
+		if err != nil {
+			return nil, nil, err
+		}
+		if out, err = appendMapped(out, r); err != nil {
+			return nil, nil, fmt.Errorf("rv32: %q: %w", p.Name, err)
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("rv32: %q produced an empty stream", p.Name)
+	}
+	img, err := NewImage(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, img, nil
+}
+
+// Image is the static pipeline view of a program's text, one mapped
+// instruction per word. The core fetches from it past an unresolved
+// mispredicted branch: wrong-path instructions get the real PCs and
+// register dependences of the code at the predicted (wrong) target,
+// while side-effecting classes are neutralised — stores, branches and
+// jumps become Nops (a wrong-path store must not drain, and a
+// wrong-path branch must not redirect fetch), and load addresses are
+// left for the core's wrong-path address model to fill in.
+type Image struct {
+	base uint64
+	code []isa.Inst
+}
+
+// NewImage builds the static image of p's text.
+func NewImage(p *Program) (*Image, error) {
+	if len(p.Text) == 0 {
+		return nil, fmt.Errorf("rv32: program %q has no text", p.Name)
+	}
+	img := &Image{base: uint64(TextBase), code: make([]isa.Inst, len(p.Text))}
+	for i, w := range p.Text {
+		pc := img.base + uint64(i)*4
+		nop := isa.Inst{Op: isa.Nop, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, PC: pc}
+		d, err := Decode(w)
+		if err != nil {
+			img.code[i] = nop
+			continue
+		}
+		switch d.Op {
+		case LUI, AUIPC:
+			if d.Rd == 0 {
+				img.code[i] = nop
+				break
+			}
+			img.code[i] = isa.Inst{Op: isa.IntAlu, Dest: reg(d.Rd), Src1: isa.RegNone, Src2: isa.RegNone, PC: pc}
+		case ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI:
+			if d.Rd == 0 {
+				img.code[i] = nop
+				break
+			}
+			img.code[i] = isa.Inst{Op: isa.IntAlu, Dest: reg(d.Rd), Src1: reg(d.Rs1), Src2: isa.RegNone, PC: pc}
+		case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+			MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
+			if d.Rd == 0 {
+				img.code[i] = nop
+				break
+			}
+			img.code[i] = isa.Inst{Op: aluClass(d.Op), Dest: reg(d.Rd), Src1: reg(d.Rs1), Src2: reg(d.Rs2), PC: pc}
+		case LB, LH, LW, LBU, LHU:
+			if d.Rd == 0 {
+				img.code[i] = nop
+				break
+			}
+			img.code[i] = isa.Inst{Op: isa.Load, Dest: reg(d.Rd), Src1: reg(d.Rs1), Src2: isa.RegNone, PC: pc}
+		default:
+			img.code[i] = nop
+		}
+	}
+	return img, nil
+}
+
+// Len returns the number of static instructions.
+func (im *Image) Len() int { return len(im.code) }
+
+// IndexOf returns the static index of pc, if it lies inside the text.
+func (im *Image) IndexOf(pc uint64) (int, bool) {
+	if pc < im.base || (pc-im.base)%4 != 0 {
+		return 0, false
+	}
+	i := int((pc - im.base) / 4)
+	if i >= len(im.code) {
+		return 0, false
+	}
+	return i, true
+}
+
+// At returns the static instruction at index i.
+func (im *Image) At(i int) isa.Inst { return im.code[i] }

@@ -40,7 +40,8 @@ import (
 // of a sim.RunSpec, with the trace replaced by its generation recipe.
 type Job struct {
 	// Name labels the point in progress events; defaults to the
-	// recipe's kernel name.
+	// recipe's workload name (the kernel, or the program name for
+	// program recipes).
 	Name string `json:"name,omitempty"`
 	// Config is the processor configuration.
 	Config config.Config `json:"config"`
@@ -71,7 +72,7 @@ func (j Job) label() string {
 	if j.Name != "" {
 		return j.Name
 	}
-	return j.Trace.Kernel
+	return j.Trace.WorkloadName()
 }
 
 // JobFromSpec converts an in-process sweep spec to wire form. It fails

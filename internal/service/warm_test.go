@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -123,6 +124,85 @@ func TestBatchDoneLogLine(t *testing.T) {
 		if !strings.Contains(got[0], want) {
 			t.Errorf("log line %q missing %q", got[0], want)
 		}
+	}
+}
+
+// TestProgramBatchColdThenWarm: a batch of program-recipe points runs
+// cold (the server materialises each program by executing it), then an
+// identical resubmission is served entirely from the content-addressed
+// cache, byte-identical. This is the cross-client contract for program
+// workloads: fingerprints cover the program recipe form, so a warm
+// daemon answers program sweeps without re-executing anything.
+func TestProgramBatchColdThenWarm(t *testing.T) {
+	s, runs := countingScheduler(t, SchedulerOptions{Workers: 2}, 0)
+	var jobs []Job
+	for _, program := range []string{"isort", "chase"} {
+		for _, iq := range []int{32, 64} {
+			jobs = append(jobs, Job{
+				Config: config.CheckpointDefault(iq, 512),
+				Trace:  trace.Recipe{Kernel: trace.KernelProgram, Program: program, Input: 150, Seed: 42},
+				Insts:  5000,
+			})
+		}
+	}
+	submitAndWait := func(jobs []Job) BatchStatus {
+		t.Helper()
+		b, err := s.Submit(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := b.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	cold := submitAndWait(jobs)
+	if len(cold.Errors) != 0 {
+		t.Fatalf("cold errors: %v", cold.Errors)
+	}
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold run claimed %d cache hits", cold.CacheHits)
+	}
+	coldRuns := runs.Load()
+	if coldRuns != int64(len(jobs)) {
+		t.Fatalf("cold run simulated %d of %d points", coldRuns, len(jobs))
+	}
+
+	warm := submitAndWait(jobs)
+	if warm.CacheHits != len(jobs) {
+		t.Fatalf("warm run hit %d of %d points", warm.CacheHits, len(jobs))
+	}
+	if runs.Load() != coldRuns {
+		t.Fatalf("warm run simulated %d extra points", runs.Load()-coldRuns)
+	}
+	for i := range jobs {
+		if string(warm.Results[i]) != string(cold.Results[i]) {
+			t.Fatalf("point %d: warm result not byte-identical to cold:\n%s\nvs\n%s",
+				i, warm.Results[i], cold.Results[i])
+		}
+		// Program results must surface the program-only counter blocks
+		// through the service wire form.
+		var r stats.Results
+		if err := json.Unmarshal(cold.Results[i], &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.BTB == nil || r.BTB.Lookups == 0 || r.LSQ == nil || r.LSQ.Loads == 0 {
+			t.Fatalf("point %d: program counters missing from wire results: %s", i, cold.Results[i])
+		}
+	}
+
+	// Progress events label program points by program name.
+	b, ok := s.Batch(cold.ID)
+	if !ok {
+		t.Fatal("cold batch not pollable")
+	}
+	first, ok, err := b.WaitEvent(context.Background(), 0)
+	if err != nil || !ok {
+		t.Fatalf("event: %v %v", ok, err)
+	}
+	if first.Name != "isort" && first.Name != "chase" {
+		t.Errorf("program point labelled %q", first.Name)
 	}
 }
 

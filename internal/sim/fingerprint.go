@@ -20,6 +20,16 @@ import (
 // registry and the adaptive parameter block, the canonical encoding
 // grew new fields, and Default() no longer carries checkpoint
 // parameters — results cached under v1 must never alias a v2 point.
+//
+// The real-program workload extension deliberately did NOT bump the
+// version: program recipes render a canonical string form
+// ("program/<name>/input=N/seed=S") that no synthetic recipe can
+// produce, Config grew no new fields (BTB geometry is a package
+// constant), and synthetic Results encodings are unchanged (the
+// program-only counter blocks are omitempty pointers). Every v2
+// synthetic cache entry therefore stays valid and program points
+// address fresh, disjoint keys — see TestFingerprintPinned for the
+// zero-drift guard.
 const FingerprintVersion = 2
 
 // Fingerprint returns the content address of one simulation point: a

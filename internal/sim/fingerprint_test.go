@@ -136,6 +136,69 @@ func TestShardFor(t *testing.T) {
 	}
 }
 
+// TestFingerprintPinned is the zero-drift guard for the content-
+// addressed cache: a representative synthetic point must keep the exact
+// address it had before the program-workload extension (so every
+// existing cache entry stays valid), and a program point must address
+// deterministically under the same unbumped version. If either constant
+// changes, either bump FingerprintVersion deliberately or find the
+// accidental encoding drift.
+func TestFingerprintPinned(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		recipe string
+		want   string
+	}{
+		{"synthetic", "fpmix/n=360000/seed=42/stride=0",
+			"1186eb90ac29cc63d67aaaf018ab8fa4a70d85a2e6c03a6e4501e9e8b63894c2"},
+		{"program", "program/isort/input=400/seed=42",
+			"1c77423c4cda8f75a0e0c4e90abccaa3fffa365561976bc78947b978a75f4024"},
+	} {
+		insts := uint64(300_000)
+		if tc.name == "program" {
+			insts = 100_000
+		}
+		fp, err := Fingerprint(config.CheckpointDefault(64, 1024), tc.recipe, insts, false)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if fp != tc.want {
+			t.Errorf("%s fingerprint drifted:\n got %s\nwant %s", tc.name, fp, tc.want)
+		}
+	}
+}
+
+// TestProgramRecipeFingerprints: program points must address cleanly —
+// distinct per program, input and seed, computable through the RunSpec
+// hook from a recipe-only trace (the service path never materialises
+// just to fingerprint), and disjoint from every synthetic point by
+// construction of the canonical string.
+func TestProgramRecipeFingerprints(t *testing.T) {
+	cfg := config.CheckpointDefault(64, 1024)
+	seen := map[string]string{}
+	for _, r := range []trace.Recipe{
+		{Kernel: trace.KernelProgram, Program: "isort", Input: 400, Seed: 42},
+		{Kernel: trace.KernelProgram, Program: "isort", Input: 401, Seed: 42},
+		{Kernel: trace.KernelProgram, Program: "isort", Input: 400, Seed: 43},
+		{Kernel: trace.KernelProgram, Program: "chase", Input: 400, Seed: 42},
+		{Kernel: trace.KernelFPMix, N: 400, Seed: 42},
+	} {
+		tr, err := trace.RecipeOnly(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := RunSpec{Name: r.WorkloadName(), Config: cfg, Trace: tr, Insts: 100_000}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", r, err)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", r, prev)
+		}
+		seen[fp] = r.String()
+	}
+}
+
 // TestFingerprintDistinctPerCommitPolicy: the same workload under each
 // registered commit policy must content-address differently — the
 // commit-policies ablation relies on the service cache never aliasing

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/branch"
+	"repro/internal/lsq"
 	"repro/internal/mem"
 )
 
@@ -334,6 +335,15 @@ type Results struct {
 	Branch branch.Stats
 	Mem    mem.HierarchyStats
 
+	// BTB carries branch-target-buffer counters and LSQ the load/store
+	// queue counters. Both are populated only for program-backed
+	// workloads (synthetic traces have no real PCs for a BTB to key on,
+	// and their results predate these fields); nil pointers are omitted
+	// from JSON so synthetic encodings — and every cached result — stay
+	// byte-identical.
+	BTB *branch.BTBStats `json:",omitempty"`
+	LSQ *lsq.Stats       `json:",omitempty"`
+
 	// Retire is the pseudo-ROB retirement breakdown (checkpoint family).
 	Retire Breakdown
 
@@ -390,6 +400,26 @@ func (r *Results) Merge(o Results) {
 
 	r.Branch.Predictions += o.Branch.Predictions
 	r.Branch.Mispredicts += o.Branch.Mispredicts
+
+	if o.BTB != nil {
+		if r.BTB == nil {
+			r.BTB = &branch.BTBStats{}
+		}
+		r.BTB.Lookups += o.BTB.Lookups
+		r.BTB.Hits += o.BTB.Hits
+		r.BTB.BadTargets += o.BTB.BadTargets
+	}
+	if o.LSQ != nil {
+		if r.LSQ == nil {
+			r.LSQ = &lsq.Stats{}
+		}
+		r.LSQ.Loads += o.LSQ.Loads
+		r.LSQ.Stores += o.LSQ.Stores
+		r.LSQ.Forwards += o.LSQ.Forwards
+		r.LSQ.ForwardStalls += o.LSQ.ForwardStalls
+		r.LSQ.StoresDrained += o.LSQ.StoresDrained
+		r.LSQ.FullStalls += o.LSQ.FullStalls
+	}
 
 	r.Mem.IL1.Accesses += o.Mem.IL1.Accesses
 	r.Mem.IL1.Misses += o.Mem.IL1.Misses

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"fmt"
+
+	"repro/internal/isa/programs"
+	"repro/internal/isa/rv32"
 )
 
 // Kernel names accepted by Recipe. Each maps to one public generator.
@@ -13,6 +16,12 @@ const (
 	KernelBlocked      = "blocked"
 	KernelPointerChase = "pointerchase"
 	KernelFPMix        = "fpmix"
+
+	// KernelProgram selects a real RV32 program workload instead of a
+	// synthetic generator: the recipe names a registered program
+	// (internal/isa/programs) plus its input size, and materialisation
+	// functionally executes it into the dynamic stream.
+	KernelProgram = "program"
 )
 
 // Recipe is the declarative identity of a generated trace: enough
@@ -20,26 +29,43 @@ const (
 // half of a simulation fingerprint (sim.Fingerprint) and the wire form
 // a service client ships instead of the materialised instruction
 // stream — a few dozen bytes standing in for megabytes of trace.
+//
+// Length contract: synthetic kernels generate exactly N instructions,
+// and callers size N from a committed-instruction budget via LenFor —
+// never by hand. Program recipes (KernelProgram) carry no N at all:
+// their dynamic length is whatever the program executes before halting,
+// a property of the program and its input, not a budget guess.
 type Recipe struct {
 	// Kernel names the generator (Kernel* constants).
 	Kernel string `json:"kernel"`
-	// N is the dynamic instruction count to generate.
-	N int `json:"n"`
-	// Seed parameterises KernelFPMix; other kernels ignore it.
+	// N is the dynamic instruction count to generate (synthetic kernels
+	// only; must be zero for KernelProgram, whose length is derived by
+	// executing the program).
+	N int `json:"n,omitempty"`
+	// Seed parameterises KernelFPMix and the program kernels' data
+	// layouts; other kernels ignore it.
 	Seed uint64 `json:"seed,omitempty"`
 	// Stride is the element stride of KernelStrided; other kernels
 	// ignore it.
 	Stride int `json:"stride,omitempty"`
+	// Program names the registered program of a KernelProgram recipe.
+	Program string `json:"program,omitempty"`
+	// Input is the program's input size (KernelProgram only).
+	Input int `json:"input,omitempty"`
 }
 
 // LenFor returns the trace length to generate for a run with the given
 // committed-instruction budget: the budget plus 20% headroom (rollback
 // replays, wrong-path fetch) plus a constant tail, so the run never
-// exhausts its trace. Every surface that sizes a workload from a
-// budget must use this one function: the length goes into trace
+// exhausts its trace. Every surface that sizes a synthetic workload
+// from a budget must use this one function: the length goes into trace
 // recipes and therefore into cache fingerprints, so a drifted copy
 // would key the same logical point differently and silently break
-// cross-client cache sharing.
+// cross-client cache sharing. The 20%+4096 headroom is part of the
+// recipe contract, not folklore individual generators may adjust.
+//
+// Program recipes never use LenFor: a program's dynamic length comes
+// from executing it (see Recipe.N).
 func LenFor(insts uint64) int {
 	return int(insts) + int(insts)/5 + 4096
 }
@@ -56,6 +82,12 @@ const MaxRecipeInsts = 8 << 20
 // identical canonical strings, or equal simulations would get distinct
 // fingerprints and defeat the content-addressed cache.
 func (r Recipe) Validate() error {
+	if r.Kernel == KernelProgram {
+		return r.validateProgram()
+	}
+	if r.Program != "" || r.Input != 0 {
+		return fmt.Errorf("trace: recipe %s: program parameters on a synthetic kernel", r.Kernel)
+	}
 	if r.N < 1 || r.N > MaxRecipeInsts {
 		return fmt.Errorf("trace: recipe %s: instruction count %d outside [1,%d]",
 			r.Kernel, r.N, MaxRecipeInsts)
@@ -79,11 +111,39 @@ func (r Recipe) Validate() error {
 	return nil
 }
 
+// validateProgram checks a KernelProgram recipe against the program
+// registry. N must be zero: program lengths are derived by execution,
+// not declared (see the Recipe length contract).
+func (r Recipe) validateProgram() error {
+	spec, ok := programs.Lookup(r.Program)
+	if !ok {
+		return fmt.Errorf("trace: recipe: unknown program %q (have %v)", r.Program, programs.Names())
+	}
+	if r.N != 0 {
+		return fmt.Errorf("trace: recipe program/%s: N %d set; program lengths are derived from execution", r.Program, r.N)
+	}
+	if r.Stride != 0 {
+		return fmt.Errorf("trace: recipe program/%s: stride %d on a program recipe", r.Program, r.Stride)
+	}
+	if r.Input < 1 || r.Input > spec.MaxInput {
+		return fmt.Errorf("trace: recipe program/%s: input %d outside [1,%d]", r.Program, r.Input, spec.MaxInput)
+	}
+	return nil
+}
+
 // String renders the canonical form used inside fingerprints. Every
 // field is always present so the encoding cannot drift with omission
 // rules; changing this string invalidates every content-addressed
 // cache entry, which is exactly the intent.
+//
+// Program recipes render a distinct form no synthetic recipe can
+// produce ("program" is not a synthetic kernel name), so adding the
+// program extension shifted no existing fingerprint — the zero-drift
+// property sim.FingerprintVersion's history relies on.
 func (r Recipe) String() string {
+	if r.Kernel == KernelProgram {
+		return fmt.Sprintf("%s/%s/input=%d/seed=%d", r.Kernel, r.Program, r.Input, r.Seed)
+	}
 	return fmt.Sprintf("%s/n=%d/seed=%d/stride=%d", r.Kernel, r.N, r.Seed, r.Stride)
 }
 
@@ -109,8 +169,41 @@ func (r Recipe) Materialise() (*Trace, error) {
 		return PointerChase(r.N), nil
 	case KernelFPMix:
 		return FPMix(r.N, r.Seed), nil
+	case KernelProgram:
+		return r.materialiseProgram()
 	}
 	panic("unreachable: Validate accepted kernel " + r.Kernel)
+}
+
+// materialiseProgram builds and functionally executes the program into
+// its dynamic stream. Execution is deterministic, so program traces are
+// bit-identical across materialisations, hosts, and fleet nodes — the
+// same contract the synthetic generators give the content-addressed
+// cache.
+func (r Recipe) materialiseProgram() (*Trace, error) {
+	spec, ok := programs.Lookup(r.Program)
+	if !ok {
+		return nil, fmt.Errorf("trace: recipe: unknown program %q", r.Program)
+	}
+	p, err := spec.Build(r.Input, r.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("trace: recipe %s: %w", r, err)
+	}
+	insts, img, err := rv32.BuildTrace(p, MaxRecipeInsts)
+	if err != nil {
+		return nil, fmt.Errorf("trace: recipe %s: %w", r, err)
+	}
+	t := &Trace{name: r.Program, insts: insts, code: img}
+	return t.withRecipe(r), nil
+}
+
+// WorkloadName returns the human-facing workload label: the program
+// name for program recipes, the kernel name otherwise.
+func (r Recipe) WorkloadName() string {
+	if r.Kernel == KernelProgram {
+		return r.Program
+	}
+	return r.Kernel
 }
 
 // Recipe returns the trace's generation recipe. ok is false for traces
@@ -129,7 +222,7 @@ func RecipeOnly(r Recipe) (*Trace, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
-	return (&Trace{name: r.Kernel}).withRecipe(r), nil
+	return (&Trace{name: r.WorkloadName()}).withRecipe(r), nil
 }
 
 // withRecipe records the generation recipe on a freshly built trace.
