@@ -14,8 +14,10 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -256,4 +258,65 @@ func BenchmarkFigure14(b *testing.B) {
 		}
 		b.ReportMetric(r.IPC[1000][2048][512], "IPC-2048tags/512phys@1000")
 	}
+}
+
+// BenchmarkFigure9ProgramsSampled measures SMARTS sampling end to end
+// at the regime it targets: the program figure-9 grid at the 4M-inst
+// default sampled budget, against its full-detail reference. The full
+// sweep runs once outside the timer (wall-clocked separately); timed
+// iterations run the sampled sweep. Two custom metrics carry the PR's
+// acceptance contract into CI: speedup-vs-full (sampled must be >= 5x
+// faster) and ci-misses (how many of the 55 per-program points have a
+// full-detail IPC outside the sampled run's own reported 95% interval;
+// must be 0 — the accuracy claim sampled figures rest on).
+func BenchmarkFigure9ProgramsSampled(b *testing.B) {
+	base := experiments.Options{Insts: experiments.DefaultSampledInsts, Seed: 42, Workers: 1}
+
+	fullIPC := make(map[string]float64)
+	fullOpt := base.WithTraceCache()
+	fullOpt.Record = func(rec experiments.RunRecord) {
+		fullIPC[rec.Benchmark+"|"+rec.Config] = rec.Results.IPC()
+	}
+	fullStart := time.Now()
+	if _, err := experiments.Figure9Programs(context.Background(), fullOpt); err != nil {
+		b.Fatal(err)
+	}
+	fullDur := time.Since(fullStart)
+
+	type interval struct{ mean, ci float64 }
+	var sampled map[string]interval
+	sampledOpt := base
+	sampledOpt.Record = func(rec experiments.RunRecord) {
+		s := rec.Results.Sampled
+		if s == nil {
+			b.Errorf("%s (%s): sampled run returned no Sampled block", rec.Benchmark, rec.Config)
+			return
+		}
+		sampled[rec.Benchmark+"|"+rec.Config] = interval{s.IPCMean(), s.IPCCI95()}
+	}
+	var sampledDur time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampled = make(map[string]interval)
+		start := time.Now()
+		if _, err := experiments.Figure9ProgramsSampled(context.Background(), sampledOpt); err != nil {
+			b.Fatal(err)
+		}
+		sampledDur = time.Since(start)
+	}
+	b.StopTimer()
+
+	misses := 0
+	for key, f := range fullIPC {
+		s, ok := sampled[key]
+		if !ok {
+			b.Fatalf("sampled sweep missing point %s", key)
+		}
+		if gap := math.Abs(f - s.mean); gap > s.ci {
+			misses++
+			b.Logf("ci miss: %s sampled %.4f +/- %.4f vs full-detail %.4f", key, s.mean, s.ci, f)
+		}
+	}
+	b.ReportMetric(float64(fullDur)/float64(sampledDur), "speedup-vs-full")
+	b.ReportMetric(float64(misses), "ci-misses")
 }

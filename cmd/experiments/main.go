@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-figure all|table1|1|7|9|10|11|12|13|14|figure9-programs|commit-policies|commit-policies-programs|ablations]
+//	experiments [-figure all|table1|1|7|9|10|11|12|13|14|figure9-programs|figure9-programs-sampled|commit-policies|commit-policies-programs|ablations]
 //	            [-commit policy,...] [-insts N] [-seed S] [-parallel N]
 //	            [-json FILE] [-server URL] [-no-skip] [-cpuprofile FILE]
 //	            [-memprofile FILE] [-list] [-v]
@@ -67,6 +67,7 @@ var sections = []struct{ name, desc string }{
 	{"13", "Figure 13: checkpoint-count sensitivity"},
 	{"14", "Figure 14: virtual registers combined with checkpointed commit"},
 	{"figure9-programs", "figure-9 grid over the real-program (RV32) suite"},
+	{"figure9-programs-sampled", "figure-9 program grid under SMARTS sampling (defaults to a 4M-inst streamed budget; not part of 'all')"},
 	{"commit-policies", "ablation: rob vs checkpoint vs adaptive vs oracle on the figure-9 workloads"},
 	{"commit-policies-programs", "ablation: commit policies over the real-program suite"},
 	{"ablations", "every ablation sweep (includes commit-policies)"},
@@ -359,6 +360,19 @@ func main() {
 	})
 	section("figure9-programs", func() error {
 		r, err := experiments.Figure9Programs(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		fmt.Println(r.Figure11String())
+		return nil
+	})
+	// Explicit-request only: the sampled figure defaults to a 4M-inst
+	// streamed budget per point (experiments.DefaultSampledInsts), an
+	// order of magnitude above the other sections' budgets — folding it
+	// into "all" would dominate the whole run's wall time.
+	runSection("figure9-programs-sampled", want["figure9-programs-sampled"], func() error {
+		r, err := experiments.Figure9ProgramsSampled(ctx, opt)
 		if err != nil {
 			return err
 		}

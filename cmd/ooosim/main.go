@@ -39,6 +39,7 @@ func main() {
 	program := flag.String("program", "", "run a real RV32 program instead of a synthetic workload: "+strings.Join(programs.Names(), "|"))
 	input := flag.Int("input", 0, "program input size (-program only; 0 sizes it from -insts)")
 	insts := flag.Uint64("insts", 300000, "committed instructions to simulate")
+	sample := flag.String("sample", "", "SMARTS sampled simulation as warmup:detail:period (e.g. 10000:10000:200000); -insts then bounds the streamed budget")
 	seed := flag.Uint64("seed", 42, "workload seed (fpmix and programs)")
 	vregs := flag.Int("vtags", 0, "enable virtual registers with this many tags (0 = off)")
 	phys := flag.Int("phys", 4096, "physical registers")
@@ -167,7 +168,24 @@ func main() {
 			recipe.Seed = *seed
 		}
 	}
-	tr, err := recipe.Materialise()
+	// Sampled runs stream the recipe (no materialisation, and the
+	// per-allocation recipe cap does not apply); full-detail runs
+	// materialise as before.
+	var sampleSpec trace.SampleSpec
+	if *sample != "" {
+		var err error
+		if sampleSpec, err = parseSample(*sample); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	var tr *trace.Trace
+	var err error
+	if sampleSpec.Enabled() {
+		tr, err = trace.StreamOnly(recipe)
+	} else {
+		tr, err = recipe.Materialise()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -178,12 +196,22 @@ func main() {
 		Config: cfg,
 		Trace:  tr,
 		Insts:  *insts,
+		Sample: sampleSpec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	printResults(cfg, res)
+}
+
+// parseSample parses the -sample flag's warmup:detail:period form.
+func parseSample(s string) (trace.SampleSpec, error) {
+	var spec trace.SampleSpec
+	if _, err := fmt.Sscanf(s, "%d:%d:%d", &spec.Warmup, &spec.Detail, &spec.Period); err != nil {
+		return trace.SampleSpec{}, fmt.Errorf("-sample wants warmup:detail:period instruction counts, got %q", s)
+	}
+	return spec, spec.Validate()
 }
 
 func printResults(cfg config.Config, r stats.Results) {
@@ -197,6 +225,12 @@ func printResults(cfg config.Config, r stats.Results) {
 		fmt.Printf("%-28s %s\n", k, fmt.Sprintf(format, args...))
 	}
 	row("IPC", "%.3f", r.IPC())
+	if s := r.Sampled; s != nil {
+		row("Sampled IPC (95% CI)", "%.3f ± %.3f over %d windows", s.IPCMean(), s.IPCCI95(), s.Windows)
+		row("Sampling coverage", "%d measured + %d warmup of %d insts (%.1f%% detail)",
+			s.SampledInsts, s.WarmupInsts, s.TotalInsts, 100*s.DetailFraction())
+		row("Fast-forwarded", "%d insts (functional warming only)", s.FastForwardInsts)
+	}
 	row("Cycles", "%d", r.Cycles)
 	row("Committed", "%d", r.Committed)
 	row("Fetched", "%d", r.Fetched)

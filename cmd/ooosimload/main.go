@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/fleet"
+	"repro/internal/isa/programs"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -164,8 +165,11 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 }
 
 // makePoints enumerates n distinct simulation points spanning the four
-// commit policies, the benchmark kernels and a range of queue sizes —
-// a miniature of the paper's sweep space.
+// commit policies, the benchmark kernels, the real RV32 programs and a
+// range of queue sizes — a miniature of the paper's sweep space. When
+// the per-point budget permits, every fifth point runs under SMARTS
+// sampling, so load tests also exercise the streamed sampled path
+// through the service (distinct fingerprints, no donor warming).
 func makePoints(n int, insts uint64) []service.Job {
 	tlen := trace.LenFor(insts)
 	recipes := []trace.Recipe{
@@ -175,6 +179,19 @@ func makePoints(n int, insts uint64) []service.Job {
 		{Kernel: trace.KernelReduction, N: tlen},
 		{Kernel: trace.KernelBlocked, N: tlen},
 		{Kernel: trace.KernelFPMix, N: tlen, Seed: 42},
+	}
+	for _, name := range programs.Names() {
+		spec, _ := programs.Lookup(name)
+		recipes = append(recipes, trace.Recipe{
+			Kernel:  trace.KernelProgram,
+			Program: name,
+			Input:   spec.InputFor(insts),
+			Seed:    42,
+		})
+	}
+	var sample trace.SampleSpec
+	if p := insts / 2; p >= 260 {
+		sample = trace.SampleSpec{Warmup: p / 8, Detail: p / 4, Period: p}
 	}
 	var cfgs []config.Config
 	for _, sliq := range []int{512, 1024, 2048} {
@@ -196,6 +213,9 @@ func makePoints(n int, insts uint64) []service.Job {
 			Config: cfg,
 			Trace:  r,
 			Insts:  insts + uint64(i/(len(cfgs)*len(recipes))),
+		}
+		if sample.Enabled() && i%5 == 4 {
+			job.Sample = sample
 		}
 		out = append(out, job)
 	}

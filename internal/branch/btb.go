@@ -166,3 +166,15 @@ func (b *BTB) ResolvedAt(pc uint64) int64 {
 
 // Stats returns the accumulated counters.
 func (b *BTB) Stats() BTBStats { return b.stats }
+
+// ClearResolutions forgets every per-instance resolution mark while
+// keeping targets, validity and recency. Sampled runs call it between
+// detailed windows: resolution positions index into one window's trace
+// and would be dangling (or worse, falsely valid) in the next, whereas
+// targets are genuine long-lived state the fast-forward warming is
+// meant to preserve.
+func (b *BTB) ClearResolutions() {
+	for i := range b.entries {
+		b.entries[i].resolvedPos = -1
+	}
+}

@@ -74,6 +74,12 @@ type CPU struct {
 	wpStart int
 	wpBase  uint64
 
+	// sampleConf is the persistent JRS confidence estimator a sampled
+	// run's windows share (nil outside sampled runs); the adaptive
+	// commit policy adopts it instead of building a fresh one, so
+	// confidence training survives across windows like the predictor.
+	sampleConf *branch.Confidence
+
 	// Time and fetch state.
 	now           int64
 	fetchPos      int64
@@ -186,7 +192,7 @@ type dispatchStalls struct {
 // New builds a CPU for the given configuration and workload, warming
 // its memory hierarchy by replaying the trace's warm-up footprint.
 func New(cfg config.Config, tr *trace.Trace) (*CPU, error) {
-	return newCPU(cfg, tr, nil, nil)
+	return newCPU(cfg, tr, nil, nil, nil)
 }
 
 // NewForked builds a CPU whose memory hierarchy starts from donor's
@@ -206,7 +212,7 @@ func NewForked(cfg config.Config, tr *trace.Trace, donor *mem.Hierarchy, arena *
 	if err != nil {
 		return nil, err
 	}
-	return newCPU(cfg, tr, hier, arena)
+	return newCPU(cfg, tr, hier, arena, nil)
 }
 
 // Arena owns a DynInst record pool that outlives a single CPU: a sweep
@@ -336,8 +342,13 @@ func warmHierarchy(h *mem.Hierarchy, tr *trace.Trace) {
 // fresh hierarchy (the cold path). A non-nil hier is adopted as-is: the
 // CPU takes sole ownership and mutates it for the rest of its life, so
 // callers must hand each CPU its own Fork/Clone and never reuse it
-// (the same single-owner contract as the pooled DynInst records).
-func newCPU(cfg config.Config, tr *trace.Trace, hier *mem.Hierarchy, arena *Arena) (*CPU, error) {
+// (the same single-owner contract as the pooled DynInst records) —
+// except under adopt, where the sampled-run driver deliberately threads
+// one long-lived substrate through a strictly sequential series of
+// window CPUs. A non-nil adopt substitutes the persistent predictor,
+// BTB and confidence estimator for freshly built ones (hier must then
+// be adopt's hierarchy).
+func newCPU(cfg config.Config, tr *trace.Trace, hier *mem.Hierarchy, arena *Arena, adopt *sampleState) (*CPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -399,14 +410,20 @@ func newCPU(cfg config.Config, tr *trace.Trace, hier *mem.Hierarchy, arena *Aren
 	for l := 0; l < isa.NumLogical; l++ {
 		c.regReady[c.rt.Lookup(isa.Reg(l))] = true
 	}
-	if cfg.PerfectBranchPrediction {
-		c.pred = branch.NewPerfect()
-	} else {
-		c.pred = branch.NewGshare(cfg.BranchPredictorBits)
-	}
 	c.code = tr.Code()
-	if c.code != nil && !cfg.PerfectBranchPrediction {
-		c.btb = branch.NewBTB(config.BTBSets, config.BTBWays)
+	if adopt != nil {
+		c.pred = adopt.pred
+		c.btb = adopt.btb
+		c.sampleConf = adopt.conf
+	} else {
+		if cfg.PerfectBranchPrediction {
+			c.pred = branch.NewPerfect()
+		} else {
+			c.pred = branch.NewGshare(cfg.BranchPredictorBits)
+		}
+		if c.code != nil && !cfg.PerfectBranchPrediction {
+			c.btb = branch.NewBTB(config.BTBSets, config.BTBWays)
+		}
 	}
 
 	build, ok := commitPolicyFactories[cfg.Commit]

@@ -45,9 +45,15 @@ func init() {
 			MaxInterval:    c.cfg.CheckpointMaxInterval,
 			MaxStores:      c.cfg.CheckpointMaxStores,
 		})
+		// Sampled runs thread one confidence estimator through every
+		// window (c.sampleConf); outside them each CPU builds its own.
+		conf := c.sampleConf
+		if conf == nil {
+			conf = branch.NewConfidence(c.cfg.AdaptiveConfidenceBits, c.cfg.AdaptiveConfidenceMax)
+		}
 		a := &adaptivePolicy{
 			checkpointPolicy: base,
-			conf:             branch.NewConfidence(c.cfg.AdaptiveConfidenceBits, c.cfg.AdaptiveConfidenceMax),
+			conf:             conf,
 			threshold:        uint8(c.cfg.AdaptiveConfidenceThreshold),
 		}
 		base.takeRule = a.shouldTakeAdaptive

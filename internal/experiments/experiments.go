@@ -51,6 +51,11 @@ type Options struct {
 	// DisableSkip forces cycle-by-cycle simulation on every point
 	// (cmd/experiments -no-skip); results are bit-identical either way.
 	DisableSkip bool
+	// Sample, when enabled, runs every point under the SMARTS sampling
+	// protocol (sim.RunSpec.Sample): fast-forward with functional
+	// warming between detailed measurement windows. Sampled figures set
+	// it themselves; leaving it zero keeps full-detail simulation.
+	Sample trace.SampleSpec
 
 	// cache, when set by WithTraceCache, shares generated suite traces
 	// across figures.
@@ -220,6 +225,7 @@ func (o Options) runPoints(ctx context.Context, points []point, suite []suiteTra
 				Insts:            o.Insts,
 				CollectOccupancy: p.collectOcc,
 				DisableSkip:      o.DisableSkip,
+				Sample:           o.Sample,
 			})
 		}
 	}

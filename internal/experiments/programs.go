@@ -79,6 +79,60 @@ func Figure9Programs(ctx context.Context, opt Options) (Figure9Result, error) {
 	return res, nil
 }
 
+// DefaultSampledInsts is the per-point stream budget sampled program
+// figures default to: deep enough that sampling pays (dozens of
+// windows, a detail fraction around 10%) yet bounded so the full-detail
+// reference point in benchmarks stays feasible.
+const DefaultSampledInsts = 4_000_000
+
+// sampledProgramSuite identifies the program suite for sampled runs.
+// Sampled points always stream — the suite is recipe-only even for the
+// in-process runner, validated under the streamed budget cap rather
+// than the materialisation cap, and nothing is generated up front.
+func (o Options) sampledProgramSuite() ([]suiteTrace, error) {
+	names := programs.Names()
+	out := make([]suiteTrace, len(names))
+	for i, name := range names {
+		r, err := ProgramRecipe(name, o.Insts, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.StreamOnly(r)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		out[i] = suiteTrace{name: name, tr: tr}
+	}
+	return out, nil
+}
+
+// Figure9ProgramsSampled is Figure9Programs under SMARTS sampling: the
+// same grid over the same programs, but each point fast-forwards
+// between detailed windows instead of simulating every instruction.
+// With no explicit Sample spec it applies trace.DefaultSample and
+// raises the budget to DefaultSampledInsts — the regime where sampling
+// pays; an explicit spec keeps the caller's budget untouched so tests
+// can shrink both together.
+func Figure9ProgramsSampled(ctx context.Context, opt Options) (Figure9Result, error) {
+	if !opt.Sample.Enabled() {
+		opt.Sample = trace.DefaultSample()
+		if opt.Insts < DefaultSampledInsts {
+			opt.Insts = DefaultSampledInsts
+		}
+	}
+	opt = opt.withDefaults()
+	suite, err := opt.sampledProgramSuite()
+	if err != nil {
+		return Figure9Result{}, err
+	}
+	res, err := figure9Over(ctx, opt, suite)
+	if err != nil {
+		return Figure9Result{}, err
+	}
+	res.Suite = "program-sampled"
+	return res, nil
+}
+
 // AblationCommitPoliciesPrograms is the commit-policy comparison over
 // the real-program suite: the same variant set as
 // AblationCommitPolicies, so the two tables read side by side.

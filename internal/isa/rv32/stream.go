@@ -1,0 +1,55 @@
+package rv32
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Streamer is the incremental form of BuildTrace: it functionally
+// executes a program chunk by chunk, emitting the same mapped pipeline
+// stream element-for-element without ever materialising it whole. It is
+// the program-side producer of the trace layer's segment streams, which
+// is what lifts the materialisation cap for sampled runs.
+type Streamer struct {
+	m       *Machine
+	name    string
+	emitted int
+}
+
+// NewStreamer prepares p for incremental execution.
+func NewStreamer(p *Program) (*Streamer, error) {
+	m, err := NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{m: m, name: p.Name}, nil
+}
+
+// Halted reports whether the program has run to completion; Emit
+// appends nothing once it has.
+func (s *Streamer) Halted() bool { return s.m.halted }
+
+// Emit appends the mapped pipeline instructions of up to one execution
+// chunk (a few thousand retired RV32 instructions) to dst and returns
+// the extended slice. Looping Emit to halt yields exactly BuildTrace's
+// stream: both drive Machine.Step through appendMapped in retirement
+// order.
+func (s *Streamer) Emit(dst []isa.Inst) ([]isa.Inst, error) {
+	const chunk = 4096
+	before := len(dst)
+	for len(dst)-before < chunk && !s.m.halted {
+		r, err := s.m.Step()
+		if err != nil {
+			return dst, err
+		}
+		if dst, err = appendMapped(dst, r); err != nil {
+			return dst, fmt.Errorf("rv32: %q: %w", s.name, err)
+		}
+	}
+	s.emitted += len(dst) - before
+	if s.m.halted && s.emitted == 0 {
+		return dst, fmt.Errorf("rv32: %q produced an empty stream", s.name)
+	}
+	return dst, nil
+}

@@ -299,6 +299,14 @@ func (h *Hierarchy) Stats() HierarchyStats {
 	return s
 }
 
+// Settle clears the in-flight fill tracker while keeping all cache
+// contents. Sampled runs call it between detailed windows: fill
+// completion times are absolute cycles of the window that issued them
+// and would read as pending (or long past) on the next window's fresh
+// clock, whereas the lines themselves are exactly the long-lived state
+// functional warming preserves.
+func (h *Hierarchy) Settle() { h.inflight.reset() }
+
 // Reset restores the hierarchy to cold-cache state, reusing every
 // backing array (no allocation).
 func (h *Hierarchy) Reset() {

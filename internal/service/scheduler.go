@@ -303,17 +303,32 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 		s.sem <- struct{}{}
 		s.metrics.InFlight.Add(1)
 		defer func() { s.metrics.InFlight.Add(-1); <-s.sem }()
-		tr, err := s.traces.get(job.Trace)
-		if err != nil {
-			return nil, err
-		}
-		// Fork the job's snapshot group's warmed donor instead of
-		// replaying the warm-up per point; a donor failure degrades to
-		// the cold path (never fails the job).
-		donor, reused := s.warms.get(s, job, tr)
-		b.warmShared(donor != nil, reused)
-		if donor != nil && reused {
-			s.metrics.WarmReuses.Add(1)
+		var tr *trace.Trace
+		var donor *mem.Hierarchy
+		if job.Sample.Enabled() {
+			// Sampled jobs stream: the recipe is handed through as a
+			// recipe-only trace handle (never materialised, so the
+			// streamed budget cap applies instead of MaxRecipeInsts) and
+			// no warm donor is built — the sampled run warms its own
+			// persistent substrate by fast-forwarding the stream.
+			var err error
+			if tr, err = trace.StreamOnly(job.Trace); err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			if tr, err = s.traces.get(job.Trace); err != nil {
+				return nil, err
+			}
+			// Fork the job's snapshot group's warmed donor instead of
+			// replaying the warm-up per point; a donor failure degrades to
+			// the cold path (never fails the job).
+			var reused bool
+			donor, reused = s.warms.get(s, job, tr)
+			b.warmShared(donor != nil, reused)
+			if donor != nil && reused {
+				s.metrics.WarmReuses.Add(1)
+			}
 		}
 		s.metrics.Simulations.Add(1)
 		res, err := s.run(sim.RunSpec{
@@ -322,6 +337,7 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 			Trace:            tr,
 			Insts:            job.Insts,
 			CollectOccupancy: job.CollectOccupancy,
+			Sample:           job.Sample,
 		}, donor)
 		if err != nil {
 			return nil, err

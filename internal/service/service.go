@@ -52,19 +52,41 @@ type Job struct {
 	Insts uint64 `json:"insts,omitempty"`
 	// CollectOccupancy enables the full occupancy distribution.
 	CollectOccupancy bool `json:"collect_occupancy,omitempty"`
+	// Sample requests SMARTS sampled simulation over the recipe's
+	// segment stream (see sim.RunSpec.Sample). omitzero keeps
+	// non-sampled wire forms byte-identical to the pre-sampling ones.
+	Sample trace.SampleSpec `json:"sample,omitzero"`
 }
 
-// Validate reports an unusable job.
+// Validate reports an unusable job. Sampled jobs validate under the
+// streamed recipe rules (the materialisation cap does not apply — only
+// a window is ever in memory) and must carry an instruction budget,
+// since a synthetic stream has no natural end.
 func (j Job) Validate() error {
 	if err := j.Config.Validate(); err != nil {
 		return err
+	}
+	if j.Sample.Enabled() {
+		if err := j.Sample.Validate(); err != nil {
+			return err
+		}
+		if j.CollectOccupancy {
+			return fmt.Errorf("service: job %s: occupancy collection cannot be sampled", j.label())
+		}
+		if j.Insts == 0 {
+			return fmt.Errorf("service: job %s: sampled jobs need an instruction budget", j.label())
+		}
+		return j.Trace.ValidateStreamed()
 	}
 	return j.Trace.Validate()
 }
 
 // Fingerprint returns the job's content address (see sim.Fingerprint).
+// Sampled jobs extend the canonical trace string with the sample spec
+// (trace.PointString), so they occupy keys disjoint from every
+// full-detail point while non-sampled jobs hash unchanged bytes.
 func (j Job) Fingerprint() (string, error) {
-	return sim.Fingerprint(j.Config, j.Trace.String(), j.Insts, j.CollectOccupancy)
+	return sim.Fingerprint(j.Config, trace.PointString(j.Trace, j.Sample), j.Insts, j.CollectOccupancy)
 }
 
 // label names the job in events and errors.
@@ -93,5 +115,6 @@ func JobFromSpec(spec sim.RunSpec) (Job, error) {
 		Trace:            r,
 		Insts:            spec.Insts,
 		CollectOccupancy: spec.CollectOccupancy,
+		Sample:           spec.Sample,
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/config"
+	"repro/internal/trace"
 )
 
 // FingerprintVersion tags every fingerprint with the simulator
@@ -30,6 +31,13 @@ import (
 // synthetic cache entry therefore stays valid and program points
 // address fresh, disjoint keys — see TestFingerprintPinned for the
 // zero-drift guard.
+//
+// The sampled-simulation extension follows the same zero-drift rule:
+// sampled points append "/sample/w=W/d=D/p=P" to the canonical recipe
+// string (trace.PointString), a suffix no recipe can render, and
+// non-sampled points hash exactly the bytes they always did. Sampled
+// results additionally carry the omitempty Sampled block, so their
+// cached encodings can never alias a full-detail point's either.
 const FingerprintVersion = 2
 
 // Fingerprint returns the content address of one simulation point: a
@@ -91,5 +99,5 @@ func (s RunSpec) Fingerprint() (string, error) {
 	if !ok {
 		return "", fmt.Errorf("sim: fingerprint: trace %q has no generation recipe", s.Trace.Name())
 	}
-	return Fingerprint(s.Config, r.String(), s.Insts, s.CollectOccupancy)
+	return Fingerprint(s.Config, trace.PointString(r, s.Sample), s.Insts, s.CollectOccupancy)
 }

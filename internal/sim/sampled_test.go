@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa/programs"
+	"repro/internal/trace"
+)
+
+// testSample is the accuracy-harness sampling regime: a 400k budget at
+// 50k periods gives 8 windows — enough for a meaningful CLT interval at
+// a pace the race detector tolerates.
+var testSample = trace.SampleSpec{Warmup: 2000, Detail: 8000, Period: 50_000}
+
+const testSampleBudget = 400_000
+
+func programRecipe(t *testing.T, name string, budget uint64) trace.Recipe {
+	t.Helper()
+	spec, ok := programs.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown program %q", name)
+	}
+	return trace.Recipe{Kernel: trace.KernelProgram, Program: name, Input: spec.InputFor(budget), Seed: 42}
+}
+
+// TestSampledAccuracy is the sampling accuracy harness: for every
+// registered program under both a conventional ROB baseline and the
+// checkpointed COoO machine, the sampled run's 95% confidence interval
+// must cover the full-detail IPC at the same budget. This is the
+// statistical contract sampled figures rest on — if it breaks, either
+// the functional warming lost state the windows depend on, or the
+// window protocol is biased.
+func TestSampledAccuracy(t *testing.T) {
+	cfgs := []struct {
+		label string
+		cfg   config.Config
+	}{
+		{"rob-128", config.BaselineSized(128)},
+		{"checkpoint-128/2048", config.CheckpointDefault(128, 2048)},
+	}
+	for _, name := range programs.Names() {
+		for _, c := range cfgs {
+			t.Run(name+"/"+c.label, func(t *testing.T) {
+				r := programRecipe(t, name, testSampleBudget)
+				tr, err := r.Materialise()
+				if err != nil {
+					t.Fatalf("Materialise: %v", err)
+				}
+				full, err := Run(RunSpec{Name: name, Config: c.cfg, Trace: tr, Insts: testSampleBudget})
+				if err != nil {
+					t.Fatalf("full run: %v", err)
+				}
+				handle, err := trace.StreamOnly(r)
+				if err != nil {
+					t.Fatalf("StreamOnly: %v", err)
+				}
+				sampled, err := Run(RunSpec{
+					Name: name, Config: c.cfg, Trace: handle,
+					Insts: testSampleBudget, Sample: testSample,
+				})
+				if err != nil {
+					t.Fatalf("sampled run: %v", err)
+				}
+				s := sampled.Sampled
+				if s == nil {
+					t.Fatal("sampled run returned no Sampled block")
+				}
+				if s.Windows < 4 {
+					t.Fatalf("only %d windows; the harness needs enough for a CI", s.Windows)
+				}
+				if s.SampledInsts == 0 || s.FastForwardInsts == 0 {
+					t.Fatalf("degenerate sampling: %+v", *s)
+				}
+				gap := math.Abs(full.IPC() - s.IPCMean())
+				if ci := s.IPCCI95(); gap > ci {
+					t.Errorf("sampled IPC %.4f ± %.4f misses full-detail IPC %.4f (gap %.4f)",
+						s.IPCMean(), ci, full.IPC(), gap)
+				}
+			})
+		}
+	}
+}
+
+// TestSampledDeterministic pins the service contract: two sampled runs
+// of one point are byte-identically equal, so cached sampled results
+// can answer replays.
+func TestSampledDeterministic(t *testing.T) {
+	r := programRecipe(t, "isort", 100_000)
+	run := func() string {
+		handle, err := trace.StreamOnly(r)
+		if err != nil {
+			t.Fatalf("StreamOnly: %v", err)
+		}
+		res, err := Run(RunSpec{
+			Name: "isort", Config: config.CheckpointDefault(128, 2048), Trace: handle,
+			Insts: 100_000, Sample: trace.SampleSpec{Warmup: 500, Detail: 2000, Period: 10_000},
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("sampled runs diverge:\n%s\nvs\n%s", a, b)
+	}
+}

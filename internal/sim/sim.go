@@ -43,6 +43,14 @@ type RunSpec struct {
 	// way, so the knob never enters result fingerprints or the remote
 	// job encoding — it is a local A/B debugging aid only.
 	DisableSkip bool
+	// Sample, when enabled, runs the point under the SMARTS sampling
+	// protocol (core.RunSampled) over the workload's segment stream
+	// instead of simulating every instruction. Insts then bounds the
+	// total stream coverage (and is mandatory for synthetic workloads,
+	// whose streams are unbounded). Sampling changes what is measured,
+	// so it is part of the point's fingerprint identity — unlike
+	// DisableSkip (see Fingerprint).
+	Sample trace.SampleSpec
 }
 
 // Options tunes a Sweep.
@@ -92,6 +100,16 @@ func runSpec(spec RunSpec, getDonor func() (*mem.Hierarchy, error), arena *core.
 			err = fmt.Errorf("sim: %s (%s): panic: %v", spec.Name, spec.Config.Summary(), r)
 		}
 	}()
+	if spec.Sample.Enabled() {
+		// Sampled points stream; they neither need nor use a warm donor
+		// (the persistent substrate is warmed by fast-forwarding the
+		// stream itself, not by a footprint replay).
+		res, err = runSampled(spec)
+		if err != nil {
+			err = fmt.Errorf("sim: %s (%s): %w", spec.Name, spec.Config.Summary(), err)
+		}
+		return res, err
+	}
 	var cpu *core.CPU
 	if getDonor == nil {
 		cpu, err = core.New(spec.Config, spec.Trace)
@@ -111,6 +129,45 @@ func runSpec(spec RunSpec, getDonor func() (*mem.Hierarchy, error), arena *core.
 	})
 	cpu.Recycle(arena)
 	return res, nil
+}
+
+// runSampled executes a sampled point: open the workload's segment
+// stream — from the recipe when the trace is a recipe-only handle (the
+// normal sampled path, which never materialises), or over the slice of
+// an already-materialised trace — and drive it through core.RunSampled.
+func runSampled(spec RunSpec) (stats.Results, error) {
+	if err := spec.Sample.Validate(); err != nil {
+		return stats.Results{}, err
+	}
+	if spec.CollectOccupancy {
+		return stats.Results{}, fmt.Errorf("occupancy collection cannot be sampled")
+	}
+	if spec.Trace == nil {
+		return stats.Results{}, fmt.Errorf("no trace")
+	}
+	// Two independent streams over the same workload: one the sampling
+	// loop consumes, one the whole-footprint cache warm consumes (the
+	// sampled equivalent of warmHierarchy replaying the materialised
+	// trace's WarmFootprint).
+	var st, warm *trace.InstStream
+	if spec.Trace.Len() > 0 {
+		st = spec.Trace.OpenStream()
+		warm = spec.Trace.OpenStream()
+	} else if r, ok := spec.Trace.Recipe(); ok {
+		var err error
+		if st, err = r.OpenStream(); err != nil {
+			return stats.Results{}, err
+		}
+		if warm, err = r.OpenStream(); err != nil {
+			return stats.Results{}, err
+		}
+	} else {
+		return stats.Results{}, fmt.Errorf("empty trace")
+	}
+	return core.RunSampled(spec.Config, st, warm, spec.Sample, core.RunOptions{
+		MaxInsts:    spec.Insts,
+		DisableSkip: spec.DisableSkip,
+	})
 }
 
 // warmGroup shares one warmed donor hierarchy across every spec with

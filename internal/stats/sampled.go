@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampled summarises a SMARTS-style sampled run: how much of the
+// dynamic stream was measured in detail, how much was functionally
+// fast-forwarded, and the spread of the per-window IPC observations
+// that turns the sampled mean into an error bar. The per-window sums
+// (rather than a slice of window IPCs) keep the block mergeable: two
+// shards' sums add, and the CLT interval of the union falls out.
+type Sampled struct {
+	// Windows counts measured detail windows.
+	Windows uint64 `json:"windows"`
+	// SampledInsts counts instructions committed inside measured detail
+	// portions (what the run's Committed/Cycles counters cover).
+	SampledInsts uint64 `json:"sampled_insts"`
+	// WarmupInsts counts detailed-but-discarded warmup instructions.
+	WarmupInsts uint64 `json:"warmup_insts"`
+	// FastForwardInsts counts functionally fast-forwarded instructions.
+	FastForwardInsts uint64 `json:"fast_forward_insts"`
+	// TotalInsts is the total dynamic stream length covered (fast-forward
+	// + warmup + measured).
+	TotalInsts uint64 `json:"total_insts"`
+	// SumIPC and SumIPC2 accumulate per-window IPC and its square, from
+	// which the mean, variance and confidence interval derive.
+	SumIPC  float64 `json:"sum_ipc"`
+	SumIPC2 float64 `json:"sum_ipc2"`
+}
+
+// merge folds another sampled block's tallies into s.
+func (s *Sampled) merge(o Sampled) {
+	s.Windows += o.Windows
+	s.SampledInsts += o.SampledInsts
+	s.WarmupInsts += o.WarmupInsts
+	s.FastForwardInsts += o.FastForwardInsts
+	s.TotalInsts += o.TotalInsts
+	s.SumIPC += o.SumIPC
+	s.SumIPC2 += o.SumIPC2
+}
+
+// AddWindow records one measured window's IPC observation.
+func (s *Sampled) AddWindow(ipc float64) {
+	s.Windows++
+	s.SumIPC += ipc
+	s.SumIPC2 += ipc * ipc
+}
+
+// IPCMean returns the unweighted mean of the per-window IPCs (the
+// SMARTS estimator; windows are equal-sized by construction, so this
+// tracks the instruction-weighted Committed/Cycles closely).
+func (s *Sampled) IPCMean() float64 {
+	if s.Windows == 0 {
+		return 0
+	}
+	return s.SumIPC / float64(s.Windows)
+}
+
+// IPCVariance returns the sample variance of the per-window IPCs
+// (n-1 denominator; 0 with fewer than two windows).
+func (s *Sampled) IPCVariance() float64 {
+	n := float64(s.Windows)
+	if s.Windows < 2 {
+		return 0
+	}
+	v := (s.SumIPC2 - s.SumIPC*s.SumIPC/n) / (n - 1)
+	if v < 0 {
+		return 0 // floating-point cancellation on near-constant windows
+	}
+	return v
+}
+
+// IPCCI95 returns the half-width of the 95% interval on the mean
+// per-window IPC: the CLT term 1.96 * sqrt(variance / windows), floored
+// at 1.5% of the mean. The floor is the protocol's non-sampling-bias
+// allowance: window variance only measures how much the windows
+// disagree with each other, not how much the whole protocol disagrees
+// with full detail (warmup truncation, functional fast-forward eliding
+// wrong-path cache traffic), and SMARTS-class samplers validate that
+// systematic error at around a percent. On a perfectly homogeneous
+// workload every window reports the same IPC and the CLT term collapses
+// toward zero — an interval claiming four-digit precision the protocol
+// does not have; the floor keeps the reported interval honest there.
+func (s *Sampled) IPCCI95() float64 {
+	if s.Windows < 2 {
+		return 0
+	}
+	ci := 1.96 * math.Sqrt(s.IPCVariance()/float64(s.Windows))
+	if floor := 0.015 * math.Abs(s.IPCMean()); ci < floor {
+		ci = floor
+	}
+	return ci
+}
+
+// DetailFraction returns the share of the covered stream simulated in
+// detail (measured + warmup), the knob that trades accuracy for speed.
+func (s *Sampled) DetailFraction() float64 {
+	if s.TotalInsts == 0 {
+		return 0
+	}
+	return float64(s.SampledInsts+s.WarmupInsts) / float64(s.TotalInsts)
+}
+
+// String renders a one-line summary.
+func (s *Sampled) String() string {
+	return fmt.Sprintf("windows=%d sampled=%d warmup=%d ff=%d total=%d ipc=%.3f±%.3f",
+		s.Windows, s.SampledInsts, s.WarmupInsts, s.FastForwardInsts, s.TotalInsts,
+		s.IPCMean(), s.IPCCI95())
+}
+
+// Sub returns the difference full − warm between two Results snapshots
+// of the same CPU, where warm was captured at an earlier commit point
+// of the same run. It isolates the interval between the snapshots —
+// how sampled runs discard each window's warmup (and, because the
+// persistent predictor/BTB/cache substrate accumulates across windows,
+// everything before the window too). Cumulative counters subtract;
+// extremes (MaxInflight, LongestSkip, "max_" policy keys) keep full's
+// value, the interval's observation being unrecoverable; MeanInflight
+// un-weights the cycle-weighted means. Occupancy histograms are not
+// subtractable and sampled runs never collect them.
+func (r Results) Sub(warm Results) Results {
+	d := r
+	d.Cycles = r.Cycles - warm.Cycles
+	d.Committed = r.Committed - warm.Committed
+	d.Fetched = r.Fetched - warm.Fetched
+	d.Dispatched = r.Dispatched - warm.Dispatched
+	d.Issued = r.Issued - warm.Issued
+	d.Replayed = r.Replayed - warm.Replayed
+	d.Rollbacks = r.Rollbacks - warm.Rollbacks
+	d.PseudoROBRecoveries = r.PseudoROBRecoveries - warm.PseudoROBRecoveries
+	d.CheckpointsTaken = r.CheckpointsTaken - warm.CheckpointsTaken
+	d.CheckpointsCommitted = r.CheckpointsCommitted - warm.CheckpointsCommitted
+	d.CheckpointStallCycles = r.CheckpointStallCycles - warm.CheckpointStallCycles
+	d.SLIQMoved = r.SLIQMoved - warm.SLIQMoved
+	d.SLIQWoken = r.SLIQWoken - warm.SLIQWoken
+	d.SkippedCycles = r.SkippedCycles - warm.SkippedCycles
+	d.SkipEvents = r.SkipEvents - warm.SkipEvents
+
+	d.Branch.Predictions = r.Branch.Predictions - warm.Branch.Predictions
+	d.Branch.Mispredicts = r.Branch.Mispredicts - warm.Branch.Mispredicts
+
+	if r.BTB != nil {
+		b := *r.BTB
+		if warm.BTB != nil {
+			b.Lookups -= warm.BTB.Lookups
+			b.Hits -= warm.BTB.Hits
+			b.BadTargets -= warm.BTB.BadTargets
+		}
+		d.BTB = &b
+	}
+	if r.LSQ != nil {
+		q := *r.LSQ
+		if warm.LSQ != nil {
+			q.Loads -= warm.LSQ.Loads
+			q.Stores -= warm.LSQ.Stores
+			q.Forwards -= warm.LSQ.Forwards
+			q.ForwardStalls -= warm.LSQ.ForwardStalls
+			q.StoresDrained -= warm.LSQ.StoresDrained
+			q.FullStalls -= warm.LSQ.FullStalls
+		}
+		d.LSQ = &q
+	}
+
+	d.Mem.IL1.Accesses = r.Mem.IL1.Accesses - warm.Mem.IL1.Accesses
+	d.Mem.IL1.Misses = r.Mem.IL1.Misses - warm.Mem.IL1.Misses
+	d.Mem.DL1.Accesses = r.Mem.DL1.Accesses - warm.Mem.DL1.Accesses
+	d.Mem.DL1.Misses = r.Mem.DL1.Misses - warm.Mem.DL1.Misses
+	d.Mem.L2.Accesses = r.Mem.L2.Accesses - warm.Mem.L2.Accesses
+	d.Mem.L2.Misses = r.Mem.L2.Misses - warm.Mem.L2.Misses
+	d.Mem.MemAccesses = r.Mem.MemAccesses - warm.Mem.MemAccesses
+	d.Mem.MergedMisses = r.Mem.MergedMisses - warm.Mem.MergedMisses
+	d.Mem.StoreWrites = r.Mem.StoreWrites - warm.Mem.StoreWrites
+	d.Mem.Prefetches = r.Mem.Prefetches - warm.Mem.Prefetches
+
+	for c := range d.Retire {
+		d.Retire[c] = r.Retire[c] - warm.Retire[c]
+	}
+	if len(r.Policy) > 0 {
+		d.Policy = make(map[string]uint64, len(r.Policy))
+		for k, v := range r.Policy {
+			if policyCounterIsMax(k) {
+				d.Policy[k] = v
+			} else {
+				d.Policy[k] = v - warm.Policy[k]
+			}
+		}
+	}
+	if d.Cycles > 0 {
+		d.MeanInflight = (r.MeanInflight*float64(r.Cycles) - warm.MeanInflight*float64(warm.Cycles)) / float64(d.Cycles)
+	} else {
+		d.MeanInflight = 0
+	}
+	d.Occ = nil
+	return d
+}

@@ -362,6 +362,12 @@ type Results struct {
 	// Occ carries the full occupancy distribution when the run was
 	// configured to collect it (Figure 7); nil otherwise.
 	Occ *Occupancy
+
+	// Sampled summarises the sampling protocol of a sampled run (nil —
+	// and omitted from JSON, keeping full-detail encodings byte-identical
+	// — for full-detail runs). When present, every other counter in
+	// Results covers only the measured detail windows.
+	Sampled *Sampled `json:",omitempty"`
 }
 
 // Merge folds another run's measurements into r, producing suite-level
@@ -458,6 +464,12 @@ func (r *Results) Merge(o Results) {
 		} else {
 			r.Occ = mergeOcc(r.Occ, o.Occ)
 		}
+	}
+	if o.Sampled != nil {
+		if r.Sampled == nil {
+			r.Sampled = &Sampled{}
+		}
+		r.Sampled.merge(*o.Sampled)
 	}
 }
 

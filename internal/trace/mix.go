@@ -48,8 +48,36 @@ func FPMix(n int, seed uint64) *Trace {
 // interleaving changes scheduling pressure without creating false
 // cross-kernel dependences.
 func Mix(n int, seed uint64, w MixWeights) *Trace {
-	if err := w.Validate(); err != nil {
+	round, err := mixRound(seed, w)
+	if err != nil {
 		panic(err)
+	}
+	b := newBuilder(n)
+	for b.len() < n {
+		for _, src := range round {
+			src.emitIter(b)
+			if b.len() >= n {
+				break
+			}
+		}
+	}
+	b.insts = b.insts[:n]
+	tr := b.trace("fpmix")
+	// Only the default mix has a declarative recipe; custom weights
+	// produce an anonymous (unfingerprintable) trace.
+	if w == DefaultWeights() {
+		tr = tr.withRecipe(Recipe{Kernel: KernelFPMix, N: n, Seed: seed})
+	}
+	return tr
+}
+
+// mixRound builds the kernel instances and the one scheduling round Mix
+// and the streaming generator share. All instances draw from one PRNG in
+// round emission order, so replaying whole rounds reproduces the exact
+// materialised sequence (truncation in Mix only drops a suffix).
+func mixRound(seed uint64, w MixWeights) ([]iterSource, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
 	rng := newPRNG(seed)
 
@@ -107,22 +135,5 @@ func Mix(n int, seed uint64, w MixWeights) *Trace {
 		remaining--
 		round = append(round, slots[best].src)
 	}
-
-	b := newBuilder(n)
-	for b.len() < n {
-		for _, src := range round {
-			src.emitIter(b)
-			if b.len() >= n {
-				break
-			}
-		}
-	}
-	b.insts = b.insts[:n]
-	tr := b.trace("fpmix")
-	// Only the default mix has a declarative recipe; custom weights
-	// produce an anonymous (unfingerprintable) trace.
-	if w == DefaultWeights() {
-		tr = tr.withRecipe(Recipe{Kernel: KernelFPMix, N: n, Seed: seed})
-	}
-	return tr
+	return round, nil
 }

@@ -76,21 +76,33 @@ func LenFor(insts uint64) int {
 // ~25x the paper's figure scale (364k instructions per point).
 const MaxRecipeInsts = 8 << 20
 
+// MaxStreamInsts bounds the dynamic length of a streamed (sampled) run.
+// Streaming never materialises the whole trace, so the bound only caps
+// runaway requests, not memory — hence ~128x the materialisation cap.
+const MaxStreamInsts = 1 << 30
+
 // Validate reports unknown kernels and nonsensical parameters. It also
 // rejects parameters the kernel ignores (a seed on "stream", a stride
 // on "fpmix"): two recipes that generate identical traces must render
 // identical canonical strings, or equal simulations would get distinct
 // fingerprints and defeat the content-addressed cache.
-func (r Recipe) Validate() error {
+func (r Recipe) Validate() error { return r.validate(MaxRecipeInsts) }
+
+// ValidateStreamed is Validate with the N bound lifted to
+// MaxStreamInsts: streamed consumers (sampled runs) hold only a window
+// in memory, so the materialisation cap does not apply.
+func (r Recipe) ValidateStreamed() error { return r.validate(MaxStreamInsts) }
+
+func (r Recipe) validate(maxN int) error {
 	if r.Kernel == KernelProgram {
 		return r.validateProgram()
 	}
 	if r.Program != "" || r.Input != 0 {
 		return fmt.Errorf("trace: recipe %s: program parameters on a synthetic kernel", r.Kernel)
 	}
-	if r.N < 1 || r.N > MaxRecipeInsts {
+	if r.N < 1 || r.N > maxN {
 		return fmt.Errorf("trace: recipe %s: instruction count %d outside [1,%d]",
-			r.Kernel, r.N, MaxRecipeInsts)
+			r.Kernel, r.N, maxN)
 	}
 	switch r.Kernel {
 	case KernelStrided:
@@ -220,6 +232,16 @@ func (t *Trace) Recipe() (Recipe, bool) {
 // immediately); Materialise the recipe for that.
 func RecipeOnly(r Recipe) (*Trace, error) {
 	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return (&Trace{name: r.WorkloadName()}).withRecipe(r), nil
+}
+
+// StreamOnly is RecipeOnly under the streamed validation rules: the
+// handle for sampled points, whose synthetic N may exceed the
+// materialisation cap because only a window ever exists in memory.
+func StreamOnly(r Recipe) (*Trace, error) {
+	if err := r.ValidateStreamed(); err != nil {
 		return nil, err
 	}
 	return (&Trace{name: r.WorkloadName()}).withRecipe(r), nil
