@@ -8,6 +8,7 @@
 //
 //	ooosimd [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
 //	        [-workers N] [-max-queue N] [-drain-timeout D]
+//	        [-journal PATH|auto|off]
 //	        [-peers URL,URL,...] [-advertise URL] [-v]
 //
 // API (see internal/service):
@@ -28,6 +29,13 @@
 // donor snapshots to each other so each snapshot group is warmed once
 // fleet-wide.
 //
+// Crash recovery: with a cache dir configured, the daemon keeps an
+// append-only batch journal (default <cache-dir>/journal.ndjson) and on
+// boot re-admits batches that were in flight when the previous process
+// died. Already-journaled points hit the disk cache, so only the truly
+// missing points re-simulate — byte-identically, since the simulator is
+// deterministic.
+//
 // SIGINT or SIGTERM triggers a graceful drain: stop admitting, finish
 // the queue (up to -drain-timeout), then exit.
 //
@@ -43,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -58,6 +67,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size (shared across batches)")
 	maxQueue := flag.Int("max-queue", 0, "admission bound on queued misses; 0 admits everything")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a signal-triggered drain waits for the queue")
+	journalPath := flag.String("journal", "auto", "batch recovery journal: a path, 'auto' (<cache-dir>/journal.ndjson), or 'off'")
 	peers := flag.String("peers", "", "comma-separated fleet worker URLs (same list on every node); empty disables donor shipping")
 	advertise := flag.String("advertise", "", "this node's own URL in -peers (enables adopting donors from peers)")
 	verbose := flag.Bool("v", false, "log every request")
@@ -77,6 +87,19 @@ func main() {
 		}
 		donors = service.NewDonorExchange(*advertise, list)
 	}
+	var journal *service.Journal
+	switch *journalPath {
+	case "off", "":
+	case "auto":
+		if *cacheDir != "" {
+			journal, err = service.OpenJournal(filepath.Join(*cacheDir, "journal.ndjson"))
+		}
+	default:
+		journal, err = service.OpenJournal(*journalPath)
+	}
+	if err != nil {
+		log.Fatalf("ooosimd: journal: %v", err)
+	}
 	// Every finished batch logs its cache hit/miss split alongside the
 	// snapshot-sharing stats (group count, warm-donor reuse rate), so
 	// operators can see the snapshot-fork sharing actually engage.
@@ -85,8 +108,18 @@ func main() {
 		Cache:    cache,
 		MaxQueue: *maxQueue,
 		Donors:   donors,
+		Journal:  journal,
 		Log:      log.Printf,
 	})
+	if journal != nil {
+		// Re-admit batches the previous process left in flight: journaled
+		// points hit the disk cache, so only the missing ones re-simulate.
+		if requeued, err := sched.Recover(); err != nil {
+			log.Printf("ooosimd: journal recovery: %v", err)
+		} else if requeued > 0 {
+			log.Printf("ooosimd: recovered %d in-flight batch(es) from the journal", requeued)
+		}
+	}
 	handler := service.NewHandler(sched)
 	if *verbose {
 		inner := handler

@@ -6,7 +6,9 @@
 //
 //	ooosimfleet -worker URL [-worker URL ...]
 //	            [-addr HOST:PORT] [-max-queue N]
-//	            [-ping-interval D] [-drain-timeout D] [-v]
+//	            [-ping-interval D] [-ping-timeout D]
+//	            [-breaker-threshold N] [-breaker-cooldown D]
+//	            [-retry-budget N] [-drain-timeout D] [-v]
 //
 // Clients cannot tell the coordinator from a single daemon — the sweep
 // runner, cmd/experiments -server, and cmd/ooosimload all work
@@ -50,15 +52,23 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8320", "listen address")
 	maxQueue := flag.Int("max-queue", 0, "admission bound on queued points; 0 admits everything")
 	pingInterval := flag.Duration("ping-interval", time.Second, "worker readiness probe interval")
+	pingTimeout := flag.Duration("ping-timeout", 2*time.Second, "per-round readiness probe timeout")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that open a worker's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker refuses a worker before probation")
+	retryBudget := flag.Int("retry-budget", 0, "node failures one point may survive before erroring; 0 = breaker-threshold+3")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a signal-triggered drain waits for the queue")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
 	coord, err := fleet.New(fleet.Options{
-		Workers:      workers,
-		MaxQueue:     *maxQueue,
-		PingInterval: *pingInterval,
-		Log:          log.Printf,
+		Workers:          workers,
+		MaxQueue:         *maxQueue,
+		PingInterval:     *pingInterval,
+		PingTimeout:      *pingTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		RetryBudget:      *retryBudget,
+		Log:              log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("ooosimfleet: %v", err)

@@ -6,6 +6,7 @@
 //
 //	ooosimload [-url URL | -inprocess N] [-duration D] [-concurrency N]
 //	           [-batch-size N] [-distinct N] [-insts N] [-seed N]
+//	           [-chaos SEED [-chaos-batches N]]
 //
 // With -url it targets a running ooosimd or ooosimfleet. With
 // -inprocess N it boots a self-contained fleet first — N workers with
@@ -17,11 +18,22 @@
 // points from a space of -distinct distinct simulation points (the
 // ratio of the two sets the cache-hit rate), submit, stream to
 // completion, record the submit-to-done latency. A 429 (admission
-// control) is counted, honoured by sleeping the server's Retry-After,
-// and retried — backpressure is a result here, not an error.
+// control) is counted, honoured by backing off for the server's
+// Retry-After, and retried — backpressure is a result here, not an
+// error.
 //
 // The report: batches, points, point errors, 429s, points/s, and
 // latency p50/p90/p99.
+//
+// Chaos mode (-chaos SEED, requires -inprocess): instead of measuring
+// throughput, run the self-healing acceptance soak. Pass one computes
+// fault-free reference bytes on a local scheduler; pass two boots the
+// in-process fleet with the seed's aggressive fault plan injected at
+// every distributed seam (client and coordinator HTTP, donor fetches,
+// worker disk caches), kills one worker after the first batch, and
+// drives -chaos-batches batches through the fray. The run fails unless
+// every point completes with bytes identical to the reference — zero
+// lost points, zero divergence. The same seed replays the same faults.
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -43,9 +56,11 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/isa/programs"
 	"repro/internal/service"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -59,10 +74,22 @@ func main() {
 	insts := flag.Uint64("insts", 1500, "instructions per point")
 	seed := flag.Int64("seed", 1, "workload draw seed")
 	maxQueue := flag.Int("max-queue", 256, "admission bound for the in-process fleet's coordinator")
+	chaosSeed := flag.Int64("chaos", 0, "run the chaos soak with this fault-plan seed (requires -inprocess)")
+	chaosBatches := flag.Int("chaos-batches", 8, "batches the chaos soak drives")
 	flag.Parse()
 
 	if (*url == "") == (*inprocess == 0) {
 		log.Fatalf("ooosimload: exactly one of -url or -inprocess is required")
+	}
+	if *chaosSeed != 0 {
+		if *inprocess <= 0 {
+			log.Fatalf("ooosimload: -chaos requires -inprocess")
+		}
+		if err := runChaos(*chaosSeed, *inprocess, *distinct, *batchSize, *chaosBatches, *insts); err != nil {
+			log.Fatalf("ooosimload: chaos soak FAILED: %v", err)
+		}
+		fmt.Println("chaos soak PASSED: zero lost points, all bytes identical to the fault-free reference")
+		return
 	}
 	target := *url
 	if *inprocess > 0 {
@@ -94,6 +121,21 @@ func main() {
 		rejected  atomic.Uint64
 		failures  atomic.Uint64
 	)
+	// Admission control working as designed is not an error: 429s are
+	// counted and retried with the server's Retry-After honoured (capped
+	// jittered backoff when the server gives no hint), for as long as
+	// the load window is open.
+	backoff := &faults.Retrier{
+		MaxAttempts: 1 << 20,
+		BaseDelay:   200 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Retryable: func(err error) bool {
+			var se *service.StatusError
+			return errors.As(err, &se) && se.Code == http.StatusTooManyRequests &&
+				time.Now().Before(deadline)
+		},
+		OnRetry: func(int, error, time.Duration) { rejected.Add(1) },
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
@@ -106,21 +148,17 @@ func main() {
 					jobs[i] = points[rng.Intn(len(points))]
 				}
 				start := time.Now()
-				_, err := client.Run(ctx, jobs, nil)
+				err := backoff.Do(ctx, func() error {
+					_, err := client.Run(ctx, jobs, nil)
+					return err
+				})
 				if err != nil {
-					var se *service.StatusError
-					if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
-						// Admission control working as designed: back off
-						// for the advertised interval and try again.
-						rejected.Add(1)
-						select {
-						case <-time.After(time.Second):
-						case <-ctx.Done():
-						}
-						continue
-					}
 					if ctx.Err() != nil {
 						return
+					}
+					var se *service.StatusError
+					if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+						continue // load window closed mid-backoff; not a failure
 					}
 					failures.Add(1)
 					log.Printf("ooosimload: batch failed: %v", err)
@@ -220,6 +258,216 @@ func makePoints(n int, insts uint64) []service.Job {
 		out = append(out, job)
 	}
 	return out
+}
+
+// runChaos is the self-healing acceptance soak: reference bytes from a
+// fault-free local scheduler, then the same points through an
+// in-process fleet with the seeded aggressive fault plan injected at
+// every distributed seam and one worker killed after the first batch.
+// Returns an error unless every point completes byte-identical to the
+// reference.
+func runChaos(seed int64, workers, distinct, batchSize, nbatches int, insts uint64) error {
+	points := makePoints(distinct, insts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Pass 1: fault-free reference bytes, no HTTP anywhere.
+	log.Printf("chaos: pass 1 — fault-free reference over %d distinct points", len(points))
+	refSched := service.NewScheduler(service.SchedulerOptions{Workers: runtime.GOMAXPROCS(0)})
+	rb, err := refSched.Submit(points)
+	if err != nil {
+		return fmt.Errorf("reference submit: %w", err)
+	}
+	rst, err := rb.Wait(ctx)
+	if err != nil {
+		return fmt.Errorf("reference wait: %w", err)
+	}
+	if len(rst.Errors) > 0 {
+		return fmt.Errorf("reference run failed: %v", rst.Errors)
+	}
+	refBytes := make([]string, len(points))
+	for i := range points {
+		refBytes[i] = string(rst.Results[i])
+	}
+
+	// Pass 2: the same points through the fray.
+	inj := faults.NewInjector(faults.AggressivePlan(seed))
+	cf, err := bootChaosFleet(workers, inj)
+	if err != nil {
+		return err
+	}
+	defer cf.stop()
+	log.Printf("chaos: pass 2 — %d-worker fleet at %s under plan seed %d", workers, cf.target, seed)
+
+	client := &service.Client{
+		BaseURL:    cf.target,
+		HTTPClient: &http.Client{Transport: &faults.RoundTripper{Inject: inj}},
+		// The stock policy treats 503 as a routing signal and surfaces it;
+		// in this harness nothing drains, so a 503 is always injected
+		// noise and the soak client retries it alongside 429 and
+		// transport faults.
+		Retry: &faults.Retrier{
+			MaxAttempts: 12,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Retryable: func(err error) bool {
+				var se *service.StatusError
+				if errors.As(err, &se) {
+					return se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable
+				}
+				return faults.Transient(err)
+			},
+		},
+	}
+	if err := client.AwaitReady(ctx); err != nil {
+		return fmt.Errorf("chaos fleet never became ready: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	diverged := 0
+	for bi := 0; bi < nbatches; bi++ {
+		idxs := make([]int, batchSize)
+		jobs := make([]service.Job, batchSize)
+		for i := range jobs {
+			idxs[i] = rng.Intn(len(points))
+			jobs[i] = points[idxs[i]]
+		}
+		raw := make([]string, len(jobs))
+		// Run fails on any lost point, so a nil error means the batch is
+		// complete: every point either simulated, hit a cache, or was
+		// re-routed to a survivor.
+		if _, err := client.Run(ctx, jobs, func(ev service.Event, _ *stats.Results) {
+			if ev.Type == "result" && ev.Index >= 0 && ev.Index < len(raw) {
+				raw[ev.Index] = string(ev.Results)
+			}
+		}); err != nil {
+			return fmt.Errorf("batch %d lost points: %w", bi, err)
+		}
+		for i := range jobs {
+			if raw[i] != refBytes[idxs[i]] {
+				diverged++
+				log.Printf("chaos: batch %d point %d (%s) diverged from the reference", bi, i, jobs[i].Name)
+			}
+		}
+		log.Printf("chaos: batch %d/%d complete (%d points)", bi+1, nbatches, len(jobs))
+		if bi == 0 {
+			log.Printf("chaos: killing worker 0 (%s)", cf.urls[0])
+			cf.kill()
+		}
+	}
+
+	log.Printf("chaos: injector: %s", inj.StatsLine())
+	for i, c := range cf.caches {
+		log.Printf("chaos: worker %d quarantined %d corrupt cache entr(ies)", i, c.Quarantined())
+	}
+	for i, s := range cf.scheds {
+		a, b, sh, f := s.Donors().Stats()
+		log.Printf("chaos: worker %d donors: adopted=%d built=%d shipped=%d fetchFails=%d", i, a, b, sh, f)
+	}
+	if diverged > 0 {
+		return fmt.Errorf("%d point(s) diverged from the fault-free reference", diverged)
+	}
+	return nil
+}
+
+// chaosFleet is the soak's in-process fleet plus the handles the report
+// needs.
+type chaosFleet struct {
+	target string
+	urls   []string
+	caches []*service.Cache
+	scheds []*service.Scheduler
+	kill   func() // severs worker 0's HTTP server mid-soak
+	stop   func()
+}
+
+// bootChaosFleet is bootFleet with the failure domain wired in: every
+// worker gets a chaotic disk cache (tiny memory tier, so reads actually
+// hit the faulty disk path), a recovery journal, and a chaos transport
+// on its donor fetches; the coordinator and its health probes run
+// through the chaos transport too, with fast breaker settings so the
+// soak exercises open/half-open/close cycles in seconds.
+func bootChaosFleet(workers int, inj *faults.Injector) (*chaosFleet, error) {
+	cf := &chaosFleet{urls: make([]string, workers)}
+	lns := make([]net.Listener, workers)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		cf.urls[i] = "http://" + ln.Addr().String()
+	}
+	var stops []func()
+	cf.stop = func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	slots := runtime.GOMAXPROCS(0)/workers + 1
+	for i := range lns {
+		dir, err := os.MkdirTemp("", "ooosim-chaos-")
+		if err != nil {
+			cf.stop()
+			return nil, err
+		}
+		stops = append(stops, func() { os.RemoveAll(dir) })
+		cache, err := service.NewCacheFS(2, dir, faults.ChaosFS{Base: faults.OSFS{}, Inject: inj, Site: "cachefs"})
+		if err != nil {
+			cf.stop()
+			return nil, err
+		}
+		journal, err := service.OpenJournal(filepath.Join(dir, "journal.ndjson"))
+		if err != nil {
+			cf.stop()
+			return nil, err
+		}
+		stops = append(stops, func() { journal.Close() })
+		donors := service.NewDonorExchange(cf.urls[i], cf.urls)
+		donors.UseTransport(&faults.RoundTripper{Inject: inj, Site: func(r *http.Request) string {
+			return "donor:" + r.URL.Host
+		}})
+		sched := service.NewScheduler(service.SchedulerOptions{
+			Workers: slots,
+			Cache:   cache,
+			Donors:  donors,
+			Journal: journal,
+		})
+		cf.caches = append(cf.caches, cache)
+		cf.scheds = append(cf.scheds, sched)
+		srv := &http.Server{Handler: service.NewHandler(sched)}
+		go srv.Serve(lns[i])
+		stops = append(stops, func() { srv.Close() })
+		if i == 0 {
+			cf.kill = func() { srv.Close() }
+		}
+	}
+
+	coord, err := fleet.New(fleet.Options{
+		Workers:         cf.urls,
+		PingInterval:    200 * time.Millisecond,
+		PingTimeout:     time.Second,
+		BreakerCooldown: 500 * time.Millisecond,
+		RetryBudget:     10,
+		NoNodesGrace:    5 * time.Second,
+		HTTPClient:      &http.Client{Transport: &faults.RoundTripper{Inject: inj}},
+		Log:             log.Printf,
+	})
+	if err != nil {
+		cf.stop()
+		return nil, err
+	}
+	stops = append(stops, coord.Close)
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cf.stop()
+		return nil, err
+	}
+	fsrv := &http.Server{Handler: fleet.NewHandler(coord)}
+	go fsrv.Serve(fln)
+	stops = append(stops, func() { fsrv.Close() })
+	cf.target = "http://" + fln.Addr().String()
+	return cf, nil
 }
 
 // bootFleet starts workers+coordinator on loopback listeners and

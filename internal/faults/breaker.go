@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a circuit breaker with a probation-style half-open state:
+//
+//	closed     — operations flow; consecutive failures are counted.
+//	open       — Threshold consecutive failures trip the breaker;
+//	             Allow refuses everything until Cooldown elapses.
+//	half-open  — after Cooldown, Allow admits traffic again on
+//	             probation: the first failure re-opens (fresh
+//	             cooldown), the first success closes.
+//
+// Unlike token-based half-open designs, Allow has no side effects — it
+// can be called from metrics rendering and readiness probes without
+// consuming a probe slot. The cost is that several operations may race
+// into the half-open window; callers here bound that with their own
+// retry budgets.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker. <=0 means 3.
+	Threshold int
+	// Cooldown is how long the breaker stays open before probation.
+	// <=0 means 5s.
+	Cooldown time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	open      bool
+	openUntil time.Time
+	now       func() time.Time // test seam; nil means time.Now
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 3
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether an operation may proceed: true when closed or
+// when the open cooldown has elapsed (half-open probation). It never
+// mutates state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open || !b.clock().Before(b.openUntil)
+}
+
+// Success records a successful operation: the breaker closes and the
+// failure count resets, whatever state it was in.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open = false
+	b.fails = 0
+}
+
+// Failure records a failed operation and returns true exactly when
+// this failure transitions the breaker from closed to open — callers
+// use the transition to count "node failed" events once per outage
+// rather than once per request. Failures while open (including
+// half-open probation) refresh the cooldown.
+func (b *Breaker) Failure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.open {
+		b.openUntil = b.clock().Add(b.cooldown())
+		return false
+	}
+	if b.fails >= b.threshold() {
+		b.open = true
+		b.openUntil = b.clock().Add(b.cooldown())
+		return true
+	}
+	return false
+}
+
+// State names the current state for logs and metrics: "closed",
+// "open", or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case b.clock().Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}

@@ -1,0 +1,302 @@
+// Package faults makes failure a first-class, reproducible input to the
+// simulation fleet — and supplies the self-healing primitives the rest
+// of the system uses to survive it.
+//
+// Two halves:
+//
+//   - Injection: a Plan is a seed plus per-site rules for dropping,
+//     delaying, erroring and corrupting operations. An Injector
+//     instantiates the plan with one named PRNG stream per site, so the
+//     decision sequence at every site is a pure function of (seed,
+//     site) — a failing chaos run replays exactly from its seed, no
+//     matter how goroutines interleave across sites. Wrappers apply the
+//     decisions at the distributed seams: RoundTripper for HTTP
+//     clients, ChaosFS for the disk result cache.
+//
+//   - Healing: Retrier (capped, jittered exponential backoff that
+//     honours server Retry-After hints) and Breaker (a circuit breaker
+//     with closed → open → half-open probation) are the reusable
+//     policies the service client, donor exchange and fleet coordinator
+//     build their fault handling from.
+//
+// The package deliberately knows nothing about the service layer; the
+// service layer depends on it, not the other way around.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action is the injector's decision for one operation at one site.
+type Action uint8
+
+const (
+	// None lets the operation through untouched.
+	None Action = iota
+	// Drop fails the operation with a transient-looking transport error
+	// before it executes (the request is never sent, the file never
+	// touched — so retrying a dropped operation is always safe).
+	Drop
+	// Delay sleeps, then lets the operation through.
+	Delay
+	// Error lets the operation reach the other side's failure surface:
+	// HTTP sites synthesize an error-status response, fs sites return a
+	// read/write error.
+	Error
+	// Corrupt lets the operation through but flips bytes in its payload
+	// — only meaningful at seams with an integrity check to catch it.
+	Corrupt
+)
+
+// String names the action for stats and logs.
+func (a Action) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "none"
+}
+
+// Rule is one site's fault mix: independent probabilities per action
+// (evaluated in Drop, Delay, Error, Corrupt order against a single
+// uniform draw, so their sum must stay <= 1).
+type Rule struct {
+	// Drop, Delay, Error, Corrupt are per-operation probabilities.
+	Drop    float64
+	Delay   float64
+	Error   float64
+	Corrupt float64
+	// MaxDelay bounds an injected delay; Delay decisions draw uniformly
+	// from (0, MaxDelay]. Zero means 10ms.
+	MaxDelay time.Duration
+	// ErrorStatus is the HTTP status an Error decision synthesizes at
+	// HTTP sites (fs sites ignore it). Zero means 500.
+	ErrorStatus int
+	// Limit caps the number of faults injected at the site; 0 is
+	// unlimited. Useful for "break exactly once" scenarios.
+	Limit int
+}
+
+// Plan is a complete, replayable chaos schedule: a seed plus rules
+// keyed by site-name prefix (the longest matching prefix wins, so
+// "donor:" can override a blanket "": rule).
+type Plan struct {
+	Seed  int64
+	Rules map[string]Rule
+}
+
+// AggressivePlan is the canonical chaos mix used by `ooosimload -chaos`
+// and the CI soak: drops, delays and 5xx on every HTTP seam, plus
+// corrupt-bytes at the two seams that carry their own integrity checks
+// (the disk result cache's checksum trailer and the donor exchange's
+// snapshot digest). Corruption is deliberately absent from the generic
+// HTTP rule: event-stream bytes have no application-level checksum, so
+// corrupting them could alter results undetectably instead of
+// exercising detection.
+func AggressivePlan(seed int64) Plan {
+	return Plan{
+		Seed: seed,
+		Rules: map[string]Rule{
+			"http:":         {Drop: 0.08, Delay: 0.15, Error: 0.05, MaxDelay: 20 * time.Millisecond, ErrorStatus: 503},
+			"donor:":        {Drop: 0.10, Delay: 0.10, Error: 0.05, Corrupt: 0.20, MaxDelay: 10 * time.Millisecond, ErrorStatus: 500},
+			"cachefs:read":  {Error: 0.05, Corrupt: 0.25},
+			"cachefs:write": {Drop: 0.05, Error: 0.05},
+		},
+	}
+}
+
+// Decision is one resolved injection: the action plus its parameters.
+type Decision struct {
+	Act Action
+	// Sleep is the injected latency (Delay decisions).
+	Sleep time.Duration
+	// Status is the synthesized HTTP status (Error decisions at HTTP
+	// sites).
+	Status int
+	// Pattern seeds the deterministic byte corruption (Corrupt
+	// decisions); see CorruptBytes.
+	Pattern uint64
+}
+
+// SiteStats counts one site's injected faults.
+type SiteStats struct {
+	Ops, Drops, Delays, Errors, Corrupts uint64
+}
+
+// Injector instantiates a Plan: every site gets its own PRNG stream
+// seeded by (plan seed, site name), so per-site decision sequences are
+// reproducible independent of cross-site interleaving. A nil *Injector
+// is valid and injects nothing, so call sites need no guards.
+type Injector struct {
+	plan Plan
+
+	mu      sync.Mutex
+	streams map[string]*siteStream
+}
+
+type siteStream struct {
+	rng      *rand.Rand
+	rule     Rule
+	ruled    bool
+	injected int
+	stats    SiteStats
+}
+
+// NewInjector instantiates plan. A plan with no rules yields an
+// injector that decides None everywhere (still counting ops).
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan, streams: map[string]*siteStream{}}
+}
+
+// stream returns (creating on first use) the named site's stream.
+func (in *Injector) stream(site string) *siteStream {
+	s, ok := in.streams[site]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(site))
+		s = &siteStream{rng: rand.New(rand.NewSource(in.plan.Seed ^ int64(h.Sum64())))}
+		s.rule, s.ruled = in.matchRule(site)
+		in.streams[site] = s
+	}
+	return s
+}
+
+// matchRule finds the longest rule prefix matching site.
+func (in *Injector) matchRule(site string) (Rule, bool) {
+	best, found := Rule{}, false
+	bestLen := -1
+	for prefix, r := range in.plan.Rules {
+		if strings.HasPrefix(site, prefix) && len(prefix) > bestLen {
+			best, found, bestLen = r, true, len(prefix)
+		}
+	}
+	return best, found
+}
+
+// Decide draws the next decision from site's stream. Exactly two PRNG
+// draws per call (action selector + parameter), so the stream position
+// — and therefore every later decision — is independent of which
+// action fired.
+func (in *Injector) Decide(site string) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.stream(site)
+	s.stats.Ops++
+	u := s.rng.Float64()
+	p := s.rng.Uint64()
+	if !s.ruled || (s.rule.Limit > 0 && s.injected >= s.rule.Limit) {
+		return Decision{}
+	}
+	r := s.rule
+	d := Decision{Pattern: p}
+	switch {
+	case u < r.Drop:
+		d.Act = Drop
+		s.stats.Drops++
+	case u < r.Drop+r.Delay:
+		d.Act = Delay
+		maxDelay := r.MaxDelay
+		if maxDelay <= 0 {
+			maxDelay = 10 * time.Millisecond
+		}
+		d.Sleep = 1 + time.Duration(p%uint64(maxDelay))
+		s.stats.Delays++
+	case u < r.Drop+r.Delay+r.Error:
+		d.Act = Error
+		d.Status = r.ErrorStatus
+		if d.Status == 0 {
+			d.Status = 500
+		}
+		s.stats.Errors++
+	case u < r.Drop+r.Delay+r.Error+r.Corrupt:
+		d.Act = Corrupt
+		s.stats.Corrupts++
+	default:
+		return Decision{}
+	}
+	s.injected++
+	return d
+}
+
+// Stats snapshots every site's injection counters.
+func (in *Injector) Stats() map[string]SiteStats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]SiteStats, len(in.streams))
+	for site, s := range in.streams {
+		out[site] = s.stats
+	}
+	return out
+}
+
+// StatsLine renders the injection counters as one sorted, stable log
+// line ("site drop=N delay=N error=N corrupt=N; ...").
+func (in *Injector) StatsLine() string {
+	st := in.Stats()
+	sites := make([]string, 0, len(st))
+	for s := range st {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	parts := make([]string, 0, len(sites))
+	for _, site := range sites {
+		s := st[site]
+		parts = append(parts, fmt.Sprintf("%s ops=%d drop=%d delay=%d error=%d corrupt=%d",
+			site, s.Ops, s.Drops, s.Delays, s.Errors, s.Corrupts))
+	}
+	if len(parts) == 0 {
+		return "no sites touched"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// InjectedError is the transport-level failure a Drop decision raises.
+// It reports itself transient (see Transient), since the dropped
+// operation never executed and is always safe to retry.
+type InjectedError struct {
+	Site string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected drop at %s", e.Site)
+}
+
+// TransientFault marks the error safe to retry.
+func (e *InjectedError) TransientFault() bool { return true }
+
+// CorruptBytes deterministically flips bytes in a copy of b: always the
+// first byte, plus a sparse pattern-seeded scatter (~1 in 256). The
+// first-byte flip guarantees even a tiny payload is actually damaged,
+// so integrity checks are exercised on every Corrupt decision.
+func CorruptBytes(pattern uint64, b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	out := append([]byte(nil), b...)
+	mask := byte(pattern>>8) | 1
+	out[0] ^= mask
+	for i := 1; i < len(out); i++ {
+		if (uint64(i)*2654435761+pattern)%257 == 0 {
+			out[i] ^= mask
+		}
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainDecisions pulls n decisions for site from a fresh injector over
+// plan.
+func drainDecisions(plan Plan, site string, n int) []Decision {
+	in := NewInjector(plan)
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = in.Decide(site)
+	}
+	return out
+}
+
+func TestInjectorDeterministicPerSite(t *testing.T) {
+	plan := AggressivePlan(42)
+	a := drainDecisions(plan, "http:worker-1", 500)
+	b := drainDecisions(plan, "http:worker-1", 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A site's sequence must not depend on traffic at other sites.
+	in := NewInjector(plan)
+	var c []Decision
+	for i := 0; i < 500; i++ {
+		in.Decide("donor:other")
+		in.Decide("cachefs:read")
+		c = append(c, in.Decide("http:worker-1"))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("decision %d perturbed by other sites: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestInjectorSeedsDiffer(t *testing.T) {
+	a := drainDecisions(AggressivePlan(1), "http:w", 200)
+	b := drainDecisions(AggressivePlan(2), "http:w", 200)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("different seeds produced identical decision sequences")
+	}
+}
+
+func TestInjectorRuleMatching(t *testing.T) {
+	plan := Plan{Seed: 7, Rules: map[string]Rule{
+		"http:":        {Drop: 1},
+		"http:special": {Delay: 1, MaxDelay: time.Millisecond},
+	}}
+	in := NewInjector(plan)
+	if d := in.Decide("http:worker"); d.Act != Drop {
+		t.Fatalf("prefix rule not applied: %+v", d)
+	}
+	if d := in.Decide("http:special-node"); d.Act != Delay {
+		t.Fatalf("longest prefix not preferred: %+v", d)
+	}
+	if d := in.Decide("unruled:site"); d.Act != None {
+		t.Fatalf("unmatched site injected: %+v", d)
+	}
+}
+
+func TestInjectorLimit(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: map[string]Rule{"s": {Drop: 1, Limit: 2}}})
+	got := 0
+	for i := 0; i < 10; i++ {
+		if in.Decide("s").Act == Drop {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("Limit=2 injected %d faults", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if d := in.Decide("anything"); d.Act != None {
+		t.Fatalf("nil injector decided %+v", d)
+	}
+	if st := in.Stats(); st != nil {
+		t.Fatalf("nil injector stats = %v", st)
+	}
+}
+
+func TestCorruptBytesAlwaysChanges(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 512, 100_000} {
+		b := bytes.Repeat([]byte{0xAA}, n)
+		c := CorruptBytes(99, b)
+		if bytes.Equal(b, c) {
+			t.Fatalf("len=%d: corruption was a no-op", n)
+		}
+		if len(c) != len(b) {
+			t.Fatalf("len changed: %d -> %d", len(b), len(c))
+		}
+	}
+}
+
+type hintedError struct{ d time.Duration }
+
+func (e *hintedError) Error() string                         { return "backpressure" }
+func (e *hintedError) TransientFault() bool                  { return true }
+func (e *hintedError) RetryAfterHint() (time.Duration, bool) { return e.d, true }
+
+func TestRetrierAttemptsAndClassification(t *testing.T) {
+	calls := 0
+	err := (&Retrier{MaxAttempts: 4, BaseDelay: time.Microsecond}).Do(context.Background(), func() error {
+		calls++
+		return MarkTransient(errors.New("flaky"))
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("want 4 attempts then failure, got calls=%d err=%v", calls, err)
+	}
+
+	calls = 0
+	err = (&Retrier{MaxAttempts: 4, BaseDelay: time.Microsecond}).Do(context.Background(), func() error {
+		calls++
+		return errors.New("terminal")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("non-transient error retried: calls=%d err=%v", calls, err)
+	}
+
+	calls = 0
+	err = (&Retrier{MaxAttempts: 4, BaseDelay: time.Microsecond}).Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("want success on attempt 3, got calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetrierHonoursRetryAfter(t *testing.T) {
+	hint := 30 * time.Millisecond
+	var sleeps []time.Duration
+	r := &Retrier{
+		MaxAttempts: 2,
+		BaseDelay:   time.Microsecond,
+		OnRetry:     func(_ int, _ error, d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	start := time.Now()
+	_ = r.Do(context.Background(), func() error { return &hintedError{d: hint} })
+	if len(sleeps) != 1 || sleeps[0] != hint {
+		t.Fatalf("Retry-After hint not honoured: sleeps=%v", sleeps)
+	}
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Fatalf("slept %v, want >= %v", elapsed, hint)
+	}
+}
+
+func TestRetrierContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	r := &Retrier{MaxAttempts: 10, BaseDelay: time.Hour}
+	err := r.Do(ctx, func() error {
+		calls++
+		cancel()
+		return MarkTransient(errors.New("flaky"))
+	})
+	if calls != 1 {
+		t.Fatalf("retried across cancellation: calls=%d", calls)
+	}
+	if err == nil {
+		t.Fatalf("want error after cancellation")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) {
+		t.Fatal("nil transient")
+	}
+	if Transient(errors.New("boring")) {
+		t.Fatal("plain error transient")
+	}
+	if Transient(context.Canceled) || Transient(context.DeadlineExceeded) {
+		t.Fatal("context errors must not be transient")
+	}
+	if !Transient(io.ErrUnexpectedEOF) {
+		t.Fatal("truncated read not transient")
+	}
+	if !Transient(MarkTransient(errors.New("x"))) {
+		t.Fatal("marked error not transient")
+	}
+	if !Transient(fmt.Errorf("wrap: %w", &InjectedError{Site: "s"})) {
+		t.Fatal("injected drop not transient")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := &Breaker{Threshold: 2, Cooldown: time.Minute}
+	b.now = func() time.Time { return clock }
+
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatalf("new breaker not closed: allow=%v state=%s", b.Allow(), b.State())
+	}
+	if opened := b.Failure(); opened {
+		t.Fatal("opened below threshold")
+	}
+	if opened := b.Failure(); !opened {
+		t.Fatal("did not open at threshold")
+	}
+	if b.Allow() || b.State() != "open" {
+		t.Fatalf("open breaker allowed traffic: state=%s", b.State())
+	}
+	// A failure while open must not re-report the transition.
+	if opened := b.Failure(); opened {
+		t.Fatal("open->open reported as a fresh transition")
+	}
+
+	clock = clock.Add(2 * time.Minute)
+	if !b.Allow() || b.State() != "half-open" {
+		t.Fatalf("cooldown did not half-open: state=%s", b.State())
+	}
+	// Probation failure re-opens with a fresh cooldown.
+	b.Failure()
+	if b.Allow() || b.State() != "open" {
+		t.Fatalf("half-open failure did not re-open: state=%s", b.State())
+	}
+
+	clock = clock.Add(2 * time.Minute)
+	b.Success()
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatalf("success did not close: state=%s", b.State())
+	}
+	// Closing resets the consecutive-failure count.
+	if opened := b.Failure(); opened {
+		t.Fatal("stale failure count survived Success")
+	}
+}
+
+func TestRoundTripperActions(t *testing.T) {
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		fmt.Fprint(w, "payload-payload-payload")
+	}))
+	defer srv.Close()
+
+	get := func(rt http.RoundTripper) (*http.Response, []byte, error) {
+		c := &http.Client{Transport: rt}
+		resp, err := c.Get(srv.URL)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp, b, err
+	}
+
+	// Drop: transient error, nothing served.
+	served = 0
+	rt := &RoundTripper{Inject: NewInjector(Plan{Seed: 1, Rules: map[string]Rule{"": {Drop: 1}}})}
+	if _, _, err := get(rt); err == nil || !Transient(err) {
+		t.Fatalf("drop: want transient error, got %v", err)
+	}
+	if served != 0 {
+		t.Fatalf("dropped request reached the server")
+	}
+
+	// Error: synthesized status with Retry-After, nothing served.
+	served = 0
+	rt = &RoundTripper{Inject: NewInjector(Plan{Seed: 1, Rules: map[string]Rule{"": {Error: 1, ErrorStatus: 429}}})}
+	resp, _, err := get(rt)
+	if err != nil || resp.StatusCode != 429 {
+		t.Fatalf("error: want synthesized 429, got resp=%v err=%v", resp, err)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("synthesized 429 missing Retry-After")
+	}
+	if served != 0 {
+		t.Fatalf("error-injected request reached the server")
+	}
+
+	// Corrupt: body bytes flipped, request served.
+	served = 0
+	rt = &RoundTripper{Inject: NewInjector(Plan{Seed: 1, Rules: map[string]Rule{"": {Corrupt: 1}}})}
+	_, body, err := get(rt)
+	if err != nil || served != 1 {
+		t.Fatalf("corrupt: served=%d err=%v", served, err)
+	}
+	if string(body) == "payload-payload-payload" {
+		t.Fatalf("corrupt action left body intact")
+	}
+
+	// Custom site names route to their own rules.
+	rt = &RoundTripper{
+		Inject: NewInjector(Plan{Seed: 1, Rules: map[string]Rule{"donor:": {Drop: 1}}}),
+		Site:   func(r *http.Request) string { return "donor:" + r.URL.Host },
+	}
+	if _, _, err := get(rt); err == nil {
+		t.Fatalf("site-scoped rule not applied")
+	}
+}
+
+func TestOSFSWriteFileAtomicAndReadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	if err := (OSFS{}).WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := (OSFS{}).ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("round trip: %q %v", b, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file leaked: %s", e.Name())
+		}
+	}
+}
+
+func TestChaosFSCorruptRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	if err := os.WriteFile(path, []byte("stable-bytes-here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := ChaosFS{
+		Base:   OSFS{},
+		Inject: NewInjector(Plan{Seed: 3, Rules: map[string]Rule{"cachefs:read": {Corrupt: 1}}}),
+		Site:   "cachefs",
+	}
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) == "stable-bytes-here" {
+		t.Fatalf("corrupt read returned intact bytes")
+	}
+	// The file on disk is untouched.
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "stable-bytes-here" {
+		t.Fatalf("corrupt read mutated the file")
+	}
+}
+
+func TestChaosFSLostWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	fs := ChaosFS{
+		Base:   OSFS{},
+		Inject: NewInjector(Plan{Seed: 3, Rules: map[string]Rule{"cachefs:write": {Drop: 1}}}),
+		Site:   "cachefs",
+	}
+	if err := fs.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatalf("lost write must report success, got %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("dropped write persisted")
+	}
+}
+
+func TestRetrierConcurrent(t *testing.T) {
+	r := &Retrier{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			_ = r.Do(context.Background(), func() error {
+				n++
+				if n < 2 {
+					return MarkTransient(errors.New("x"))
+				}
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FS is the small filesystem surface the disk result cache needs.
+// Production code uses OSFS; chaos runs wrap it in ChaosFS so reads
+// and writes can be dropped, delayed, failed, or corrupted on a
+// deterministic schedule.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	// WriteFile must be atomic: readers see either the whole file or
+	// nothing, never a torn prefix.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OSFS is the real filesystem. WriteFile is atomic (temp file in the
+// target directory, then rename), matching what a crash-consistent
+// result cache requires.
+type OSFS struct{}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(name)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), name)
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ChaosFS wraps an FS with fault injection. Each operation consults
+// the injector at Site+":read" / ":write" / ":rename" / ":mkdir".
+// Semantics per action:
+//
+//	Drop    — reads fail with an injected error; writes silently
+//	          succeed without persisting (a lost write, healed later
+//	          by a cache miss and recompute).
+//	Delay   — sleep, then proceed.
+//	Error   — the operation returns an error.
+//	Corrupt — reads return deterministically flipped bytes; writes
+//	          persist flipped bytes.
+type ChaosFS struct {
+	Base   FS
+	Inject *Injector
+	// Site prefixes the per-operation site names; empty means "fs".
+	Site string
+}
+
+func (c ChaosFS) site(op string) string {
+	s := c.Site
+	if s == "" {
+		s = "fs"
+	}
+	return s + ":" + op
+}
+
+func (c ChaosFS) ReadFile(name string) ([]byte, error) {
+	site := c.site("read")
+	d := c.Inject.Decide(site)
+	switch d.Act {
+	case Drop:
+		return nil, &InjectedError{Site: site}
+	case Delay:
+		time.Sleep(d.Sleep)
+	case Error:
+		return nil, fmt.Errorf("faults: injected read error at %s", site)
+	}
+	b, err := c.Base.ReadFile(name)
+	if err == nil && d.Act == Corrupt {
+		b = CorruptBytes(d.Pattern, b)
+	}
+	return b, err
+}
+
+func (c ChaosFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	site := c.site("write")
+	d := c.Inject.Decide(site)
+	switch d.Act {
+	case Drop:
+		return nil // lost write: caller believes it persisted
+	case Delay:
+		time.Sleep(d.Sleep)
+	case Error:
+		return fmt.Errorf("faults: injected write error at %s", site)
+	case Corrupt:
+		data = CorruptBytes(d.Pattern, data)
+	}
+	return c.Base.WriteFile(name, data, perm)
+}
+
+func (c ChaosFS) Rename(oldpath, newpath string) error {
+	site := c.site("rename")
+	d := c.Inject.Decide(site)
+	switch d.Act {
+	case Drop, Error:
+		return fmt.Errorf("faults: injected rename error at %s", site)
+	case Delay:
+		time.Sleep(d.Sleep)
+	}
+	return c.Base.Rename(oldpath, newpath)
+}
+
+func (c ChaosFS) MkdirAll(path string, perm os.FileMode) error {
+	site := c.site("mkdir")
+	d := c.Inject.Decide(site)
+	switch d.Act {
+	case Drop, Error:
+		return fmt.Errorf("faults: injected mkdir error at %s", site)
+	case Delay:
+		time.Sleep(d.Sleep)
+	}
+	return c.Base.MkdirAll(path, perm)
+}

@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// transientMarker lets error types opt in to retryability without this
+// package knowing about them (service.StatusError stays in the service
+// package; injected faults and wrapped stream errors mark themselves).
+type transientMarker interface{ TransientFault() bool }
+
+// RetryAfterHinter lets an error carry the server's Retry-After value
+// across package boundaries; Retrier prefers the hint over its own
+// backoff schedule.
+type RetryAfterHinter interface{ RetryAfterHint() (time.Duration, bool) }
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string        { return e.err.Error() }
+func (e *transientError) Unwrap() error        { return e.err }
+func (e *transientError) TransientFault() bool { return true }
+
+// MarkTransient wraps err so Transient reports it retryable. Use it
+// when context proves a retry is safe (e.g. an event-stream decode
+// error, healed by reconnecting and replaying history).
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// Transient reports whether err looks like a transport-level fault that
+// a retry can plausibly heal: network timeouts and connection errors,
+// truncated reads, and anything marked via MarkTransient or a
+// TransientFault method. Context cancellation is never transient — the
+// caller gave up, retrying would fight them.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var tm transientMarker
+	if errors.As(err, &tm) {
+		return tm.TransientFault()
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	return false
+}
+
+// Retrier retries an operation with capped, jittered exponential
+// backoff. When a failed attempt's error carries a Retry-After hint
+// (RetryAfterHinter), the hint replaces the computed backoff — the
+// server knows its own recovery time better than our schedule does.
+// The zero value is usable; all fields are optional. A Retrier is safe
+// for concurrent use.
+type Retrier struct {
+	// MaxAttempts bounds total attempts (first try included). <=0 means 3.
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule (doubled per retry).
+	// <=0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff. <=0 means 2s. Retry-After
+	// hints bypass this cap (bounded by a 30s sanity ceiling).
+	MaxDelay time.Duration
+	// Retryable classifies errors; nil means Transient.
+	Retryable func(error) bool
+	// OnRetry, if set, observes each retry before its sleep: the attempt
+	// number that just failed (1-based), its error, and the chosen
+	// delay. Used for counters (e.g. load-gen backpressure accounting).
+	OnRetry func(attempt int, err error, delay time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// hintCeiling bounds how long a server-sent Retry-After can make us
+// sleep, so a hostile or buggy header can't park a client for an hour.
+const hintCeiling = 30 * time.Second
+
+// Do runs op, retrying retryable failures until success, attempt
+// exhaustion, or context cancellation. It returns the last attempt's
+// error (or ctx.Err() if cancelled while backing off).
+func (r *Retrier) Do(ctx context.Context, op func() error) error {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	retryable := r.Retryable
+	if retryable == nil {
+		retryable = Transient
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctx != nil && ctx.Err() != nil {
+			if err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
+		err = op()
+		if err == nil || attempt >= attempts || !retryable(err) {
+			return err
+		}
+		delay := r.delay(attempt, err)
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, err, delay)
+		}
+		if ctx == nil {
+			time.Sleep(delay)
+			continue
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// delay picks the sleep before the next attempt: the error's
+// Retry-After hint when present, otherwise jittered exponential
+// backoff (full jitter over (0, base<<n], capped).
+func (r *Retrier) delay(attempt int, err error) time.Duration {
+	var h RetryAfterHinter
+	if errors.As(err, &h) {
+		if d, ok := h.RetryAfterHint(); ok && d > 0 {
+			if d > hintCeiling {
+				d = hintCeiling
+			}
+			return d
+		}
+	}
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d <= 0 || d > maxDelay {
+		d = maxDelay
+	}
+	r.mu.Lock()
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	jittered := time.Duration(r.rng.Int63n(int64(d))) + 1
+	r.mu.Unlock()
+	return jittered
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RoundTripper wraps an http.RoundTripper with fault injection. Each
+// request consults the injector at a per-request site name (default
+// "http:<host>", override with Site — e.g. donor clients use
+// "donor:<host>" so a plan can corrupt snapshot bodies without
+// touching event streams).
+//
+// Semantics per action:
+//
+//	Drop    — the request is never sent; a transient InjectedError is
+//	          returned (safe to retry: nothing reached the server).
+//	Delay   — sleep, then send.
+//	Error   — the request is never sent; a synthesized response with
+//	          the rule's status (Retry-After: 1 on 429/503) is
+//	          returned, exercising the caller's status handling.
+//	Corrupt — the request is sent; the response body is wrapped in a
+//	          deterministically corrupting reader.
+type RoundTripper struct {
+	Base   http.RoundTripper
+	Inject *Injector
+	// Site maps a request to its injection site; nil means
+	// "http:" + host.
+	Site func(*http.Request) string
+}
+
+func (rt *RoundTripper) base() http.RoundTripper {
+	if rt.Base != nil {
+		return rt.Base
+	}
+	return http.DefaultTransport
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	site := ""
+	if rt.Site != nil {
+		site = rt.Site(req)
+	}
+	if site == "" {
+		site = "http:" + req.URL.Host
+	}
+	d := rt.Inject.Decide(site)
+	switch d.Act {
+	case Drop:
+		return nil, &InjectedError{Site: site}
+	case Delay:
+		select {
+		case <-time.After(d.Sleep):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case Error:
+		return synthesized(req, d.Status), nil
+	}
+	resp, err := rt.base().RoundTrip(req)
+	if err == nil && d.Act == Corrupt && resp.Body != nil {
+		resp.Body = &corruptingBody{rc: resp.Body, pattern: d.Pattern}
+	}
+	return resp, err
+}
+
+// synthesized fabricates an error response as if the server had
+// refused the request, without the request ever leaving the client.
+func synthesized(req *http.Request, status int) *http.Response {
+	header := http.Header{"Content-Type": []string{"application/json"}}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		header.Set("Retry-After", "1")
+	}
+	body := fmt.Sprintf("{\"error\":\"faults: injected %d\"}", status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        header,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// corruptingBody applies CorruptBytes' flip pattern as a stream:
+// always the first byte of the body, plus the sparse scatter at the
+// same absolute offsets CorruptBytes would hit.
+type corruptingBody struct {
+	rc      io.ReadCloser
+	pattern uint64
+	off     uint64
+}
+
+func (b *corruptingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	mask := byte(b.pattern>>8) | 1
+	for i := 0; i < n; i++ {
+		off := b.off + uint64(i)
+		if off == 0 || (off*2654435761+b.pattern)%257 == 0 {
+			p[i] ^= mask
+		}
+	}
+	b.off += uint64(n)
+	return n, err
+}
+
+func (b *corruptingBody) Close() error { return b.rc.Close() }

@@ -15,12 +15,15 @@
 //     fingerprint elect one leader submission per point; followers
 //     adopt the leader's bytes and report cached, so not even the
 //     routing layer sends a duplicate downstream.
-//   - Health routing: a pinger tracks each worker's /readyz, and a
-//     worker that fails a submission or severs an event stream is
-//     marked down immediately. Unfinished points re-bucket over the
-//     survivors in a fresh routing pass; the simulation is
-//     deterministic, so a re-routed point's bytes match what the dead
-//     node would have produced.
+//   - Health routing: every worker sits behind a circuit breaker
+//     (closed → open after consecutive failures → half-open probation
+//     after a cooldown). Dispatch failures and failed health probes
+//     feed the breaker; successes close it. A routing pass excludes
+//     nodes whose breaker is open plus nodes that already failed
+//     during this batch's routing, and unfinished points re-bucket
+//     over the survivors under a bounded per-point retry budget; the
+//     simulation is deterministic, so a re-routed point's bytes match
+//     what the dead node would have produced.
 //   - Admission and drain mirror the worker semantics: a bounded
 //     point queue rejects with service.ErrOverloaded (HTTP 429), and
 //     drain stops admission while in-flight batches run dry.
@@ -36,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
 	"repro/internal/sim"
 )
@@ -51,6 +55,22 @@ type Options struct {
 	// PingInterval spaces the health pinger's /readyz probes; <= 0 uses
 	// one second.
 	PingInterval time.Duration
+	// PingTimeout bounds each probe round; <= 0 uses two seconds.
+	PingTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// worker's circuit breaker; <= 0 uses 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses the worker
+	// before half-open probation; <= 0 uses 5s.
+	BreakerCooldown time.Duration
+	// RetryBudget bounds how many node failures a single point may
+	// survive before it completes with a routing error; <= 0 uses
+	// BreakerThreshold + 3.
+	RetryBudget int
+	// NoNodesGrace is how long a routing pass waits for any worker to
+	// become routable (a breaker half-opening, a ping recovering one)
+	// before abandoning the points; <= 0 uses 10s.
+	NoNodesGrace time.Duration
 	// MaxBatches bounds how many finished batches stay pollable; <= 0
 	// uses 256.
 	MaxBatches int
@@ -64,18 +84,26 @@ type Options struct {
 
 // node is one worker and its health state.
 type node struct {
-	url    string
-	client *service.Client
-	up     atomic.Bool
+	url     string
+	client  *service.Client
+	breaker *faults.Breaker
+	// probeOK tracks the last health-probe outcome, for transition logs.
+	probeOK atomic.Bool
+	// probeFails counts failed health probes (the per-node
+	// node_probe_failures_total metric).
+	probeFails atomic.Uint64
 }
 
 // Coordinator shards batches over a worker fleet. It implements
 // service.BatchAPI; serve it with service.NewAPIHandler (or
 // fleet.NewHandler for the full production surface).
 type Coordinator struct {
-	nodes    []*node
-	maxQueue int
-	log      func(format string, args ...any)
+	nodes       []*node
+	maxQueue    int
+	log         func(format string, args ...any)
+	pingTimeout time.Duration
+	retryBudget int
+	grace       time.Duration
 
 	metrics  metrics
 	draining atomic.Bool
@@ -116,21 +144,48 @@ func New(opt Options) (*Coordinator, error) {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	pingTimeout := opt.PingTimeout
+	if pingTimeout <= 0 {
+		pingTimeout = 2 * time.Second
+	}
+	threshold := opt.BreakerThreshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	cooldown := opt.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	budget := opt.RetryBudget
+	if budget <= 0 {
+		budget = threshold + 3
+	}
+	grace := opt.NoNodesGrace
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
 	c := &Coordinator{
-		maxQueue:   opt.MaxQueue,
-		log:        opt.Log,
-		flight:     map[string]*flightEntry{},
-		batches:    map[string]*service.Batch{},
-		maxBatches: maxBatches,
-		pingStop:   make(chan struct{}),
-		pingDone:   make(chan struct{}),
+		maxQueue:    opt.MaxQueue,
+		log:         opt.Log,
+		pingTimeout: pingTimeout,
+		retryBudget: budget,
+		grace:       grace,
+		flight:      map[string]*flightEntry{},
+		batches:     map[string]*service.Batch{},
+		maxBatches:  maxBatches,
+		pingStop:    make(chan struct{}),
+		pingDone:    make(chan struct{}),
 	}
 	for _, u := range opt.Workers {
-		n := &node{url: u, client: &service.Client{BaseURL: u, HTTPClient: opt.HTTPClient}}
-		// Optimistic start: nodes are assumed ready until a probe or a
-		// dispatch failure says otherwise, so the first batch never waits
-		// for a ping cycle.
-		n.up.Store(true)
+		n := &node{
+			url:     u,
+			client:  &service.Client{BaseURL: u, HTTPClient: opt.HTTPClient},
+			breaker: &faults.Breaker{Threshold: threshold, Cooldown: cooldown},
+		}
+		// Optimistic start: a fresh breaker is closed, so nodes are
+		// routable until a probe or a dispatch failure says otherwise and
+		// the first batch never waits for a ping cycle.
+		n.probeOK.Store(true)
 		c.nodes = append(c.nodes, n)
 	}
 	go c.pingLoop(interval)
@@ -147,10 +202,10 @@ func (c *Coordinator) Close() {
 	<-c.pingDone
 }
 
-// pingLoop probes every worker's readiness on a fixed cadence. A probe
-// result overrides dispatch-time mark-downs in both directions: a
-// recovered (restarted or drained-and-returned) worker rejoins the
-// routing set without operator action.
+// pingLoop probes every worker's readiness on a fixed cadence. Probe
+// outcomes feed each node's circuit breaker in both directions: a
+// recovered (restarted or drained-and-returned) worker closes its
+// breaker and rejoins the routing set without operator action.
 func (c *Coordinator) pingLoop(interval time.Duration) {
 	defer close(c.pingDone)
 	ticker := time.NewTicker(interval)
@@ -165,9 +220,11 @@ func (c *Coordinator) pingLoop(interval time.Duration) {
 	}
 }
 
-// pingOnce probes every node once (also a test seam).
+// pingOnce probes every node once (also a test seam). Probes ignore the
+// breaker state on purpose: an open node keeps being probed so the
+// breaker closes the moment the worker answers again.
 func (c *Coordinator) pingOnce() {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), c.pingTimeout)
 	defer cancel()
 	var wg sync.WaitGroup
 	for _, n := range c.nodes {
@@ -175,23 +232,33 @@ func (c *Coordinator) pingOnce() {
 		go func(n *node) {
 			defer wg.Done()
 			ready := n.client.Ready(ctx) == nil
-			if n.up.Swap(ready) != ready && c.log != nil {
+			if ready {
+				n.breaker.Success()
+			} else {
+				n.probeFails.Add(1)
+				c.metrics.ProbeFailures.Add(1)
+				if n.breaker.Failure() {
+					c.metrics.BreakerTrips.Add(1)
+				}
+			}
+			if n.probeOK.Swap(ready) != ready && c.log != nil {
 				state := "down"
 				if ready {
 					state = "up"
 				}
-				c.log("fleet: node %s is %s", n.url, state)
+				c.log("fleet: node %s probe: %s (breaker %s)", n.url, state, n.breaker.State())
 			}
 		}(n)
 	}
 	wg.Wait()
 }
 
-// readyNodes returns the nodes currently accepting work.
+// readyNodes returns the nodes currently accepting work: breaker closed,
+// or open long enough that probation (half-open) allows one try.
 func (c *Coordinator) readyNodes() []*node {
 	var out []*node
 	for _, n := range c.nodes {
-		if n.up.Load() {
+		if n.breaker.Allow() {
 			out = append(out, n)
 		}
 	}
@@ -376,30 +443,56 @@ func (c *Coordinator) resolveFlight(fp string, r pointResult) {
 	close(e.done)
 }
 
-// route drives the leader points to completion: shard over the ready
+// gracePoll spaces the no-ready-nodes waits inside route.
+const gracePoll = 50 * time.Millisecond
+
+// route drives the leader points to completion: shard over the routable
 // nodes, run the per-node sub-batches, re-bucket whatever a failed node
-// left unfinished. Every pass excludes the nodes that just failed, so
-// the pass count is bounded by the fleet size; when no nodes remain the
-// leftovers complete with a routing error.
+// left unfinished. Each pass excludes nodes that already failed during
+// this batch's routing; when no node is routable the loop waits up to
+// the grace window for a breaker to half-open or a ping to recover one,
+// and each point carries a retry budget so the loop terminates even
+// under sustained churn. Budget-exhausted or stranded points complete
+// with a routing error rather than hanging the batch.
 func (c *Coordinator) route(b *service.Batch, lead []int, results chan<- pointResult) {
 	jobs, fps := b.Jobs(), b.Fingerprints()
 	pending := lead
-	for pass := 0; len(pending) > 0 && pass <= len(c.nodes)+1; pass++ {
-		ready := c.readyNodes()
-		if len(ready) == 0 {
-			break
-		}
-		if pass > 0 {
-			c.metrics.Reroutes.Add(uint64(len(pending)))
-			if c.log != nil {
-				c.log("fleet: re-routing %d point(s) over %d node(s) (pass %d)", len(pending), len(ready), pass)
+	attempts := make(map[int]int)
+	failed := map[*node]bool{}
+	routedOnce := false
+	var waited time.Duration
+	for len(pending) > 0 {
+		var usable []*node
+		for _, n := range c.readyNodes() {
+			if !failed[n] {
+				usable = append(usable, n)
 			}
 		}
-		// Shard by fingerprint over the ready nodes: identical points
+		if len(usable) == 0 {
+			if waited >= c.grace {
+				break
+			}
+			// Wait for a breaker to half-open or a probe to recover a
+			// node; retrying previously-failed nodes is the point of the
+			// wait, so forget this batch's failure set.
+			time.Sleep(gracePoll)
+			waited += gracePoll
+			failed = map[*node]bool{}
+			continue
+		}
+		waited = 0
+		if routedOnce {
+			c.metrics.Reroutes.Add(uint64(len(pending)))
+			if c.log != nil {
+				c.log("fleet: re-routing %d point(s) over %d node(s)", len(pending), len(usable))
+			}
+		}
+		routedOnce = true
+		// Shard by fingerprint over the usable nodes: identical points
 		// land on identical nodes, so per-node caches stay partitioned.
-		buckets := make([][]int, len(ready))
+		buckets := make([][]int, len(usable))
 		for _, i := range pending {
-			s := sim.ShardFor(fps[i], len(ready))
+			s := sim.ShardFor(fps[i], len(usable))
 			buckets[s] = append(buckets[s], i)
 		}
 		var wg sync.WaitGroup
@@ -416,12 +509,23 @@ func (c *Coordinator) route(b *service.Batch, lead []int, results chan<- pointRe
 				if len(left) > 0 {
 					mu.Lock()
 					unfinished = append(unfinished, left...)
+					failed[n] = true
 					mu.Unlock()
 				}
-			}(ready[s], idxs)
+			}(usable[s], idxs)
 		}
 		wg.Wait()
-		pending = unfinished
+		pending = pending[:0]
+		for _, i := range unfinished {
+			attempts[i]++
+			if attempts[i] >= c.retryBudget {
+				c.metrics.RetryExhausted.Add(1)
+				results <- pointResult{i: i, err: fmt.Errorf(
+					"fleet: point exceeded its retry budget (%d node failures)", attempts[i])}
+				continue
+			}
+			pending = append(pending, i)
+		}
 	}
 	for _, i := range pending {
 		results <- pointResult{i: i, err: errors.New("fleet: no workers available to run this point")}
@@ -472,17 +576,27 @@ func (c *Coordinator) runOn(n *node, jobs []service.Job, idxs []int, results cha
 	})
 	if err != nil {
 		c.markDown(n, err)
+		return
 	}
+	// A cleanly-finished sub-batch closes the node's breaker.
+	n.breaker.Success()
 	return
 }
 
-// markDown records a dispatch-time worker failure; the pinger re-admits
-// the node when it answers /readyz again.
+// markDown records a dispatch-time worker failure in the node's circuit
+// breaker. Enough consecutive failures open the breaker; a successful
+// dispatch or health probe closes it again.
 func (c *Coordinator) markDown(n *node, err error) {
-	if n.up.Swap(false) {
-		c.metrics.NodeFailures.Add(1)
-		if c.log != nil {
-			c.log("fleet: node %s marked down: %v", n.url, err)
+	c.metrics.NodeFailures.Add(1)
+	opened := n.breaker.Failure()
+	if opened {
+		c.metrics.BreakerTrips.Add(1)
+	}
+	if c.log != nil {
+		if opened {
+			c.log("fleet: node %s breaker opened: %v", n.url, err)
+		} else {
+			c.log("fleet: node %s dispatch failure (breaker %s): %v", n.url, n.breaker.State(), err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -373,6 +375,152 @@ func TestFleetAdmissionAndDrain(t *testing.T) {
 	}
 	if st := b.Status(); st.State != service.StateDone {
 		t.Fatalf("batch state after drain = %s, want done", st.State)
+	}
+}
+
+// TestFleetBreakerOpensOnProbeFailures: failed health probes trip a
+// node's breaker at the threshold, surface in the per-node probe
+// metric, and probation (half-open) re-admits the node after cooldown.
+func TestFleetBreakerOpensOnProbeFailures(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close() // probes now fail fast with connection refused
+
+	coord, err := New(Options{
+		Workers:          []string{dead},
+		PingInterval:     time.Hour, // probe manually via pingOnce
+		PingTimeout:      500 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  80 * time.Millisecond,
+		Log:              t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	n := coord.nodes[0]
+
+	coord.pingOnce()
+	if !n.breaker.Allow() {
+		t.Fatalf("one probe failure opened a threshold-2 breaker")
+	}
+	coord.pingOnce()
+	if n.breaker.Allow() {
+		t.Fatalf("breaker still closed after %d probe failures", 2)
+	}
+	if got := n.probeFails.Load(); got != 2 {
+		t.Errorf("probeFails = %d, want 2", got)
+	}
+	if got := coord.metrics.BreakerTrips.Load(); got != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", got)
+	}
+	if err := coord.Ready(); err == nil {
+		t.Errorf("Ready() = nil with every breaker open")
+	}
+	var buf bytes.Buffer
+	coord.WriteMetrics(&buf)
+	if want := fmt.Sprintf("ooosim_fleet_node_probe_failures_total{node=%q} 2", dead); !strings.Contains(buf.String(), want) {
+		t.Errorf("metrics missing %q:\n%s", want, buf.String())
+	}
+	if want := fmt.Sprintf("ooosim_fleet_node_up{node=%q} 0", dead); !strings.Contains(buf.String(), want) {
+		t.Errorf("metrics missing %q:\n%s", want, buf.String())
+	}
+
+	// Cooldown elapses: probation routes one try at the node again.
+	waitFor(t, func() bool { return n.breaker.Allow() })
+	if st := n.breaker.State(); st != "half-open" {
+		t.Errorf("post-cooldown breaker state = %s, want half-open", st)
+	}
+}
+
+// TestFleetBreakerClosesOnProbeRecovery: a dispatch-opened breaker
+// closes the moment a health probe reaches the worker again — no
+// cooldown wait, no operator action.
+func TestFleetBreakerClosesOnProbeRecovery(t *testing.T) {
+	fake := newFakeWorker()
+	srv := httptest.NewServer(service.NewAPIHandler(fake, service.HandlerOptions{}))
+	defer srv.Close()
+
+	coord, err := New(Options{
+		Workers:          []string{srv.URL},
+		PingInterval:     time.Hour,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour, // recovery must come from the probe, not the cooldown
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	n := coord.nodes[0]
+
+	coord.markDown(n, errors.New("synthetic dispatch failure"))
+	if n.breaker.Allow() {
+		t.Fatalf("threshold-1 breaker stayed closed after a dispatch failure")
+	}
+	if len(coord.readyNodes()) != 0 {
+		t.Fatalf("open-breaker node still in the routing set")
+	}
+
+	coord.pingOnce()
+	if st := n.breaker.State(); st != "closed" {
+		t.Fatalf("breaker state after live probe = %s, want closed", st)
+	}
+	if len(coord.readyNodes()) != 1 {
+		t.Fatalf("recovered node missing from the routing set")
+	}
+}
+
+// TestFleetRetryBudgetExhausted: with every dispatch failing and a
+// budget of one node failure per point, the batch completes with
+// routing errors instead of hanging, and the exhaustion metric counts
+// each point.
+func TestFleetRetryBudgetExhausted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	coord, err := New(Options{
+		Workers:      []string{dead},
+		PingInterval: time.Hour,
+		RetryBudget:  1,
+		NoNodesGrace: 100 * time.Millisecond,
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+
+	jobs := []service.Job{
+		{Name: "a", Config: config.CheckpointDefault(64, 512), Trace: trace.Recipe{Kernel: trace.KernelStream, N: 6000}, Insts: 1500},
+		{Name: "b", Config: config.CheckpointDefault(32, 512), Trace: trace.Recipe{Kernel: trace.KernelStream, N: 6000}, Insts: 1500},
+	}
+	b, err := coord.Submit(jobs)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := b.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if len(st.Errors) != len(jobs) {
+		t.Fatalf("errors = %v, want one per point", st.Errors)
+	}
+	for _, e := range st.Errors {
+		if !strings.Contains(e, "retry budget") {
+			t.Errorf("error %q does not mention the retry budget", e)
+		}
+	}
+	if got := coord.metrics.RetryExhausted.Load(); got != uint64(len(jobs)) {
+		t.Errorf("RetryExhausted = %d, want %d", got, len(jobs))
 	}
 }
 

@@ -84,6 +84,8 @@ type Batch struct {
 	warmBuilds int
 	warmReuses int
 	logged     bool
+	journaled  bool
+	jdone      bool
 	// cycles and skipped aggregate the simulated-cycle and elided-cycle
 	// totals across the batch's successful points (parsed from each
 	// result), for the completion log line's skip-rate report.
@@ -202,6 +204,26 @@ func (b *Batch) warmShared(forked, reused bool) {
 		b.warmBuilds++
 	}
 	b.mu.Unlock()
+}
+
+// MarkJournaled records that a "batch" journal record was written for
+// this batch, so completion knows to append the matching "batchdone".
+func (b *Batch) MarkJournaled() {
+	b.mu.Lock()
+	b.journaled = true
+	b.mu.Unlock()
+}
+
+// TakeJournalDone reports true exactly once, when a journaled batch has
+// completed — the scheduler appends the "batchdone" record on it.
+func (b *Batch) TakeJournalDone() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.journaled || b.jdone || b.state != StateDone {
+		return false
+	}
+	b.jdone = true
+	return true
 }
 
 // TakeDoneLine returns the batch's completion log line exactly once,

@@ -1,16 +1,65 @@
 package service
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/faults"
 )
 
 // DefaultCacheEntries is the in-memory tier's default capacity.
 const DefaultCacheEntries = 4096
+
+// Disk entries are sealed with a checksum trailer so bit rot (or a
+// chaos injector) can never serve damaged result bytes as a hit:
+//
+//	<result JSON>\nooosum1:<64 hex chars of sha256(result JSON)>\n
+//
+// The trailer rides the same file (not a sidecar) so the
+// temp-and-rename write keeps payload and checksum atomic together.
+const (
+	sumMagic   = "\nooosum1:"
+	sumLen     = len(sumMagic) + sha256.Size*2 + 1 // + trailing newline
+	sumDirName = "quarantine"
+)
+
+// sealEntry appends the checksum trailer to a copy of raw.
+func sealEntry(raw []byte) []byte {
+	sum := sha256.Sum256(raw)
+	out := make([]byte, 0, len(raw)+sumLen)
+	out = append(out, raw...)
+	out = append(out, sumMagic...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	return append(out, '\n')
+}
+
+// openEntry verifies and strips the trailer, returning the payload.
+// Anything that fails verification — including legacy trailer-less
+// files — reports !ok.
+func openEntry(entry []byte) (payload []byte, ok bool) {
+	if len(entry) < sumLen || entry[len(entry)-1] != '\n' {
+		return nil, false
+	}
+	cut := len(entry) - sumLen
+	if !bytes.Equal(entry[cut:cut+len(sumMagic)], []byte(sumMagic)) {
+		return nil, false
+	}
+	payload = entry[:cut]
+	want := string(entry[cut+len(sumMagic) : len(entry)-1])
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != want {
+		return nil, false
+	}
+	return payload, true
+}
 
 // Cache is the two-tier content-addressed result store: an in-memory
 // LRU over the marshalled stats.Results of recently touched points, and
@@ -27,9 +76,17 @@ const DefaultCacheEntries = 4096
 // Disk layout under dir (see NewCache): one file per point at
 // <dir>/<fp[:2]>/<fp>.json, sharded by fingerprint prefix so no single
 // directory grows unboundedly. Files are written via temp-and-rename,
-// so a crashed daemon never leaves a torn entry behind.
+// so a crashed daemon never leaves a torn entry behind, and sealed
+// with a checksum trailer verified on every disk read. An entry that
+// fails verification is never served: it is moved to
+// <dir>/quarantine/<fp>.json for post-mortem, the quarantined counter
+// (exported as ooosim_cache_quarantined_total) is bumped, and the read
+// reports a miss so the point recomputes.
 type Cache struct {
-	dir string
+	dir  string
+	fsys faults.FS
+
+	quarantined atomic.Uint64
 
 	mu    sync.Mutex
 	cap   int
@@ -47,8 +104,18 @@ type cacheItem struct {
 // empty disables the disk tier (memory-only, evicted results are
 // recomputed on next miss).
 func NewCache(memEntries int, dir string) (*Cache, error) {
+	return NewCacheFS(memEntries, dir, faults.OSFS{})
+}
+
+// NewCacheFS is NewCache with the disk tier's filesystem injectable —
+// chaos runs pass a faults.ChaosFS so reads and writes can be failed
+// or corrupted on a deterministic schedule.
+func NewCacheFS(memEntries int, dir string, fsys faults.FS) (*Cache, error) {
 	if memEntries <= 0 {
 		memEntries = DefaultCacheEntries
+	}
+	if fsys == nil {
+		fsys = faults.OSFS{}
 	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -57,6 +124,7 @@ func NewCache(memEntries int, dir string) (*Cache, error) {
 	}
 	return &Cache{
 		dir:   dir,
+		fsys:  fsys,
 		cap:   memEntries,
 		lru:   list.New(),
 		items: map[string]*list.Element{},
@@ -64,7 +132,8 @@ func NewCache(memEntries int, dir string) (*Cache, error) {
 }
 
 // Get returns the stored result bytes for the fingerprint, promoting a
-// disk hit into the memory tier.
+// disk hit into the memory tier. Disk entries failing checksum
+// verification are quarantined and reported as misses.
 func (c *Cache) Get(key string) (json.RawMessage, bool) {
 	c.mu.Lock()
 	if e, ok := c.items[key]; ok {
@@ -78,15 +147,36 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	raw, err := os.ReadFile(c.path(key))
-	if err != nil || !json.Valid(raw) {
-		// A missing file is the common miss; an unreadable or corrupt
-		// one is treated the same — the point just recomputes.
+	entry, err := c.fsys.ReadFile(c.path(key))
+	if err != nil {
+		// A missing file is the common miss; a read error degrades to a
+		// miss too — the point just recomputes.
+		return nil, false
+	}
+	raw, ok := openEntry(entry)
+	if !ok {
+		c.quarantine(key)
 		return nil, false
 	}
 	c.putMem(key, raw)
 	return raw, true
 }
+
+// quarantine moves a verification-failed entry out of the serving tree
+// and counts it. The move is best-effort: even if it fails, the entry
+// was already refused, and the eventual recompute's Put overwrites it.
+func (c *Cache) quarantine(key string) {
+	c.quarantined.Add(1)
+	qdir := filepath.Join(c.dir, sumDirName)
+	if err := c.fsys.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	c.fsys.Rename(c.path(key), filepath.Join(qdir, key+".json"))
+}
+
+// Quarantined returns how many disk entries failed checksum
+// verification and were pulled from the serving tree.
+func (c *Cache) Quarantined() uint64 { return c.quarantined.Load() }
 
 // Put stores a computed result under its fingerprint in both tiers.
 func (c *Cache) Put(key string, raw json.RawMessage) error {
@@ -95,24 +185,10 @@ func (c *Cache) Put(key string, raw json.RawMessage) error {
 		return nil
 	}
 	path := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := c.fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("service: cache put: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key[:8]+".tmp*")
-	if err != nil {
-		return fmt.Errorf("service: cache put: %w", err)
-	}
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: cache put: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: cache put: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.fsys.WriteFile(path, sealEntry(raw), 0o644); err != nil {
 		return fmt.Errorf("service: cache put: %w", err)
 	}
 	return nil

@@ -105,8 +105,9 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCacheCorruptDiskEntry: a torn or garbage file is a miss, not an
-// error or a poisoned result.
+// TestCacheCorruptDiskEntry: a corrupt file is never served — it is
+// quarantined (metric bumped, file moved out of the serving tree), and
+// the read reports a miss so the point recomputes.
 func TestCacheCorruptDiskEntry(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewCache(4, dir)
@@ -127,6 +128,105 @@ func TestCacheCorruptDiskEntry(t *testing.T) {
 	}
 	if _, ok := c2.Get(key); ok {
 		t.Error("corrupt disk entry served as a hit")
+	}
+	if got := c2.Quarantined(); got != 1 {
+		t.Errorf("quarantined counter = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still in the serving tree: %v", err)
+	}
+	qpath := filepath.Join(dir, "quarantine", key+".json")
+	if _, err := os.Stat(qpath); err != nil {
+		t.Errorf("corrupt entry not preserved in quarantine: %v", err)
+	}
+	// Recompute-and-Put heals the slot; the healed entry serves again.
+	if err := c2.Put(key, fakeVal(0)); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, ok := c3.Get(key); !ok || !bytes.Equal(raw, fakeVal(0)) {
+		t.Errorf("healed entry not served: %s", raw)
+	}
+}
+
+// TestCacheChecksumTrailer: disk entries are sealed (payload + checksum
+// trailer in one file) and Get returns exactly the original payload
+// bytes. A single flipped bit anywhere in the file — payload or
+// trailer — quarantines the entry.
+func TestCacheChecksumTrailer(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey(7)
+	val := fakeVal(7)
+	if err := c.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	sealed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sealed), "ooosum1:") {
+		t.Fatalf("disk entry missing checksum trailer: %q", sealed)
+	}
+	if !bytes.HasPrefix(sealed, val) {
+		t.Fatalf("payload not stored verbatim before trailer: %q", sealed)
+	}
+
+	for _, flip := range []int{0, len(val) / 2, len(sealed) - 2} {
+		bad := append([]byte(nil), sealed...)
+		bad[flip] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := NewCache(1, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c2.Get(key); ok {
+			t.Errorf("flip at %d served as a hit", flip)
+		}
+		if c2.Quarantined() != 1 {
+			t.Errorf("flip at %d: quarantined = %d, want 1", flip, c2.Quarantined())
+		}
+		// Restore for the next round (quarantine moved the file away).
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, sealed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheLegacyEntryQuarantined: a pre-trailer entry (valid JSON, no
+// checksum) is not trusted — it quarantines rather than serving bytes
+// that can no longer be verified.
+func TestCacheLegacyEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := fakeKey(3)
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fakeVal(3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("unverifiable legacy entry served as a hit")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("quarantined = %d, want 1", c.Quarantined())
 	}
 }
 

@@ -8,27 +8,87 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// defaultHTTPClient is what Client uses when HTTPClient is unset. It
+// bounds every phase that can hang on a dead peer — dialing, TLS, and
+// waiting for response headers — but deliberately sets no overall
+// request timeout: the /v1/batches/{id}/events stream stays open for
+// as long as a batch runs, mirroring the ooosimd server side (which
+// likewise uses ReadHeaderTimeout/IdleTimeout, never a whole-request
+// deadline). A stuck stream is still bounded by TCP keep-alives and
+// the caller's context.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		IdleConnTimeout:       90 * time.Second,
+		MaxIdleConnsPerHost:   16,
+	},
+}
+
+// defaultRetrier backs Client requests when Retry is unset: a few
+// attempts with fast jittered backoff, retrying transport faults and
+// 429 backpressure (honouring Retry-After). 503 is deliberately NOT
+// retried here — a draining node's 503 is a routing signal the fleet
+// coordinator must see promptly, not absorb.
+var defaultRetrier = &faults.Retrier{
+	MaxAttempts: 3,
+	BaseDelay:   100 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+	Retryable:   RetryableDefault,
+}
+
+// RetryableDefault is the client's stock retry classification:
+// transport-level transient faults, plus 429 admission backpressure.
+func RetryableDefault(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusTooManyRequests
+	}
+	return faults.Transient(err)
+}
 
 // Client talks to an ooosimd daemon.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8321".
 	BaseURL string
-	// HTTPClient overrides http.DefaultClient (tests, timeouts).
+	// HTTPClient overrides the package default (which carries dial and
+	// response-header timeouts but no whole-request deadline, so event
+	// streams run unbounded).
 	HTTPClient *http.Client
+	// Retry overrides the default retry policy (transient transport
+	// faults and 429, with Retry-After honoured). Submit, Status and
+	// Stream go through it; Ready does not — readiness probes must
+	// report a node's state now, not after a backoff.
+	Retry *faults.Retrier
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+func (c *Client) retrier() *faults.Retrier {
+	if c.Retry != nil {
+		return c.Retry
+	}
+	return defaultRetrier
 }
 
 func (c *Client) url(path string) string {
@@ -37,10 +97,13 @@ func (c *Client) url(path string) string {
 
 // StatusError is a non-2xx server response, with the HTTP status code
 // preserved so callers can react to backpressure (429) or drain (503)
-// distinctly from hard failures.
+// distinctly from hard failures, and the server's Retry-After carried
+// through so backoff can honour it.
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's Retry-After value, zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -50,12 +113,39 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("service: server returned HTTP %d", e.Code)
 }
 
+// RetryAfterHint implements faults.RetryAfterHinter, letting a Retrier
+// sleep exactly as long as the server asked.
+func (e *StatusError) RetryAfterHint() (time.Duration, bool) {
+	if e.RetryAfter > 0 {
+		return e.RetryAfter, true
+	}
+	return 0, false
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds or
+// HTTP-date), returning zero when absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // decodeError surfaces the server's JSON error body.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var ae apiError
 	json.Unmarshal(body, &ae)
-	return &StatusError{Code: resp.StatusCode, Msg: ae.Error}
+	return &StatusError{Code: resp.StatusCode, Msg: ae.Error, RetryAfter: parseRetryAfter(resp.Header)}
 }
 
 // Ready probes the daemon's readiness endpoint: nil means the node
@@ -99,49 +189,68 @@ func (c *Client) AwaitReady(ctx context.Context) error {
 }
 
 // Submit posts a batch and returns its submission-time status (cache
-// hits are already complete in it).
+// hits are already complete in it). Transient transport failures and
+// 429 backpressure are retried per the client's retry policy. A retry
+// after a response was lost in flight can resubmit a batch the server
+// already admitted; that is safe by construction — results are
+// content-addressed, so the duplicate dedupes against the cache and
+// singleflight layers and converges to identical bytes.
 func (c *Client) Submit(ctx context.Context, jobs []Job) (BatchStatus, error) {
 	body, err := json.Marshal(submitRequest{Jobs: jobs})
 	if err != nil {
 		return BatchStatus{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/batches"), bytes.NewReader(body))
-	if err != nil {
-		return BatchStatus{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return BatchStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return BatchStatus{}, decodeError(resp)
-	}
 	var st BatchStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return BatchStatus{}, fmt.Errorf("service: decode submit response: %w", err)
+	err = c.retrier().Do(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/batches"), bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return decodeError(resp)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			// The batch was admitted but its id never arrived intact;
+			// resubmitting is safe (see above), so mark retryable.
+			return faults.MarkTransient(fmt.Errorf("service: decode submit response: %w", err))
+		}
+		return nil
+	})
+	if err != nil {
+		return BatchStatus{}, err
 	}
 	return st, nil
 }
 
-// Status polls a batch.
+// Status polls a batch, retrying transient failures.
 func (c *Client) Status(ctx context.Context, id string) (BatchStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/batches/"+id), nil)
-	if err != nil {
-		return BatchStatus{}, err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return BatchStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return BatchStatus{}, decodeError(resp)
-	}
 	var st BatchStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return BatchStatus{}, fmt.Errorf("service: decode status: %w", err)
+	err := c.retrier().Do(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/batches/"+id), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return faults.MarkTransient(fmt.Errorf("service: decode status: %w", err))
+		}
+		return nil
+	})
+	if err != nil {
+		return BatchStatus{}, err
 	}
 	return st, nil
 }
@@ -149,41 +258,59 @@ func (c *Client) Status(ctx context.Context, id string) (BatchStatus, error) {
 // Stream consumes a batch's NDJSON progress stream from the beginning
 // (the server replays history), invoking fn per event until the final
 // "done" event, a callback error, or ctx expiry.
+//
+// A severed or garbled stream is healed by reconnecting: because the
+// server replays full batch history on every stream open, the client
+// counts events already delivered to fn and silently skips that prefix
+// on reconnect, so fn sees each event exactly once no matter how many
+// times the transport fails underneath. Errors returned by fn itself
+// are never retried.
 func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/batches/"+id+"/events"), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), 16<<20) // occupancy histograms are large
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var ev Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("service: decode event: %w", err)
-		}
-		if err := fn(ev); err != nil {
+	delivered := 0
+	return c.retrier().Do(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/batches/"+id+"/events"), nil)
+		if err != nil {
 			return err
 		}
-		if ev.Type == "done" {
-			return nil
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("service: event stream: %w", err)
-	}
-	return fmt.Errorf("service: event stream ended before the batch finished")
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 16<<20) // occupancy histograms are large
+		seen := 0
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				// A garbled line is a transport fault: reconnect and let
+				// history replay deliver the event intact.
+				return faults.MarkTransient(fmt.Errorf("service: decode event: %w", err))
+			}
+			seen++
+			if seen <= delivered {
+				continue // replayed history already delivered to fn
+			}
+			delivered = seen
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Type == "done" {
+				return nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return faults.MarkTransient(fmt.Errorf("service: event stream: %w", err))
+		}
+		return faults.MarkTransient(fmt.Errorf("service: event stream ended before the batch finished"))
+	})
 }
 
 // Run submits a batch, consumes its progress stream, and returns the

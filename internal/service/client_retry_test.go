@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// fastRetrier is a test retry policy with the stock classification but
+// millisecond backoff.
+func fastRetrier(attempts int, onRetry func(int, error, time.Duration)) *faults.Retrier {
+	return &faults.Retrier{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Retryable:   RetryableDefault,
+		OnRetry:     onRetry,
+	}
+}
+
+// TestClientSubmitRetries429: admission backpressure is retried until
+// the daemon admits the batch; the retry count is observable through
+// OnRetry.
+func TestClientSubmitRetries429(t *testing.T) {
+	sched := NewScheduler(SchedulerOptions{Workers: 1})
+	inner := NewHandler(sched)
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/batches" && attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var retries atomic.Int64
+	client := &Client{BaseURL: srv.URL, Retry: fastRetrier(4, func(int, error, time.Duration) { retries.Add(1) })}
+	st, err := client.Submit(context.Background(), []Job{testJob("r", 32)})
+	if err != nil {
+		t.Fatalf("submit through 429s: %v", err)
+	}
+	if st.Total != 1 {
+		t.Fatalf("submitted status = %+v", st)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("server saw %d submit attempts, want 3", got)
+	}
+	if got := retries.Load(); got != 2 {
+		t.Errorf("client retried %d times, want 2", got)
+	}
+}
+
+// TestClientSubmit503NotRetried: a draining node's 503 is a routing
+// signal, surfaced immediately rather than absorbed by backoff.
+func TestClientSubmit503NotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer srv.Close()
+
+	client := &Client{BaseURL: srv.URL, Retry: fastRetrier(4, nil)}
+	_, err := client.Submit(context.Background(), []Job{testJob("d", 32)})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit to draining node = %v, want StatusError 503", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("client retried a 503 (%d attempts), want exactly 1", got)
+	}
+}
+
+// TestClientStreamResumes: the stream survives a garbled line and a
+// premature end by reconnecting; because the server replays history on
+// every open, fn still sees every event exactly once.
+func TestClientStreamResumes(t *testing.T) {
+	sched := NewScheduler(SchedulerOptions{Workers: 2})
+	inner := NewHandler(sched)
+	jobs := []Job{testJob("s1", 32), testJob("s2", 64)}
+	b, err := sched.Submit(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := b.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ev0, ok, err := b.WaitEvent(ctx, 0)
+	if err != nil || !ok {
+		t.Fatalf("first event unavailable: %v", err)
+	}
+
+	var streams atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			switch streams.Add(1) {
+			case 1:
+				// Garbled line mid-transfer: client must drop the
+				// connection and replay, not deliver garbage.
+				fmt.Fprintln(w, `{"type":"result","index":`)
+				return
+			case 2:
+				// One intact event, then the body ends without "done": a
+				// severed stream.
+				json.NewEncoder(w).Encode(ev0)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	client := &Client{BaseURL: srv.URL, Retry: fastRetrier(4, nil)}
+	counts := map[int]int{}
+	done := 0
+	err = client.Stream(context.Background(), b.ID(), func(ev Event) error {
+		if ev.Type == "done" {
+			done++
+			return nil
+		}
+		counts[ev.Index]++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream with reconnects: %v", err)
+	}
+	if got := streams.Load(); got != 3 {
+		t.Errorf("server saw %d stream opens, want 3", got)
+	}
+	for i := range jobs {
+		if counts[i] != 1 {
+			t.Errorf("point %d delivered %d times, want exactly once", i, counts[i])
+		}
+	}
+	if done != 1 {
+		t.Errorf("done event delivered %d times, want once", done)
+	}
+}
+
+// TestParseRetryAfter covers the header forms backoff honours.
+func TestParseRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if d := parseRetryAfter(h); d != 0 {
+		t.Errorf("absent header = %v, want 0", d)
+	}
+	h.Set("Retry-After", "2")
+	if d := parseRetryAfter(h); d != 2*time.Second {
+		t.Errorf("delta-seconds = %v, want 2s", d)
+	}
+	h.Set("Retry-After", time.Now().Add(3*time.Second).UTC().Format(http.TimeFormat))
+	if d := parseRetryAfter(h); d <= 0 || d > 3*time.Second {
+		t.Errorf("http-date = %v, want (0, 3s]", d)
+	}
+	h.Set("Retry-After", "soon")
+	if d := parseRetryAfter(h); d != 0 {
+		t.Errorf("garbage header = %v, want 0", d)
+	}
+}

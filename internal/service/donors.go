@@ -14,10 +14,19 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// donorSumHeader carries the hex SHA-256 of the snapshot body on
+// GET /v1/donors/{key} responses. Snapshot validation in mem is
+// structural (magic, lengths, bounds) and cannot detect bit flips
+// inside the tag arrays, so the transport adds an end-to-end digest:
+// a fetch whose body does not hash to the header is rejected (and
+// retried, then degraded to a local warm-up — never silently adopted).
+const donorSumHeader = "X-Ooosim-Snapshot-Sum"
 
 // DonorExchange is the warm-donor shipping fabric of a worker fleet.
 //
@@ -51,10 +60,11 @@ type DonorExchange struct {
 	mu  sync.Mutex
 	reg map[string]*donorEntry
 
-	adopted    atomic.Uint64 // donors fetched from a peer
-	built      atomic.Uint64 // donors warmed on this node
-	shipped    atomic.Uint64 // donors served to peers
-	fetchFails atomic.Uint64 // peer fetches that fell back to local warm-up
+	adopted      atomic.Uint64 // donors fetched from a peer
+	built        atomic.Uint64 // donors warmed on this node
+	shipped      atomic.Uint64 // donors served to peers
+	fetchRetries atomic.Uint64 // fetch attempts retried before success or fallback
+	fetchFails   atomic.Uint64 // peer fetches that fell back to local warm-up
 }
 
 // donorRegistryLimit bounds the registry; donors are a few hundred KB
@@ -70,6 +80,9 @@ type donorEntry struct {
 	blobOnce sync.Once
 	blob     []byte
 	blobErr  error
+
+	sumOnce sync.Once
+	sum     string
 }
 
 // NewDonorExchange builds the exchange for a node. peers is the full
@@ -161,7 +174,20 @@ func (dx *DonorExchange) Acquire(r trace.Recipe, key mem.WarmKey, tr *trace.Trac
 	return e.donor, e.err
 }
 
-// fetch retrieves (building on demand) the donor for spec from peer.
+// UseTransport swaps the fetch client's transport (chaos injection).
+func (dx *DonorExchange) UseTransport(rt http.RoundTripper) {
+	dx.client = &http.Client{Timeout: dx.client.Timeout, Transport: rt}
+}
+
+// maxDonorSnapshot bounds how much body a fetch will buffer for digest
+// verification; donors are a few hundred KB, so 64 MB is pathology.
+const maxDonorSnapshot = 64 << 20
+
+// fetch retrieves (building on demand) the donor for spec from peer,
+// retrying transient transport failures and integrity mismatches a few
+// times before the caller falls back to a local warm-up. The body is
+// verified against the peer's snapshot digest header before a single
+// byte of it is parsed.
 func (dx *DonorExchange) fetch(peer string, spec DonorSpec) (*mem.Hierarchy, error) {
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
@@ -169,22 +195,53 @@ func (dx *DonorExchange) fetch(peer string, spec DonorSpec) (*mem.Hierarchy, err
 	}
 	url := fmt.Sprintf("%s/v1/donors/%s?spec=%s",
 		peer, DonorKey(spec.Trace, spec.Warm), base64.RawURLEncoding.EncodeToString(specJSON))
-	resp, err := dx.client.Get(url)
+	retrier := &faults.Retrier{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+		OnRetry:     func(int, error, time.Duration) { dx.fetchRetries.Add(1) },
+	}
+	var donor *mem.Hierarchy
+	err = retrier.Do(nil, func() error {
+		resp, err := dx.client.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			err := fmt.Errorf("service: donor fetch: %s: %s", resp.Status, bytes.TrimSpace(body))
+			if resp.StatusCode >= 500 {
+				// A 5xx home may just be mid-hiccup; 404/400 are terminal
+				// (unwarmed or mismatched — retrying won't change them).
+				return faults.MarkTransient(err)
+			}
+			return err
+		}
+		blob, err := io.ReadAll(io.LimitReader(resp.Body, maxDonorSnapshot))
+		if err != nil {
+			return faults.MarkTransient(fmt.Errorf("service: donor fetch: %w", err))
+		}
+		if want := resp.Header.Get(donorSumHeader); want != "" {
+			sum := sha256.Sum256(blob)
+			if hex.EncodeToString(sum[:]) != want {
+				// Damaged in transit; the peer's copy is fine, refetch.
+				return faults.MarkTransient(fmt.Errorf("service: donor fetch: snapshot digest mismatch"))
+			}
+		}
+		d, err := mem.ReadSnapshot(bytes.NewReader(blob))
+		if err != nil {
+			return faults.MarkTransient(fmt.Errorf("service: donor fetch: %w", err))
+		}
+		if d.WarmKey() != spec.Warm {
+			return fmt.Errorf("service: donor fetch: peer returned warm key %+v, want %+v",
+				d.WarmKey(), spec.Warm)
+		}
+		donor = d
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("service: donor fetch: %s: %s", resp.Status, bytes.TrimSpace(body))
-	}
-	donor, err := mem.ReadSnapshot(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if donor.WarmKey() != spec.Warm {
-		return nil, fmt.Errorf("service: donor fetch: peer returned warm key %+v, want %+v",
-			donor.WarmKey(), spec.Warm)
 	}
 	return donor, nil
 }
@@ -255,8 +312,13 @@ func (dx *DonorExchange) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: e.blobErr.Error()})
 		return
 	}
+	e.sumOnce.Do(func() {
+		sum := sha256.Sum256(e.blob)
+		e.sum = hex.EncodeToString(sum[:])
+	})
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(e.blob)))
+	w.Header().Set(donorSumHeader, e.sum)
 	if _, err := w.Write(e.blob); err == nil {
 		dx.shipped.Add(1)
 	}
@@ -267,6 +329,7 @@ func (dx *DonorExchange) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (dx *DonorExchange) writeMetrics(w io.Writer) {
 	counter(w, "ooosim_donors_adopted_total", "Warm donors adopted from a peer instead of warming locally.", dx.adopted.Load())
 	counter(w, "ooosim_donors_shipped_total", "Warm donors served to peers.", dx.shipped.Load())
+	counter(w, "ooosim_donor_fetch_retries_total", "Donor fetch attempts retried after a transient failure.", dx.fetchRetries.Load())
 	counter(w, "ooosim_donor_fetch_failures_total", "Peer donor fetches that fell back to a local warm-up.", dx.fetchFails.Load())
 }
 

@@ -37,6 +37,9 @@ type Metrics struct {
 	// skip); their ratio is the node's skip rate.
 	Cycles        atomic.Uint64
 	SkippedCycles atomic.Uint64
+	// RecoveredBatches counts batches re-admitted from the recovery
+	// journal after a restart.
+	RecoveredBatches atomic.Uint64
 }
 
 // counter and gauge render one metric with a HELP/TYPE header.
@@ -81,6 +84,8 @@ func (s *Scheduler) WriteMetrics(w io.Writer) {
 	counter(w, "ooosim_cycles_simulated_total", "Cycles accounted across simulator runs.", m.Cycles.Load())
 	counter(w, "ooosim_cycles_skipped_total", "Cycles elided by the event-driven clock skip.", m.SkippedCycles.Load())
 	gauge(w, "ooosim_cache_mem_entries", "Results resident in the cache's memory tier.", int64(s.cache.MemLen()))
+	counter(w, "ooosim_cache_quarantined_total", "Disk cache entries that failed checksum verification and were quarantined.", s.cache.Quarantined())
+	counter(w, "ooosim_journal_recovered_batches_total", "Batches re-admitted from the recovery journal after a restart.", m.RecoveredBatches.Load())
 	if s.donors != nil {
 		s.donors.writeMetrics(w)
 	}

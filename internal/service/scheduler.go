@@ -44,6 +44,11 @@ type SchedulerOptions struct {
 	// batch's cache and snapshot-sharing statistics (cmd/ooosimd wires
 	// log.Printf here so operators can see the sharing engage).
 	Log func(format string, args ...any)
+	// Journal, when non-nil, is the batch recovery log: admitted batches
+	// with misses and completed fingerprints are appended so a restarted
+	// daemon can re-admit in-flight work (see Scheduler.Recover). Append
+	// failures degrade recovery, never the running daemon.
+	Journal *Journal
 }
 
 // ErrDraining rejects submissions while the scheduler is draining.
@@ -66,6 +71,7 @@ type Scheduler struct {
 	warms    warmCache
 	donors   *DonorExchange
 	log      func(format string, args ...any)
+	journal  *Journal
 	maxQueue int
 	metrics  Metrics
 	draining atomic.Bool
@@ -101,6 +107,7 @@ func NewScheduler(opt SchedulerOptions) *Scheduler {
 		sem:      make(chan struct{}, workers),
 		donors:   opt.Donors,
 		log:      opt.Log,
+		journal:  opt.Journal,
 		maxQueue: opt.MaxQueue,
 		run: func(spec sim.RunSpec, donor *mem.Hierarchy) (stats.Results, error) {
 			if donor == nil {
@@ -243,11 +250,58 @@ func (s *Scheduler) Submit(jobs []Job) (*Batch, error) {
 	sort.SliceStable(misses, func(x, y int) bool {
 		return groupKeys[misses[x]] < groupKeys[misses[y]]
 	})
+	// Journal the batch before any miss launches: once admitted, a crash
+	// must be able to re-admit it. All-hit batches completed above and
+	// need no recovery.
+	if s.journal != nil && len(misses) > 0 {
+		if err := s.journal.AppendBatch(b.id, b.jobs); err == nil {
+			b.MarkJournaled()
+		} else if s.log != nil {
+			s.log("journal append failed for batch %s: %v", b.id, err)
+		}
+	}
 	for _, i := range misses {
 		go s.runJob(b, i)
 	}
 	s.logIfDone(b)
 	return b, nil
+}
+
+// Recover replays the journal, truncates it, and re-admits every batch
+// that was in flight at the last shutdown. Re-admission goes through
+// the normal Submit path, so points whose results reached the disk
+// cache before the crash come back as hits and only the missing ones
+// re-simulate — determinism makes the resumed batch byte-identical to
+// what the original would have produced. Returns how many batches were
+// re-admitted. A batch Submit refuses (validation drift, admission
+// pressure) is re-journaled so the work survives to the next attempt.
+func (s *Scheduler) Recover() (requeued int, err error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	pending, completed, err := s.journal.Replay()
+	if err != nil {
+		return 0, err
+	}
+	if err := s.journal.Reset(); err != nil {
+		return 0, fmt.Errorf("service: journal reset: %w", err)
+	}
+	for _, rb := range pending {
+		if _, err := s.Submit(rb.Jobs); err != nil {
+			s.journal.AppendBatch(rb.ID, rb.Jobs)
+			if s.log != nil {
+				s.log("journal recovery: batch %s not re-admitted: %v", rb.ID, err)
+			}
+			continue
+		}
+		requeued++
+	}
+	s.metrics.RecoveredBatches.Add(uint64(requeued))
+	if s.log != nil && (requeued > 0 || len(pending) > 0) {
+		s.log("journal recovery: re-admitted %d/%d batch(es), %d point(s) already cached",
+			requeued, len(pending), len(completed))
+	}
+	return requeued, nil
 }
 
 // snapshotGroupKey renders a job's snapshot-sharing identity: jobs with
@@ -362,7 +416,15 @@ func (s *Scheduler) runJob(b *Batch, i int) {
 	if err != nil {
 		s.metrics.PointErrors.Add(1)
 	}
+	if s.journal != nil && err == nil && !shared && !lateHit {
+		// This flight actually simulated and filled the cache: record the
+		// fingerprint so recovery knows the point is durable.
+		s.journal.AppendPoint(fp)
+	}
 	b.Complete(i, raw, cached, err)
+	if s.journal != nil && b.TakeJournalDone() {
+		s.journal.AppendBatchDone(b.id)
+	}
 	s.logIfDone(b)
 }
 
